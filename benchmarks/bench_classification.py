@@ -1,0 +1,59 @@
+"""Ablation - Section IV.B defect taxonomy, measured not assumed.
+
+Classifies every one of the 32 injected defects from its electrical
+signature alone (Vreg shifts across taps and regulator states) and checks
+the result against the paper's three lists:
+
+* negligible: Df14, Df17, Df18, Df21, Df24, Df25 (gate stubs, ~zero current)
+* both power and DRFs: Df2..Df5 (voltage-source defects)
+* DRF-capable (Table II): 17 defects
+* everything else: increased static power only.
+
+This is the ablation behind DESIGN.md's defect-site reconstruction: if a
+site were placed on the wrong branch, its measured category would flip.
+"""
+
+import pytest
+
+from repro.core.reporting import render_table
+from repro.regulator import DEFECTS, classify_defect
+from repro.regulator.defects import DefectCategory
+
+
+@pytest.fixture(scope="module")
+def measured():
+    return {n: classify_defect(d) for n, d in sorted(DEFECTS.items())}
+
+
+def test_classification_speed(benchmark):
+    result = benchmark.pedantic(
+        classify_defect, args=(DEFECTS[1],), rounds=1, iterations=1
+    )
+    assert result is DefectCategory.DRF
+
+
+def test_full_taxonomy(measured, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = [
+        [DEFECTS[n].name, DEFECTS[n].branch, category.value,
+         DEFECTS[n].category.value,
+         "ok" if category is DEFECTS[n].category else "MISMATCH"]
+        for n, category in measured.items()
+    ]
+    print("\n" + render_table(
+        ["defect", "branch", "measured", "paper", "agreement"], rows,
+        title="Section IV.B defect taxonomy (measured from Vreg signatures)",
+    ))
+    mismatches = [r[0] for r in rows if r[4] == "MISMATCH"]
+    assert not mismatches, mismatches
+
+
+def test_category_counts(measured, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    by_category = {}
+    for category in measured.values():
+        by_category[category] = by_category.get(category, 0) + 1
+    assert by_category[DefectCategory.NEGLIGIBLE] == 6
+    assert by_category[DefectCategory.BOTH] == 4
+    assert by_category[DefectCategory.DRF] == 13
+    assert by_category[DefectCategory.POWER] == 9

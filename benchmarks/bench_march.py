@@ -1,0 +1,92 @@
+"""E6 - Section V: March m-LZ length, detection, and the March LZ gap.
+
+Benchmarks the March engine at the paper's full geometry (4K x 64) and
+asserts the algorithmic claims:
+
+* March m-LZ has length 5N+4 (20484 operations on the 4K block);
+* it detects DRF_DS on both stored backgrounds, under a defective
+  regulator solved at the electrical level;
+* March LZ - the test it extends - misses the stored-0 case;
+* a fault-free device passes all three Table III iterations.
+"""
+
+import pytest
+
+from repro.core.drf import DRFScenario
+from repro.core.testflow import paper_flow
+from repro.devices import CellVariation
+from repro.march import march_lz, march_m_lz, run_march
+from repro.sram import LowPowerSRAM, SRAMConfig
+
+FULL = SRAMConfig(n_words=4096, word_bits=64)
+
+
+def test_march_m_lz_full_block(benchmark):
+    """Engine throughput on the paper's 4Kx64 reference block."""
+    test = march_m_lz()
+
+    def run():
+        return run_march(test, LowPowerSRAM(FULL))
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.passed
+    assert result.operations == 5 * 4096 + 4
+
+
+def test_length_claim(benchmark):
+    benchmark.pedantic(march_m_lz, rounds=1, iterations=1)
+    test = march_m_lz()
+    assert test.complexity() == "5N+4"
+    assert test.length(4096) == 20484
+
+
+@pytest.fixture(scope="module")
+def defective_scenarios():
+    """Electrically-solved scenarios: Df1 open enough to flip CS2 cells."""
+    from repro.regulator import DEFECTS, VrefSelect
+    from repro.devices.pvt import PVT
+
+    def build(variation):
+        return DRFScenario(
+            pvt=PVT("fs", 1.0, 125.0),
+            vrefsel=VrefSelect.VREF74,
+            variation=variation,
+            defect=DEFECTS[1],
+            resistance=20e6,
+            weak_cell_locations=((9, 4),),
+        )
+
+    return {
+        "ones": build(CellVariation(mpcc1=-3, mncc1=-3)),
+        "zeros": build(CellVariation(mpcc2=-3, mncc2=-3)),
+    }
+
+
+def test_m_lz_detects_both_backgrounds(defective_scenarios, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for label, scenario in defective_scenarios.items():
+        result = scenario.run_test(march_m_lz())
+        assert result.detected, f"DRF on stored {label} missed"
+
+
+def test_march_lz_gap(defective_scenarios, benchmark):
+    """The coverage hole that motivated the paper's extension."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert defective_scenarios["ones"].run_test(march_lz()).detected
+    assert defective_scenarios["zeros"].run_test(march_lz()).passed
+
+
+def test_fault_free_passes_all_table_iii_iterations(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    from repro.regulator import VrefSelect
+    from repro.devices.pvt import PVT
+
+    flow = paper_flow()
+    for iteration in flow.iterations:
+        scenario = DRFScenario(
+            pvt=iteration.config.pvt,
+            vrefsel=iteration.config.vrefsel,
+            variation=CellVariation.worst_case_drv1(6.0),
+        )
+        result = scenario.run_test(march_m_lz(iteration.config.ds_time))
+        assert result.passed, iteration.config.label()

@@ -1,0 +1,57 @@
+"""E2 - Table I: the case-study DRV ladder.
+
+Regenerates the ten CS rows (max DRV over the corner-temperature grid) and
+asserts the paper's structure:
+
+* DRV ladder: CS1 > CS2 > CS3 > CS4 (paper: 730 > 686 > 570 > 110 mV);
+* each CSx-1 / CSx-0 pair shares one DRV (mirror symmetry);
+* for CSx-1 the DRV is set by DRV_DS1, for CSx-0 by DRV_DS0;
+* CS5 equals CS2 at the cell level (the difference is regulator load).
+"""
+
+import pytest
+
+from repro.analysis.case_studies import render_table1, table1_rows
+
+
+@pytest.fixture(scope="module")
+def rows(drv_grid):
+    return table1_rows(pvt_grid=drv_grid)
+
+
+def test_table1_generation(benchmark, drv_grid):
+    result = benchmark.pedantic(
+        table1_rows, kwargs=dict(pvt_grid=drv_grid[:1]), rounds=1, iterations=1
+    )
+    assert len(result) == 10
+
+
+def test_table1_ladder(rows, benchmark):
+    text = benchmark.pedantic(render_table1, args=(rows,), rounds=1, iterations=1)
+    print("\n" + text)
+    drv = {row.case.name: row.drv_ds for row in rows}
+    assert drv["CS1-1"] > drv["CS2-1"] > drv["CS3-1"] > drv["CS4-1"]
+    # Worst case in the 0.65-0.74 V region (paper anchor: 730 mV).
+    assert 0.65 < drv["CS1-1"] < 0.75
+
+
+def test_pairs_share_drv(rows, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    drv = {row.case.name: row.drv_ds for row in rows}
+    for family in ("CS1", "CS2", "CS3", "CS4", "CS5"):
+        assert drv[f"{family}-1"] == pytest.approx(drv[f"{family}-0"], abs=5e-3)
+
+
+def test_degrading_state_sets_drv(rows, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for row in rows:
+        if row.case.degrades == 1:
+            assert row.drv_ds1 > row.drv_ds0
+        else:
+            assert row.drv_ds0 > row.drv_ds1
+
+
+def test_cs5_matches_cs2(rows, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    drv = {row.case.name: row.drv_ds for row in rows}
+    assert drv["CS5-1"] == pytest.approx(drv["CS2-1"], abs=1e-9)

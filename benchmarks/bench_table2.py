@@ -1,0 +1,94 @@
+"""E3 - Table II: minimal defect resistance causing DRF_DS, per case study.
+
+The heavyweight benchmark: characterises all 17 DRF-capable defects over
+the five case-study families and the PVT grid (reduced by default; set
+REPRO_FULL_GRID=1 for the paper's full 45-condition sweep).
+
+Shape assertions (paper Table II):
+
+* min resistance grows along the ladder CS1 < CS2 < CS3 < CS4 (weaker
+  scenarios need bigger defects);
+* CS5's values sit below CS2's (the 64-cell load effect);
+* Df16/Df19/Df29 are the most critical error-amplifier defects;
+* arg-min PVT conditions land at 125 C for the amp defects;
+* the negligible defects (Df14 etc.) never cause a DRF below 500 MOhm.
+"""
+
+import pytest
+
+from repro.analysis.table2 import characterize_case, render_table2, table2_rows
+from repro.regulator.defects import DRF_IDS, NEGLIGIBLE_IDS, DEFECTS
+
+
+@pytest.fixture(scope="module")
+def rows(characterization_grid):
+    return table2_rows(pvt_grid=characterization_grid)
+
+
+def _min_r(rows, defect_id, family):
+    row = next(r for r in rows if r.defect_id == defect_id)
+    return row.cells[family].min_resistance
+
+
+def test_table2_generation(benchmark, characterization_grid):
+    result = benchmark.pedantic(
+        characterize_case,
+        args=(1, "CS2-1"),
+        kwargs=dict(pvt_grid=characterization_grid[:3]),
+        rounds=1, iterations=1,
+    )
+    assert result.min_resistance is not None
+
+
+def test_table2_full(rows, benchmark):
+    text = benchmark.pedantic(render_table2, args=(rows,), rounds=1, iterations=1)
+    print("\n" + text)
+    assert len(rows) == len(DRF_IDS)
+
+
+def test_case_study_ladder(rows, benchmark):
+    """Weaker variation scenarios require larger defects (CS1 < .. < CS4)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for defect_id in (1, 2, 16, 19, 23, 26, 29, 32):
+        values = [
+            _min_r(rows, defect_id, family)
+            for family in ("CS1-1", "CS2-1", "CS3-1", "CS4-1")
+        ]
+        finite = [v for v in values if v is not None]
+        assert finite == sorted(finite), f"Df{defect_id}: {values}"
+        assert values[0] is not None, f"Df{defect_id} must be detectable at CS1"
+
+
+def test_cs5_load_effect(rows, benchmark):
+    """More weak cells -> more crowbar current -> smaller min resistance."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for defect_id in (1, 16, 19, 29):
+        cs2 = _min_r(rows, defect_id, "CS2-1")
+        cs5 = _min_r(rows, defect_id, "CS5-1")
+        assert cs5 <= cs2, f"Df{defect_id}: CS5 {cs5} vs CS2 {cs2}"
+
+
+def test_output_stage_defects_most_critical(rows, benchmark):
+    """Df16/Df19/Df29 trip at the lowest resistances among amp defects."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    critical = [_min_r(rows, d, "CS1-1") for d in (16, 19, 29)]
+    others = [_min_r(rows, d, "CS1-1") for d in (7, 9, 10, 12, 23, 26)]
+    assert max(critical) < max(v for v in others if v is not None)
+
+
+def test_argmin_at_high_temperature(rows, benchmark):
+    """Leakage rises with temperature, degrading Vreg: arg-min PVT is hot."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for defect_id in (7, 9, 16, 19, 23, 26, 29, 32):
+        row = next(r for r in rows if r.defect_id == defect_id)
+        cell = row.cells["CS1-1"]
+        assert cell.pvt is not None and cell.pvt.temp_c == 125.0, f"Df{defect_id}"
+
+
+def test_negligible_defects_never_fire(characterization_grid, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for defect_id in NEGLIGIBLE_IDS:
+        cell = characterize_case(
+            defect_id, "CS1-1", pvt_grid=characterization_grid[:2]
+        )
+        assert cell.min_resistance is None, DEFECTS[defect_id].name

@@ -1,0 +1,87 @@
+"""E4 - Table III: the optimised test flow.
+
+Runs the flow-generation experiment end to end: detection matrix of all 17
+DRF-capable defects over the 12 candidate (VDD, Vref) configurations, then
+the one-tap-per-VDD optimisation.  Asserts the paper's headline result:
+
+* exactly 3 iterations, with the tap ladder 0.74 / 0.70 / 0.64 * VDD and
+  Vreg targets 0.740 / 0.770 / 0.768 V;
+* iteration 1 maximises the bulk of the defects, iterations 2 and 3 are
+  devoted to Df3 and Df4 respectively;
+* every studied defect detected by every iteration (columns 2 of Table III);
+* 75% test-time reduction versus the naive 12-configuration flow.
+"""
+
+import pytest
+
+from repro.analysis.table3 import render_table3
+from repro.core.testflow import build_detection_matrix, optimize_flow
+from repro.regulator import VrefSelect
+from repro.regulator.defects import DRF_IDS
+
+
+@pytest.fixture(scope="module")
+def matrix(drv_worst_hot):
+    return build_detection_matrix(drv_worst_hot)
+
+
+@pytest.fixture(scope="module")
+def flow(matrix):
+    return optimize_flow(matrix)
+
+
+def test_matrix_build(benchmark, drv_worst_hot):
+    result = benchmark.pedantic(
+        build_detection_matrix,
+        args=(drv_worst_hot,),
+        kwargs=dict(defect_ids=(1,)),
+        rounds=1, iterations=1,
+    )
+    assert len(result.entries) == 12
+
+
+def test_flow_matches_paper_table_iii(flow, benchmark):
+    text = benchmark.pedantic(render_table3, args=(flow,), rounds=1, iterations=1)
+    print("\n" + text)
+    picks = [(it.config.vdd, it.config.vrefsel) for it in flow.iterations]
+    assert picks == [
+        (1.0, VrefSelect.VREF74),
+        (1.1, VrefSelect.VREF70),
+        (1.2, VrefSelect.VREF64),
+    ]
+    vregs = [round(it.config.vreg_expected, 3) for it in flow.iterations]
+    assert vregs == [0.740, 0.770, 0.768]
+
+
+def test_iteration_specialisation(flow, benchmark):
+    """Iteration 1 maximises most defects; Df3 -> it.2/3; Df4 -> it.3."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    it1, it2, it3 = flow.iterations
+    assert len(it1.maximized_defects) >= 10
+    assert 3 not in it1.maximized_defects
+    assert 4 not in it1.maximized_defects
+    assert 3 in it2.maximized_defects
+    assert 4 in it3.maximized_defects
+
+
+def test_full_defect_coverage(flow, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert flow.covered_defects() == set(DRF_IDS)
+    for iteration in flow.iterations:
+        assert len(iteration.detected_defects) == len(DRF_IDS)
+
+
+def test_75_percent_reduction(flow, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert flow.time_reduction() == pytest.approx(0.75, abs=1e-6)
+
+
+def test_invalid_configs_excluded(matrix, benchmark):
+    """Taps putting Vreg below the worst-case DRV reject good devices."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    valid = matrix.valid_configs()
+    labels = {(c.vdd, c.vrefsel) for c in valid}
+    assert (1.0, VrefSelect.VREF64) not in labels
+    assert (1.0, VrefSelect.VREF70) not in labels
+    assert (1.1, VrefSelect.VREF64) not in labels
+    assert (1.0, VrefSelect.VREF74) in labels

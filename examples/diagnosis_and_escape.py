@@ -1,0 +1,64 @@
+"""Beyond the paper: diagnosing defects from flow syndromes, and escapes.
+
+Two industrial follow-ups the library supports on top of the paper's flow:
+
+1. **Diagnosis** - a failing device produces a per-iteration pass/fail
+   *syndrome*; inverting the detection matrix yields the candidate defects
+   and the resistance window each would need, guiding physical failure
+   analysis.
+2. **Escape analysis** - given a log-uniform resistance distribution for
+   manufacturing opens, how many field failures would the optimised flow
+   miss compared to running all 12 configurations?  (The paper's claim is
+   "none"; here it is computed, not asserted.)
+
+Run:  python examples/diagnosis_and_escape.py   (~3 minutes: builds a
+      detection matrix for a representative defect subset)
+"""
+
+from repro.cell import drv_ds1
+from repro.core import (
+    LogUniformResistance,
+    compare_flows,
+    diagnose,
+    flow_escape_summary,
+    syndrome_for,
+)
+from repro.core.testflow import build_detection_matrix, optimize_flow
+from repro.devices import CellVariation
+
+DEFECTS_UNDER_STUDY = (1, 3, 4, 16, 23)
+
+
+def main() -> None:
+    drv_worst = drv_ds1(CellVariation.worst_case_drv1(6.0), "fs", 125.0)
+    matrix = build_detection_matrix(drv_worst, defect_ids=DEFECTS_UNDER_STUDY)
+    flow = optimize_flow(matrix)
+    print("Flow under study:")
+    print(flow)
+
+    print("\n=== 1. Syndrome-based diagnosis ===")
+    for defect_id, resistance in ((1, 300e3), (3, 5e6), (16, 2e3)):
+        syndrome = syndrome_for(defect_id, resistance, flow, matrix)
+        pattern = "".join("F" if s else "P" for s in syndrome)
+        result = diagnose(syndrome, flow, matrix)
+        print(f"  truth: Df{defect_id} @ {resistance:.3g} Ohm -> syndrome {pattern}")
+        print(f"    {result}")
+
+    print("\n=== 2. Escape analysis (log-uniform opens, 1 Ohm .. 500 MOhm) ===")
+    distribution = LogUniformResistance()
+    reports = flow_escape_summary(flow, matrix, distribution)
+    for defect_id, report in sorted(reports.items()):
+        print(
+            f"  Df{defect_id:<3d} field-fail p={report.p_field_failure:6.1%}  "
+            f"escape p={report.p_escape:8.4%}  overkill p={report.p_overkill:6.1%}"
+        )
+    comparison = compare_flows(flow, matrix, distribution)
+    print(f"\n  mean escape, optimised 3-run flow: {comparison['optimised_escape']:.4%}")
+    print(f"  mean escape, naive all-config flow: {comparison['naive_escape']:.4%}")
+    print(f"  worst single-defect escape:         {comparison['worst_defect_escape']:.4%}")
+    print("\n  -> the 75% time saving costs (at most) a sliver of coverage,")
+    print("     because every defect keeps a near-optimal configuration.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""DRV analysis (Section III): SNM, butterfly, Fig. 4 and Table I.
+
+Reproduces the paper's cell-level story at example scale:
+
+* the hold-state butterfly of a symmetric vs a skewed cell,
+* how supply scaling closes the SNM eye (the definition of DRV),
+* a reduced Fig. 4 sweep (per-transistor Vth variation -> DRV),
+* the Table I case-study ladder.
+
+Full-resolution sweeps live in benchmarks/bench_figure4.py and
+benchmarks/bench_table1.py; this example trades grid density for a
+half-minute runtime.
+
+Run:  python examples/drv_analysis.py
+"""
+
+from repro import CellVariation, snm_ds
+from repro.analysis import figure4_sweep, render_figure4, render_table1, table1_rows
+from repro.cell import drv_ds1
+from repro.devices.pvt import PVT
+
+REDUCED_GRID = [PVT("fs", 1.1, 125.0), PVT("sf", 1.1, -30.0)]
+
+
+def snm_vs_supply() -> None:
+    print("=== Hold SNM vs cell supply (symmetric cell) ===")
+    sym = CellVariation.symmetric()
+    for vdd in (1.1, 0.8, 0.5, 0.3, 0.1, 0.06):
+        snm1, _snm0 = snm_ds(sym, vdd)
+        bar = "#" * max(0, int(snm1 * 120))
+        print(f"  Vcell={vdd:5.2f} V  SNM_DS1={snm1 * 1e3:7.1f} mV  {bar}")
+    print("  -> DRV_DS is the supply where the SNM hits zero "
+          f"(here ~{drv_ds1(sym) * 1e3:.0f} mV)")
+
+
+def skewed_cell() -> None:
+    print("\n=== A 6-sigma worst-case cell (Section III.B) ===")
+    worst = CellVariation.worst_case_drv1(6.0)
+    for corner, temp in (("typical", 25.0), ("fs", 125.0)):
+        drv = drv_ds1(worst, corner, temp)
+        print(f"  DRV_DS1 at {corner:8s}/{temp:5.0f}C: {drv * 1e3:6.0f} mV")
+    print("  (paper: 730 mV worst case; the array DRV is set by this cell)")
+
+
+def figure4() -> None:
+    print("\n=== Fig. 4 (reduced): DRV vs per-transistor variation ===")
+    points = figure4_sweep(
+        sigmas=(-6.0, -3.0, 0.0, 3.0, 6.0), pvt_grid=REDUCED_GRID
+    )
+    print(render_figure4(points, "ds1"))
+    print()
+    print(render_figure4(points, "ds0"))
+
+
+def table1() -> None:
+    print("\n=== Table I: the case-study ladder ===")
+    print(render_table1(table1_rows(pvt_grid=REDUCED_GRID)))
+
+
+if __name__ == "__main__":
+    snm_vs_supply()
+    skewed_cell()
+    figure4()
+    table1()

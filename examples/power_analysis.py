@@ -1,0 +1,47 @@
+"""Static power analysis (Section IV.B observations).
+
+Compares, across corners and temperatures:
+
+* ACT idle (array + periphery leaking at VDD),
+* healthy deep sleep (array at Vreg through the regulator),
+* deep sleep with the worst power-category defect (Vreg stuck at VDD),
+
+and verifies the paper's remark that even the defective case saves more
+than 30% versus ACT idle, because the gated periphery no longer leaks.
+
+Run:  python examples/power_analysis.py
+"""
+
+from repro.analysis import power_comparison, render_power
+from repro.analysis.power_savings import worst_case_defective_savings
+from repro.devices.pvt import PVT, paper_pvt_grid
+from repro.regulator import DEFECTS, VrefSelect
+from repro.sram.power_model import ds_power
+
+
+def comparison_table() -> None:
+    grid = paper_pvt_grid(corners=("typical", "fast", "slow"), vdds=(1.1,))
+    results = power_comparison(pvt_grid=grid)
+    print(render_power(results))
+    print()
+    print("Notes: at cold, leakage collapses and the regulator's microamp")
+    print("overhead dominates - deep sleep pays off where leakage is the")
+    print("problem (25C and above), which is when SOCs engage it.")
+    assert worst_case_defective_savings(results) > 0.30
+
+
+def defective_regulator_power() -> None:
+    print("\n=== A concrete power-category defect (Df6) ===")
+    pvt = PVT("typical", 1.1, 125.0)
+    healthy = ds_power(pvt, VrefSelect.VREF70)
+    defective = ds_power(pvt, VrefSelect.VREF70, DEFECTS[6], 10e6)
+    print(f"  healthy : {healthy}")
+    print(f"  Df6=10M : {defective}")
+    increase = defective.power_w / healthy.power_w - 1.0
+    print(f"  -> the open bottom divider section lifts every tap; DS power "
+          f"rises {increase:+.0%} but data is retained (category 1).")
+
+
+if __name__ == "__main__":
+    comparison_table()
+    defective_regulator_power()

@@ -1,0 +1,78 @@
+"""Quickstart: detect a data retention fault with March m-LZ.
+
+The 60-second tour of the library:
+
+1. build a behavioral low-power SRAM and use it (write / read / deep sleep);
+2. inject a resistive-open defect into the embedded voltage regulator;
+3. run the paper's March m-LZ test and watch it catch the retention fault.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    CellVariation,
+    DRFScenario,
+    LowPowerSRAM,
+    PVT,
+    SRAMConfig,
+    VrefSelect,
+    march_m_lz,
+)
+from repro.regulator import DEFECTS, solve_regulator
+
+
+def basic_memory_usage() -> None:
+    print("=== 1. Behavioral SRAM with power modes ===")
+    sram = LowPowerSRAM(SRAMConfig(n_words=64, word_bits=8))
+    sram.write(0x10, 0xA5)
+    print(f"  wrote 0xA5, read back: 0x{sram.read(0x10):02X}")
+
+    sram.enter_deep_sleep(ds_time=1e-3)  # fault-free regulator supply
+    print(f"  mode after SLEEP=1: {sram.mode.name}")
+    sram.wake_up()
+    print(f"  data after 1 ms deep sleep: 0x{sram.read(0x10):02X} (retained)")
+
+
+def regulator_with_defect() -> None:
+    print("\n=== 2. Voltage regulator, healthy vs defective ===")
+    pvt = PVT("fs", 1.0, 125.0)  # the paper's harshest test condition
+    healthy, _ = solve_regulator(pvt, VrefSelect.VREF74)
+    print(f"  healthy:   VDD_CC = {healthy.vddcc:.3f} V "
+          f"(target {healthy.vreg_expected:.3f} V)")
+
+    defective, _ = solve_regulator(
+        pvt, VrefSelect.VREF74, DEFECTS[1], resistance=20e6
+    )
+    print(f"  Df1=20MOhm: VDD_CC = {defective.vddcc:.3f} V  <- below DRV of "
+          "a 3-sigma weak cell")
+
+
+def march_test_catches_it() -> None:
+    print("\n=== 3. March m-LZ catches the retention fault ===")
+    scenario = DRFScenario(
+        pvt=PVT("fs", 1.0, 125.0),
+        vrefsel=VrefSelect.VREF74,
+        variation=CellVariation(mpcc1=-3, mncc1=-3),  # a CS2-class weak cell
+        defect=DEFECTS[1],
+        resistance=20e6,
+        weak_cell_locations=((5, 3),),
+    )
+    test = march_m_lz()
+    print(f"  algorithm: {test}  (length {test.complexity()})")
+    result = scenario.run_test(test)
+    print(f"  result: {result}")
+    if result.failures:
+        print(f"  first failure: {result.failures[0]}")
+
+    clean = DRFScenario(
+        pvt=PVT("fs", 1.0, 125.0),
+        vrefsel=VrefSelect.VREF74,
+        variation=CellVariation(mpcc1=-3, mncc1=-3),
+    )
+    print(f"  same test on a defect-free device: {clean.run_test(test)}")
+
+
+if __name__ == "__main__":
+    basic_memory_usage()
+    regulator_with_defect()
+    march_test_catches_it()

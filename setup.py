@@ -1,0 +1,5 @@
+"""Shim so environments without the `wheel` package can install editable
+(`python setup.py develop`); all metadata lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

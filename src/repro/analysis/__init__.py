@@ -1,0 +1,64 @@
+"""Experiment drivers: one module per paper artifact.
+
+* :mod:`repro.analysis.case_studies` - Table I (the CS1..CS5 scenarios)
+* :mod:`repro.analysis.figure4` - Fig. 4 (DRV vs per-transistor variation)
+* :mod:`repro.analysis.table2` - Table II (min defect resistance per CS)
+* :mod:`repro.analysis.table3` - Table III (optimised test flow)
+* :mod:`repro.analysis.power_savings` - Section IV.B power observations
+* :mod:`repro.analysis.montecarlo` - array-level DRV statistics (the
+  process-variation data the paper had from silicon, here sampled)
+
+Every driver returns plain dataclasses and offers a ``render()`` for the
+paper-style text table, so benchmarks and examples share one code path.
+"""
+
+from .case_studies import CASE_STUDIES, CaseStudy, render_table1, table1_rows
+from .ds_time import DsTimeResult, ds_time_sweep, render_ds_time
+from .figure4 import Figure4Point, figure4_sweep, render_figure4
+from .montecarlo import MonteCarloResult, drv_distribution
+from .power_savings import PowerComparison, power_comparison, render_power
+from .table2 import Table2Row, render_table2, table2_rows
+from .transient_validation import (
+    ValidationPoint,
+    gate_settling_comparison,
+    max_relative_error,
+    rail_discharge_comparison,
+)
+from .table3 import render_table3, table3_flow
+from .tap_tradeoff import (
+    TapOperatingPoint,
+    recommended_tap,
+    render_tap_tradeoff,
+    tap_tradeoff,
+)
+
+__all__ = [
+    "CaseStudy",
+    "CASE_STUDIES",
+    "table1_rows",
+    "render_table1",
+    "Figure4Point",
+    "figure4_sweep",
+    "render_figure4",
+    "Table2Row",
+    "table2_rows",
+    "render_table2",
+    "table3_flow",
+    "render_table3",
+    "PowerComparison",
+    "power_comparison",
+    "render_power",
+    "MonteCarloResult",
+    "drv_distribution",
+    "ds_time_sweep",
+    "DsTimeResult",
+    "render_ds_time",
+    "rail_discharge_comparison",
+    "gate_settling_comparison",
+    "max_relative_error",
+    "ValidationPoint",
+    "tap_tradeoff",
+    "recommended_tap",
+    "render_tap_tradeoff",
+    "TapOperatingPoint",
+]

@@ -1,0 +1,103 @@
+"""The DS-time experiment (Section V's last test parameter).
+
+The paper: *"an eventual DRF_DS can be detected only if the SRAM remains in
+DS mode for a period of time that is sufficient for the core-cell to flip
+its contents ... we suggest to keep the SRAM in DS mode for at least 1 ms."*
+
+This driver quantifies that claim: for a scenario whose supply sits a given
+deficit below the weak cell's DRV, it sweeps the DSM dwell time of March
+m-LZ and reports, per dwell, whether the fault is detected - exposing the
+minimum effective DS time and how it explodes as Vreg approaches the DRV
+(the reason a too-short dwell silently passes marginal defects).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ..cell.design import DEFAULT_CELL, CellDesign
+from ..cell.retention import flip_time
+from ..core.reporting import render_table
+from ..march.library import march_m_lz
+from ..march.runner import run_march
+from ..sram.memory import LowPowerSRAM, SRAMConfig
+from ..sram.retention_engine import RetentionEngine, WeakCell
+
+#: Default dwell sweep: 1 us .. 10 ms, log-spaced.
+DEFAULT_DWELLS = tuple(float(t) for t in np.logspace(-6, -2, 9))
+
+
+@dataclass(frozen=True)
+class DsTimePoint:
+    """Outcome of one dwell-time trial."""
+
+    ds_time: float
+    detected: bool
+
+
+@dataclass(frozen=True)
+class DsTimeResult:
+    """Sweep outcome plus the underlying flip-time prediction."""
+
+    vddcc: float
+    drv: float
+    points: List[DsTimePoint]
+    predicted_flip_time: float
+
+    @property
+    def min_effective_ds_time(self) -> float:
+        """Smallest swept dwell that detects the fault (inf if none)."""
+        detected = [p.ds_time for p in self.points if p.detected]
+        return min(detected) if detected else float("inf")
+
+
+def ds_time_sweep(
+    vddcc: float,
+    drv: float,
+    dwells: Sequence[float] = DEFAULT_DWELLS,
+    corner: str = "typical",
+    temp_c: float = 25.0,
+    cell: CellDesign = DEFAULT_CELL,
+) -> DsTimeResult:
+    """Run March m-LZ at each dwell against a weak cell below its DRV."""
+    points = []
+    for dwell in dwells:
+        engine = RetentionEngine(
+            [WeakCell(1, 0, drv1=drv, drv0=drv)],
+            corner=corner, temp_c=temp_c, cell=cell,
+        )
+        memory = LowPowerSRAM(SRAMConfig(n_words=8, word_bits=2), retention=engine)
+        result = run_march(
+            march_m_lz(ds_time=dwell), memory, vddcc_for_sleep=lambda _i: vddcc
+        )
+        points.append(DsTimePoint(float(dwell), result.detected))
+    return DsTimeResult(
+        vddcc=vddcc,
+        drv=drv,
+        points=points,
+        predicted_flip_time=flip_time(vddcc, drv, corner, temp_c, cell),
+    )
+
+
+def render_ds_time(results: Sequence[DsTimeResult]) -> str:
+    """Text matrix: rows = supply deficits, columns = dwells."""
+    if not results:
+        return "(no results)"
+    dwells = [p.ds_time for p in results[0].points]
+    headers = ["Vddcc vs DRV"] + [f"{d * 1e3:g}ms" for d in dwells] + ["t_flip"]
+    rows = []
+    for r in results:
+        deficit = (r.drv - r.vddcc) * 1e3
+        flip = "inf" if np.isinf(r.predicted_flip_time) else f"{r.predicted_flip_time * 1e3:.2g}ms"
+        rows.append(
+            [f"-{deficit:.0f}mV"]
+            + ["FAIL" if p.detected else "pass" for p in r.points]
+            + [flip]
+        )
+    return render_table(
+        headers, rows,
+        title="DS-time sweep: 'FAIL' = March m-LZ exposes the retention fault",
+    )

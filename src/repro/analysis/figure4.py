@@ -1,0 +1,100 @@
+"""Fig. 4: impact of single-transistor Vth variation on DRV_DS1 / DRV_DS0.
+
+For each of the six cell transistors, Vth variation is swept in sigma steps
+and the resulting DRV is maximised over the (corner, temperature) grid -
+exactly the procedure behind the paper's Fig. 4 ("data shown correspond to
+the combination of process corner and temperature that maximizes DRV").
+
+Expected shapes (paper Section III.B):
+
+* variations on the inverter driving the degraded value dominate;
+* pass-transistor variations matter least but are not negligible;
+* the symmetric cell sits at the ~60 mV floor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..cell.design import DEFAULT_CELL, CellDesign
+from ..cell.drv import drv_ds0, drv_ds1
+from ..devices.pvt import PVT, corner_temp_grid
+from ..devices.variation import CELL_TRANSISTORS, CellVariation
+from ..core.reporting import render_table
+
+#: Default sigma sweep (paper Fig. 4 spans -6 sigma .. +6 sigma).
+DEFAULT_SIGMAS = (-6.0, -4.0, -2.0, 0.0, 2.0, 4.0, 6.0)
+
+
+@dataclass(frozen=True)
+class Figure4Point:
+    """One sampled point of one Fig. 4 series."""
+
+    transistor: str
+    sigma: float
+    drv_ds1: float
+    drv_ds0: float
+    worst_pvt_ds1: PVT
+    worst_pvt_ds0: PVT
+
+
+def _worst_over_grid(func, variation, grid, cell):
+    best, best_pvt = -1.0, grid[0]
+    for pvt in grid:
+        value = func(variation, pvt.corner, pvt.temp_c, cell)
+        if value > best:
+            best, best_pvt = value, pvt
+    return best, best_pvt
+
+
+def figure4_sweep(
+    sigmas: Sequence[float] = DEFAULT_SIGMAS,
+    transistors: Sequence[str] = CELL_TRANSISTORS,
+    pvt_grid: Optional[Sequence[PVT]] = None,
+    cell: CellDesign = DEFAULT_CELL,
+) -> List[Figure4Point]:
+    """Run the Fig. 4 experiment; returns all sampled points.
+
+    Pass a reduced ``pvt_grid`` and/or ``sigmas`` for quick runs; defaults
+    reproduce the paper's procedure (15 corner-temperature combinations).
+    """
+    grid = list(pvt_grid) if pvt_grid is not None else corner_temp_grid()
+    points = []
+    for name in transistors:
+        for sigma in sigmas:
+            variation = CellVariation.single(name, float(sigma))
+            v1, p1 = _worst_over_grid(drv_ds1, variation, grid, cell)
+            v0, p0 = _worst_over_grid(drv_ds0, variation, grid, cell)
+            points.append(Figure4Point(name, float(sigma), v1, v0, p1, p0))
+    return points
+
+
+def series(points: Sequence[Figure4Point], transistor: str, which: str = "ds1"):
+    """Extract one plot series as (sigmas, drvs) arrays."""
+    selected = [p for p in points if p.transistor == transistor]
+    selected.sort(key=lambda p: p.sigma)
+    xs = np.array([p.sigma for p in selected])
+    ys = np.array([p.drv_ds1 if which == "ds1" else p.drv_ds0 for p in selected])
+    return xs, ys
+
+
+def render_figure4(points: Sequence[Figure4Point], which: str = "ds1") -> str:
+    """Text rendering of Fig. 4a (which='ds1') or Fig. 4b (which='ds0')."""
+    sigmas = sorted({p.sigma for p in points})
+    transistors = []
+    for p in points:
+        if p.transistor not in transistors:
+            transistors.append(p.transistor)
+    rows = []
+    for name in transistors:
+        _xs, ys = series(points, name, which)
+        rows.append([name] + [f"{v * 1e3:.0f}" for v in ys])
+    headers = ["transistor"] + [f"{s:+g}s" for s in sigmas]
+    label = "DRV_DS1" if which == "ds1" else "DRV_DS0"
+    return render_table(
+        headers, rows,
+        title=f"Fig. 4 ({label}, mV) - worst case over corner x temperature",
+    )

@@ -1,0 +1,74 @@
+"""Monte Carlo DRV statistics: the process-variation data we don't have.
+
+The paper's analysis rests on Intel's measured within-die variation; we
+substitute a standard-normal mismatch model (one sigma multiplier per cell
+transistor, scaled by SIGMA_VTH).  This module samples cell populations and
+reports the DRV distribution plus the array-level DRV - the maximum over
+the array, which is what Section III defines DRV_DS to be ("determined by
+the least stable core-cell of the array").
+
+Sampling the full 256K-cell array directly is wasteful; the array DRV for
+``n`` cells is estimated from the sample maximum of ``n`` draws via
+bootstrap over the simulated population.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..cell.design import DEFAULT_CELL, CellDesign
+from ..cell.drv import drv_ds
+from ..devices.variation import CellVariation
+
+
+@dataclass(frozen=True)
+class MonteCarloResult:
+    """DRV samples of a simulated cell population at one (corner, temp)."""
+
+    corner: str
+    temp_c: float
+    samples: np.ndarray  #: per-cell DRV_DS in volts
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.samples))
+
+    @property
+    def std(self) -> float:
+        return float(np.std(self.samples))
+
+    def quantile(self, q: float) -> float:
+        return float(np.quantile(self.samples, q))
+
+    def array_drv(self, n_cells: int, rng: Optional[np.random.Generator] = None,
+                  n_boot: int = 200) -> Tuple[float, float]:
+        """Bootstrap estimate (mean, std) of max-DRV over an n-cell array.
+
+        Resamples ``n_cells`` draws (with replacement) from the simulated
+        population ``n_boot`` times and returns statistics of the maximum.
+        """
+        rng = rng or np.random.default_rng(7)
+        maxima = np.array([
+            np.max(rng.choice(self.samples, size=n_cells, replace=True))
+            for _ in range(n_boot)
+        ])
+        return float(np.mean(maxima)), float(np.std(maxima))
+
+
+def drv_distribution(
+    n_samples: int = 100,
+    corner: str = "typical",
+    temp_c: float = 25.0,
+    seed: int = 1,
+    cell: CellDesign = DEFAULT_CELL,
+) -> MonteCarloResult:
+    """Sample ``n_samples`` cells and compute each cell's DRV_DS."""
+    rng = np.random.default_rng(seed)
+    samples = np.array([
+        drv_ds(CellVariation.sample(rng), corner, temp_c, cell)
+        for _ in range(n_samples)
+    ])
+    return MonteCarloResult(corner, temp_c, samples)

@@ -1,0 +1,147 @@
+"""Table II: minimal defect resistance causing a DRF, per case study.
+
+For every DRF-capable defect and every case-study family CS1..CS5, the
+driver scans a PVT grid; at each condition it uses the case study's
+degraded-state DRV (corner/temperature dependent) as the retention
+threshold and the case study's affected-cell population as extra regulator
+load, then reports the *minimum* resistance over the grid together with its
+arg-min condition - the paper's "Min. Res." and "PVT" columns.
+
+The mirrored -1/-0 flavours of a family produce the same numbers by
+symmetry (the paper prints one column per family pair); we characterise the
+-1 flavour.
+
+The full paper grid is 45 conditions; the default here keeps the corners
+and temperatures that host every arg-min in the paper's Table II
+(fs / sf at -30 C / 125 C, all three supplies) to stay tractable - pass
+``pvt_grid`` explicitly for the full sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import List, Optional, Sequence
+
+from ..cell.design import DEFAULT_CELL, CellDesign
+from ..devices.pvt import PVT, paper_pvt_grid
+from ..regulator.characterize import min_resistance_for_drf
+from ..regulator.defects import DEFECTS, DRF_IDS
+from ..regulator.design import DEFAULT_REGULATOR, RegulatorDesign, VrefSelect
+from ..regulator.load import WeakCellGroup
+from ..core.reporting import render_table, resistance_cell
+from .case_studies import CaseStudy, case_study
+
+#: Default reduced grid covering the paper's arg-min conditions.
+DEFAULT_TABLE2_GRID = tuple(
+    paper_pvt_grid(corners=("fs", "sf"), temps=(-30.0, 125.0))
+)
+
+#: Case-study families of Table II's columns (the -1 flavour of each).
+FAMILIES = ("CS1-1", "CS2-1", "CS3-1", "CS4-1", "CS5-1")
+
+
+def vrefsel_for_vdd(vdd: float) -> VrefSelect:
+    """Section IV.A's configuration rule: Vreg targets the worst-case DRV.
+
+    For VDD = 1.2 / 1.1 / 1.0 V the regulator generates 0.64 / 0.70 /
+    0.74 * VDD respectively.
+    """
+    if vdd >= 1.15:
+        return VrefSelect.VREF64
+    if vdd >= 1.05:
+        return VrefSelect.VREF70
+    return VrefSelect.VREF74
+
+
+@lru_cache(maxsize=1024)
+def _drv_cached(cs_name: str, corner: str, temp_c: float, cell: CellDesign) -> float:
+    return case_study(cs_name).drv_affected(corner, temp_c, cell)
+
+
+@dataclass(frozen=True)
+class Table2Cell:
+    """One (defect, case study) entry: min resistance + arg-min PVT."""
+
+    min_resistance: Optional[float]
+    pvt: Optional[PVT]
+
+    def render(self) -> str:
+        r = resistance_cell(self.min_resistance)
+        if self.pvt is None or self.min_resistance in (None, 0.0):
+            return r
+        return f"{r} ({self.pvt.label()})"
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One defect's row across the five case-study families."""
+
+    defect_id: int
+    cells: dict  # family name -> Table2Cell
+
+    @property
+    def description(self) -> str:
+        return DEFECTS[self.defect_id].description
+
+
+def characterize_case(
+    defect_id: int,
+    family: str,
+    pvt_grid: Sequence[PVT] = DEFAULT_TABLE2_GRID,
+    ds_time: float = 1e-3,
+    design: RegulatorDesign = DEFAULT_REGULATOR,
+    cell: CellDesign = DEFAULT_CELL,
+) -> Table2Cell:
+    """Min resistance of one defect under one case study, over the grid."""
+    cs: CaseStudy = case_study(family)
+    defect = DEFECTS[defect_id]
+    best_r: Optional[float] = None
+    best_pvt: Optional[PVT] = None
+    for pvt in pvt_grid:
+        drv = _drv_cached(cs.name, pvt.corner, pvt.temp_c, cell)
+        weak = (WeakCellGroup(count=cs.n_cells, drv=drv),)
+        r = min_resistance_for_drf(
+            defect, drv, pvt, vrefsel_for_vdd(pvt.vdd),
+            ds_time=ds_time, weak_groups=weak, design=design, cell=cell,
+        )
+        if r is not None and r > 0.0 and (best_r is None or r < best_r):
+            best_r, best_pvt = r, pvt
+    return Table2Cell(best_r, best_pvt)
+
+
+def table2_rows(
+    defect_ids: Sequence[int] = DRF_IDS,
+    families: Sequence[str] = FAMILIES,
+    pvt_grid: Sequence[PVT] = DEFAULT_TABLE2_GRID,
+    ds_time: float = 1e-3,
+    design: RegulatorDesign = DEFAULT_REGULATOR,
+    cell: CellDesign = DEFAULT_CELL,
+) -> List[Table2Row]:
+    """Compute Table II (or a sub-grid of it)."""
+    rows = []
+    for defect_id in defect_ids:
+        cells = {
+            family: characterize_case(
+                defect_id, family, pvt_grid, ds_time, design, cell
+            )
+            for family in families
+        }
+        rows.append(Table2Row(defect_id, cells))
+    return rows
+
+
+def render_table2(rows: Sequence[Table2Row]) -> str:
+    families = list(rows[0].cells) if rows else list(FAMILIES)
+    body = []
+    for row in rows:
+        body.append(
+            [f"Df{row.defect_id}"]
+            + [row.cells[family].render() for family in families]
+        )
+    headers = ["Def."] + [f"{f[:-2]}-1/{f[:-2]}-0" for f in families]
+    return render_table(
+        headers, body,
+        title="Table II - minimal defect resistance causing DRF_DS "
+              "(min over PVT grid; arg-min condition in parentheses)",
+    )

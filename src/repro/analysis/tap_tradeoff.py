@@ -1,0 +1,105 @@
+"""Ablation: the retention-margin vs static-power trade-off of the taps.
+
+The regulator offers four Vref taps (Section II.B).  A *mission-mode*
+deep sleep wants the lowest tap that still clears the array's worst-case
+DRV with margin - every extra 10 mV of Vreg costs leakage power (leakage
+rises with the rail), every missing millivolt of margin risks silent data
+loss at the tail cell.  This driver quantifies both sides per tap:
+
+* retention margin = VDD_CC(tap) - worst-case DRV at the same conditions
+  (negative margin = that tap is unusable);
+* deep-sleep power at that tap;
+* the flip time of the worst-case cell at that supply (infinite when the
+  margin is positive - the quantity that collapses first as margin
+  shrinks).
+
+The paper uses this same reasoning for *test* mode (Vreg as close above
+the worst-case DRV as possible); here it is generalised into the
+design-space table a memory-compiler team would look at.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..cell.design import DEFAULT_CELL, CellDesign
+from ..cell.retention import flip_time
+from ..core.reporting import render_table
+from ..devices.pvt import PVT
+from ..regulator.design import DEFAULT_REGULATOR, RegulatorDesign, VrefSelect
+from ..sram.power_model import ds_power
+
+
+@dataclass(frozen=True)
+class TapOperatingPoint:
+    """One tap's margin/power figures at one PVT."""
+
+    vrefsel: VrefSelect
+    vddcc: float
+    margin: float  #: vddcc - drv_worst (volts); negative = unusable
+    power_w: float
+    worst_cell_flip_time: float  #: inf when the margin is positive
+
+    @property
+    def usable(self) -> bool:
+        return self.margin > 0.0
+
+
+def tap_tradeoff(
+    drv_worst: float,
+    pvt: PVT,
+    design: RegulatorDesign = DEFAULT_REGULATOR,
+    cell: CellDesign = DEFAULT_CELL,
+) -> List[TapOperatingPoint]:
+    """Evaluate all four taps at one condition, highest Vreg first."""
+    points = []
+    for sel in VrefSelect:
+        report = ds_power(pvt, sel, design=design, cell=cell)
+        # Recover the solved rail from the breakdown: array share / leakage
+        # would be circular; solve directly instead.
+        from ..regulator.netlist import solve_regulator
+
+        op, _ = solve_regulator(pvt, sel, design=design, cell=cell)
+        points.append(
+            TapOperatingPoint(
+                vrefsel=sel,
+                vddcc=op.vddcc,
+                margin=op.vddcc - drv_worst,
+                power_w=report.power_w,
+                worst_cell_flip_time=flip_time(
+                    op.vddcc, drv_worst, pvt.corner, pvt.temp_c, cell
+                ),
+            )
+        )
+    return points
+
+
+def recommended_tap(points: List[TapOperatingPoint]) -> Optional[TapOperatingPoint]:
+    """The lowest-power tap that still retains the worst-case cell."""
+    usable = [p for p in points if p.usable]
+    if not usable:
+        return None
+    return min(usable, key=lambda p: p.power_w)
+
+
+def render_tap_tradeoff(points: List[TapOperatingPoint], drv_worst: float) -> str:
+    rows = []
+    for p in points:
+        flip = "retains" if p.worst_cell_flip_time == float("inf") else (
+            f"flips in {p.worst_cell_flip_time * 1e3:.3g}ms"
+        )
+        rows.append([
+            f"{p.vrefsel.fraction:.2f}*VDD",
+            f"{p.vddcc * 1e3:.0f}mV",
+            f"{p.margin * 1e3:+.0f}mV",
+            f"{p.power_w * 1e6:.2f}uW",
+            flip,
+        ])
+    best = recommended_tap(points)
+    title = (
+        f"Tap trade-off vs worst-case DRV {drv_worst * 1e3:.0f}mV"
+        + (f" - recommend {best.vrefsel.fraction:.2f}*VDD" if best else
+           " - NO usable tap")
+    )
+    return render_table(["Vref", "VDD_CC", "margin", "DS power", "worst cell"], rows, title)

@@ -1,0 +1,135 @@
+"""Ablation: validate the semi-analytic timing layer against transients.
+
+The Table II entries for Df8/Df11 come from the semi-analytic race in
+:mod:`repro.regulator.timing` (RC gate settling vs leakage-driven rail
+discharge) rather than a 1 ms transistor-level transient.  This module
+closes the loop: it simulates the same two ingredients with the *general
+transient engine* of :mod:`repro.spice` and quantifies the agreement.
+
+* **Rail discharge** - a circuit of the VDD_CC capacitance and the
+  table-driven array load, integrated with backward Euler, against
+  :func:`repro.regulator.timing.voltage_after`.
+* **Gate settling** - the defective RC gate line against
+  :func:`repro.regulator.timing.settle_time`.
+
+Used by ``benchmarks/bench_timing_ablation.py`` and available to users who
+want to sanity-check the timing constants for their own design point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ..cell.design import DEFAULT_CELL, CellDesign
+from ..devices.pvt import PVT
+from ..regulator.design import DEFAULT_REGULATOR, RegulatorDesign
+from ..regulator.load import ArrayLoad, leakage_table
+from ..regulator.timing import C_CC_PER_CELL, settle_time, voltage_after
+from ..regulator.defects import TimingMode
+from ..spice import Circuit, solve_transient
+
+
+@dataclass(frozen=True)
+class ValidationPoint:
+    """One compared sample: semi-analytic vs transient-engine value."""
+
+    t: float
+    analytic: float
+    simulated: float
+
+    @property
+    def error(self) -> float:
+        return self.simulated - self.analytic
+
+
+def rail_discharge_comparison(
+    pvt: PVT,
+    t_stop: float = None,
+    n_points: int = 12,
+    design: RegulatorDesign = DEFAULT_REGULATOR,
+    cell: CellDesign = DEFAULT_CELL,
+) -> List[ValidationPoint]:
+    """Compare the VDD_CC decay trajectory on ``n_points`` sample times.
+
+    The transient circuit is exactly the timing layer's physical picture:
+    rail capacitance ``C_CC_PER_CELL * n_cells`` discharging through the
+    array-leakage load, starting from VDD.  ``t_stop`` defaults to the
+    (analytic) time for the rail to decay to 30% of VDD, so the samples
+    span the informative part of the trajectory at any corner - at a hot
+    corner the rail is dead within microseconds, at a cold one it takes
+    milliseconds.
+    """
+    if t_stop is None:
+        from ..regulator.timing import time_to_reach
+
+        t_stop = 1.2 * time_to_reach(0.3 * pvt.vdd, pvt, design, cell)
+    c_cc = C_CC_PER_CELL * design.n_cells
+    circuit = Circuit(f"rail discharge {pvt.label()}")
+    circuit.capacitor("c_cc", "vddcc", "0", c_cc)
+    circuit.add(
+        ArrayLoad(
+            "array",
+            circuit.node("vddcc"),
+            leakage_table(pvt.corner, pvt.temp_c, cell),
+            design.n_cells,
+        )
+    )
+    x0 = np.zeros(circuit.unknown_count())
+    x0[circuit.node("vddcc") - 1] = pvt.vdd
+    result = solve_transient(circuit, t_stop=t_stop, dt=t_stop / 400, x0=x0)
+
+    samples = np.linspace(t_stop / n_points, t_stop, n_points)
+    waveform = result.voltage("vddcc")
+    points = []
+    for t in samples:
+        simulated = float(np.interp(t, result.times, waveform))
+        analytic = voltage_after(float(t), pvt, design, cell)
+        points.append(ValidationPoint(float(t), analytic, simulated))
+    return points
+
+
+def gate_settling_comparison(
+    resistance: float,
+    mode: TimingMode = TimingMode.ACTIVATION_DELAY,
+    v_final: float = 0.572,
+) -> ValidationPoint:
+    """Compare the gate line's RC settling time against the timing layer.
+
+    The timing layer calls a line "settled" after ``SETTLE_TAU`` time
+    constants; the transient-engine equivalent is the time the gate enters
+    the corresponding exponential band (e^-SETTLE_TAU of the swing).
+    """
+    from ..regulator.timing import _LINE_CAPS, SETTLE_TAU
+
+    cap = _LINE_CAPS[mode]
+    circuit = Circuit("gate line")
+    circuit.vsource("vsrc", "drive", "0", v_final)
+    circuit.resistor("r_df", "drive", "gate", resistance)
+    circuit.capacitor("c_line", "gate", "0", cap)
+    tau = resistance * cap
+    x0 = np.zeros(circuit.unknown_count())
+    result = solve_transient(circuit, t_stop=6 * tau, dt=tau / 40, x0=x0)
+    band = float(np.exp(-SETTLE_TAU)) * v_final
+    simulated = result.settling_time("gate", target=v_final, tolerance=band)
+    analytic = settle_time(resistance, mode)
+    return ValidationPoint(analytic, analytic, simulated)
+
+
+def max_relative_error(points: List[ValidationPoint], floor: float = 0.025) -> float:
+    """Largest |error| relative to the analytic value across the samples.
+
+    Samples where both models sit at/below ``floor`` volts are counted as
+    exact agreement: the semi-analytic profile clamps at its 20 mV grid
+    floor while the transient engine keeps integrating toward zero, and a
+    dead rail is a dead rail either way.
+    """
+    worst = 0.0
+    for p in points:
+        if p.analytic <= floor and p.simulated <= floor:
+            continue
+        scale = max(abs(p.analytic), 1e-9)
+        worst = max(worst, abs(p.error) / scale)
+    return worst

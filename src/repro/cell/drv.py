@@ -1,0 +1,113 @@
+"""Data retention voltage in deep-sleep mode (Section III).
+
+``DRV_DS1`` / ``DRV_DS0`` are the cell-supply levels at which the hold SNM of
+the corresponding stored value reaches zero; below them the cross-coupled
+inverters flip to the state dictated by the deteriorated VTCs.  ``DRV_DS``
+of a cell is the larger of the two; the DRV_DS of a whole array is set by
+its least stable cell.
+
+Each DRV is found by bisection on the supply voltage of the signed SNM from
+:mod:`repro.cell.snm`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+from ..devices.pvt import PVT, corner_temp_grid
+from ..devices.variation import CellVariation
+from .design import DEFAULT_CELL, CellDesign
+from .snm import snm_ds
+
+#: Search window for the DRV bisection, in volts.  The lower bound is the
+#: floor reported for cells whose eye never closes above it (the paper's
+#: "~60 mV" symmetric-cell entries are near this region).
+DRV_SEARCH_LO = 0.02
+DRV_SEARCH_HI = 1.2
+
+_BISECTION_STEPS = 16
+
+
+def _drv_single(
+    variation: CellVariation,
+    which: int,
+    corner: str,
+    temp_c: float,
+    cell: CellDesign,
+) -> float:
+    """Bisection on supply for SNM[which] = 0 (which: 0 -> SNM1, 1 -> SNM0)."""
+    lo, hi = DRV_SEARCH_LO, DRV_SEARCH_HI
+    snm_lo = snm_ds(variation, lo, corner, temp_c, cell)[which]
+    if snm_lo > 0.0:
+        return lo  # stable all the way down to the search floor
+    snm_hi = snm_ds(variation, hi, corner, temp_c, cell)[which]
+    if snm_hi < 0.0:
+        return hi  # cannot hold this state even at full supply
+    for _ in range(_BISECTION_STEPS):
+        mid = 0.5 * (lo + hi)
+        if snm_ds(variation, mid, corner, temp_c, cell)[which] > 0.0:
+            hi = mid
+        else:
+            lo = mid
+    return 0.5 * (lo + hi)
+
+
+def drv_ds1(
+    variation: CellVariation,
+    corner: str = "typical",
+    temp_c: float = 25.0,
+    cell: CellDesign = DEFAULT_CELL,
+) -> float:
+    """Lowest supply still retaining logic '1' in this cell (volts)."""
+    return _drv_single(variation, 0, corner, temp_c, cell)
+
+
+def drv_ds0(
+    variation: CellVariation,
+    corner: str = "typical",
+    temp_c: float = 25.0,
+    cell: CellDesign = DEFAULT_CELL,
+) -> float:
+    """Lowest supply still retaining logic '0' in this cell (volts)."""
+    return _drv_single(variation, 1, corner, temp_c, cell)
+
+
+def drv_ds(
+    variation: CellVariation,
+    corner: str = "typical",
+    temp_c: float = 25.0,
+    cell: CellDesign = DEFAULT_CELL,
+) -> float:
+    """DRV_DS = max(DRV_DS1, DRV_DS0) of the cell."""
+    return max(
+        drv_ds1(variation, corner, temp_c, cell),
+        drv_ds0(variation, corner, temp_c, cell),
+    )
+
+
+def worst_case_drv(
+    variation: CellVariation,
+    which: str = "ds",
+    pvt_grid: Optional[Iterable[PVT]] = None,
+    cell: CellDesign = DEFAULT_CELL,
+) -> Tuple[float, PVT]:
+    """Maximum DRV over a (corner, temperature) grid, with its arg-max PVT.
+
+    ``which`` selects ``'ds1'``, ``'ds0'`` or ``'ds'`` (the max of both).
+    This mirrors the paper's Fig. 4 / Table I procedure of reporting the
+    corner-temperature combination that maximises the DRV.
+    """
+    functions = {"ds1": drv_ds1, "ds0": drv_ds0, "ds": drv_ds}
+    try:
+        func = functions[which]
+    except KeyError:
+        raise ValueError(f"which must be one of {sorted(functions)}") from None
+    grid = list(pvt_grid) if pvt_grid is not None else corner_temp_grid()
+    best_value = -1.0
+    best_pvt = grid[0]
+    for pvt in grid:
+        value = func(variation, pvt.corner, pvt.temp_c, cell)
+        if value > best_value:
+            best_value = value
+            best_pvt = pvt
+    return best_value, best_pvt

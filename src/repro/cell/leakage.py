@@ -1,0 +1,78 @@
+"""Hold-state leakage of a core-cell and of the whole array.
+
+The array leakage is the DC load the voltage regulator drives in deep-sleep
+mode; it also sets the static-power numbers of the Section IV.B power
+discussion.  Leakage rises steeply with temperature (through the thermal
+voltage and the Vth temperature coefficient baked into
+:class:`repro.devices.MosfetModel`), which is why Table II's arg-min PVT
+conditions for error-amplifier defects sit at 125 C.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..devices.variation import CellVariation
+from .design import DEFAULT_CELL, CellDesign
+from .vtc import inverter_vtc
+
+#: Fixed-point iterations locating the stable hold state on the VTCs.
+_STATE_ITERATIONS = 24
+
+
+def _hold_state(v, models):
+    """Internal node voltages (S, SB) of the cell holding '1' at supply ``v``.
+
+    Found by iterating the composed VTC map from the S-high corner; the map
+    is a contraction onto the stable point on that side of the butterfly.
+    """
+    v = np.asarray(v, dtype=float)
+    s = v.copy()
+    for _ in range(_STATE_ITERATIONS):
+        sb = inverter_vtc(s, v, models["mpcc2"], models["mncc2"], models["mncc4"])
+        s = inverter_vtc(sb, v, models["mpcc1"], models["mncc1"], models["mncc3"])
+    return s, sb
+
+
+def cell_leakage_current(
+    v,
+    variation: CellVariation = CellVariation.symmetric(),
+    corner: str = "typical",
+    temp_c: float = 25.0,
+    cell: CellDesign = DEFAULT_CELL,
+):
+    """Supply current of one cell holding '1' at supply ``v`` (A).
+
+    ``v`` may be a scalar or an array (the regulator load curve evaluates a
+    whole voltage grid at once).  The supply current is the sum of the two
+    pull-up source currents - every leakage path inside the cell (cross
+    inverter and pass-gate) is fed through one of the two PMOS devices.
+    """
+    v = np.asarray(v, dtype=float)
+    models = cell.models(variation, corner, temp_c)
+    s, sb = _hold_state(v, models)
+    # PMOS drain->source currents are negative when sourcing the node, so the
+    # supply current drawn from vddc is their negated sum.
+    i_up1 = models["mpcc1"].ids_value(sb, s, v)
+    i_up2 = models["mpcc2"].ids_value(s, sb, v)
+    total = np.asarray(-(i_up1 + i_up2))
+    if total.ndim == 0:
+        return float(total)
+    return total
+
+
+def array_leakage_current(
+    v,
+    n_cells: int,
+    corner: str = "typical",
+    temp_c: float = 25.0,
+    cell: CellDesign = DEFAULT_CELL,
+):
+    """Leakage of an ``n_cells`` array of symmetric cells at supply ``v`` (A).
+
+    The paper's reference block is 4K x 64 = 256K cells; asymmetric cells are
+    few enough (1 or 64) that their contribution to the *bulk* leakage is
+    negligible - their extra near-flip current is modelled separately by
+    :class:`repro.regulator.load.ArrayLoad`.
+    """
+    return n_cells * cell_leakage_current(v, CellVariation.symmetric(), corner, temp_c, cell)

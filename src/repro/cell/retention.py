@@ -1,0 +1,61 @@
+"""Time-to-flip model: how long below-DRV supply must persist to lose data.
+
+Section V of the paper stresses that a DRF_DS is only observable if the SRAM
+*stays* in deep-sleep long enough for the weak cell's high node to discharge
+through leakage ("the internal nodes of less stable core-cells discharge
+slowly due to leakage currents"), and fixes the test's DS time at 1 ms.
+
+We model the flip as a leakage-driven discharge of the high storage node:
+
+    t_flip(v) = C_node * v / ( I_leak(v) * (1 - v / DRV) )        for v < DRV
+
+The ``(1 - v/DRV)`` factor captures the vanishing net imbalance as the
+supply approaches the retention limit: exactly at DRV the flip time diverges,
+far below DRV it collapses to the raw RC discharge time.  At or above DRV the
+cell retains indefinitely (``inf``).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..devices.variation import CellVariation
+from .design import DEFAULT_CELL, CellDesign
+from .leakage import cell_leakage_current
+
+#: Storage-node capacitance estimate (F): gate of the opposite inverter plus
+#: drain junctions; a fraction of a femtofarad at 40 nm.
+C_NODE = 0.25e-15
+
+
+def flip_time(
+    v: float,
+    drv: float,
+    corner: str = "typical",
+    temp_c: float = 25.0,
+    cell: CellDesign = DEFAULT_CELL,
+) -> float:
+    """Seconds until a cell with retention voltage ``drv`` flips at supply ``v``.
+
+    Returns ``math.inf`` when ``v >= drv`` (data is retained indefinitely).
+    """
+    if v >= drv:
+        return math.inf
+    if v <= 0.0:
+        return 0.0
+    leak = cell_leakage_current(v, CellVariation.symmetric(), corner, temp_c, cell)
+    leak = max(leak, 1e-18)  # never divide by zero at cryogenic corners
+    deficit = 1.0 - v / drv
+    return C_NODE * v / (leak * deficit)
+
+
+def retains(
+    v: float,
+    drv: float,
+    ds_time: float,
+    corner: str = "typical",
+    temp_c: float = 25.0,
+    cell: CellDesign = DEFAULT_CELL,
+) -> bool:
+    """True if data survives ``ds_time`` seconds of deep sleep at supply ``v``."""
+    return ds_time < flip_time(v, drv, corner, temp_c, cell)

@@ -1,0 +1,115 @@
+"""Hold-state static noise margin via the largest-embedded-square method.
+
+The butterfly plot is formed by the two half-cell VTCs drawn in the (S, SB)
+plane.  Following Seevinck's construction, the SNM of a lobe is the side of
+the largest square that fits inside it.  Numerically we parameterise both
+curves by the diagonal coordinate ``c = S - SB`` (constant along -45 degree
+lines): along any such line each curve is crossed exactly once, and the
+largest square side equals half the maximum anti-diagonal separation
+
+    SNM = max_c [ v_top(c) - v_bottom(c) ] / 2,      v = S + SB.
+
+The ``c > 0`` half-plane holds the lobe of stored '1' (S high) and gives
+SNM_DS1; ``c < 0`` gives SNM_DS0.  When a lobe's eye has closed (the cell can
+no longer hold that state) the maximum separation goes negative, which makes
+the value directly usable as a root-finding objective for the DRV search.
+
+Linear interpolation in ``(c, v)`` is exact across near-vertical VTC
+segments because both coordinates are linear along a straight segment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..devices.mosfet import MosfetModel
+from ..devices.variation import CellVariation
+from .design import DEFAULT_CELL, CellDesign
+from .vtc import vtc_pair
+
+#: Input-grid resolution for the VTCs.
+_GRID_POINTS = 256
+
+#: Diagonal-coordinate resolution for the separation search.
+_DIAG_POINTS = 320
+
+
+def butterfly_curves(
+    variation: CellVariation,
+    vdd_cell: float,
+    corner: str = "typical",
+    temp_c: float = 25.0,
+    cell: CellDesign = DEFAULT_CELL,
+    points: int = _GRID_POINTS,
+) -> Dict[str, np.ndarray]:
+    """Sampled butterfly curves in the (S, SB) plane.
+
+    Returns a dict with arrays ``s_a``/``sb_a`` (curve A: SB driven by
+    inverter 2 as a function of S) and ``s_b``/``sb_b`` (curve B: S driven by
+    inverter 1 as a function of SB) - ready for plotting or SNM extraction.
+    """
+    models = cell.models(variation, corner, temp_c)
+    grid = np.linspace(0.0, vdd_cell, points)
+    s_of_sb, sb_of_s = vtc_pair(grid, vdd_cell, models)
+    return {
+        "s_a": grid,
+        "sb_a": sb_of_s,
+        "s_b": s_of_sb,
+        "sb_b": grid,
+    }
+
+
+def _lobe_separations(curves: Dict[str, np.ndarray]) -> Tuple[float, float]:
+    """Return (snm1, snm0): max anti-diagonal separation per lobe, halved."""
+    # Curve A: (s, g(s)) - diagonal coordinate increases with s.
+    c_a = curves["s_a"] - curves["sb_a"]
+    v_a = curves["s_a"] + curves["sb_a"]
+    # Curve B: (f(sb), sb) - diagonal coordinate decreases with sb; reverse
+    # so np.interp sees increasing x.
+    c_b = (curves["s_b"] - curves["sb_b"])[::-1]
+    v_b = (curves["s_b"] + curves["sb_b"])[::-1]
+
+    c_min = max(float(c_a[0]), float(c_b[0]))
+    c_max = min(float(c_a[-1]), float(c_b[-1]))
+
+    def lobe(limit_lo: float, limit_hi: float, top_first: bool) -> float:
+        if limit_hi <= limit_lo:
+            return -1.0  # lobe entirely missing: strongly "closed"
+        c = np.linspace(limit_lo, limit_hi, _DIAG_POINTS)
+        va = np.interp(c, c_a, v_a)
+        vb = np.interp(c, c_b, v_b)
+        separation = (vb - va) if top_first else (va - vb)
+        return float(np.max(separation)) / 2.0
+
+    eps = 1e-6
+    snm1 = lobe(eps, c_max, top_first=True)
+    snm0 = lobe(c_min, -eps, top_first=False)
+    return snm1, snm0
+
+
+def snm_ds(
+    variation: CellVariation,
+    vdd_cell: float,
+    corner: str = "typical",
+    temp_c: float = 25.0,
+    cell: CellDesign = DEFAULT_CELL,
+) -> Tuple[float, float]:
+    """(SNM_DS1, SNM_DS0) of the cell at supply ``vdd_cell`` in DS mode.
+
+    Negative values mean the corresponding lobe has closed: the cell cannot
+    retain that logic value at this supply.
+    """
+    curves = butterfly_curves(variation, vdd_cell, corner, temp_c, cell)
+    return _lobe_separations(curves)
+
+
+def snm_ds1(variation, vdd_cell, corner="typical", temp_c=25.0, cell=DEFAULT_CELL) -> float:
+    """SNM for stored logic '1' (node S high); see :func:`snm_ds`."""
+    return snm_ds(variation, vdd_cell, corner, temp_c, cell)[0]
+
+
+def snm_ds0(variation, vdd_cell, corner="typical", temp_c=25.0, cell=DEFAULT_CELL) -> float:
+    """SNM for stored logic '0' (node S low); see :func:`snm_ds`."""
+    return snm_ds(variation, vdd_cell, corner, temp_c, cell)[1]

@@ -1,0 +1,81 @@
+"""Vectorised voltage-transfer curves of the cell's cross-coupled inverters.
+
+During deep sleep the peripheral circuitry is off: WL = BL = BLB = 0 V, and
+the cell supply is ``Vreg``.  Each internal node is then driven by three
+devices - pull-up PMOS, pull-down NMOS and the (off but leaking) pass NMOS
+to a grounded bit line.  At retention-level supplies the pass-gate leakage is
+comparable to the inverter drive and is what ultimately closes the butterfly
+eye, so it is part of the VTC by construction.
+
+The output voltage for a whole array of input voltages is found with a
+vectorised bisection on the node's KCL residual, which is strictly monotone
+in the output voltage.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..devices.mosfet import MosfetModel
+
+#: Bisection iterations; 2^-60 of a volt is far below solver noise.
+_BISECTION_STEPS = 44
+
+
+def _node_residual(v_out, v_in, vdd_cell, pullup, pulldown, pass_gate):
+    """KCL residual at the inverter output node (positive when node too high).
+
+    Currents out of the node: pull-down drain current + pass-gate leakage to
+    the grounded bit line + the pull-up PMOS drain->source current (negative
+    when the PMOS feeds the node).
+    """
+    i_down = pulldown.ids_value(v_in, v_out, 0.0)
+    i_pass = pass_gate.ids_value(0.0, v_out, 0.0)
+    i_up = pullup.ids_value(v_in, v_out, vdd_cell)
+    return i_down + i_pass + i_up
+
+
+def inverter_vtc(
+    v_in: np.ndarray,
+    vdd_cell: float,
+    pullup: MosfetModel,
+    pulldown: MosfetModel,
+    pass_gate: MosfetModel,
+) -> np.ndarray:
+    """Output voltage of one half-cell inverter for an array of inputs.
+
+    All three device models must already be instantiated at the desired
+    (corner, temperature, Vth offset).  Returns an array shaped like
+    ``v_in``.
+    """
+    v_in = np.asarray(v_in, dtype=float)
+    lo = np.zeros_like(v_in)
+    hi = np.full_like(v_in, vdd_cell)
+    for _ in range(_BISECTION_STEPS):
+        mid = 0.5 * (lo + hi)
+        residual = _node_residual(mid, v_in, vdd_cell, pullup, pulldown, pass_gate)
+        too_high = residual > 0.0
+        hi = np.where(too_high, mid, hi)
+        lo = np.where(too_high, lo, mid)
+    return 0.5 * (lo + hi)
+
+
+def vtc_pair(
+    grid: np.ndarray,
+    vdd_cell: float,
+    models: Dict[str, MosfetModel],
+):
+    """Both half-cell VTCs on a common input grid.
+
+    Returns ``(s_of_sb, sb_of_s)``:
+
+    * ``s_of_sb[i]``  - node S driven by inverter 1 (MPcc1/MNCC1, pass MNcc3)
+      when node SB is held at ``grid[i]``;
+    * ``sb_of_s[i]``  - node SB driven by inverter 2 (MPcc2/MNcc2, pass
+      MNcc4) when node S is held at ``grid[i]``.
+    """
+    s_of_sb = inverter_vtc(grid, vdd_cell, models["mpcc1"], models["mncc1"], models["mncc3"])
+    sb_of_s = inverter_vtc(grid, vdd_cell, models["mpcc2"], models["mncc2"], models["mncc4"])
+    return s_of_sb, sb_of_s

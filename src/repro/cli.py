@@ -1,0 +1,172 @@
+"""Command-line interface: regenerate paper artifacts from a shell.
+
+Examples::
+
+    python -m repro table1                   # case-study DRV ladder
+    python -m repro table2 --defects 1,16    # Table II slice
+    python -m repro table3 --defects 1,3,4   # optimised flow
+    python -m repro fig4 --fast              # Fig. 4 panels
+    python -m repro power                    # Section IV.B comparison
+    python -m repro classify                 # 32-defect taxonomy
+    python -m repro run-march "March m-LZ"   # run a test on a clean SRAM
+    python -m repro run-march "{ u(w0); u(r0) }" --words 128
+
+The ``--fast`` flag swaps the PVT sweep for a minimal grid; without it the
+commands use the same reduced defaults as the benchmarks (set
+``REPRO_FULL_GRID=1`` there for the complete 45-condition sweep).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+
+def _grid(fast: bool):
+    from .devices.pvt import corner_temp_grid
+
+    if fast:
+        return corner_temp_grid(corners=("fs",), temps=(125.0,))
+    return corner_temp_grid(corners=("fs", "sf"), temps=(-30.0, 125.0))
+
+
+def _pvt_grid(fast: bool):
+    from .devices.pvt import paper_pvt_grid
+
+    if fast:
+        return paper_pvt_grid(corners=("fs",), temps=(125.0,))
+    return paper_pvt_grid(corners=("fs", "sf"), temps=(125.0,))
+
+
+def _parse_defects(text: Optional[str], default: Sequence[int]) -> List[int]:
+    if not text:
+        return list(default)
+    try:
+        return [int(part) for part in text.split(",") if part.strip()]
+    except ValueError:
+        raise SystemExit(f"--defects expects comma-separated integers, got {text!r}")
+
+
+def cmd_table1(args) -> int:
+    from .analysis import render_table1, table1_rows
+
+    print(render_table1(table1_rows(pvt_grid=_grid(args.fast))))
+    return 0
+
+
+def cmd_table2(args) -> int:
+    from .analysis import render_table2, table2_rows
+    from .regulator.defects import DRF_IDS
+
+    defects = _parse_defects(args.defects, DRF_IDS if not args.fast else (1, 16, 23))
+    rows = table2_rows(defect_ids=defects, pvt_grid=_pvt_grid(args.fast))
+    print(render_table2(rows))
+    return 0
+
+
+def cmd_table3(args) -> int:
+    from .analysis import render_table3, table3_flow
+    from .regulator.defects import DRF_IDS
+
+    defects = _parse_defects(args.defects, DRF_IDS if not args.fast else (1, 3, 4))
+    print(render_table3(table3_flow(defect_ids=defects)))
+    return 0
+
+
+def cmd_fig4(args) -> int:
+    from .analysis import figure4_sweep, render_figure4
+
+    sigmas = (-6.0, -3.0, 0.0, 3.0, 6.0) if args.fast else (-6, -4, -2, 0, 2, 4, 6)
+    points = figure4_sweep(sigmas=[float(s) for s in sigmas], pvt_grid=_grid(args.fast))
+    print(render_figure4(points, "ds1"))
+    print()
+    print(render_figure4(points, "ds0"))
+    return 0
+
+
+def cmd_power(args) -> int:
+    from .analysis import power_comparison, render_power
+    from .devices.pvt import paper_pvt_grid
+
+    corners = ("typical",) if args.fast else ("typical", "fast", "slow", "fs", "sf")
+    print(render_power(power_comparison(paper_pvt_grid(corners=corners, vdds=(1.1,)))))
+    return 0
+
+
+def cmd_classify(args) -> int:
+    from .core.reporting import render_table
+    from .regulator import DEFECTS, classify_defect
+
+    ids = _parse_defects(args.defects, tuple(DEFECTS))
+    rows = []
+    for n in ids:
+        site = DEFECTS[n]
+        measured = classify_defect(site)
+        rows.append([
+            site.name, site.branch, measured.value,
+            "ok" if measured is site.category else "MISMATCH",
+        ])
+    print(render_table(["defect", "branch", "category", "vs paper"], rows))
+    return 1 if any(r[3] == "MISMATCH" for r in rows) else 0
+
+
+def cmd_run_march(args) -> int:
+    from .march import parse_library_or_custom, run_march
+    from .sram import LowPowerSRAM, SRAMConfig
+
+    test = parse_library_or_custom(args.test)
+    memory = LowPowerSRAM(SRAMConfig(n_words=args.words, word_bits=args.bits))
+    vddcc = args.vddcc
+    result = run_march(
+        test, memory,
+        vddcc_for_sleep=(lambda _i: vddcc) if vddcc is not None else None,
+    )
+    print(test)
+    print(result)
+    for failure in result.failures[:10]:
+        print(" ", failure)
+    return 0 if result.passed else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce 'Test Solution for Data Retention Faults in "
+                    "Low-Power SRAMs' (DATE 2013).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add(name, func, help_text, defects=False):
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("--fast", action="store_true",
+                       help="minimal PVT grid / defect set")
+        if defects:
+            p.add_argument("--defects", help="comma-separated defect numbers")
+        p.set_defaults(func=func)
+        return p
+
+    add("table1", cmd_table1, "Table I: case-study DRV ladder")
+    add("table2", cmd_table2, "Table II: minimal DRF-causing resistances", defects=True)
+    add("table3", cmd_table3, "Table III: optimised test flow", defects=True)
+    add("fig4", cmd_fig4, "Fig. 4: DRV vs per-transistor Vth variation")
+    add("power", cmd_power, "Section IV.B static-power comparison")
+    add("classify", cmd_classify, "Defect taxonomy from Vreg signatures", defects=True)
+
+    run = sub.add_parser("run-march", help="run a March test on a behavioral SRAM")
+    run.add_argument("test", help="library name (e.g. 'March m-LZ') or notation")
+    run.add_argument("--words", type=int, default=64)
+    run.add_argument("--bits", type=int, default=8)
+    run.add_argument("--vddcc", type=float, default=None,
+                     help="array supply during DSM operations (V)")
+    run.set_defaults(func=cmd_run_march)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,153 @@
+"""Defect diagnosis from test-flow syndromes.
+
+The optimised flow runs March m-LZ under several configurations; a failing
+device produces a *syndrome* - the per-iteration pass/fail vector.  Because
+every characterised defect has a monotone resistance threshold per
+configuration (the Table II machinery), each defect can only produce
+syndromes consistent with **one** resistance value crossing its thresholds:
+
+    iteration i fails  <=>  R >= min_R(defect, config_i)
+
+Diagnosis inverts that: a defect is a candidate for an observed syndrome
+iff some resistance interval satisfies every iteration's outcome, i.e.
+
+    max{ min_R(d, c_i) : i failed }  <  min{ min_R(d, c_j) : j passed }
+
+The candidate comes with that feasible resistance interval - useful to
+guide physical failure analysis, the industrial follow-up the paper's
+methodology feeds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .testflow import DetectionMatrix, TestFlow
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One defect hypothesis consistent with the observed syndrome."""
+
+    defect_id: int
+    r_low: float  #: smallest resistance explaining the syndrome (ohms)
+    r_high: float  #: largest (math.inf when unbounded above)
+
+    @property
+    def interval_width_decades(self) -> float:
+        if math.isinf(self.r_high):
+            return math.inf
+        if self.r_low <= 0:
+            return math.inf
+        return math.log10(self.r_high / self.r_low)
+
+    def __str__(self) -> str:
+        hi = "inf" if math.isinf(self.r_high) else f"{self.r_high:.3g}"
+        return f"Df{self.defect_id} in [{self.r_low:.3g}, {hi}) Ohm"
+
+
+@dataclass
+class DiagnosisResult:
+    """Candidates for one syndrome, most constrained first."""
+
+    syndrome: Tuple[bool, ...]
+    candidates: List[Candidate]
+
+    @property
+    def is_ambiguous(self) -> bool:
+        return len(self.candidates) > 1
+
+    def defect_ids(self) -> List[int]:
+        return [c.defect_id for c in self.candidates]
+
+    def __str__(self) -> str:
+        pattern = "".join("F" if f else "P" for f in self.syndrome)
+        if not self.candidates:
+            return f"syndrome {pattern}: no single-defect explanation"
+        body = "; ".join(str(c) for c in self.candidates)
+        return f"syndrome {pattern}: {body}"
+
+
+def _threshold(matrix: DetectionMatrix, defect_id: int, config) -> float:
+    r = matrix.entries.get((defect_id, config))
+    if r is None or r == 0.0:
+        return math.inf  # never fails here (or config invalid)
+    return r
+
+
+def diagnose(
+    syndrome: Sequence[bool],
+    flow: TestFlow,
+    matrix: DetectionMatrix,
+) -> DiagnosisResult:
+    """Candidates explaining a per-iteration pass/fail vector.
+
+    ``syndrome[i]`` is True when flow iteration ``i`` FAILED.  The all-pass
+    syndrome returns no candidates (nothing to diagnose); an all-fail
+    syndrome is typically highly ambiguous - every defect big enough.
+    """
+    if len(syndrome) != len(flow.iterations):
+        raise ValueError(
+            f"syndrome has {len(syndrome)} entries, flow has "
+            f"{len(flow.iterations)} iterations"
+        )
+    observed = tuple(bool(s) for s in syndrome)
+    candidates: List[Candidate] = []
+    if not any(observed):
+        return DiagnosisResult(observed, candidates)
+
+    for defect_id in matrix.defect_ids:
+        thresholds = [
+            _threshold(matrix, defect_id, iteration.config)
+            for iteration in flow.iterations
+        ]
+        fail_bound = max(
+            (t for t, failed in zip(thresholds, observed) if failed),
+            default=0.0,
+        )
+        pass_bound = min(
+            (t for t, failed in zip(thresholds, observed) if not failed),
+            default=math.inf,
+        )
+        if math.isinf(fail_bound):
+            continue  # a failing iteration this defect can never fail
+        if fail_bound < pass_bound:
+            candidates.append(Candidate(defect_id, fail_bound, pass_bound))
+
+    candidates.sort(key=lambda c: (c.interval_width_decades, c.defect_id))
+    return DiagnosisResult(observed, candidates)
+
+
+def syndrome_for(
+    defect_id: int,
+    resistance: float,
+    flow: TestFlow,
+    matrix: DetectionMatrix,
+) -> Tuple[bool, ...]:
+    """Predicted syndrome of a defect at a given resistance (for tests)."""
+    return tuple(
+        resistance >= _threshold(matrix, defect_id, iteration.config)
+        for iteration in flow.iterations
+    )
+
+
+def distinguishable_pairs(
+    flow: TestFlow, matrix: DetectionMatrix, probe_resistances: Sequence[float]
+) -> Dict[Tuple[int, int], bool]:
+    """Which defect pairs ever produce different syndromes?
+
+    A coarse diagnosability metric: for every pair of detectable defects,
+    True when some probe resistance separates their syndromes.
+    """
+    ids = [d for d in matrix.defect_ids if matrix.detectable(d)]
+    result: Dict[Tuple[int, int], bool] = {}
+    for i, a in enumerate(ids):
+        for b in ids[i + 1:]:
+            separable = any(
+                syndrome_for(a, r, flow, matrix) != syndrome_for(b, r, flow, matrix)
+                for r in probe_resistances
+            )
+            result[(a, b)] = separable
+    return result

@@ -1,0 +1,52 @@
+"""Plain-text table rendering for the reproduced paper artifacts.
+
+Benchmarks and examples print through these helpers so their output reads
+like the paper's tables (engineering notation for resistances, millivolts
+for DRVs, PVT labels like ``fs, 1.0V, 125C``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from ..units import format_eng, millivolts
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Monospace table with column auto-sizing."""
+    str_rows: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(list(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(fmt(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def resistance_cell(value: Optional[float]) -> str:
+    """Table II resistance formatting: ``9.76K`` / ``> 500M`` / ``n/a``."""
+    if value is None:
+        return "> 500M"
+    if value == 0.0:
+        return "config-invalid"
+    return format_eng(value)
+
+
+def drv_cell(value_v: float) -> str:
+    """Table I DRV formatting: near-floor values print as the paper's '~60'."""
+    if value_v <= 0.1:
+        return f"~{millivolts(value_v)}"
+    return millivolts(value_v)

@@ -1,0 +1,34 @@
+"""Device models: EKV-style MOSFETs, process corners, temperature, variation.
+
+This package replaces the paper's proprietary Intel 40nm SPICE model cards
+with a physics-based compact model:
+
+* :mod:`repro.devices.mosfet` - a continuous EKV-style MOSFET model valid
+  from subthreshold to strong inversion (leakage falls out of the same
+  equation that gives drive current, which the retention analysis relies on).
+* :mod:`repro.devices.corners` - the paper's five process corners
+  (slow / typical / fast / fast-NMOS-slow-PMOS / slow-NMOS-fast-PMOS).
+* :mod:`repro.devices.variation` - within-die Vth variation expressed in
+  sigma multiples per transistor, as in the paper's Table I case studies.
+* :mod:`repro.devices.pvt` - the PVT grid of Section IV.A
+  (5 corners x {1.0, 1.1, 1.2} V x {-30, 25, 125} C).
+"""
+
+from .corners import CORNERS, Corner
+from .mosfet import MosfetModel, MosfetParams, nmos_params, pmos_params
+from .pvt import PVT, NOMINAL_PVT, paper_pvt_grid
+from .variation import SIGMA_VTH, CellVariation
+
+__all__ = [
+    "MosfetModel",
+    "MosfetParams",
+    "nmos_params",
+    "pmos_params",
+    "Corner",
+    "CORNERS",
+    "PVT",
+    "NOMINAL_PVT",
+    "paper_pvt_grid",
+    "CellVariation",
+    "SIGMA_VTH",
+]

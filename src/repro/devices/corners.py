@@ -1,0 +1,68 @@
+"""Process corners used throughout the paper's PVT sweeps.
+
+The paper simulates five corners: *slow*, *typical*, *fast*,
+*fast NMOS / slow PMOS* ("fs") and *slow NMOS / fast PMOS* ("sf").
+A corner is modelled as a correlated global shift of threshold voltage and
+transconductance: fast devices have lower |Vth| and higher mobility.
+
+These are die-to-die (global) shifts; within-die mismatch is modelled
+separately by :mod:`repro.devices.variation`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+#: Global |Vth| shift of a slow corner, in volts (fast is the negative).
+CORNER_VTH_SHIFT = 0.035
+
+#: Relative transconductance change of a fast corner (slow is the inverse).
+CORNER_KP_SCALE = 0.08
+
+
+@dataclass(frozen=True)
+class Corner:
+    """A global process corner.
+
+    ``vth_shift_n`` / ``vth_shift_p`` are added to the *magnitude* of the
+    device threshold voltage, so a positive shift always means a slower
+    device for both polarities.
+    """
+
+    name: str
+    label: str
+    vth_shift_n: float
+    vth_shift_p: float
+    kp_scale_n: float
+    kp_scale_p: float
+
+
+def _corner(name: str, label: str, n_speed: int, p_speed: int) -> Corner:
+    """Build a corner from speed signs (+1 fast, 0 typical, -1 slow)."""
+    return Corner(
+        name=name,
+        label=label,
+        vth_shift_n=-n_speed * CORNER_VTH_SHIFT,
+        vth_shift_p=-p_speed * CORNER_VTH_SHIFT,
+        kp_scale_n=1.0 + n_speed * CORNER_KP_SCALE,
+        kp_scale_p=1.0 + p_speed * CORNER_KP_SCALE,
+    )
+
+
+#: The paper's five corners, keyed by short name.
+CORNERS: Dict[str, Corner] = {
+    "typical": _corner("typical", "typical", 0, 0),
+    "slow": _corner("slow", "slow", -1, -1),
+    "fast": _corner("fast", "fast", +1, +1),
+    "fs": _corner("fs", "fast NMOS/slow PMOS", +1, -1),
+    "sf": _corner("sf", "slow NMOS/fast PMOS", -1, +1),
+}
+
+
+def get_corner(name: str) -> Corner:
+    """Look up a corner by its short name (raises ``KeyError`` with options)."""
+    try:
+        return CORNERS[name]
+    except KeyError:
+        raise KeyError(f"unknown corner {name!r}; options: {sorted(CORNERS)}") from None

@@ -1,0 +1,83 @@
+"""PVT (process / voltage / temperature) conditions of Section IV.A.
+
+The paper characterises every defect over the full grid of
+
+* process corner: slow, typical, fast, fs, sf
+* supply voltage: 1.0 V, 1.1 V (nominal), 1.2 V
+* temperature: -30 C, 25 C, 125 C
+
+and reports, per defect and case study, the condition requiring the minimal
+defect resistance (Table II's "PVT" columns, e.g. ``fs, 1.0V, 125 C``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from .corners import CORNERS, Corner, get_corner
+
+#: Supply voltages of the paper's grid; 1.1 V is nominal.
+SUPPLY_VOLTAGES: Tuple[float, ...] = (1.0, 1.1, 1.2)
+
+#: Temperatures of the paper's grid, in Celsius.
+TEMPERATURES: Tuple[float, ...] = (-30.0, 25.0, 125.0)
+
+NOMINAL_VDD = 1.1
+
+
+@dataclass(frozen=True)
+class PVT:
+    """One (corner, VDD, temperature) condition."""
+
+    corner: str
+    vdd: float
+    temp_c: float
+
+    def __post_init__(self) -> None:
+        get_corner(self.corner)  # validate early
+        if self.vdd <= 0:
+            raise ValueError(f"vdd must be positive, got {self.vdd}")
+
+    @property
+    def corner_obj(self) -> Corner:
+        return get_corner(self.corner)
+
+    def label(self) -> str:
+        """Table II style label, e.g. ``'fs, 1.0V, 125C'``."""
+        temp = f"{self.temp_c:g}"
+        return f"{self.corner}, {self.vdd:.1f}V, {temp}C"
+
+    def __str__(self) -> str:
+        return self.label()
+
+
+#: Nominal condition: typical corner, 1.1 V, 25 C.
+NOMINAL_PVT = PVT("typical", NOMINAL_VDD, 25.0)
+
+
+def paper_pvt_grid(
+    corners: Iterable[str] = tuple(CORNERS),
+    vdds: Sequence[float] = SUPPLY_VOLTAGES,
+    temps: Sequence[float] = TEMPERATURES,
+) -> List[PVT]:
+    """The full 5 x 3 x 3 = 45 condition grid (or a restriction of it)."""
+    return [
+        PVT(corner, float(vdd), float(temp))
+        for corner in corners
+        for vdd in vdds
+        for temp in temps
+    ]
+
+
+def corner_temp_grid(
+    corners: Iterable[str] = tuple(CORNERS),
+    temps: Sequence[float] = TEMPERATURES,
+    vdd: float = NOMINAL_VDD,
+) -> List[PVT]:
+    """The 5 x 3 (corner, temperature) grid used by the Fig. 4 DRV sweep.
+
+    DRV is a property of the cell alone, so the external VDD is irrelevant
+    there; a fixed placeholder keeps the PVT type uniform.
+    """
+    return [PVT(corner, vdd, float(temp)) for corner in corners for temp in temps]

@@ -1,0 +1,107 @@
+"""Within-die Vth variation of the six 6T core-cell transistors.
+
+The paper expresses mismatch as sigma multiples of the local threshold-
+voltage variation applied independently to the six transistors of one cell
+(Table I and Fig. 4).  :class:`CellVariation` carries those six multipliers;
+:data:`SIGMA_VTH` converts a multiplier to volts.
+
+Sign convention (paper Fig. 4): sigma shifts the *signed* threshold voltage.
+A negative sigma therefore strengthens an NMOS (lower barrier) but weakens a
+PMOS (whose threshold is negative, so the magnitude grows).  The flip for
+PMOS devices is applied by :meth:`repro.cell.CellDesign.models`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Dict, Iterator, Tuple
+
+import numpy as np
+
+#: One sigma of local Vth variation, in volts.  Calibration constant: chosen
+#: so that (a) the paper's 6-sigma worst case closes the hold SNM around the
+#: 0.7 V supply region (Table I reports a 730 mV worst-case DRV; we land at
+#: ~706 mV), while (b) keeping that worst-case DRV safely below the
+#: fault-free regulator output at the harshest PVT corner - the paper's
+#: test flow requires a defect-free SRAM to pass at Vreg = 0.74 V.
+SIGMA_VTH = 0.040
+
+#: Transistor names in paper order (MPcc1/MNcc1 drive node S, MPcc2/MNcc2
+#: drive node SB, MNcc3/MNcc4 are the pass transistors on S and SB).
+CELL_TRANSISTORS = ("mpcc1", "mncc1", "mpcc2", "mncc2", "mncc3", "mncc4")
+
+
+@dataclass(frozen=True)
+class CellVariation:
+    """Sigma multipliers of Vth variation for the six cell transistors."""
+
+    mpcc1: float = 0.0
+    mncc1: float = 0.0
+    mpcc2: float = 0.0
+    mncc2: float = 0.0
+    mncc3: float = 0.0
+    mncc4: float = 0.0
+
+    @classmethod
+    def symmetric(cls) -> "CellVariation":
+        """The zero-variation (fully symmetric) cell."""
+        return cls()
+
+    @classmethod
+    def single(cls, transistor: str, sigma: float) -> "CellVariation":
+        """Variation on one named transistor only (the Fig. 4 experiment)."""
+        if transistor not in CELL_TRANSISTORS:
+            raise ValueError(
+                f"unknown transistor {transistor!r}; options: {CELL_TRANSISTORS}"
+            )
+        return cls(**{transistor: sigma})
+
+    @classmethod
+    def worst_case_drv1(cls, sigma: float = 6.0) -> "CellVariation":
+        """Fig. 4 observation 1: the combination maximising DRV_DS1.
+
+        Negative sigma on MPcc1/MNcc1/MNcc3 and positive on MPcc2/MNcc2/MNcc4.
+        """
+        return cls(
+            mpcc1=-sigma, mncc1=-sigma, mncc3=-sigma,
+            mpcc2=+sigma, mncc2=+sigma, mncc4=+sigma,
+        )
+
+    @classmethod
+    def worst_case_drv0(cls, sigma: float = 6.0) -> "CellVariation":
+        """Fig. 4 observation 2: the combination maximising DRV_DS0."""
+        return cls.worst_case_drv1(sigma).mirrored()
+
+    @classmethod
+    def sample(cls, rng: np.random.Generator) -> "CellVariation":
+        """Draw one cell from the standard-normal mismatch distribution."""
+        draws = rng.standard_normal(len(CELL_TRANSISTORS))
+        return cls(**dict(zip(CELL_TRANSISTORS, map(float, draws))))
+
+    def mirrored(self) -> "CellVariation":
+        """Swap the roles of the two cell halves (S <-> SB).
+
+        A cell whose SNM for stored '1' is degraded maps, under mirroring, to
+        a cell whose SNM for stored '0' is equally degraded - the symmetry
+        behind the CSx-1 / CSx-0 pairing of Table I.
+        """
+        return CellVariation(
+            mpcc1=self.mpcc2, mncc1=self.mncc2,
+            mpcc2=self.mpcc1, mncc2=self.mncc1,
+            mncc3=self.mncc4, mncc4=self.mncc3,
+        )
+
+    def vth_offsets(self, sigma_vth: float = SIGMA_VTH) -> Dict[str, float]:
+        """Per-transistor threshold offsets in volts."""
+        return {f.name: getattr(self, f.name) * sigma_vth for f in fields(self)}
+
+    def items(self) -> Iterator[Tuple[str, float]]:
+        for f in fields(self):
+            yield f.name, getattr(self, f.name)
+
+    def is_symmetric(self) -> bool:
+        return all(value == 0.0 for _, value in self.items())
+
+    def magnitude(self) -> float:
+        """Euclidean norm of the sigma vector (useful for MC summaries)."""
+        return float(np.sqrt(sum(value * value for _, value in self.items())))

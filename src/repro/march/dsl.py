@@ -1,0 +1,145 @@
+"""March-test DSL: operations, elements, tests, and length accounting.
+
+Notation follows the memory-test literature:
+
+* ``u(...)``  - ascending address order (the paper's up-arrow)
+* ``d(...)``  - descending address order
+* ``a(...)``  - either order acceptable
+* ``rX`` / ``wX`` - read expecting X / write X, applied per address
+* ``DSM`` / ``WUP`` - the paper's power-mode operations, complexity 1
+
+March m-LZ renders as::
+
+    { u(w1); DSM; WUP; u(r1,w0,r0); DSM; WUP; u(r0) }
+
+and its length is 5N+4: five per-address operations plus four power-mode
+operations.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple, Union
+
+
+class AddressOrder(enum.Enum):
+    """Traversal order of a march element."""
+
+    UP = "u"
+    DOWN = "d"
+    ANY = "a"
+
+    def addresses(self, n_words: int) -> range:
+        if self is AddressOrder.DOWN:
+            return range(n_words - 1, -1, -1)
+        return range(n_words)
+
+
+@dataclass(frozen=True)
+class Operation:
+    """A per-address read or write of an all-0s or all-1s data background."""
+
+    kind: str  # 'r' or 'w'
+    value: int  # 0 or 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("r", "w"):
+            raise ValueError(f"operation kind must be 'r' or 'w', got {self.kind!r}")
+        if self.value not in (0, 1):
+            raise ValueError(f"operation value must be 0 or 1, got {self.value!r}")
+
+    def __str__(self) -> str:
+        return f"{self.kind}{self.value}"
+
+
+def read(value: int) -> Operation:
+    """``rX``: read every word expecting the X background."""
+    return Operation("r", value)
+
+
+def write(value: int) -> Operation:
+    """``wX``: write the X background to every word."""
+    return Operation("w", value)
+
+
+@dataclass(frozen=True)
+class DSM:
+    """Switch the SRAM from ACT to deep-sleep mode and stay there.
+
+    ``ds_time`` is the paper's "DS time" test parameter (column 6 of
+    Table III): the sleep must last long enough for a weak cell below its
+    DRV to actually flip.  Complexity 1.
+    """
+
+    ds_time: float = 1e-3
+
+    def __str__(self) -> str:
+        return "DSM"
+
+
+@dataclass(frozen=True)
+class WUP:
+    """Wake-up phase: deep sleep back to ACT.  Complexity 1."""
+
+    def __str__(self) -> str:
+        return "WUP"
+
+
+@dataclass(frozen=True)
+class MarchElement:
+    """An address order plus the operations applied at every address."""
+
+    order: AddressOrder
+    ops: Tuple[Operation, ...]
+
+    def __post_init__(self) -> None:
+        if not self.ops:
+            raise ValueError("a march element needs at least one operation")
+
+    def __str__(self) -> str:
+        body = ",".join(str(op) for op in self.ops)
+        return f"{self.order.value}({body})"
+
+
+Element = Union[MarchElement, DSM, WUP]
+
+
+def element(order: AddressOrder, *ops: Operation) -> MarchElement:
+    return MarchElement(order, tuple(ops))
+
+
+@dataclass(frozen=True)
+class MarchTest:
+    """A named sequence of march elements and power-mode operations."""
+
+    name: str
+    elements: Tuple[Element, ...]
+
+    def length(self, n_words: int) -> int:
+        """Operation count on an ``n_words`` memory (paper counting rules)."""
+        total = 0
+        for el in self.elements:
+            if isinstance(el, MarchElement):
+                total += n_words * len(el.ops)
+            else:
+                total += 1
+        return total
+
+    def complexity(self) -> str:
+        """Symbolic length, e.g. ``'5N+4'`` for March m-LZ."""
+        per_word = sum(
+            len(el.ops) for el in self.elements if isinstance(el, MarchElement)
+        )
+        constant = sum(1 for el in self.elements if not isinstance(el, MarchElement))
+        if constant:
+            return f"{per_word}N+{constant}"
+        return f"{per_word}N"
+
+    def ds_intervals(self) -> List[float]:
+        """The DS times of every DSM element, in order."""
+        return [el.ds_time for el in self.elements if isinstance(el, DSM)]
+
+    def __str__(self) -> str:
+        body = "; ".join(str(el) for el in self.elements)
+        return f"{self.name} = {{ {body} }}"

@@ -1,0 +1,111 @@
+"""Standard March tests plus the paper's March LZ / March m-LZ.
+
+The classical algorithms (MATS+, March C-, March SS) validate the engine
+against the established fault models; March LZ [13] targets peripheral
+power-gating failures; **March m-LZ** (this paper) extends it with two
+deep-sleep / wake-up cycles to sensitise and detect DRF_DS:
+
+    March m-LZ = { u(w1); DSM; WUP; u(r1,w0,r0); DSM; WUP; u(r0) }   (5N+4)
+
+ME1 initialises the array to all-1s, ME2/ME3 exercise a full sleep cycle,
+ME4's r1 detects lost 1s (and its w0,r0 keep the LZ power-gating coverage),
+ME5/ME6 sleep again on the all-0s background and ME7's r0 detects lost 0s.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .dsl import DSM, WUP, AddressOrder, MarchTest, element, read, write
+
+_UP = AddressOrder.UP
+_DOWN = AddressOrder.DOWN
+_ANY = AddressOrder.ANY
+
+
+def march_m_lz(ds_time: float = 1e-3) -> MarchTest:
+    """The paper's March m-LZ (Section V), length 5N+4.
+
+    ``ds_time`` parameterises both DSM operations; the paper recommends at
+    least 1 ms so that near-DRV cells have time to flip.
+    """
+    return MarchTest(
+        "March m-LZ",
+        (
+            element(_UP, write(1)),  # ME1
+            DSM(ds_time),  # ME2
+            WUP(),  # ME3
+            element(_UP, read(1), write(0), read(0)),  # ME4
+            DSM(ds_time),  # ME5
+            WUP(),  # ME6
+            element(_UP, read(0)),  # ME7
+        ),
+    )
+
+
+def march_lz() -> MarchTest:
+    """March LZ [13]: the base test March m-LZ extends.
+
+    Targets faulty behaviours induced by *peripheral circuitry* power
+    gating: one sleep cycle sensitises the under-driven write circuitry,
+    the (r1, w0, r0) element detects writes lost right after wake-up.  It
+    has no second sleep on the 0s background, which is exactly why it can
+    miss DRF_DS on stored 0s - the gap March m-LZ closes.
+    """
+    return MarchTest(
+        "March LZ",
+        (
+            element(_UP, write(1)),
+            DSM(1e-3),
+            WUP(),
+            element(_UP, read(1), write(0), read(0)),
+        ),
+    )
+
+
+def mats_plus() -> MarchTest:
+    """MATS+ [10]: the minimal test for address decoder + stuck-at faults."""
+    return MarchTest(
+        "MATS+",
+        (
+            element(_ANY, write(0)),
+            element(_UP, read(0), write(1)),
+            element(_DOWN, read(1), write(0)),
+        ),
+    )
+
+
+def march_c_minus() -> MarchTest:
+    """March C- [10]: unlinked coupling-fault coverage, length 10N."""
+    return MarchTest(
+        "March C-",
+        (
+            element(_ANY, write(0)),
+            element(_UP, read(0), write(1)),
+            element(_UP, read(1), write(0)),
+            element(_DOWN, read(0), write(1)),
+            element(_DOWN, read(1), write(0)),
+            element(_ANY, read(0)),
+        ),
+    )
+
+
+def march_ss() -> MarchTest:
+    """March SS (Hamdioui [11]): all static simple faults, length 22N."""
+    return MarchTest(
+        "March SS",
+        (
+            element(_ANY, write(0)),
+            element(_UP, read(0), read(0), write(0), read(0), write(1)),
+            element(_UP, read(1), read(1), write(1), read(1), write(0)),
+            element(_DOWN, read(0), read(0), write(0), read(0), write(1)),
+            element(_DOWN, read(1), read(1), write(1), read(1), write(0)),
+            element(_ANY, read(0)),
+        ),
+    )
+
+
+def standard_tests() -> Dict[str, MarchTest]:
+    """All library tests keyed by name."""
+    tests = [mats_plus(), march_c_minus(), march_ss(), march_lz(), march_m_lz()]
+    return {test.name: test for test in tests}

@@ -1,0 +1,97 @@
+"""Parser for the textual March notation.
+
+Round-trips the format produced by ``str(MarchTest)``::
+
+    March m-LZ = { u(w1); DSM; WUP; u(r1,w0,r0); DSM; WUP; u(r0) }
+
+Grammar (whitespace-insensitive):
+
+* a test is an optional ``name =`` followed by ``{ element; element; ... }``
+  (a bare element list without braces is also accepted);
+* an element is ``u(...)`` / ``d(...)`` / ``a(...)`` with a comma-separated
+  operation list, or the power-mode operations ``DSM`` (optionally
+  ``DSM[2ms]`` / ``DSM[500us]`` to set the dwell) and ``WUP``;
+* an operation is ``r0``, ``r1``, ``w0`` or ``w1``.
+
+This lets users define custom retention tests in config files or on the
+command line without touching Python.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from .dsl import DSM, WUP, AddressOrder, MarchElement, MarchTest, Operation
+
+_TIME_UNITS = {"s": 1.0, "ms": 1e-3, "us": 1e-6, "ns": 1e-9}
+
+_ELEMENT_RE = re.compile(r"^([uda])\(([^)]*)\)$")
+_DSM_RE = re.compile(r"^DSM(?:\[([0-9.]+)\s*(s|ms|us|ns)\])?$")
+_OP_RE = re.compile(r"^([rw])([01])$")
+
+
+class MarchParseError(ValueError):
+    """Raised on malformed March notation, with the offending fragment."""
+
+
+def _parse_operation(text: str) -> Operation:
+    match = _OP_RE.match(text)
+    if not match:
+        raise MarchParseError(f"bad operation {text!r} (expected r0/r1/w0/w1)")
+    return Operation(match.group(1), int(match.group(2)))
+
+
+def _parse_element(text: str):
+    if text == "WUP":
+        return WUP()
+    dsm = _DSM_RE.match(text)
+    if dsm:
+        if dsm.group(1) is None:
+            return DSM()
+        return DSM(float(dsm.group(1)) * _TIME_UNITS[dsm.group(2)])
+    match = _ELEMENT_RE.match(text)
+    if not match:
+        raise MarchParseError(f"bad march element {text!r}")
+    order = AddressOrder(match.group(1))
+    ops_text = [op.strip() for op in match.group(2).split(",") if op.strip()]
+    if not ops_text:
+        raise MarchParseError(f"march element {text!r} has no operations")
+    return MarchElement(order, tuple(_parse_operation(op) for op in ops_text))
+
+
+def parse_march(text: str, name: str = "") -> MarchTest:
+    """Parse March notation into a :class:`MarchTest`.
+
+    ``name`` overrides any ``name =`` prefix present in the text; when both
+    are absent the test is called ``"custom"``.
+    """
+    body = text.strip()
+    if "=" in body:
+        prefix, _eq, body = body.partition("=")
+        if not name:
+            name = prefix.strip()
+    body = body.strip()
+    if body.startswith("{"):
+        if not body.endswith("}"):
+            raise MarchParseError("unbalanced braces in march notation")
+        body = body[1:-1]
+    fragments = [frag.strip() for frag in body.split(";") if frag.strip()]
+    if not fragments:
+        raise MarchParseError("empty march test")
+    elements = tuple(_parse_element(frag) for frag in fragments)
+    return MarchTest(name or "custom", elements)
+
+
+def parse_library_or_custom(text: str) -> MarchTest:
+    """Resolve ``text`` as a library test name, else parse it as notation.
+
+    Convenience entry point for command-line use: ``"March m-LZ"`` returns
+    the library algorithm, ``"{ u(w0); u(r0) }"`` builds a custom one.
+    """
+    from .library import standard_tests
+
+    tests = standard_tests()
+    if text.strip() in tests:
+        return tests[text.strip()]
+    return parse_march(text)

@@ -1,0 +1,130 @@
+"""March test runner: executes a MarchTest against a LowPowerSRAM.
+
+The runner drives the memory's functional interface only (reads, writes,
+DSM/WUP mode switches) - exactly what external test equipment sees.  Reads
+compare the observed word against the expected all-0s/all-1s background;
+every mismatching bit is recorded as a :class:`MarchFailure`.
+
+``vddcc_for_sleep`` lets a caller bind the sleeps to an electrical scenario
+(e.g. the VDD_CC of a regulator with an injected defect); by default the
+fault-free supply from the memory's configuration is used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from ..sram.memory import LowPowerSRAM
+from .dsl import DSM, WUP, MarchElement, MarchTest
+
+
+@dataclass(frozen=True)
+class MarchFailure:
+    """One mismatching bit observed by a read operation."""
+
+    element_index: int
+    op_index: int
+    addr: int
+    bit: int
+    expected: int
+    observed: int
+
+    def __str__(self) -> str:
+        return (
+            f"ME{self.element_index + 1} op{self.op_index} "
+            f"@({self.addr},{self.bit}): expected {self.expected}, "
+            f"read {self.observed}"
+        )
+
+
+@dataclass
+class MarchResult:
+    """Outcome of one March test execution."""
+
+    test_name: str
+    failures: List[MarchFailure] = field(default_factory=list)
+    operations: int = 0
+
+    @property
+    def passed(self) -> bool:
+        return not self.failures
+
+    @property
+    def detected(self) -> bool:
+        """True when the test flagged at least one fault."""
+        return bool(self.failures)
+
+    def failing_cells(self):
+        return sorted({(f.addr, f.bit) for f in self.failures})
+
+    def __str__(self) -> str:
+        state = "PASS" if self.passed else f"FAIL ({len(self.failures)} mismatches)"
+        return f"{self.test_name}: {state} after {self.operations} operations"
+
+
+def run_march(
+    test: MarchTest,
+    sram: LowPowerSRAM,
+    vddcc_for_sleep: Optional[Callable[[int], float]] = None,
+    max_failures: int = 10_000,
+    background: Optional[int] = None,
+) -> MarchResult:
+    """Execute ``test`` on ``sram`` and collect read mismatches.
+
+    ``vddcc_for_sleep(sleep_index)`` supplies the array voltage for each DSM
+    operation (0-based); omit it for fault-free sleeps.  Collection stops
+    after ``max_failures`` mismatches (a grossly failing device would
+    otherwise log millions of identical rows).
+
+    ``background`` is the word-oriented *data background*: ``wX``/``rX``
+    use the background word for X=1 and its complement for X=0.  The
+    default (all ones) gives the classic bit-oriented behaviour; a
+    checkerboard background (e.g. ``0xAA..``) sensitises intra-word
+    coupling faults that solid backgrounds cannot, because a word-wide
+    write drives all bits of a word simultaneously.
+    """
+    result = MarchResult(test.name)
+    n_words = sram.config.n_words
+    word_bits = sram.config.word_bits
+    all_ones = (
+        sram.config.word_mask if background is None
+        else background & sram.config.word_mask
+    )
+    all_zeros = (~all_ones) & sram.config.word_mask
+    sleep_index = 0
+
+    for element_index, el in enumerate(test.elements):
+        if isinstance(el, DSM):
+            vddcc = vddcc_for_sleep(sleep_index) if vddcc_for_sleep else None
+            sram.enter_deep_sleep(ds_time=el.ds_time, vddcc=vddcc)
+            sleep_index += 1
+            result.operations += 1
+            continue
+        if isinstance(el, WUP):
+            sram.wake_up()
+            result.operations += 1
+            continue
+        assert isinstance(el, MarchElement)
+        for addr in el.order.addresses(n_words):
+            for op_index, op in enumerate(el.ops):
+                if op.kind == "w":
+                    sram.write(addr, all_ones if op.value else all_zeros)
+                else:
+                    observed = sram.read(addr)
+                    expected = all_ones if op.value else all_zeros
+                    if observed != expected and len(result.failures) < max_failures:
+                        diff = observed ^ expected
+                        for bit in range(word_bits):
+                            if (diff >> bit) & 1:
+                                result.failures.append(
+                                    MarchFailure(
+                                        element_index, op_index, addr, bit,
+                                        (expected >> bit) & 1,
+                                        (observed >> bit) & 1,
+                                    )
+                                )
+                                if len(result.failures) >= max_failures:
+                                    break
+                result.operations += 1
+    return result

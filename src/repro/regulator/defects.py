@@ -1,0 +1,193 @@
+"""The 32 resistive-open defect sites of Fig. 5.
+
+The paper's Fig. 5 is only available as an image, so the exact wire of every
+site is reconstructed from the textual evidence (Table II's per-defect
+descriptions and the category lists of Section IV.B); DESIGN.md section 5
+documents the reconstruction.  What the paper states explicitly and this map
+honours:
+
+* Df1..Df6 sit in series with divider resistors R1..R6;
+* Df7/Df9 reduce the error-amplifier bias current; Df8 delays the activation
+  of the biasing transistor MNreg1 (a gate-line RC effect);
+* Df10/Df12 raise the voltage at the gate of the output transistor MPreg1;
+* Df11 causes an undershoot on the gate of MNreg2 (the reference input);
+* Df14, Df17, Df18, Df21, Df24, Df25 are gate stubs carrying ~zero current -
+  their effect is negligible;
+* Df16/Df19 drop voltage across the output stage; Df23/Df26 disturb the
+  current mirror; Df29 starves the amp + output-stage supply; Df32 drops the
+  VDD_CC line under array leakage;
+* every remaining site only *raises* Vreg, i.e. increases static power.
+
+Each site is identified by a *branch key* that
+:func:`repro.regulator.netlist.build_regulator` knows how to split.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+
+class DefectCategory(enum.Enum):
+    """Section IV.B classification of a defect's impact on the SRAM."""
+
+    POWER = "increased static power"
+    DRF = "data retention faults"
+    BOTH = "both power and DRFs"
+    NEGLIGIBLE = "negligible"
+
+
+class TimingMode(enum.Enum):
+    """Defects whose fault mechanism is a transient, not a DC shift."""
+
+    ACTIVATION_DELAY = "activation delay"  # Df8: bias gate line RC
+    UNDERSHOOT = "reference undershoot"  # Df11: reference gate line RC
+    DEACTIVATION_DELAY = "deactivation delay"  # Df28: REGON line RC
+
+
+@dataclass(frozen=True)
+class DefectSite:
+    """One resistive-open injection site."""
+
+    number: int
+    branch: str
+    category: DefectCategory
+    description: str
+    timing: Optional[TimingMode] = None
+
+    @property
+    def name(self) -> str:
+        return f"Df{self.number}"
+
+    @property
+    def causes_drf(self) -> bool:
+        """True for Table II defects (categories 2 and 3)."""
+        return self.category in (DefectCategory.DRF, DefectCategory.BOTH)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def _site(number, branch, category, description, timing=None) -> Tuple[int, DefectSite]:
+    return number, DefectSite(number, branch, category, description, timing)
+
+
+#: Registry of all 32 sites, keyed by defect number.
+DEFECTS: Dict[int, DefectSite] = dict(
+    [
+        _site(1, "divider:r1", DefectCategory.DRF,
+              "Series with R1: reduces all taps, so Vref and Vbias are always "
+              "lower than expected, which degrades Vreg."),
+        _site(2, "divider:r2", DefectCategory.BOTH,
+              "Series with R2: raises Vref78, lowers Vref74/Vref70/Vref64 and "
+              "Vbias52; impact maximised when Vref is 0.74/0.70/0.64*VDD."),
+        _site(3, "divider:r3", DefectCategory.BOTH,
+              "Series with R3: raises Vref78/Vref74, lowers Vref70/Vref64 and "
+              "Vbias52; impact maximised when Vref is 0.70/0.64*VDD."),
+        _site(4, "divider:r4", DefectCategory.BOTH,
+              "Series with R4: raises Vref78/Vref74/Vref70, lowers Vref64 and "
+              "Vbias52; impact maximised when Vref is 0.64*VDD."),
+        _site(5, "divider:r5", DefectCategory.BOTH,
+              "Series with R5: lowers only Vbias52; high resistances starve "
+              "the error-amplifier bias current and degrade Vreg."),
+        _site(6, "divider:r6", DefectCategory.POWER,
+              "Series with R6 (bottom): raises every tap, so Vreg is set "
+              "higher than expected - increased static power."),
+        _site(7, "mnreg1:source", DefectCategory.DRF,
+              "MNreg1 source degeneration: reduces the error-amplifier bias "
+              "current while the regulator is active, degrading Vreg."),
+        _site(8, "mnreg1:gate", DefectCategory.DRF,
+              "MNreg1 gate line: delays activation of the biasing transistor; "
+              "until the amp biases up, Vreg may discharge toward 0V.",
+              TimingMode.ACTIVATION_DELAY),
+        _site(9, "mnreg1:drain", DefectCategory.DRF,
+              "MNreg1 drain to diff-pair tail: same bias-current reduction "
+              "as Df7."),
+        _site(10, "amp:out_to_pg1", DefectCategory.DRF,
+              "Amp output to MPreg1 gate: the output-stage gate-line current "
+              "develops a drop that leaves MPreg1's gate higher than expected."),
+        _site(11, "amp:vref_line", DefectCategory.DRF,
+              "Vref line to MNreg2 gate: introduces an undershoot that "
+              "momentarily raises MPreg1's gate and degrades Vreg.",
+              TimingMode.UNDERSHOOT),
+        _site(12, "mnreg2:drain", DefectCategory.DRF,
+              "Output node to MNreg2 drain: the branch bias current raises "
+              "the amp output node, like Df10."),
+        _site(13, "mnreg3:source", DefectCategory.POWER,
+              "MNreg3 source degeneration: weakens the feedback branch, so "
+              "Vreg settles above Vref - increased static power."),
+        _site(14, "mnreg2:gate_stub", DefectCategory.NEGLIGIBLE,
+              "MNreg2 gate stub: carries ~zero current, no observable effect."),
+        _site(15, "mnreg3:drain", DefectCategory.POWER,
+              "MNreg3 drain to mirror junction: lifts the mirror gate line, "
+              "weakening the pull-up of the amp output - Vreg settles high."),
+        _site(16, "mpreg1:source", DefectCategory.DRF,
+              "VDD to MPreg1 source: undesired voltage drop across the output "
+              "stage sets Vreg lower than normal."),
+        _site(17, "mpreg2:gate_stub", DefectCategory.NEGLIGIBLE,
+              "MPreg2 gate stub: carries ~zero current, no observable effect."),
+        _site(18, "mpreg3:gate_stub", DefectCategory.NEGLIGIBLE,
+              "MPreg3 gate stub: carries ~zero current, no observable effect."),
+        _site(19, "mpreg1:drain", DefectCategory.DRF,
+              "MPreg1 drain to the Vreg line: like Df16, drops the regulated "
+              "output directly (outside the feedback loop)."),
+        _site(20, "mpreg2:source", DefectCategory.POWER,
+              "VDD to MPreg2 source: weakens the disable pull-up; in DS mode "
+              "only the off-state leakage path changes (power category)."),
+        _site(21, "mnreg3:gate_stub", DefectCategory.NEGLIGIBLE,
+              "MNreg3 gate (feedback sense) stub: ~zero current, negligible."),
+        _site(22, "mpreg4:source", DefectCategory.POWER,
+              "VDD to MPreg4 source: degenerates the output-branch load, the "
+              "amp output falls and Vreg settles high - increased power."),
+        _site(23, "mirror:diode", DefectCategory.DRF,
+              "MPreg3 drain to the mirror junction: the diode branch current "
+              "lowers the gate line of MPreg3/MPreg4, raising their "
+              "conductivity and with it MPreg1's gate voltage."),
+        _site(24, "mpreg4:gate_stub", DefectCategory.NEGLIGIBLE,
+              "MPreg4 gate stub: carries ~zero current, no observable effect."),
+        _site(25, "mnreg1:gate_stub", DefectCategory.NEGLIGIBLE,
+              "Short stub of the bias gate line inside the amp: negligible "
+              "downstream capacitance, ~zero current."),
+        _site(26, "mpreg3:source", DefectCategory.DRF,
+              "VDD to MPreg3 source: unbalances the mirror so MPreg4 "
+              "over-mirrors, raising MPreg1's gate - like Df23."),
+        _site(27, "mpreg2:drain", DefectCategory.POWER,
+              "MPreg2 drain to MPreg1 gate node: only reduces the disable "
+              "pull-up leakage into the gate node (power category)."),
+        _site(28, "regon:line", DefectCategory.POWER,
+              "REGON line to MPreg2 gate: delays output-stage deactivation "
+              "when leaving DS mode, prolonging regulator power draw.",
+              TimingMode.DEACTIVATION_DELAY),
+        _site(29, "vdd:amp_feed", DefectCategory.DRF,
+              "Common VDD feed of error amplifier and output stage: reduces "
+              "the supply of both, so Vreg is necessarily lower than expected."),
+        _site(30, "mpreg4:drain", DefectCategory.POWER,
+              "MPreg4 drain to amp output: drops the amp output node, driving "
+              "MPreg1 harder - Vreg settles high (power category)."),
+        _site(31, "vdd:mirror_feed", DefectCategory.POWER,
+              "VDD feed of the mirror sources: starves both mirror branches "
+              "equally; at high resistance the output pull-up collapses and "
+              "Vreg settles high."),
+        _site(32, "vddcc:line", DefectCategory.DRF,
+              "VDD_CC line between the regulator output and the array: the "
+              "array leakage current develops a voltage drop in DS mode."),
+    ]
+)
+
+#: All defect numbers in order.
+DEFECT_IDS = tuple(sorted(DEFECTS))
+
+#: Defects the paper found negligible (gate stubs with ~zero current).
+NEGLIGIBLE_IDS = tuple(n for n, d in sorted(DEFECTS.items())
+                       if d.category is DefectCategory.NEGLIGIBLE)
+
+#: Defects appearing in Table II (they can cause DRFs in DS mode).
+DRF_IDS = tuple(n for n, d in sorted(DEFECTS.items()) if d.causes_drf)
+
+
+def get_defect(number: int) -> DefectSite:
+    try:
+        return DEFECTS[number]
+    except KeyError:
+        raise KeyError(f"defect number must be 1..32, got {number}") from None

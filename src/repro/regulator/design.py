@@ -1,0 +1,126 @@
+"""Regulator design parameters: divider ratios, device sizes, selector.
+
+The divider tap fractions are fixed by the paper (Section II.B): Vref taps at
+0.78, 0.74, 0.70 and 0.64 of VDD and a single bias tap at 0.52 of VDD.  The
+section resistances follow directly from consecutive tap fractions.
+
+Device sizes are our own (the paper gives none): the amplifier is biased in
+the tens-of-microamps regime, small against the DS-mode savings but large
+against the nanoamp gate lines, and the output PMOS is wide enough to source
+the array leakage with millivolt-level dropout.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from ..devices.mosfet import MosfetParams, nmos_params, pmos_params
+
+
+class VrefSelect(enum.Enum):
+    """VrefSel<1:0> encodings and their tap fractions of VDD."""
+
+    VREF78 = 0.78
+    VREF74 = 0.74
+    VREF70 = 0.70
+    VREF64 = 0.64
+
+    @property
+    def fraction(self) -> float:
+        return float(self.value)
+
+    @property
+    def tap_node(self) -> str:
+        """Divider tap node name, e.g. ``'vref74'``."""
+        return f"vref{int(round(self.value * 100))}"
+
+    @classmethod
+    def closest_at_or_above(cls, target: float, vdd: float) -> "VrefSelect":
+        """Tap whose absolute voltage is closest to ``target`` without going below.
+
+        This is the paper's configuration rule: "Vreg is expected to be as
+        close as possible to (but not lower than) the worst-case DRV_DS".
+        Falls back to the highest tap if every choice would be below target.
+        """
+        candidates = [sel for sel in cls if sel.fraction * vdd >= target]
+        if not candidates:
+            return cls.VREF78
+        return min(candidates, key=lambda sel: sel.fraction * vdd - target)
+
+
+#: Tap fractions in divider order (top to bottom), bias tap last.
+VREF_TAPS: Tuple[float, ...] = (0.78, 0.74, 0.70, 0.64, 0.52)
+
+#: Fraction of VDD at the bias tap.
+VBIAS_FRACTION = 0.52
+
+
+@dataclass(frozen=True)
+class RegulatorDesign:
+    """Sizing and passives of the regulator."""
+
+    #: Total divider resistance VDD->GND (ohms); sets the divider current.
+    #: High-impedance polysilicon chain: the taps only drive MOS gates, and
+    #: the regulator has a strict static power budget (Section II.B).
+    divider_total: float = 4e6
+    #: Selector pass-gate on-resistance (ohms).
+    selector_ron: float = 10e3
+    #: Number of core cells loading the VDD_CC line (4K x 64 block).
+    n_cells: int = 4096 * 64
+
+    amp_length: float = 200e-9
+    #: MNreg1 is long and narrow: the bias current must stay in the
+    #: sub-microamp range to honour the regulator power budget.
+    w_tail: float = 0.4e-6  # MNreg1
+    tail_length: float = 3.2e-6
+    w_pair: float = 1e-6  # MNreg2 / MNreg3
+    w_mirror: float = 8e-6  # MPreg3 / MPreg4
+    w_output: float = 900e-6  # MPreg1
+    w_pullup: float = 1e-6  # MPreg2
+    output_length: float = 100e-9
+    #: Threshold of the analog (amp) devices.  Low-Vth cards keep the bias
+    #: tap (0.52 * VDD) and the diff pair alive at the slow/-30 C corner,
+    #: where a standard 0.45 V threshold would shut the amplifier off.
+    amp_vth: float = 0.35
+    #: Bleed resistor at the regulator output (ohms).  Guarantees a minimum
+    #: load so the wide output device's off-state leakage cannot float Vreg
+    #: above the reference at cold corners, where the array draws almost
+    #: nothing - standard LDO practice.
+    bleed_resistance: float = 10e6
+
+    def divider_sections(self) -> Dict[str, float]:
+        """Section resistances R1..R6 (top to bottom) in ohms.
+
+        Fractions between consecutive taps: 1-0.78, 0.78-0.74, ... 0.52-0.
+        """
+        fractions = (1.0,) + VREF_TAPS + (0.0,)
+        names = ("r1", "r2", "r3", "r4", "r5", "r6")
+        return {
+            name: (fractions[i] - fractions[i + 1]) * self.divider_total
+            for i, name in enumerate(names)
+        }
+
+    def device_params(self) -> Dict[str, MosfetParams]:
+        """Parameter cards for the seven regulator transistors."""
+        vth = self.amp_vth
+        return {
+            "mnreg1": nmos_params("mnreg1", self.w_tail, self.tail_length, vth=vth),
+            "mnreg2": nmos_params("mnreg2", self.w_pair, self.amp_length, vth=vth),
+            "mnreg3": nmos_params("mnreg3", self.w_pair, self.amp_length, vth=vth),
+            "mpreg3": pmos_params("mpreg3", self.w_mirror, self.amp_length, vth=vth),
+            "mpreg4": pmos_params("mpreg4", self.w_mirror, self.amp_length, vth=vth),
+            # The wide short-channel output device is the one thin-oxide
+            # transistor here: its gate tunnelling current is what makes the
+            # series opens on its gate line (Df10/Df12 path) observable at DC.
+            "mpreg1": pmos_params(
+                "mpreg1", self.w_output, self.output_length,
+                gate_leak_density=0.4e4,
+            ),
+            "mpreg2": pmos_params("mpreg2", self.w_pullup, self.amp_length, vth=vth),
+        }
+
+
+#: Default design shared across analyses.
+DEFAULT_REGULATOR = RegulatorDesign()

@@ -1,0 +1,280 @@
+"""Transistor-level netlist of the regulator, with one injectable defect.
+
+The builder materialises the structure documented in
+:mod:`repro.regulator.defects`: a resistive-open site is realised by
+splitting the corresponding branch and inserting a series resistor.  Only
+the *active* site is split, so defect-free solves stay small.
+
+Feedback topology (negative loop, Vreg tracks Vref):
+
+* ``MNreg2`` gate = reference input (from the selector), drain = amp output;
+* ``MNreg3`` gate = feedback sense (tapped at MPreg1's drain, *inside* the
+  loop - drops across Df19/Df32 are therefore uncorrected, which is exactly
+  why those defects cause retention faults at low resistance);
+* mirror master ``MPreg3`` (diode-connected through the Df23 branch) loads
+  MNreg3, mirror slave ``MPreg4`` loads MNreg2 and forms the output node;
+* output node drives the PMOS output stage ``MPreg1``; pull-up ``MPreg2``
+  (gate = inverted REGON) disables it when the regulator is off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..cell.design import DEFAULT_CELL, CellDesign
+from ..devices.mosfet import MosfetModel
+from ..devices.pvt import PVT
+from ..spice import Circuit, ConvergenceError, Solution, solve_dc
+from .defects import DefectSite
+from .design import DEFAULT_REGULATOR, RegulatorDesign, VrefSelect
+from .load import ArrayLoad, WeakCellGroup, leakage_table
+
+
+@dataclass(frozen=True)
+class RegulatorOperatingPoint:
+    """Solved DC state of the regulator + array load."""
+
+    vreg: float  #: regulated output (the "Vreg" net, after Df19's branch)
+    vddcc: float  #: core-cell array supply (after the Df32 branch)
+    vref: float  #: reference seen by the amp (MNreg2 gate)
+    vbias: float  #: bias seen by MNreg1's gate
+    out_amp: float  #: error-amplifier output node
+    tail: float  #: differential-pair tail node
+    supply_current: float  #: total current drawn from VDD (A)
+    vreg_expected: float  #: VrefSel fraction x VDD
+
+    @property
+    def vreg_error(self) -> float:
+        """Deviation of the array supply from its expected level (V)."""
+        return self.vddcc - self.vreg_expected
+
+
+def build_regulator(
+    pvt: PVT,
+    vrefsel: VrefSelect,
+    defect: Optional[DefectSite] = None,
+    resistance: float = 0.0,
+    regon: bool = True,
+    weak_groups: Sequence[WeakCellGroup] = (),
+    design: RegulatorDesign = DEFAULT_REGULATOR,
+    cell: CellDesign = DEFAULT_CELL,
+) -> Tuple[Circuit, Dict[str, str]]:
+    """Build the regulator circuit; returns (circuit, resolved node names).
+
+    ``defect``/``resistance`` inject one resistive open.  The returned map
+    gives the actual node names for the logical nets ``vreg``, ``vddcc``,
+    ``vref_in``, ``vbias_in``, ``out_amp``, ``tail`` (names shift when a
+    defect splits a branch).
+    """
+    if defect is not None and resistance <= 0.0:
+        raise ValueError("an injected defect needs a positive resistance")
+    circuit = Circuit(
+        f"regulator {pvt.label()} {vrefsel.name}"
+        + (f" + {defect.name}={resistance:g}" if defect else "")
+    )
+    active = defect.branch if defect else None
+
+    def seg(upstream: str, branch_key: str, downstream: str) -> str:
+        """Insert the defect resistor if this is the active site.
+
+        Returns the node the downstream terminal must connect to: the new
+        split node when the site is active, the upstream node otherwise.
+        """
+        if branch_key == active:
+            circuit.resistor(f"df_{branch_key.replace(':', '_')}", upstream, downstream, resistance)
+            return downstream
+        return upstream
+
+    corner, temp = pvt.corner, pvt.temp_c
+    models = {
+        name: MosfetModel(params, pvt.corner_obj, temp)
+        for name, params in design.device_params().items()
+    }
+
+    circuit.vsource("vvdd", "vdd", "0", pvt.vdd)
+
+    # ----------------------------------------------------- voltage source
+    sections = design.divider_sections()
+    chain = ("vdd", "vref78", "vref74", "vref70", "vref64", "vbias52", "0")
+    for i, rname in enumerate(("r1", "r2", "r3", "r4", "r5", "r6")):
+        upper, lower = chain[i], chain[i + 1]
+        if active == f"divider:{rname}":
+            mid = f"div_{rname}"
+            circuit.resistor(rname, upper, mid, sections[rname])
+            circuit.resistor(f"df_{rname}", mid, lower, resistance)
+        else:
+            circuit.resistor(rname, upper, lower, sections[rname])
+
+    # ------------------------------------------------- Vref/Vbias selector
+    # When the regulator is off the selector forces Vref = VDD and
+    # Vbias = 0 regardless of VrefSel (Section II.B).
+    vref_src = vrefsel.tap_node if regon else "vdd"
+    vbias_src = "vbias52" if regon else "0"
+    circuit.resistor("rsel_vref", vref_src, "vref_line", design.selector_ron)
+    circuit.resistor("rsel_vbias", vbias_src, "vbias_line", design.selector_ron)
+
+    ng2 = seg("vref_line", "amp:vref_line", "ng2")  # Df11 (DC residue)
+    ng2 = seg(ng2, "mnreg2:gate_stub", "ng2_stub")  # Df14
+    ng1 = seg("vbias_line", "mnreg1:gate", "ng1")  # Df8 (DC residue)
+    ng1 = seg(ng1, "mnreg1:gate_stub", "ng1_stub")  # Df25
+
+    # ------------------------------------------------------------ supplies
+    vdda = seg("vdd", "vdd:amp_feed", "vdda")  # Df29
+    vddm = seg(vdda, "vdd:mirror_feed", "vddm")  # Df31
+    s_mp3 = seg(vddm, "mpreg3:source", "s_mp3")  # Df26
+    s_mp4 = seg(vddm, "mpreg4:source", "s_mp4")  # Df22
+    s_mp1 = seg(vdda, "mpreg1:source", "s_mp1")  # Df16
+    s_mp2 = seg(vdda, "mpreg2:source", "s_mp2")  # Df20
+
+    # --------------------------------------------------------- bias + pair
+    s_mn1 = seg("0", "mnreg1:source", "s_mn1")  # Df7
+    d_mn1 = seg("tail", "mnreg1:drain", "d_mn1")  # Df9
+    circuit.mosfet("mnreg1", d_mn1, ng1, s_mn1, models["mnreg1"])
+
+    d_mn2 = seg("outn", "mnreg2:drain", "d_mn2")  # Df12
+    circuit.mosfet("mnreg2", d_mn2, ng2, "tail", models["mnreg2"])
+
+    sense = "vout_stage"  # MPreg1 drain terminal: the loop's sense point
+    ng3 = seg(sense, "mnreg3:gate_stub", "ng3")  # Df21
+    s_mn3 = seg("tail", "mnreg3:source", "s_mn3")  # Df13
+    d_mn3 = seg("mirr", "mnreg3:drain", "d_mn3")  # Df15
+    circuit.mosfet("mnreg3", d_mn3, ng3, s_mn3, models["mnreg3"])
+
+    # --------------------------------------------------------- current mirror
+    d_mp3 = seg("mirr", "mirror:diode", "d_mp3")  # Df23
+    g_mp3 = seg("mirr", "mpreg3:gate_stub", "g_mp3")  # Df18
+    g_mp4 = seg("mirr", "mpreg4:gate_stub", "g_mp4")  # Df24
+    d_mp4 = seg("outn", "mpreg4:drain", "d_mp4")  # Df30
+    circuit.mosfet("mpreg3", d_mp3, g_mp3, s_mp3, models["mpreg3"])
+    circuit.mosfet("mpreg4", d_mp4, g_mp4, s_mp4, models["mpreg4"])
+
+    # --------------------------------------------------------- output stage
+    pg1 = seg("outn", "amp:out_to_pg1", "pg1")  # Df10
+    d_mp2 = seg(pg1, "mpreg2:drain", "d_mp2")  # Df27
+    # MPreg2's gate: high (pull-up off) when the regulator runs, low when off.
+    circuit.vsource("vregon_b", "regon_b", "0", pvt.vdd if regon else 0.0)
+    g_mp2 = seg("regon_b", "regon:line", "g_mp2")  # Df28 (DC residue)
+    g_mp2 = seg(g_mp2, "mpreg2:gate_stub", "g_mp2_stub")  # Df17
+    circuit.mosfet("mpreg2", d_mp2, g_mp2, s_mp2, models["mpreg2"])
+    circuit.mosfet("mpreg1", sense, pg1, s_mp1, models["mpreg1"])
+
+    vreg = seg(sense, "mpreg1:drain", "vreg")  # Df19
+    # Minimum-load bleed: keeps Vreg regulated when the array leakage at
+    # cold corners falls below the output device's own off-state leakage.
+    circuit.resistor("rbleed", vreg, "0", design.bleed_resistance)
+    vddcc = seg(vreg, "vddcc:line", "vddcc")  # Df32
+    circuit.add(
+        ArrayLoad(
+            "array",
+            circuit.node(vddcc),
+            leakage_table(corner, temp, cell),
+            design.n_cells,
+            weak_groups,
+        )
+    )
+
+    nodes = {
+        "vreg": vreg,
+        "vddcc": vddcc,
+        "vref_in": ng2,
+        "vbias_in": ng1,
+        "out_amp": "outn",
+        "tail": "tail",
+        "pg1": pg1,
+    }
+    return circuit, nodes
+
+
+def _initial_guess(circuit: Circuit, pvt: PVT, vrefsel: VrefSelect, regon: bool) -> np.ndarray:
+    """Heuristic starting point that puts every node near its expected level."""
+    vdd = pvt.vdd
+    vref = vrefsel.fraction * vdd if regon else vdd
+    defaults = {
+        "vdd": vdd, "vdda": vdd, "vddm": vdd,
+        "s_mp1": vdd, "s_mp2": vdd, "s_mp3": vdd, "s_mp4": vdd,
+        "vref78": 0.78 * vdd, "vref74": 0.74 * vdd, "vref70": 0.70 * vdd,
+        "vref64": 0.64 * vdd, "vbias52": 0.52 * vdd,
+        "vref_line": vref, "ng2": vref, "ng2_stub": vref,
+        "vbias_line": 0.52 * vdd if regon else 0.0,
+        "ng1": 0.52 * vdd if regon else 0.0,
+        "ng1_stub": 0.52 * vdd if regon else 0.0,
+        "tail": 0.12, "d_mn1": 0.12, "s_mn1": 0.0, "s_mn3": 0.12,
+        "mirr": vdd - 0.5, "d_mp3": vdd - 0.5, "g_mp3": vdd - 0.5,
+        "g_mp4": vdd - 0.5, "d_mn3": vdd - 0.5,
+        "outn": vdd - 0.5, "d_mn2": vdd - 0.5, "d_mp4": vdd - 0.5,
+        "pg1": vdd - 0.5, "d_mp2": vdd - 0.5,
+        "regon_b": vdd if regon else 0.0,
+        "g_mp2": vdd if regon else 0.0, "g_mp2_stub": vdd if regon else 0.0,
+        "vout_stage": vref, "ng3": vref, "vreg": vref, "vddcc": vref,
+        "div_r1": vdd, "div_r2": 0.78 * vdd, "div_r3": 0.74 * vdd,
+        "div_r4": 0.70 * vdd, "div_r5": 0.64 * vdd, "div_r6": 0.52 * vdd,
+    }
+    x0 = np.zeros(circuit.unknown_count())
+    for name, value in defaults.items():
+        if circuit.has_node(name):
+            index = circuit.node(name)
+            if index > 0:
+                x0[index - 1] = value
+    return x0
+
+
+def solve_regulator(
+    pvt: PVT,
+    vrefsel: VrefSelect,
+    defect: Optional[DefectSite] = None,
+    resistance: float = 0.0,
+    regon: bool = True,
+    weak_groups: Sequence[WeakCellGroup] = (),
+    design: RegulatorDesign = DEFAULT_REGULATOR,
+    cell: CellDesign = DEFAULT_CELL,
+    x0: Optional[np.ndarray] = None,
+) -> Tuple[RegulatorOperatingPoint, Solution]:
+    """Solve the regulator's DC operating point.
+
+    Pass ``x0`` (from a previous, nearby solve) to warm-start resistance
+    sweeps.  Returns the condensed operating point plus the raw solution.
+    """
+    circuit, nodes = build_regulator(
+        pvt, vrefsel, defect, resistance, regon, weak_groups, design, cell
+    )
+    if x0 is None:
+        x0 = _initial_guess(circuit, pvt, vrefsel, regon)
+    try:
+        solution = solve_dc(circuit, x0=x0)
+    except ConvergenceError:
+        # A caller-supplied warm start can be worse than the topology-aware
+        # heuristic guess: retry from that first.
+        try:
+            solution = solve_dc(circuit, x0=_initial_guess(circuit, pvt, vrefsel, regon))
+        except ConvergenceError:
+            if defect is None or resistance <= 1.0:
+                raise
+            # Resistance stepping: the defect-free-ish circuit (small R) is
+            # easy; ramp the injected resistance geometrically with warm
+            # starts.  The layout is identical along the ramp, so solutions
+            # carry over step to step.
+            guess = None
+            ramp_start = min(1e3, resistance / 10.0)
+            for r_step in np.geomspace(ramp_start, resistance, 10):
+                step_circuit, _ = build_regulator(
+                    pvt, vrefsel, defect, float(r_step), regon, weak_groups, design, cell
+                )
+                if guess is None:
+                    guess = _initial_guess(step_circuit, pvt, vrefsel, regon)
+                solution = solve_dc(step_circuit, x0=guess)
+                guess = solution.x.copy()
+            circuit = step_circuit
+    op = RegulatorOperatingPoint(
+        vreg=solution.voltage(nodes["vreg"]),
+        vddcc=solution.voltage(nodes["vddcc"]),
+        vref=solution.voltage(nodes["vref_in"]),
+        vbias=solution.voltage(nodes["vbias_in"]),
+        out_amp=solution.voltage(nodes["out_amp"]),
+        tail=solution.voltage(nodes["tail"]),
+        supply_current=-solution.branch_current("vvdd"),
+        vreg_expected=vrefsel.fraction * pvt.vdd,
+    )
+    return op, solution

@@ -1,0 +1,163 @@
+"""Semi-analytic timing layer for the transient defect mechanisms.
+
+Three of the paper's defects act through *delays*, not DC shifts:
+
+* **Df8** - an open in the bias gate line delays the activation of MNreg1.
+  Until the error amplifier biases up, MPreg1 stays off (the power switches
+  are already off), so VDD_CC discharges through the array leakage.
+* **Df11** - an open in the reference line makes MNreg2's gate rise to Vref
+  with an RC undershoot; while the reference reads low, the amp output sits
+  high and MPreg1 is again off, producing the same discharge race.
+* **Df28** - an open in the REGON line delays the disable pull-up when
+  leaving DS mode, briefly prolonging regulator power draw (a power effect
+  only; no retention hazard).
+
+Rather than integrating a 1 ms transistor-level transient, the failure
+decision is computed from the same DC ingredients the transient would use:
+the leakage-driven discharge trajectory of the VDD_CC rail (from the cached
+leakage tables) raced against the defect's RC settling time, with the
+cell-flip time from :mod:`repro.cell.retention` as the final arbiter.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+from typing import Optional
+
+import numpy as np
+
+from ..cell.design import DEFAULT_CELL, CellDesign
+from ..cell.retention import flip_time
+from ..devices.pvt import PVT
+from .defects import DefectSite, TimingMode
+from .design import DEFAULT_REGULATOR, RegulatorDesign
+from .load import leakage_table
+
+#: VDD_CC rail capacitance per cell (supply node junctions + wiring), F.
+C_CC_PER_CELL = 0.4e-15
+
+#: Parasitic capacitance of the reference line into MNreg2's gate (Df11), F.
+C_VREF_LINE = 800e-15
+
+#: Parasitic capacitance of the bias line into MNreg1's gate (Df8), F.
+C_BIAS_LINE = 100e-15
+
+#: Parasitic capacitance of the REGON line into MPreg2's gate (Df28), F.
+C_REGON_LINE = 50e-15
+
+#: Settling multiplier: the gate is "there" after this many time constants.
+SETTLE_TAU = 3.0
+
+_LINE_CAPS = {
+    TimingMode.ACTIVATION_DELAY: C_BIAS_LINE,
+    TimingMode.UNDERSHOOT: C_VREF_LINE,
+    TimingMode.DEACTIVATION_DELAY: C_REGON_LINE,
+}
+
+
+def settle_time(resistance: float, mode: TimingMode) -> float:
+    """RC settling time of the defective gate line (seconds)."""
+    return SETTLE_TAU * resistance * _LINE_CAPS[mode]
+
+
+@lru_cache(maxsize=512)
+def _discharge_profile(pvt: PVT, design: RegulatorDesign, cell: CellDesign):
+    """(voltage grid descending from VDD, cumulative time) of the rail decay.
+
+    Integrates ``t(v) = C_cc * integral dv / I_leak(v)`` downward from VDD
+    using the cached per-cell leakage table.  Cached per (PVT, design,
+    cell): every timing-defect bisection step reuses the same profile.
+    """
+    table = leakage_table(pvt.corner, pvt.temp_c, cell)
+    c_cc = C_CC_PER_CELL * design.n_cells
+    grid = np.linspace(pvt.vdd, 0.02, 220)
+    current = design.n_cells * np.interp(grid, table.grid, table.current)
+    current = np.maximum(current, 1e-15)
+    dv = -np.diff(grid)
+    # trapezoidal accumulation of C dv / I
+    seg_time = c_cc * dv * 0.5 * (1.0 / current[:-1] + 1.0 / current[1:])
+    times = np.concatenate(([0.0], np.cumsum(seg_time)))
+    return grid, times
+
+
+def voltage_after(t: float, pvt: PVT,
+                  design: RegulatorDesign = DEFAULT_REGULATOR,
+                  cell: CellDesign = DEFAULT_CELL) -> float:
+    """Rail voltage after decaying unregulated for ``t`` seconds from VDD."""
+    grid, times = _discharge_profile(pvt, design, cell)
+    if t <= 0.0:
+        return pvt.vdd
+    if t >= times[-1]:
+        return float(grid[-1])
+    return float(np.interp(t, times, grid))
+
+
+def time_to_reach(v: float, pvt: PVT,
+                  design: RegulatorDesign = DEFAULT_REGULATOR,
+                  cell: CellDesign = DEFAULT_CELL) -> float:
+    """Seconds for the unregulated rail to decay from VDD down to ``v``."""
+    grid, times = _discharge_profile(pvt, design, cell)
+    if v >= pvt.vdd:
+        return 0.0
+    if v <= grid[-1]:
+        return float(times[-1])
+    # grid descends; reverse for np.interp
+    return float(np.interp(v, grid[::-1], times[::-1]))
+
+
+def activation_failure(
+    resistance: float,
+    drv: float,
+    pvt: PVT,
+    mode: TimingMode,
+    ds_time: float = 1e-3,
+    design: RegulatorDesign = DEFAULT_REGULATOR,
+    cell: CellDesign = DEFAULT_CELL,
+) -> bool:
+    """Does a delayed regulator start-up flip a cell with this DRV?
+
+    The rail decays from VDD while the defective gate line settles; data is
+    lost if the rail spends longer below the cell's DRV than the cell's
+    flip time at the representative (mid-window) voltage.
+    """
+    blind = min(settle_time(resistance, mode), ds_time)
+    t_cross = time_to_reach(drv, pvt, design, cell)
+    window = blind - t_cross
+    if window <= 0.0:
+        return False
+    v_mid = voltage_after(t_cross + 0.5 * window, pvt, design, cell)
+    return window >= flip_time(v_mid, drv, pvt.corner, pvt.temp_c, cell)
+
+
+def min_resistance_timing(
+    defect: DefectSite,
+    drv: float,
+    pvt: PVT,
+    ds_time: float = 1e-3,
+    design: RegulatorDesign = DEFAULT_REGULATOR,
+    cell: CellDesign = DEFAULT_CELL,
+    r_max: float = 500e6,
+) -> Optional[float]:
+    """Minimal defect resistance whose delay causes a retention fault.
+
+    Returns ``None`` when even ``r_max`` (an actual open line) is harmless
+    within the DS window - the Table II "> 500M" entries.
+    Failure is monotone in resistance (longer RC -> longer blind window), so
+    a log-scale bisection suffices.
+    """
+    if defect.timing is None:
+        raise ValueError(f"{defect.name} is not a timing defect")
+    mode = defect.timing
+    if not activation_failure(r_max, drv, pvt, mode, ds_time, design, cell):
+        return None
+    lo, hi = 1.0, r_max
+    if activation_failure(lo, drv, pvt, mode, ds_time, design, cell):
+        return lo
+    for _ in range(40):
+        mid = math.sqrt(lo * hi)
+        if activation_failure(mid, drv, pvt, mode, ds_time, design, cell):
+            hi = mid
+        else:
+            lo = mid
+    return hi

@@ -1,0 +1,56 @@
+"""A small nonlinear circuit simulator (the SPICE substitute).
+
+The paper's electrical experiments were run with an Intel SPICE model of a
+40nm low-power process.  That stack is proprietary, so this package provides
+the substrate we substitute for it: a modified-nodal-analysis (MNA) solver
+with Newton-Raphson iteration, damped steps, gmin and source stepping, DC
+sweeps and a backward-Euler transient engine.  Device physics (the MOSFET
+compact model) lives in :mod:`repro.devices`; this package only requires a
+model object exposing ``ids(vg, vd, vs)``.
+
+Public API
+----------
+:class:`Circuit`
+    Netlist container with named nodes.
+:class:`Resistor`, :class:`Capacitor`, :class:`VoltageSource`,
+:class:`CurrentSource`, :class:`Mosfet`
+    Netlist elements.
+:func:`solve_dc`, :func:`dc_sweep`, :func:`solve_transient`
+    Analyses returning :class:`Solution` / lists thereof.
+"""
+
+from .circuit import Circuit
+from .elements import (
+    Capacitor,
+    CurrentSource,
+    Element,
+    Mosfet,
+    Resistor,
+    VoltageSource,
+)
+from .dc import ConvergenceError, Solution, dc_sweep, solve_dc
+from .sources import (
+    PiecewiseLinearVoltageSource,
+    PulseVoltageSource,
+    VoltageControlledVoltageSource,
+)
+from .transient import TransientResult, solve_transient
+
+__all__ = [
+    "Circuit",
+    "Element",
+    "Resistor",
+    "Capacitor",
+    "VoltageSource",
+    "CurrentSource",
+    "Mosfet",
+    "PulseVoltageSource",
+    "PiecewiseLinearVoltageSource",
+    "VoltageControlledVoltageSource",
+    "Solution",
+    "ConvergenceError",
+    "solve_dc",
+    "dc_sweep",
+    "TransientResult",
+    "solve_transient",
+]

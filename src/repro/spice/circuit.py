@@ -1,0 +1,128 @@
+"""Netlist container for the MNA solver.
+
+A :class:`Circuit` interns node names to integer indices (ground is the node
+named ``"0"`` or ``"gnd"``, always index 0) and owns an ordered list of
+elements.  Convenience builders (:meth:`Circuit.resistor`, ...) keep netlist
+construction code close to a SPICE deck in readability.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .elements import (
+    Capacitor,
+    CurrentSource,
+    Element,
+    Mosfet,
+    Resistor,
+    VoltageSource,
+)
+
+GROUND_NAMES = ("0", "gnd", "GND")
+
+
+class Circuit:
+    """A netlist: named nodes plus an ordered list of elements."""
+
+    def __init__(self, title: str = "") -> None:
+        self.title = title
+        self.elements: List[Element] = []
+        self._node_index: Dict[str, int] = {"0": 0}
+        self._node_names: List[str] = ["0"]
+        self._element_index: Dict[str, Element] = {}
+
+    # ------------------------------------------------------------------ nodes
+    def node(self, name: str) -> int:
+        """Intern ``name`` and return its integer index (ground is 0)."""
+        if name in GROUND_NAMES:
+            return 0
+        index = self._node_index.get(name)
+        if index is None:
+            index = len(self._node_names)
+            self._node_index[name] = index
+            self._node_names.append(name)
+        return index
+
+    @property
+    def node_count(self) -> int:
+        """Number of nodes including ground."""
+        return len(self._node_names)
+
+    @property
+    def node_names(self) -> List[str]:
+        return list(self._node_names)
+
+    def has_node(self, name: str) -> bool:
+        return name in GROUND_NAMES or name in self._node_index
+
+    # --------------------------------------------------------------- elements
+    def add(self, element: Element) -> Element:
+        """Add an already-constructed element to the netlist."""
+        if element.name in self._element_index:
+            raise ValueError(f"duplicate element name: {element.name!r}")
+        self._element_index[element.name] = element
+        self.elements.append(element)
+        return element
+
+    def element(self, name: str) -> Element:
+        """Look up an element by name (raises ``KeyError`` if absent)."""
+        return self._element_index[name]
+
+    def resistor(self, name: str, a: str, b: str, resistance: float) -> Resistor:
+        return self.add(Resistor(name, self.node(a), self.node(b), resistance))
+
+    def capacitor(self, name: str, a: str, b: str, capacitance: float) -> Capacitor:
+        return self.add(Capacitor(name, self.node(a), self.node(b), capacitance))
+
+    def vsource(self, name: str, plus: str, minus: str, voltage: float) -> VoltageSource:
+        return self.add(VoltageSource(name, self.node(plus), self.node(minus), voltage))
+
+    def isource(self, name: str, a: str, b: str, current: float) -> CurrentSource:
+        return self.add(CurrentSource(name, self.node(a), self.node(b), current))
+
+    def mosfet(
+        self,
+        name: str,
+        drain: str,
+        gate: str,
+        source: str,
+        model,
+        multiplier: float = 1.0,
+    ) -> Mosfet:
+        return self.add(
+            Mosfet(name, self.node(drain), self.node(gate), self.node(source), model, multiplier)
+        )
+
+    # ------------------------------------------------------------- MNA layout
+    def branch_offsets(self) -> Dict[str, int]:
+        """Map element name -> index of its branch-current unknown.
+
+        Branch unknowns are appended after the node-voltage unknowns; node ``k``
+        (k >= 1) occupies unknown ``k - 1``.
+        """
+        offsets: Dict[str, int] = {}
+        position = self.node_count - 1
+        for element in self.elements:
+            if element.branch_count():
+                offsets[element.name] = position
+                position += element.branch_count()
+        return offsets
+
+    def unknown_count(self) -> int:
+        """Total number of MNA unknowns (node voltages + branch currents)."""
+        branches = sum(element.branch_count() for element in self.elements)
+        return self.node_count - 1 + branches
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Circuit({self.title!r}, nodes={self.node_count}, "
+            f"elements={len(self.elements)})"
+        )
+
+    def describe(self) -> str:
+        """Human-readable netlist dump (useful in error messages and docs)."""
+        lines = [f"* {self.title}"]
+        for element in self.elements:
+            lines.append(element.describe(self._node_names))
+        return "\n".join(lines)

@@ -1,0 +1,260 @@
+"""DC operating-point analysis: damped Newton with gmin and source stepping.
+
+The circuits in this project are small (a 6T cell, a ~10-transistor voltage
+regulator) but strongly nonlinear and sometimes bistable, so robustness
+matters more than asymptotic speed:
+
+* **Damped Newton** - voltage updates are clipped per iteration so the EKV
+  exponentials cannot overflow and oscillating iterates settle.
+* **gmin stepping** - a shunt conductance from every node to ground is ramped
+  down decade by decade when plain Newton fails.
+* **Source stepping** - all independent sources are ramped from 0 to 100%
+  when gmin stepping also fails (continuation from the trivial solution).
+* **Warm starts** - callers may pass ``x0`` (e.g. the previous point of a
+  sweep, or a chosen state of a bistable cell).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .circuit import Circuit
+from .elements import StampContext, VoltageSource
+
+
+class ConvergenceError(RuntimeError):
+    """Raised when all Newton continuation strategies fail."""
+
+
+class Solution:
+    """A solved operating point with named accessors."""
+
+    def __init__(self, circuit: Circuit, x: np.ndarray) -> None:
+        self.circuit = circuit
+        self.x = x
+        self._branch_offsets = circuit.branch_offsets()
+
+    def voltage(self, node_name: str) -> float:
+        """Node voltage in volts (ground reads 0)."""
+        index = self.circuit.node(node_name)
+        return 0.0 if index == 0 else float(self.x[index - 1])
+
+    def branch_current(self, element_name: str) -> float:
+        """Branch current of a voltage source (plus -> minus through source)."""
+        return float(self.x[self._branch_offsets[element_name]])
+
+    def voltages(self) -> Dict[str, float]:
+        """All node voltages keyed by node name."""
+        return {name: self.voltage(name) for name in self.circuit.node_names}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        pairs = ", ".join(f"{k}={v:.4f}" for k, v in sorted(self.voltages().items()))
+        return f"Solution({pairs})"
+
+
+def _assign_branch_indices(circuit: Circuit) -> None:
+    for name, index in circuit.branch_offsets().items():
+        circuit.element(name).set_branch_index(index)
+
+
+def _assemble(
+    circuit: Circuit,
+    x: np.ndarray,
+    gmin: float,
+    source_scale: float,
+    dt: Optional[float] = None,
+    x_prev: Optional[np.ndarray] = None,
+):
+    n = circuit.unknown_count()
+    residual = np.zeros(n)
+    jacobian = np.zeros((n, n))
+    ctx = StampContext(x, residual, jacobian, source_scale=source_scale, dt=dt, x_prev=x_prev)
+    for element in circuit.elements:
+        element.stamp(ctx)
+    # gmin shunt from every non-ground node to ground.
+    n_nodes = circuit.node_count - 1
+    for row in range(n_nodes):
+        residual[row] += gmin * x[row]
+        jacobian[row, row] += gmin
+    return residual, jacobian
+
+
+def _newton(
+    circuit: Circuit,
+    x0: np.ndarray,
+    gmin: float,
+    source_scale: float,
+    max_iter: int,
+    vstep_limit: float,
+    tol_i: float,
+    tol_v: float,
+    dt: Optional[float] = None,
+    x_prev: Optional[np.ndarray] = None,
+) -> Optional[np.ndarray]:
+    """One damped-Newton run; returns the solution vector or ``None``."""
+    x = x0.copy()
+    n_nodes = circuit.node_count - 1
+    residual, jacobian = _assemble(circuit, x, gmin, source_scale, dt, x_prev)
+    norm = float(np.linalg.norm(residual))
+    for _ in range(max_iter):
+        try:
+            dx = np.linalg.solve(jacobian, -residual)
+        except np.linalg.LinAlgError:
+            return None
+        if not np.all(np.isfinite(dx)):
+            return None
+        # Clip voltage updates (branch-current updates are left free).
+        v_part = dx[:n_nodes]
+        max_step = float(np.max(np.abs(v_part))) if n_nodes else 0.0
+        if max_step > vstep_limit:
+            dx = dx * (vstep_limit / max_step)
+            max_step = vstep_limit
+        # Backtracking line search: high-gain feedback loops (the regulator)
+        # limit-cycle under full Newton steps; damp until the residual norm
+        # stops growing.
+        alpha = 1.0
+        for _ in range(12):
+            x_try = x + alpha * dx
+            res_try, jac_try = _assemble(circuit, x_try, gmin, source_scale, dt, x_prev)
+            norm_try = float(np.linalg.norm(res_try))
+            if norm_try <= norm * (1.0 - 1e-4 * alpha) or norm_try < tol_i:
+                break
+            alpha *= 0.5
+        x = x_try
+        residual, jacobian = res_try, jac_try
+        norm = norm_try
+        # Residual-only convergence: near weakly-conducting (subthreshold)
+        # nodes the Newton step |dx| = |J^-1 r| can stay large even when the
+        # KCL residual is at numerical noise, so a step-size criterion would
+        # never fire there.
+        if float(np.max(np.abs(residual))) < tol_i:
+            return x
+    return None
+
+
+def solve_dc(
+    circuit: Circuit,
+    x0: Optional[np.ndarray] = None,
+    gmin: float = 1e-12,
+    max_iter: int = 150,
+    vstep_limit: float = 0.4,
+    tol_i: float = 5e-12,
+    tol_v: float = 1e-9,
+) -> Solution:
+    """Solve the DC operating point of ``circuit``.
+
+    ``x0`` warm-starts Newton; for bistable circuits (an SRAM cell) it
+    selects which stable state the solver converges to.  When the full
+    strategy chain fails at the requested ``vstep_limit``, it is retried
+    with progressively tighter step clipping (steep table-driven loads can
+    make Newton hop across their transition region at large steps).
+    Raises :class:`ConvergenceError` only after every combination fails.
+    """
+    last_error: Optional[ConvergenceError] = None
+    for limit in (vstep_limit, 0.1, 0.04):
+        if limit > vstep_limit:
+            continue
+        try:
+            return _solve_dc_once(circuit, x0, gmin, max_iter, limit, tol_i, tol_v)
+        except ConvergenceError as error:
+            last_error = error
+        if limit <= 0.04:
+            break
+    raise last_error
+
+
+def _solve_dc_once(
+    circuit: Circuit,
+    x0: Optional[np.ndarray],
+    gmin: float,
+    max_iter: int,
+    vstep_limit: float,
+    tol_i: float,
+    tol_v: float,
+) -> Solution:
+    """One pass of the full strategy chain at a fixed step limit."""
+    _assign_branch_indices(circuit)
+    n = circuit.unknown_count()
+    if x0 is None:
+        x0 = np.zeros(n)
+    elif len(x0) != n:
+        raise ValueError(f"x0 has length {len(x0)}, circuit has {n} unknowns")
+
+    x = _newton(circuit, x0, gmin, 1.0, max_iter, vstep_limit, tol_i, tol_v)
+    if x is not None:
+        return Solution(circuit, x)
+    if np.any(x0):
+        # A bad warm start can be worse than none: retry cold.
+        x = _newton(circuit, np.zeros(n), gmin, 1.0, max_iter, vstep_limit, tol_i, tol_v)
+        if x is not None:
+            return Solution(circuit, x)
+
+    # gmin stepping: solve with a large shunt, then relax it decade by decade.
+    for start in (x0.copy(), np.zeros(n)):
+        guess = start
+        converged_chain = True
+        for exponent in range(3, 13):
+            step_gmin = 10.0 ** (-exponent)
+            x = _newton(circuit, guess, step_gmin, 1.0, max_iter, vstep_limit, tol_i, tol_v)
+            if x is None:
+                converged_chain = False
+                break
+            guess = x
+        if converged_chain:
+            x = _newton(circuit, guess, gmin, 1.0, max_iter, vstep_limit, tol_i, tol_v)
+            if x is not None:
+                return Solution(circuit, x)
+
+    # Source stepping: continuation from the all-off circuit, with a softer
+    # shunt held during the ramp and relaxed decade by decade at the end.
+    ramp_gmin = max(gmin, 1e-9)
+    guess = np.zeros(n)
+    for scale in np.linspace(0.05, 1.0, 20):
+        x = _newton(circuit, guess, ramp_gmin, float(scale), max_iter, vstep_limit, tol_i, tol_v)
+        if x is None:
+            raise ConvergenceError(
+                f"DC analysis failed for circuit {circuit.title!r} at source scale {scale:.2f}"
+            )
+        guess = x
+    shunt = ramp_gmin
+    while shunt > gmin * 1.0001:
+        shunt = max(shunt / 10.0, gmin)
+        x = _newton(circuit, guess, shunt, 1.0, max_iter, vstep_limit, tol_i, tol_v)
+        if x is None:
+            raise ConvergenceError(
+                f"DC analysis failed for circuit {circuit.title!r} releasing "
+                f"the ramp shunt at gmin={shunt:g}"
+            )
+        guess = x
+    return Solution(circuit, guess)
+
+
+def dc_sweep(
+    circuit: Circuit,
+    source_name: str,
+    values: Sequence[float],
+    x0: Optional[np.ndarray] = None,
+    **solver_kwargs,
+) -> List[Solution]:
+    """Sweep the value of voltage source ``source_name`` over ``values``.
+
+    Each point warm-starts from the previous solution, which keeps the sweep
+    on one branch of a bistable characteristic.
+    """
+    element = circuit.element(source_name)
+    if not isinstance(element, VoltageSource):
+        raise TypeError(f"{source_name!r} is not a VoltageSource")
+    solutions: List[Solution] = []
+    guess = x0
+    original = element.voltage
+    try:
+        for value in values:
+            element.voltage = float(value)
+            solution = solve_dc(circuit, x0=guess, **solver_kwargs)
+            solutions.append(solution)
+            guess = solution.x.copy()
+    finally:
+        element.voltage = original
+    return solutions

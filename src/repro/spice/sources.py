@@ -1,0 +1,160 @@
+"""Time-dependent and controlled sources.
+
+Extends the element set with the stimuli a transient analysis typically
+needs (the core reproduction drives mode switches through ``pre_step``
+callbacks, but standalone netlists are cleaner with real sources):
+
+* :class:`PulseVoltageSource` - SPICE-style PULSE(v1 v2 td tr pw tf per);
+* :class:`PiecewiseLinearVoltageSource` - PWL(t0 v0 t1 v1 ...);
+* :class:`VoltageControlledVoltageSource` - ideal VCVS (E element), e.g.
+  for behavioural error-amplifier experiments.
+
+Time-dependent sources read the current simulation time from the
+:class:`~repro.spice.elements.StampContext`; during DC analysis they stamp
+their t=0 value.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import List, Sequence, Tuple
+
+from .elements import Element, StampContext, VoltageSource
+
+
+class _TimedVoltageSource(VoltageSource):
+    """Voltage source whose value is a function of simulation time."""
+
+    def __init__(self, name: str, plus: int, minus: int) -> None:
+        super().__init__(name, plus, minus, 0.0)
+        self._t = 0.0
+
+    def value_at(self, t: float) -> float:
+        raise NotImplementedError
+
+    def advance_to(self, t: float) -> None:
+        """Called by the integrator (via pre_step wiring) or manually."""
+        self._t = t
+        self.voltage = self.value_at(t)
+
+    def stamp(self, ctx: StampContext) -> None:
+        # Keep self.voltage synchronised with the context's notion of time;
+        # DC analysis (dt=None) uses t=0.
+        self.voltage = self.value_at(self._t if ctx.dt is not None else 0.0)
+        super().stamp(ctx)
+
+
+class PulseVoltageSource(_TimedVoltageSource):
+    """SPICE-style pulse: v1 -> v2 with delay/rise/width/fall, repeating."""
+
+    def __init__(
+        self,
+        name: str,
+        plus: int,
+        minus: int,
+        v1: float,
+        v2: float,
+        delay: float = 0.0,
+        rise: float = 1e-12,
+        width: float = 1e-6,
+        fall: float = 1e-12,
+        period: float = 0.0,
+    ) -> None:
+        super().__init__(name, plus, minus)
+        if min(rise, fall) <= 0:
+            raise ValueError(f"{name}: rise/fall must be positive")
+        self.v1, self.v2 = float(v1), float(v2)
+        self.delay, self.rise = float(delay), float(rise)
+        self.width, self.fall = float(width), float(fall)
+        cycle = rise + width + fall
+        self.period = float(period) if period > 0 else 0.0
+        if self.period and self.period < cycle:
+            raise ValueError(f"{name}: period shorter than one pulse")
+        self.voltage = self.v1
+
+    def value_at(self, t: float) -> float:
+        t = t - self.delay
+        if t < 0:
+            return self.v1
+        if self.period:
+            t = t % self.period
+        if t < self.rise:
+            return self.v1 + (self.v2 - self.v1) * t / self.rise
+        t -= self.rise
+        if t < self.width:
+            return self.v2
+        t -= self.width
+        if t < self.fall:
+            return self.v2 + (self.v1 - self.v2) * t / self.fall
+        return self.v1
+
+
+class PiecewiseLinearVoltageSource(_TimedVoltageSource):
+    """PWL source: linear interpolation through (time, value) points."""
+
+    def __init__(self, name: str, plus: int, minus: int,
+                 points: Sequence[Tuple[float, float]]) -> None:
+        super().__init__(name, plus, minus)
+        if len(points) < 1:
+            raise ValueError(f"{name}: PWL needs at least one point")
+        times = [float(t) for t, _v in points]
+        if any(b <= a for a, b in zip(times, times[1:])):
+            raise ValueError(f"{name}: PWL times must strictly increase")
+        self._times: List[float] = times
+        self._values: List[float] = [float(v) for _t, v in points]
+        self.voltage = self._values[0]
+
+    def value_at(self, t: float) -> float:
+        times, values = self._times, self._values
+        if t <= times[0]:
+            return values[0]
+        if t >= times[-1]:
+            return values[-1]
+        i = bisect_right(times, t)
+        t0, t1 = times[i - 1], times[i]
+        v0, v1 = values[i - 1], values[i]
+        return v0 + (v1 - v0) * (t - t0) / (t1 - t0)
+
+
+class VoltageControlledVoltageSource(Element):
+    """Ideal VCVS: V(plus, minus) = gain * V(cplus, cminus)."""
+
+    def __init__(self, name: str, plus: int, minus: int,
+                 cplus: int, cminus: int, gain: float) -> None:
+        super().__init__(name)
+        self.plus, self.minus = plus, minus
+        self.cplus, self.cminus = cplus, cminus
+        self.gain = float(gain)
+        self._branch = -1
+
+    def branch_count(self) -> int:
+        return 1
+
+    def set_branch_index(self, index: int) -> None:
+        self._branch = index
+
+    def stamp(self, ctx: StampContext) -> None:
+        ib = ctx.unknown(self._branch)
+        ctx.add_current(self.plus, ib, {})
+        ctx.add_current_dbranch(self.plus, self._branch, 1.0)
+        ctx.add_current(self.minus, -ib, {})
+        ctx.add_current_dbranch(self.minus, self._branch, -1.0)
+        residual = (
+            ctx.v(self.plus) - ctx.v(self.minus)
+            - self.gain * (ctx.v(self.cplus) - ctx.v(self.cminus))
+        )
+        # Accumulate explicitly: output and control nodes may coincide.
+        derivs = {}
+        for node, g in (
+            (self.plus, 1.0), (self.minus, -1.0),
+            (self.cplus, -self.gain), (self.cminus, self.gain),
+        ):
+            derivs[node] = derivs.get(node, 0.0) + g
+        ctx.add_branch_residual(self._branch, residual, derivs)
+
+    def describe(self, node_names) -> str:
+        return (
+            f"E {self.name} {node_names[self.plus]} {node_names[self.minus]} "
+            f"ctrl=({node_names[self.cplus]},{node_names[self.cminus]}) "
+            f"gain={self.gain:g}"
+        )

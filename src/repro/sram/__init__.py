@@ -1,0 +1,53 @@
+"""Behavioral low-power SRAM (Section II architecture).
+
+A word-oriented 4K x 64 single-port SRAM with the paper's three power modes:
+
+* **ACT** - read/write allowed, core and periphery at VDD;
+* **DS** (deep sleep) - periphery gated off, core array held at the
+  regulator output Vreg; no operations allowed;
+* **PO** (power off) - everything gated; data is lost.
+
+The functional array is bit-accurate and supports injection of the classic
+memory fault models (stuck-at, transition, coupling) used to validate the
+March engine, the paper's peripheral power-gating fault (the behaviour March
+LZ targets), and - the point of the paper - data retention faults in DS
+mode, driven by the electrical analysis layers: which cells flip during deep
+sleep is decided by comparing the regulator's VDD_CC against each weak
+cell's DRV with the flip-time model of :mod:`repro.cell.retention`.
+"""
+
+from .decoder import AddressDecoder, DecoderFault
+from .faults import (
+    CouplingFaultIdempotent,
+    CouplingFaultState,
+    Fault,
+    PeripheralPowerGatingFault,
+    StuckAtFault,
+    TransitionFault,
+)
+from .memory import LowPowerSRAM, MemoryModeError, SRAMConfig
+from .power_modes import PMControl, PowerMode
+from .power_switches import PowerSwitchNetwork
+from .power_model import PowerReport, static_power
+from .retention_engine import RetentionEngine, WeakCell
+
+__all__ = [
+    "LowPowerSRAM",
+    "SRAMConfig",
+    "MemoryModeError",
+    "PowerMode",
+    "PMControl",
+    "PowerSwitchNetwork",
+    "AddressDecoder",
+    "DecoderFault",
+    "Fault",
+    "StuckAtFault",
+    "TransitionFault",
+    "CouplingFaultIdempotent",
+    "CouplingFaultState",
+    "PeripheralPowerGatingFault",
+    "RetentionEngine",
+    "WeakCell",
+    "static_power",
+    "PowerReport",
+]

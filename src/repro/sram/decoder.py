@@ -1,0 +1,76 @@
+"""Address decoder with the classic address-decoder fault (AF) models.
+
+Part of the peripheral circuitry of Fig. 1.  A healthy decoder maps each
+logical address to exactly one word line; van de Goor's four AF classes
+break that bijection:
+
+* **AF1** - no access: some address activates no word line;
+* **AF2** - multiple access: some address also activates other lines;
+* **AF3** - wrong access: some address activates a different line;
+* **AF4** - shared access: some line is also activated by other addresses
+  (modelled here as AF2 on those other addresses).
+
+The behavioral SRAM consults :meth:`AddressDecoder.rows` on every access.
+Reads from multiple rows model the wired-OR of the precharged bit lines
+(any accessed cell holding 1 discharges BLB first); reads from no row
+return the precharge background (all ones).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class DecoderFault:
+    """One address-decoder fault instance."""
+
+    kind: str  #: 'none' (AF1), 'multiple' (AF2), 'wrong' (AF3)
+    addr: int
+    others: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("none", "multiple", "wrong"):
+            raise ValueError(f"unknown decoder-fault kind {self.kind!r}")
+        if self.kind in ("multiple", "wrong") and not self.others:
+            raise ValueError(f"{self.kind!r} decoder fault needs target rows")
+
+
+class AddressDecoder:
+    """Logical-address -> word-line mapping with injectable AFs."""
+
+    def __init__(self, n_words: int) -> None:
+        if n_words < 1:
+            raise ValueError("decoder needs at least one word")
+        self.n_words = n_words
+        self._faults: Dict[int, DecoderFault] = {}
+
+    def inject(self, fault: DecoderFault) -> DecoderFault:
+        if not 0 <= fault.addr < self.n_words:
+            raise IndexError(f"address {fault.addr} out of range")
+        for row in fault.others:
+            if not 0 <= row < self.n_words:
+                raise IndexError(f"row {row} out of range")
+        self._faults[fault.addr] = fault
+        return fault
+
+    def clear(self) -> None:
+        self._faults.clear()
+
+    def rows(self, addr: int) -> List[int]:
+        """Word lines activated by ``addr`` (empty for an AF1 address)."""
+        if not 0 <= addr < self.n_words:
+            raise IndexError(f"address {addr} out of range")
+        fault = self._faults.get(addr)
+        if fault is None:
+            return [addr]
+        if fault.kind == "none":
+            return []
+        if fault.kind == "wrong":
+            return list(fault.others)
+        return [addr, *fault.others]  # multiple
+
+    @property
+    def is_faulty(self) -> bool:
+        return bool(self._faults)

@@ -1,0 +1,175 @@
+"""Functional memory fault models.
+
+The classic static/dynamic fault zoo (van de Goor [10], Hamdioui [11])
+validates the March engine: a test algorithm that cannot catch a stuck-at
+fault has no business claiming DRF coverage.  Faults hook the memory's
+bit-level accesses:
+
+* ``on_write(addr, bit, old, new) -> stored value``
+* ``on_read(addr, bit, stored) -> returned value``
+* ``on_wakeup(memory)`` - invoked when the SRAM re-enters ACT mode (used by
+  the peripheral power-gating fault of [13] that March LZ targets).
+
+Aggressor-victim coupling faults are triggered by *writes to the aggressor*
+and act on the victim cell's stored value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+class Fault:
+    """Base class: transparent (fault-free) behaviour."""
+
+    def on_write(self, addr: int, bit: int, old: int, new: int) -> Optional[int]:
+        """Return the value actually stored, or None to leave unaffected."""
+        return None
+
+    def on_read(self, addr: int, bit: int, stored: int) -> Optional[int]:
+        """Return the value actually read, or None for the stored value."""
+        return None
+
+    def on_wakeup(self, memory) -> None:
+        """Hook invoked on a DS/PO -> ACT transition."""
+
+    def touches(self, addr: int, bit: int) -> bool:
+        """Whether this fault involves the given cell (for bookkeeping)."""
+        return False
+
+
+@dataclass
+class StuckAtFault(Fault):
+    """SAF: the cell permanently holds ``value``."""
+
+    addr: int
+    bit: int
+    value: int
+
+    def on_write(self, addr, bit, old, new):
+        if (addr, bit) == (self.addr, self.bit):
+            return self.value
+        return None
+
+    def on_read(self, addr, bit, stored):
+        if (addr, bit) == (self.addr, self.bit):
+            return self.value
+        return None
+
+    def touches(self, addr, bit):
+        return (addr, bit) == (self.addr, self.bit)
+
+
+@dataclass
+class TransitionFault(Fault):
+    """TF: the cell cannot make the ``rising`` (0->1) or falling transition."""
+
+    addr: int
+    bit: int
+    rising: bool = True
+
+    def on_write(self, addr, bit, old, new):
+        if (addr, bit) != (self.addr, self.bit):
+            return None
+        blocked = (old == 0 and new == 1) if self.rising else (old == 1 and new == 0)
+        if blocked:
+            return old
+        return None
+
+    def touches(self, addr, bit):
+        return (addr, bit) == (self.addr, self.bit)
+
+
+@dataclass
+class CouplingFaultIdempotent(Fault):
+    """CFid: a transition write on the aggressor forces the victim.
+
+    ``aggressor_rising`` selects the sensitising transition (0->1 or 1->0)
+    on the aggressor; the victim is forced to ``victim_value``.
+    """
+
+    aggressor_addr: int
+    aggressor_bit: int
+    victim_addr: int
+    victim_bit: int
+    aggressor_rising: bool = True
+    victim_value: int = 1
+    _memory = None  # bound by the SRAM when the fault is injected
+
+    def bind(self, memory) -> None:
+        self._memory = memory
+
+    def on_write(self, addr, bit, old, new):
+        if (addr, bit) != (self.aggressor_addr, self.aggressor_bit):
+            return None
+        fired = (old == 0 and new == 1) if self.aggressor_rising else (old == 1 and new == 0)
+        if fired and self._memory is not None:
+            self._memory.force_bit(self.victim_addr, self.victim_bit, self.victim_value)
+        return None
+
+    def touches(self, addr, bit):
+        return (addr, bit) in (
+            (self.aggressor_addr, self.aggressor_bit),
+            (self.victim_addr, self.victim_bit),
+        )
+
+
+@dataclass
+class CouplingFaultState(Fault):
+    """CFst: while the aggressor holds ``aggressor_value``, reads of the
+    victim return ``victim_value``."""
+
+    aggressor_addr: int
+    aggressor_bit: int
+    victim_addr: int
+    victim_bit: int
+    aggressor_value: int = 1
+    victim_value: int = 0
+    _memory = None
+
+    def bind(self, memory) -> None:
+        self._memory = memory
+
+    def on_read(self, addr, bit, stored):
+        if (addr, bit) != (self.victim_addr, self.victim_bit):
+            return None
+        if self._memory is None:
+            return None
+        if self._memory.peek_bit(self.aggressor_addr, self.aggressor_bit) == self.aggressor_value:
+            return self.victim_value
+        return None
+
+    def touches(self, addr, bit):
+        return (addr, bit) in (
+            (self.aggressor_addr, self.aggressor_bit),
+            (self.victim_addr, self.victim_bit),
+        )
+
+
+@dataclass
+class PeripheralPowerGatingFault(Fault):
+    """The [13] failure mode March LZ was designed for.
+
+    A defective peripheral power switch leaves the write circuitry
+    under-driven right after wake-up: the first ``recovery_ops`` write
+    operations following a WUP are silently lost.  March m-LZ inherits
+    March LZ's ``(r1, w0, r0)`` element precisely to sensitise and detect
+    this behaviour (Section V).
+    """
+
+    recovery_ops: int = 4
+    _remaining: int = 0
+
+    def on_wakeup(self, memory) -> None:
+        self._remaining = self.recovery_ops
+
+    def on_write(self, addr, bit, old, new):
+        if self._remaining > 0:
+            return old  # the under-driven write driver loses the data
+        return None
+
+    def consume_op(self) -> None:
+        """Called by the memory once per word operation in ACT mode."""
+        if self._remaining > 0:
+            self._remaining -= 1

@@ -1,0 +1,83 @@
+"""Power modes and the PM-control logic (Section II.A).
+
+The PM control block decodes the primary inputs ``SLEEP`` and ``PWRON``
+into one of three modes and drives the power switches and the regulator's
+``REGON`` signal:
+
+==========  =========  ======  ============================================
+``PWRON``   ``SLEEP``  mode    rails
+==========  =========  ======  ============================================
+0           x          PO      VDD_CC and VDD_PC discharge to 0 V
+1           0          ACT     VDD_CC = VDD_PC = VDD (all PS on, REGON = 0)
+1           1          DS      VDD_PC = 0, VDD_CC = Vreg (REGON = 1)
+==========  =========  ======  ============================================
+
+The PM control logic itself is always powered from the main rail, so mode
+transitions work from any state.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+
+class PowerMode(enum.Enum):
+    """The three power modes of the studied SRAM."""
+
+    ACT = "active"
+    DS = "deep sleep"
+    PO = "power off"
+
+
+@dataclass
+class PMControl:
+    """Power-mode control FSM decoding SLEEP / PWRON.
+
+    Keeps a transition log so tests (and the March runner's DSM/WUP
+    bookkeeping) can assert on the exact mode sequence.
+    """
+
+    sleep: bool = False
+    pwron: bool = True
+    history: List[Tuple[PowerMode, PowerMode]] = field(default_factory=list)
+
+    @property
+    def mode(self) -> PowerMode:
+        if not self.pwron:
+            return PowerMode.PO
+        return PowerMode.DS if self.sleep else PowerMode.ACT
+
+    @property
+    def regon(self) -> bool:
+        """REGON: the voltage regulator runs only in deep-sleep mode."""
+        return self.mode is PowerMode.DS
+
+    @property
+    def periphery_powered(self) -> bool:
+        return self.mode is PowerMode.ACT
+
+    @property
+    def core_powered(self) -> bool:
+        """Core-cell array has a supply in ACT (VDD) and DS (Vreg)."""
+        return self.mode in (PowerMode.ACT, PowerMode.DS)
+
+    def set_inputs(self, sleep: bool, pwron: bool) -> PowerMode:
+        """Apply primary inputs; returns the resulting mode."""
+        before = self.mode
+        self.sleep = bool(sleep)
+        self.pwron = bool(pwron)
+        after = self.mode
+        if after is not before:
+            self.history.append((before, after))
+        return after
+
+    def to_active(self) -> PowerMode:
+        return self.set_inputs(sleep=False, pwron=True)
+
+    def to_deep_sleep(self) -> PowerMode:
+        return self.set_inputs(sleep=True, pwron=True)
+
+    def to_power_off(self) -> PowerMode:
+        return self.set_inputs(sleep=self.sleep, pwron=False)

@@ -1,0 +1,151 @@
+"""Power-switch network and wake-up ramp (Fig. 1, refs [12][13]).
+
+The SRAM's power gating is implemented as a network of PMOS header
+switches structured in N segments ([12][13]): between the main rail VDD
+and a virtual rail (VDD_CC for the core array, VDD_PC for the periphery).
+On wake-up the segments are activated as a daisy chain - one after another
+with a stage delay - so the inrush current recharging the virtual rail
+never collapses the main supply.
+
+This module models that mechanism at the level the test flow cares about:
+
+* the virtual-rail recovery waveform during the WUP phase,
+* the wake-up time (when the rail is close enough to VDD for safe
+  operations), which bounds how soon after WUP the March element may start,
+* defective (stuck-off) segments - the failure mode of [13]: a partially
+  gated periphery recovers late, so the first operations after wake-up run
+  on a sagging rail.  :meth:`PowerSwitchNetwork.recovery_ops` converts that
+  extra recovery time into the operation count used by
+  :class:`repro.sram.faults.PeripheralPowerGatingFault`.
+
+The ramp uses the exact piecewise-exponential solution of the RC network:
+during stage ``k`` (k segments conducting) the rail charges toward VDD
+with time constant ``(r_on / k) * c_rail``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class PowerSwitchNetwork:
+    """An N-segment PMOS header between VDD and a virtual rail."""
+
+    n_segments: int = 8
+    #: On-resistance of one segment (ohms).
+    r_on_segment: float = 400.0
+    #: Virtual-rail capacitance (F); ~100 pF for the 256K-cell VDD_CC rail.
+    c_rail: float = 100e-12
+    #: Daisy-chain stage delay between consecutive segment enables (s).
+    stage_delay: float = 5e-9
+    #: Segments that never turn on (the [13] defect under study).
+    stuck_off: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.n_segments < 1:
+            raise ValueError("need at least one power-switch segment")
+        bad = [s for s in self.stuck_off if not 0 <= s < self.n_segments]
+        if bad:
+            raise ValueError(f"stuck_off segment(s) out of range: {bad}")
+
+    @property
+    def working_segments(self) -> int:
+        return self.n_segments - len(set(self.stuck_off))
+
+    def conductance_after(self, t: float) -> float:
+        """Header conductance at time ``t`` into the daisy chain (S).
+
+        Segment ``k`` (0-based, skipping stuck-off ones) conducts from
+        ``k * stage_delay`` onward.
+        """
+        if t < 0.0:
+            return 0.0
+        healthy = [s for s in range(self.n_segments) if s not in self.stuck_off]
+        on = sum(1 for position, _s in enumerate(healthy)
+                 if t >= position * self.stage_delay)
+        return on / self.r_on_segment
+
+    def ramp(self, vdd: float, v_start: float = 0.0, points_per_stage: int = 8):
+        """Virtual-rail waveform during wake-up: (times, voltages).
+
+        Piecewise-exact: within each stage the rail is a single-pole RC
+        charge toward VDD; stage boundaries carry the voltage over.
+        """
+        if self.working_segments == 0:
+            return [0.0], [v_start]
+        times: List[float] = [0.0]
+        volts: List[float] = [v_start]
+        v = v_start
+        # One extra "stage" after the last enable to show the final settle.
+        for stage in range(self.working_segments):
+            g = (stage + 1) / self.r_on_segment
+            tau = self.c_rail / g
+            t0 = stage * self.stage_delay
+            duration = (
+                self.stage_delay
+                if stage < self.working_segments - 1
+                else max(8.0 * tau, self.stage_delay)
+            )
+            for i in range(1, points_per_stage + 1):
+                dt = duration * i / points_per_stage
+                times.append(t0 + dt)
+                volts.append(vdd + (v - vdd) * math.exp(-dt / tau))
+            v = volts[-1]
+        return times, volts
+
+    def wakeup_time(self, vdd: float, v_start: float = 0.0, fraction: float = 0.95) -> float:
+        """Time for the virtual rail to reach ``fraction * vdd`` (s).
+
+        ``math.inf`` when every segment is stuck off.
+        """
+        if self.working_segments == 0:
+            return math.inf
+        target = fraction * vdd
+        v = v_start
+        t = 0.0
+        for stage in range(self.working_segments):
+            g = (stage + 1) / self.r_on_segment
+            tau = self.c_rail / g
+            last = stage == self.working_segments - 1
+            duration = math.inf if last else self.stage_delay
+            # Time to hit the target within this stage's exponential.
+            if v < target:
+                needed = tau * math.log((vdd - v) / (vdd - target))
+                if needed <= duration:
+                    return t + needed
+            if last:
+                return t  # already above target entering the final stage
+            v = vdd + (v - vdd) * math.exp(-duration / tau)
+            t += duration
+        return t
+
+    def recovery_ops(self, vdd: float, cycle_time: float = 10e-9,
+                     fraction: float = 0.95) -> int:
+        """Operations lost while the rail recovers after WUP.
+
+        A healthy network recovers within the WUP phase itself (zero lost
+        operations); stuck-off segments stretch the ramp past it.  This is
+        the parameter feeding
+        :class:`~repro.sram.faults.PeripheralPowerGatingFault`.
+        """
+        healthy = PowerSwitchNetwork(
+            self.n_segments, self.r_on_segment, self.c_rail, self.stage_delay
+        )
+        baseline = healthy.wakeup_time(vdd, fraction=fraction)
+        actual = self.wakeup_time(vdd, fraction=fraction)
+        if math.isinf(actual):
+            return 1 << 30  # rail never recovers: everything is lost
+        excess = max(0.0, actual - baseline)
+        return int(math.ceil(excess / cycle_time))
+
+    def ir_drop(self, load_current: float) -> float:
+        """Static IR drop across the header under ``load_current`` (V).
+
+        ``math.inf`` when every segment is stuck off (rail floats).
+        """
+        if self.working_segments == 0:
+            return math.inf
+        return load_current * self.r_on_segment / self.working_segments

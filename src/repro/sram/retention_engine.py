@@ -1,0 +1,81 @@
+"""Deep-sleep retention engine: who flips, given Vreg and the DS time.
+
+This is where the electrical layers meet the functional memory.  A
+:class:`WeakCell` carries the per-state retention voltages of one
+variation-affected cell (DRV_DS1 applies when it stores '1', DRV_DS0 when it
+stores '0').  On wake-up the engine compares the array supply that was
+present during deep sleep - normally the regulator's VDD_CC, possibly
+degraded by a defect - against each weak cell's DRV and the paper's
+flip-time criterion: a cell only flips if the supply stayed below its DRV
+for longer than its leakage-driven flip time (Section V's "DS time"
+parameter; the paper keeps the SRAM in DS for 1 ms for this reason).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+from ..cell.design import DEFAULT_CELL, CellDesign
+from ..cell.retention import retains
+
+
+@dataclass(frozen=True)
+class WeakCell:
+    """A variation-affected cell at (addr, bit) with its two DRVs (volts)."""
+
+    addr: int
+    bit: int
+    drv1: float  #: minimum supply retaining a stored '1'
+    drv0: float  #: minimum supply retaining a stored '0'
+
+    def drv_for(self, stored: int) -> float:
+        return self.drv1 if stored else self.drv0
+
+
+class RetentionEngine:
+    """Evaluates deep-sleep retention for a population of weak cells.
+
+    ``symmetric_drv`` is the retention voltage of every unlisted cell (the
+    paper's ~60 mV symmetric-cell floor): if the supply drops below even
+    that, the whole array loses data, not just the weak cells.
+    """
+
+    def __init__(
+        self,
+        weak_cells: Iterable[WeakCell] = (),
+        symmetric_drv: float = 0.06,
+        corner: str = "typical",
+        temp_c: float = 25.0,
+        cell: CellDesign = DEFAULT_CELL,
+    ) -> None:
+        self.weak_cells: List[WeakCell] = list(weak_cells)
+        self.symmetric_drv = symmetric_drv
+        self.corner = corner
+        self.temp_c = temp_c
+        self.cell = cell
+
+    def flips(
+        self,
+        vddcc: float,
+        ds_time: float,
+        stored_bit_of,
+    ) -> List[Tuple[int, int]]:
+        """(addr, bit) list of weak cells that lose their data.
+
+        ``stored_bit_of(addr, bit)`` supplies the value held when the SRAM
+        entered deep sleep.
+        """
+        lost = []
+        for weak in self.weak_cells:
+            stored = stored_bit_of(weak.addr, weak.bit)
+            drv = weak.drv_for(stored)
+            if not retains(vddcc, drv, ds_time, self.corner, self.temp_c, self.cell):
+                lost.append((weak.addr, weak.bit))
+        return lost
+
+    def bulk_data_loss(self, vddcc: float, ds_time: float) -> bool:
+        """True when even symmetric cells cannot retain (supply near zero)."""
+        return not retains(
+            vddcc, self.symmetric_drv, ds_time, self.corner, self.temp_c, self.cell
+        )

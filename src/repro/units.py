@@ -1,0 +1,74 @@
+"""SI unit helpers and engineering-notation formatting.
+
+The paper reports defect resistances in engineering notation (e.g. ``9.76K``,
+``2.36M``, ``> 500M``) and voltages in millivolts.  These helpers centralise
+parsing and formatting so that tables rendered by :mod:`repro.core.reporting`
+look like the paper's tables.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Boltzmann constant over elementary charge (V/K); thermal voltage = KB_OVER_Q * T.
+KB_OVER_Q = 8.617333262e-5
+
+#: Resistances above this value are treated as actual open lines (paper: "> 500M").
+OPEN_LINE_OHMS = 500e6
+
+_ENG_PREFIXES = [
+    (1e9, "G"),
+    (1e6, "M"),
+    (1e3, "K"),
+    (1.0, ""),
+    (1e-3, "m"),
+    (1e-6, "u"),
+    (1e-9, "n"),
+    (1e-12, "p"),
+]
+
+_PREFIX_VALUES = {p: v for v, p in _ENG_PREFIXES}
+
+
+def thermal_voltage(temp_c: float) -> float:
+    """Return the thermal voltage kT/q in volts at ``temp_c`` degrees Celsius."""
+    return KB_OVER_Q * (temp_c + 273.15)
+
+
+def format_eng(value: float, digits: int = 2, unit: str = "") -> str:
+    """Format ``value`` in engineering notation, e.g. ``format_eng(9760) == '9.76K'``.
+
+    Infinite or open-line values format as ``'> 500M'`` to match Table II.
+    """
+    if value is None or math.isinf(value) or value > OPEN_LINE_OHMS:
+        return "> 500M" + unit
+    if value == 0:
+        return "0" + unit
+    sign = "-" if value < 0 else ""
+    mag = abs(value)
+    for scale, prefix in _ENG_PREFIXES:
+        if mag >= scale:
+            return f"{sign}{mag / scale:.{digits}f}{prefix}{unit}"
+    scale, prefix = _ENG_PREFIXES[-1]
+    return f"{sign}{mag / scale:.{digits}f}{prefix}{unit}"
+
+
+def parse_eng(text: str) -> float:
+    """Parse engineering notation back into a float (inverse of :func:`format_eng`).
+
+    ``parse_eng('> 500M')`` returns ``math.inf`` (an actual open line).
+    """
+    text = text.strip()
+    if text.startswith(">"):
+        return math.inf
+    if not text:
+        raise ValueError("empty engineering-notation string")
+    suffix = text[-1]
+    if suffix in _PREFIX_VALUES and not suffix.isdigit():
+        return float(text[:-1]) * _PREFIX_VALUES[suffix]
+    return float(text)
+
+
+def millivolts(value_v: float, digits: int = 0) -> str:
+    """Format a voltage in millivolts, e.g. ``millivolts(0.73) == '730mV'``."""
+    return f"{value_v * 1e3:.{digits}f}mV"

@@ -1,0 +1,57 @@
+"""Shared fixtures.
+
+Electrical results that several test modules need (DRVs, operating points)
+are computed once per session here - a DRV bisection costs a quarter of a
+second, so caching matters for suite runtime.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cell import drv_ds1
+from repro.devices import CellVariation
+from repro.devices.pvt import PVT
+from repro.regulator import VrefSelect, solve_regulator
+from repro.sram import SRAMConfig
+
+
+@pytest.fixture(scope="session")
+def nominal_pvt() -> PVT:
+    return PVT("typical", 1.1, 25.0)
+
+
+@pytest.fixture(scope="session")
+def hot_pvt() -> PVT:
+    """The corner hosting most of Table II's arg-min conditions."""
+    return PVT("fs", 1.0, 125.0)
+
+
+@pytest.fixture(scope="session")
+def small_config() -> SRAMConfig:
+    """Small geometry for March runs (semantics are size-independent)."""
+    return SRAMConfig(n_words=32, word_bits=8)
+
+
+@pytest.fixture(scope="session")
+def drv_symmetric() -> float:
+    return drv_ds1(CellVariation.symmetric())
+
+
+@pytest.fixture(scope="session")
+def drv_cs2() -> float:
+    """Degraded-state DRV of the CS2 variation at nominal conditions."""
+    return drv_ds1(CellVariation(mpcc1=-3, mncc1=-3))
+
+
+@pytest.fixture(scope="session")
+def drv_worst_hot() -> float:
+    """6-sigma worst-case DRV at the recommended test corner."""
+    return drv_ds1(CellVariation.worst_case_drv1(6.0), "fs", 125.0)
+
+
+@pytest.fixture(scope="session")
+def clean_op_nominal(nominal_pvt):
+    """Fault-free regulator operating point at nominal PVT / VREF70."""
+    op, _ = solve_regulator(nominal_pvt, VrefSelect.VREF70)
+    return op

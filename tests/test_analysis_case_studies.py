@@ -1,0 +1,82 @@
+"""Table I case-study definitions and DRV ladder."""
+
+import pytest
+
+from repro.analysis.case_studies import (
+    CASE_STUDIES,
+    case_study,
+    render_table1,
+    table1_rows,
+)
+from repro.devices.pvt import PVT
+
+TINY_GRID = [PVT("fs", 1.1, 125.0)]
+
+
+class TestDefinitions:
+    def test_ten_scenarios(self):
+        assert len(CASE_STUDIES) == 10
+        names = [cs.name for cs in CASE_STUDIES]
+        assert names == [
+            "CS1-1", "CS1-0", "CS2-1", "CS2-0", "CS3-1",
+            "CS3-0", "CS4-1", "CS4-0", "CS5-1", "CS5-0",
+        ]
+
+    def test_cs1_signs_match_table_i(self):
+        cs = case_study("CS1-1")
+        v = cs.variation
+        assert (v.mpcc1, v.mncc1, v.mpcc2, v.mncc2, v.mncc3, v.mncc4) == (
+            -6, -6, +6, +6, -6, +6
+        )
+
+    def test_cs5_repeats_cs2_in_64_cells(self):
+        cs2, cs5 = case_study("CS2-1"), case_study("CS5-1")
+        assert cs5.variation == cs2.variation
+        assert cs5.n_cells == 64 and cs2.n_cells == 1
+
+    def test_pairs_are_mirrors(self):
+        for family in ("CS1", "CS2", "CS3", "CS4", "CS5"):
+            one = case_study(f"{family}-1")
+            zero = case_study(f"{family}-0")
+            assert zero.variation == one.variation.mirrored()
+            assert one.degrades == 1 and zero.degrades == 0
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            case_study("CS9-1")
+
+    def test_family(self):
+        assert case_study("CS3-0").family == "CS3"
+
+
+class TestDRVLadder:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return table1_rows(pvt_grid=TINY_GRID)
+
+    def test_ladder_ordering(self, rows):
+        """Paper Table I: DRV(CS1) > DRV(CS2) > DRV(CS3) > DRV(CS4)."""
+        drv = {row.case.name: row.drv_ds for row in rows}
+        assert drv["CS1-1"] > drv["CS2-1"] > drv["CS3-1"] > drv["CS4-1"]
+
+    def test_mirrored_rows_agree(self, rows):
+        drv = {row.case.name: row.drv_ds for row in rows}
+        for family in ("CS1", "CS2", "CS3", "CS4"):
+            assert drv[f"{family}-1"] == pytest.approx(drv[f"{family}-0"], abs=5e-3)
+
+    def test_cs5_equals_cs2(self, rows):
+        """Same variation, same DRV - only the regulator load differs."""
+        drv = {row.case.name: row.drv_ds for row in rows}
+        assert drv["CS5-1"] == pytest.approx(drv["CS2-1"], abs=1e-6)
+
+    def test_degraded_state_column(self, rows):
+        """CSx-1 rows are set by DRV_DS1, CSx-0 rows by DRV_DS0."""
+        for row in rows:
+            if row.case.degrades == 1:
+                assert row.drv_ds == row.drv_ds1 >= row.drv_ds0
+            else:
+                assert row.drv_ds == row.drv_ds0 >= row.drv_ds1
+
+    def test_render(self, rows):
+        text = render_table1(rows)
+        assert "Table I" in text and "CS5-0" in text and "mV" in text

@@ -1,0 +1,58 @@
+"""Fig. 4 sweep: per-transistor DRV sensitivity."""
+
+import pytest
+
+from repro.analysis.figure4 import figure4_sweep, render_figure4, series
+from repro.devices.pvt import PVT
+
+TINY_GRID = [PVT("fs", 1.1, 125.0)]
+SIGMAS = (-4.0, 0.0, 4.0)
+
+
+@pytest.fixture(scope="module")
+def points():
+    return figure4_sweep(sigmas=SIGMAS, pvt_grid=TINY_GRID)
+
+
+class TestSweep:
+    def test_point_count(self, points):
+        assert len(points) == 6 * len(SIGMAS)
+
+    def test_zero_sigma_is_symmetric_floor(self, points):
+        zeros = [p for p in points if p.sigma == 0.0]
+        reference = zeros[0].drv_ds1
+        for p in zeros:
+            assert p.drv_ds1 == pytest.approx(reference, abs=1e-6)
+            assert p.drv_ds0 == pytest.approx(reference, abs=1e-6)
+
+    def test_observation_1_signs(self, points):
+        """Negative variation on MNcc1 degrades DRV_DS1 (paper obs. 1)."""
+        _x, y = series(points, "mncc1", "ds1")
+        assert y[0] > y[1]  # -4 sigma worse than 0
+        assert y[0] > y[2]  # and worse than +4 sigma
+
+    def test_observation_2_mirror(self, points):
+        """Positive variation on MNcc1 degrades DRV_DS0 instead."""
+        _x, y0 = series(points, "mncc1", "ds0")
+        assert y0[2] > y0[1]
+
+    def test_inverter_dominates_pass_gate(self, points):
+        _x, inv = series(points, "mncc1", "ds1")
+        _x, pas = series(points, "mncc3", "ds1")
+        assert inv[0] > pas[0]
+
+    def test_pass_gate_not_negligible(self, points):
+        """Paper: pass-gate impact is smaller but cannot be neglected."""
+        _x, pas = series(points, "mncc3", "ds1")
+        assert pas[0] > pas[1] + 0.005
+
+    def test_pmos_polarity_convention(self, points):
+        """Negative (weaker) MPcc1 hurts stored '1' retention."""
+        _x, y = series(points, "mpcc1", "ds1")
+        assert y[0] > y[1]
+
+    def test_render(self, points):
+        text = render_figure4(points, "ds1")
+        assert "DRV_DS1" in text and "mncc4" in text
+        text0 = render_figure4(points, "ds0")
+        assert "DRV_DS0" in text0

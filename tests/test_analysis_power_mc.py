@@ -1,0 +1,59 @@
+"""Power-savings analysis and Monte Carlo DRV statistics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.montecarlo import drv_distribution
+from repro.analysis.power_savings import (
+    power_comparison,
+    render_power,
+    worst_case_defective_savings,
+)
+from repro.devices.pvt import PVT
+
+HOT = [PVT("typical", 1.1, 125.0)]
+
+
+class TestPowerComparison:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return power_comparison(pvt_grid=HOT)
+
+    def test_paper_claim_over_30_percent(self, results):
+        assert worst_case_defective_savings(results) > 0.30
+
+    def test_healthy_ds_beats_defective(self, results):
+        r = results[0]
+        assert r.ds_w < r.ds_defective_w
+
+    def test_healthy_ds_saves_at_high_temperature(self, results):
+        assert results[0].ds_savings > 0.25
+
+    def test_render(self, results):
+        text = render_power(results)
+        assert ">30%" in text and "ACT idle" in text
+
+
+class TestMonteCarlo:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return drv_distribution(n_samples=12, seed=5)
+
+    def test_sample_statistics(self, result):
+        assert result.samples.shape == (12,)
+        assert np.all(result.samples >= 0.02)
+        assert result.std > 0
+
+    def test_quantiles_ordered(self, result):
+        assert result.quantile(0.1) <= result.quantile(0.5) <= result.quantile(0.9)
+
+    def test_array_drv_grows_with_size(self, result):
+        """Section III: array DRV is set by the least stable cell."""
+        small_mean, _ = result.array_drv(16, n_boot=50)
+        large_mean, _ = result.array_drv(4096, n_boot=50)
+        assert large_mean >= small_mean
+
+    def test_reproducible(self):
+        a = drv_distribution(n_samples=4, seed=9)
+        b = drv_distribution(n_samples=4, seed=9)
+        assert np.allclose(a.samples, b.samples)

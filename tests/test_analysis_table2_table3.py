@@ -1,0 +1,74 @@
+"""Table II characterisation rows and Table III flow (reduced scale)."""
+
+import pytest
+
+from repro.analysis.table2 import (
+    characterize_case,
+    render_table2,
+    table2_rows,
+    vrefsel_for_vdd,
+)
+from repro.analysis.table3 import render_table3, table3_flow
+from repro.devices.pvt import PVT
+from repro.regulator import VrefSelect
+
+ONE_PVT = (PVT("fs", 1.0, 125.0),)
+
+
+class TestConfigurationRule:
+    def test_vref_follows_vdd(self):
+        """Section IV.A: 0.74/0.70/0.64 * VDD for VDD = 1.0/1.1/1.2 V."""
+        assert vrefsel_for_vdd(1.0) is VrefSelect.VREF74
+        assert vrefsel_for_vdd(1.1) is VrefSelect.VREF70
+        assert vrefsel_for_vdd(1.2) is VrefSelect.VREF64
+
+
+class TestCharacterizeCase:
+    def test_easier_case_study_needs_less_resistance(self):
+        r_cs1 = characterize_case(1, "CS1-1", pvt_grid=ONE_PVT)
+        r_cs4 = characterize_case(1, "CS4-1", pvt_grid=ONE_PVT)
+        assert r_cs1.min_resistance < r_cs4.min_resistance
+
+    def test_cs5_below_cs2(self):
+        """The 64-cell load effect (paper: CS5 min-R < CS2 min-R)."""
+        r_cs2 = characterize_case(16, "CS2-1", pvt_grid=ONE_PVT)
+        r_cs5 = characterize_case(16, "CS5-1", pvt_grid=ONE_PVT)
+        assert r_cs5.min_resistance < r_cs2.min_resistance
+
+    def test_argmin_pvt_reported(self):
+        cell = characterize_case(1, "CS2-1", pvt_grid=ONE_PVT)
+        assert cell.pvt == ONE_PVT[0]
+        assert "fs, 1.0V, 125C" in cell.render()
+
+
+class TestTable2Rows:
+    def test_row_structure_and_render(self):
+        rows = table2_rows(
+            defect_ids=(1, 16), families=("CS2-1", "CS4-1"), pvt_grid=ONE_PVT
+        )
+        assert [r.defect_id for r in rows] == [1, 16]
+        assert set(rows[0].cells) == {"CS2-1", "CS4-1"}
+        text = render_table2(rows)
+        assert "Table II" in text and "Df16" in text
+
+    def test_description_passthrough(self):
+        rows = table2_rows(defect_ids=(1,), families=("CS2-1",), pvt_grid=ONE_PVT)
+        assert "Series with R1" in rows[0].description
+
+
+class TestTable3Reduced:
+    def test_divider_defects_force_tap_ladder(self):
+        """Df3 and Df4 alone force the three-tap ladder of Table III."""
+        flow = table3_flow(defect_ids=(1, 3, 4))
+        picks = [(it.config.vdd, it.config.vrefsel) for it in flow.iterations]
+        assert picks == [
+            (1.0, VrefSelect.VREF74),
+            (1.1, VrefSelect.VREF70),
+            (1.2, VrefSelect.VREF64),
+        ]
+        assert flow.time_reduction() == pytest.approx(0.75)
+
+    def test_render(self):
+        flow = table3_flow(defect_ids=(1, 3, 4))
+        text = render_table3(flow)
+        assert "Table III" in text and "75%" in text

@@ -1,0 +1,59 @@
+"""Tap margin/power trade-off ablation."""
+
+import math
+
+import pytest
+
+from repro.analysis.tap_tradeoff import (
+    recommended_tap,
+    render_tap_tradeoff,
+    tap_tradeoff,
+)
+from repro.devices.pvt import PVT
+from repro.regulator import VrefSelect
+
+HOT = PVT("typical", 1.1, 125.0)
+
+
+@pytest.fixture(scope="module")
+def points():
+    return tap_tradeoff(drv_worst=0.70, pvt=HOT)
+
+
+class TestTradeoff:
+    def test_four_taps(self, points):
+        assert [p.vrefsel for p in points] == list(VrefSelect)
+
+    def test_margin_ordering(self, points):
+        """Higher taps give more margin and cost more power."""
+        margins = [p.margin for p in points]
+        assert margins == sorted(margins, reverse=True)
+        powers = [p.power_w for p in points]
+        assert powers == sorted(powers, reverse=True)
+
+    def test_usability_flag(self, points):
+        """At VDD=1.1 and DRV 0.70 V, the 0.64 tap (0.704 V) is marginal."""
+        by_tap = {p.vrefsel: p for p in points}
+        assert by_tap[VrefSelect.VREF78].usable
+        assert by_tap[VrefSelect.VREF70].usable
+
+    def test_flip_time_infinite_when_usable(self, points):
+        for p in points:
+            if p.usable:
+                assert math.isinf(p.worst_cell_flip_time)
+
+    def test_recommendation_is_cheapest_usable(self, points):
+        best = recommended_tap(points)
+        assert best is not None and best.usable
+        for p in points:
+            if p.usable:
+                assert best.power_w <= p.power_w
+
+    def test_no_usable_tap(self):
+        points = tap_tradeoff(drv_worst=2.0, pvt=HOT)
+        assert recommended_tap(points) is None
+        assert "NO usable tap" in render_tap_tradeoff(points, 2.0)
+
+    def test_render(self, points):
+        text = render_tap_tradeoff(points, 0.70)
+        assert "margin" in text and "uW" in text and "recommend" in text

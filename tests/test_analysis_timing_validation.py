@@ -1,0 +1,73 @@
+"""Transient-engine validation of the timing layer, and the DS-time sweep."""
+
+import math
+
+import pytest
+
+from repro.analysis.ds_time import ds_time_sweep, render_ds_time
+from repro.analysis.transient_validation import (
+    gate_settling_comparison,
+    max_relative_error,
+    rail_discharge_comparison,
+)
+from repro.cell.retention import flip_time
+from repro.devices.pvt import PVT
+from repro.regulator.defects import TimingMode
+
+
+class TestRailDischarge:
+    def test_hot_rail_agreement(self):
+        """Semi-analytic decay within a few percent of backward Euler."""
+        pvt = PVT("fs", 1.0, 125.0)
+        points = rail_discharge_comparison(pvt, n_points=8)
+        assert max_relative_error(points) < 0.08
+
+    def test_trajectory_decays(self):
+        pvt = PVT("typical", 1.1, 125.0)
+        points = rail_discharge_comparison(pvt, n_points=6)
+        simulated = [p.simulated for p in points]
+        assert simulated == sorted(simulated, reverse=True)
+        assert simulated[0] < 1.1
+
+
+class TestGateSettling:
+    @pytest.mark.parametrize("mode", [TimingMode.ACTIVATION_DELAY, TimingMode.UNDERSHOOT])
+    def test_rc_settle_agreement(self, mode):
+        point = gate_settling_comparison(50e6, mode)
+        assert point.simulated is not None
+        assert point.simulated == pytest.approx(point.analytic, rel=0.10)
+
+
+class TestDsTimeSweep:
+    def test_deep_deficit_detected_quickly(self):
+        result = ds_time_sweep(vddcc=0.45, drv=0.70)
+        assert result.min_effective_ds_time <= 1e-3
+
+    def test_near_drv_needs_longer_dwell(self):
+        """The paper's point: marginal supplies need the full DS time."""
+        deep = ds_time_sweep(vddcc=0.45, drv=0.70)
+        marginal = ds_time_sweep(vddcc=0.693, drv=0.70)
+        assert marginal.min_effective_ds_time > deep.min_effective_ds_time
+
+    def test_sweep_is_monotone(self):
+        """Once a dwell detects, every longer dwell detects."""
+        result = ds_time_sweep(vddcc=0.60, drv=0.70)
+        flags = [p.detected for p in result.points]
+        first = flags.index(True) if True in flags else len(flags)
+        assert all(flags[first:])
+
+    def test_threshold_matches_flip_time(self):
+        result = ds_time_sweep(vddcc=0.60, drv=0.70)
+        t_flip = flip_time(0.60, 0.70)
+        for p in result.points:
+            assert p.detected == (p.ds_time >= t_flip)
+
+    def test_above_drv_never_detected(self):
+        result = ds_time_sweep(vddcc=0.75, drv=0.70)
+        assert math.isinf(result.min_effective_ds_time)
+
+    def test_render(self):
+        results = [ds_time_sweep(vddcc=v, drv=0.70) for v in (0.45, 0.69)]
+        text = render_ds_time(results)
+        assert "FAIL" in text and "t_flip" in text
+        assert render_ds_time([]) == "(no results)"

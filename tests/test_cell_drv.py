@@ -1,0 +1,77 @@
+"""Data retention voltage analysis (Section III)."""
+
+import pytest
+
+from repro.cell import drv_ds, drv_ds0, drv_ds1, worst_case_drv
+from repro.cell.drv import DRV_SEARCH_LO
+from repro.devices import CellVariation
+from repro.devices.pvt import PVT
+
+SYM = CellVariation.symmetric()
+
+
+class TestSymmetricCell:
+    def test_floor_region(self, drv_symmetric):
+        """The paper's symmetric cells retain down to ~60 mV."""
+        assert 0.04 < drv_symmetric < 0.12
+
+    def test_both_states_equal(self):
+        assert drv_ds1(SYM) == pytest.approx(drv_ds0(SYM), abs=2e-3)
+
+    def test_drv_is_max_of_states(self):
+        v = CellVariation(mpcc1=-3, mncc1=-3)
+        assert drv_ds(v) == pytest.approx(max(drv_ds1(v), drv_ds0(v)))
+
+
+class TestVariationImpact:
+    def test_paper_ladder_ordering(self):
+        """CS1 (6s) > CS2 (-3s strong side) > CS3 (+3s weak side) > CS4."""
+        cs1 = drv_ds1(CellVariation.worst_case_drv1(6.0))
+        cs2 = drv_ds1(CellVariation(mpcc1=-3, mncc1=-3))
+        cs3 = drv_ds1(CellVariation(mpcc2=3, mncc2=3))
+        cs4 = drv_ds1(CellVariation(mpcc2=0.1, mncc2=0.1))
+        sym = drv_ds1(SYM)
+        assert cs1 > cs2 > cs3 > cs4 > sym * 0.99
+
+    def test_worst_case_combination_beats_single(self):
+        combo = drv_ds1(CellVariation.worst_case_drv1(3.0))
+        single = drv_ds1(CellVariation.single("mncc1", -3.0))
+        assert combo > single
+
+    def test_favoured_state_hits_search_floor(self):
+        """Variation that degrades '1' makes '0' retain to the floor."""
+        v = CellVariation.worst_case_drv1(6.0)
+        assert drv_ds0(v) <= 0.03
+
+    def test_mirror_symmetry(self):
+        v = CellVariation(mpcc1=-3, mncc1=-3)
+        assert drv_ds1(v) == pytest.approx(drv_ds0(v.mirrored()), abs=3e-3)
+
+    def test_pass_transistor_matters_less_than_inverter(self):
+        """Fig. 4: pass-gate variation is the weakest lever, but not zero."""
+        pas = drv_ds1(CellVariation.single("mncc3", -4.0))
+        inv = drv_ds1(CellVariation.single("mncc1", -4.0))
+        sym = drv_ds1(SYM)
+        assert inv > pas
+        assert pas > sym  # "cannot be neglected, however"
+
+
+class TestWorstCaseSearch:
+    def test_returns_argmax_pvt(self):
+        grid = [PVT("typical", 1.1, 25.0), PVT("fs", 1.1, 125.0)]
+        value, pvt = worst_case_drv(
+            CellVariation.worst_case_drv1(6.0), "ds1", pvt_grid=grid
+        )
+        assert pvt.corner == "fs" and pvt.temp_c == 125.0
+        assert value > 0.6
+
+    def test_invalid_selector(self):
+        with pytest.raises(ValueError):
+            worst_case_drv(SYM, "ds2")
+
+    def test_6sigma_worst_case_near_paper_anchor(self, drv_worst_hot):
+        """Calibration target: paper reports 730 mV; we land nearby."""
+        assert 0.65 < drv_worst_hot < 0.74
+
+    def test_search_floor_constant(self):
+        assert DRV_SEARCH_LO == pytest.approx(0.02)

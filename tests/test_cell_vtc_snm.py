@@ -1,0 +1,99 @@
+"""VTC and butterfly/SNM analysis of the 6T cell."""
+
+import numpy as np
+import pytest
+
+from repro.cell import DEFAULT_CELL, butterfly_curves, inverter_vtc, snm_ds
+from repro.cell.vtc import vtc_pair
+from repro.devices import CellVariation
+
+SYM = CellVariation.symmetric()
+
+
+def _models(variation=SYM, corner="typical", temp=25.0):
+    return DEFAULT_CELL.models(variation, corner, temp)
+
+
+class TestInverterVTC:
+    def test_monotone_decreasing(self):
+        m = _models()
+        grid = np.linspace(0, 1.1, 80)
+        out = inverter_vtc(grid, 1.1, m["mpcc1"], m["mncc1"], m["mncc3"])
+        assert np.all(np.diff(out) <= 1e-9)
+
+    def test_rails(self):
+        m = _models()
+        out = inverter_vtc(np.array([0.0, 1.1]), 1.1, m["mpcc1"], m["mncc1"], m["mncc3"])
+        assert out[0] > 1.05  # input low -> output near VDD
+        assert out[1] < 0.02  # input high -> output near ground
+
+    def test_pass_gate_leak_lowers_high_output(self):
+        """At retention-level supply the grounded-BL leak drags node S down."""
+        m = _models()
+        vdd = 0.15
+        with_pass = inverter_vtc(np.array([0.0]), vdd, m["mpcc1"], m["mncc1"], m["mncc3"])[0]
+        # Replace the pass gate with a negligible-width one.
+        weak_pass = DEFAULT_CELL.models(SYM)["mncc3"]
+        import dataclasses
+        narrow = dataclasses.replace(weak_pass.params, w=1e-12)
+        from repro.devices.mosfet import MosfetModel
+        no_pass = MosfetModel(narrow, weak_pass.corner, 25.0)
+        without = inverter_vtc(np.array([0.0]), vdd, m["mpcc1"], m["mncc1"], no_pass)[0]
+        assert with_pass < without
+
+    def test_vtc_pair_shapes(self):
+        grid = np.linspace(0, 1.1, 40)
+        s_of_sb, sb_of_s = vtc_pair(grid, 1.1, _models())
+        assert s_of_sb.shape == sb_of_s.shape == (40,)
+        # Symmetric cell: the two curves coincide.
+        assert np.allclose(s_of_sb, sb_of_s, atol=1e-6)
+
+
+class TestSNM:
+    def test_symmetric_cell_equal_lobes(self):
+        snm1, snm0 = snm_ds(SYM, 1.1)
+        assert snm1 == pytest.approx(snm0, abs=1e-9)
+        assert 0.3 < snm1 < 0.55  # healthy hold SNM at full supply
+
+    def test_snm_shrinks_with_supply(self):
+        values = [snm_ds(SYM, v)[0] for v in (1.1, 0.6, 0.3, 0.1)]
+        assert values == sorted(values, reverse=True)
+
+    def test_snm_negative_below_retention(self):
+        snm1, snm0 = snm_ds(SYM, 0.03)
+        assert snm1 < 0 and snm0 < 0
+
+    def test_mirrored_variation_swaps_lobes(self):
+        v = CellVariation(mpcc1=-3, mncc1=-3)
+        snm1, snm0 = snm_ds(v, 0.5)
+        m1, m0 = snm_ds(v.mirrored(), 0.5)
+        assert snm1 == pytest.approx(m0, abs=2e-3)
+        assert snm0 == pytest.approx(m1, abs=2e-3)
+
+    def test_degrading_variation_shrinks_one_lobe(self):
+        """CS2-style variation weakens stored-1 far more than stored-0."""
+        base1, base0 = snm_ds(SYM, 0.5)
+        v1, v0 = snm_ds(CellVariation(mpcc1=-3, mncc1=-3), 0.5)
+        assert v1 < base1 - 0.02
+        assert v0 >= base0 - 0.01
+
+
+class TestButterfly:
+    def test_curve_bounds(self):
+        curves = butterfly_curves(SYM, 0.8)
+        for key in ("s_a", "sb_a", "s_b", "sb_b"):
+            assert np.all(curves[key] >= -1e-9)
+            assert np.all(curves[key] <= 0.8 + 1e-9)
+
+    def test_three_crossings_when_bistable(self):
+        """The two VTCs cross three times (two stable + metastable)."""
+        curves = butterfly_curves(SYM, 1.1, points=400)
+        # Interpolate curve B onto curve A's s-grid and count sign changes.
+        s = curves["s_a"]
+        sb_a = curves["sb_a"]
+        sb_grid = curves["sb_b"]
+        s_b = curves["s_b"]
+        sb_b_on_a = np.interp(s, s_b[::-1], sb_grid[::-1])
+        signs = np.sign(sb_a - sb_b_on_a)
+        crossings = np.count_nonzero(np.diff(signs))
+        assert crossings == 3

@@ -1,0 +1,59 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defects_parsing_error(self):
+        with pytest.raises(SystemExit):
+            main(["table3", "--defects", "1,x"])
+
+
+class TestCommands:
+    def test_table1_fast(self, capsys):
+        assert main(["table1", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out and "CS1-1" in out
+
+    def test_fig4_fast(self, capsys):
+        assert main(["fig4", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "DRV_DS1" in out and "DRV_DS0" in out
+
+    def test_power_fast(self, capsys):
+        assert main(["power", "--fast"]) == 0
+        assert ">30%" in capsys.readouterr().out
+
+    def test_classify_subset(self, capsys):
+        assert main(["classify", "--defects", "6,14"]) == 0
+        out = capsys.readouterr().out
+        assert "Df6" in out and "Df14" in out and "MISMATCH" not in out
+
+    def test_table2_slice(self, capsys):
+        assert main(["table2", "--fast", "--defects", "16"]) == 0
+        assert "Df16" in capsys.readouterr().out
+
+
+class TestRunMarch:
+    def test_library_test_passes_clean_memory(self, capsys):
+        assert main(["run-march", "MATS+", "--words", "8", "--bits", "2"]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_custom_notation(self, capsys):
+        code = main(["run-march", "{ u(w1); u(r1) }", "--words", "4", "--bits", "2"])
+        assert code == 0
+
+    def test_degraded_sleep_supply_fails(self, capsys):
+        """A near-zero VDD_CC during DSM collapses the whole array."""
+        code = main([
+            "run-march", "March m-LZ", "--words", "8", "--bits", "2",
+            "--vddcc", "0.01",
+        ])
+        assert code == 1
+        assert "FAIL" in capsys.readouterr().out

@@ -1,0 +1,161 @@
+"""Diagnosis and escape analysis on synthetic detection matrices."""
+
+import math
+
+import pytest
+
+from repro.core.diagnosis import (
+    Candidate,
+    diagnose,
+    distinguishable_pairs,
+    syndrome_for,
+)
+from repro.core.escape import (
+    LogUniformResistance,
+    compare_flows,
+    escape_report,
+    flow_escape_summary,
+    total_escape_probability,
+)
+from repro.core.testflow import DetectionMatrix, TestConfig, TestFlow, TestIteration
+from repro.regulator import VrefSelect
+
+C1 = TestConfig(1.0, VrefSelect.VREF74)
+C2 = TestConfig(1.1, VrefSelect.VREF70)
+C3 = TestConfig(1.2, VrefSelect.VREF64)
+
+
+@pytest.fixture()
+def matrix():
+    """Three defects with distinct threshold patterns across three configs.
+
+    Df1: 10K / 30K / 100K   (most sensitive at C1)
+    Df3: None / 20K / 25K   (invisible at C1 - a divider-position defect)
+    Df9: 1M / 1M / 1M       (uniform)
+    """
+    m = DetectionMatrix(drv_worst=0.7)
+    m.entries.update({
+        (1, C1): 10e3, (1, C2): 30e3, (1, C3): 100e3,
+        (3, C1): None, (3, C2): 20e3, (3, C3): 25e3,
+        (9, C1): 1e6, (9, C2): 1e6, (9, C3): 1e6,
+    })
+    return m
+
+
+@pytest.fixture()
+def flow():
+    return TestFlow(
+        iterations=[
+            TestIteration(C1, (), (1, 9)),
+            TestIteration(C2, (), (1, 3, 9)),
+            TestIteration(C3, (), (1, 3, 9)),
+        ]
+    )
+
+
+class TestSyndromes:
+    def test_predicted_patterns(self, matrix, flow):
+        assert syndrome_for(1, 50e3, flow, matrix) == (True, True, False)
+        assert syndrome_for(3, 22e3, flow, matrix) == (False, True, False)
+        assert syndrome_for(9, 1e5, flow, matrix) == (False, False, False)
+        assert syndrome_for(9, 1e7, flow, matrix) == (True, True, True)
+
+
+class TestDiagnosis:
+    def test_unique_candidate(self, matrix, flow):
+        result = diagnose((False, True, False), flow, matrix)
+        assert result.defect_ids() == [3]
+        c = result.candidates[0]
+        assert c.r_low == pytest.approx(20e3)
+        assert c.r_high == pytest.approx(25e3)
+
+    def test_ambiguous_syndrome(self, matrix, flow):
+        result = diagnose((True, True, True), flow, matrix)
+        assert set(result.defect_ids()) == {1, 9}
+        assert result.is_ambiguous
+
+    def test_all_pass_means_nothing_to_diagnose(self, matrix, flow):
+        assert diagnose((False, False, False), flow, matrix).candidates == []
+
+    def test_impossible_syndrome(self, matrix, flow):
+        """Only the *least* sensitive iteration fails: nothing monotone
+        explains C3 failing while the lower-threshold C1/C2 pass."""
+        result = diagnose((False, False, True), flow, matrix)
+        assert result.candidates == []
+
+    def test_single_iteration_failure_brackets_resistance(self, matrix, flow):
+        """C1-only failure pins Df1 into its [10K, 30K) window."""
+        result = diagnose((True, False, False), flow, matrix)
+        assert result.defect_ids() == [1]
+        c = result.candidates[0]
+        assert (c.r_low, c.r_high) == (pytest.approx(10e3), pytest.approx(30e3))
+
+    def test_length_validation(self, matrix, flow):
+        with pytest.raises(ValueError):
+            diagnose((True,), flow, matrix)
+
+    def test_str(self, matrix, flow):
+        text = str(diagnose((False, True, False), flow, matrix))
+        assert "FPF"[::-1] not in text  # sanity: uses P/F letters
+        assert "PFP" in text and "Df3" in text
+
+    def test_distinguishable_pairs(self, matrix, flow):
+        probes = [5e3, 22e3, 50e3, 5e5, 5e6]
+        table = distinguishable_pairs(flow, matrix, probes)
+        assert table[(1, 3)] is True
+        assert table[(1, 9)] is True
+
+
+class TestDistribution:
+    def test_cdf_bounds(self):
+        d = LogUniformResistance(10.0, 1e6)
+        assert d.cdf(1.0) == 0.0
+        assert d.cdf(1e7) == 1.0
+        assert d.cdf(1e3) == pytest.approx(0.4, abs=1e-9)  # 2 of 5 decades
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LogUniformResistance(10.0, 1.0)
+
+    def test_probability_between(self):
+        d = LogUniformResistance(1.0, 1e4)
+        assert d.probability_between(1e1, 1e3) == pytest.approx(0.5)
+        assert d.probability_between(5.0, 5.0) == 0.0
+
+
+class TestEscape:
+    def test_flow_covering_best_config_has_no_escape(self, matrix, flow):
+        report = escape_report(1, flow, matrix)
+        # The flow includes C1, defect 1's most sensitive config.
+        assert report.p_escape == 0.0
+        assert report.p_field_failure > 0.0
+
+    def test_dropping_best_config_creates_escape(self, matrix):
+        partial = TestFlow(
+            iterations=[TestIteration(C2, (), ()), TestIteration(C3, (), ())]
+        )
+        report = escape_report(1, partial, matrix)
+        # Resistances in [10K, 30K) fail in the field but pass the flow.
+        d = LogUniformResistance()
+        assert report.p_escape == pytest.approx(
+            d.probability_between(10e3, 30e3)
+        )
+
+    def test_summary_and_totals(self, matrix, flow):
+        reports = flow_escape_summary(flow, matrix)
+        assert set(reports) == {1, 3, 9}
+        assert total_escape_probability(reports) == 0.0
+
+    def test_compare_flows(self, matrix, flow):
+        comparison = compare_flows(flow, matrix)
+        assert comparison["naive_escape"] == 0.0
+        assert comparison["optimised_escape"] == 0.0
+
+    def test_undetectable_defect(self, matrix):
+        matrix.entries[(7, C1)] = None
+        matrix.entries[(7, C2)] = None
+        matrix.entries[(7, C3)] = None
+        flow = TestFlow(iterations=[TestIteration(C1, (), ())])
+        report = escape_report(7, flow, matrix)
+        assert report.p_field_failure == 0.0
+        assert report.p_escape == 0.0

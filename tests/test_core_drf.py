@@ -1,0 +1,76 @@
+"""DRF_DS model and end-to-end scenarios."""
+
+import pytest
+
+from repro.core.drf import DRF_DS, DRFScenario
+from repro.devices import CellVariation
+from repro.devices.pvt import PVT
+from repro.march import march_lz, march_m_lz
+from repro.regulator import DEFECTS, VrefSelect
+
+HOT = PVT("fs", 1.0, 125.0)
+CS2 = CellVariation(mpcc1=-3, mncc1=-3)
+
+
+def _scenario(**overrides):
+    defaults = dict(
+        pvt=HOT,
+        vrefsel=VrefSelect.VREF74,
+        variation=CS2,
+        weak_cell_locations=((3, 2),),
+    )
+    defaults.update(overrides)
+    return DRFScenario(**defaults)
+
+
+class TestDRFRecord:
+    def test_presence(self):
+        assert DRF_DS(vddcc=0.5, victims=((0, 0),)).is_present
+        assert not DRF_DS(vddcc=0.77, victims=()).is_present
+
+
+class TestFaultFreeScenario:
+    def test_no_fault_without_defect(self):
+        scenario = _scenario()
+        fault = scenario.fault()
+        assert not fault.is_present
+        assert fault.vddcc > 0.70
+
+    def test_march_m_lz_passes(self):
+        assert _scenario().run_test(march_m_lz()).passed
+
+    def test_weak_drv_pair(self):
+        drv1, drv0 = _scenario().weak_drv
+        assert drv1 > 0.25  # degraded state
+        assert drv0 < 0.1   # favoured state retains to the floor
+
+
+class TestDefectiveScenario:
+    def test_large_defect_causes_fault(self):
+        scenario = _scenario(defect=DEFECTS[1], resistance=2e7)
+        fault = scenario.fault()
+        assert fault.is_present
+        assert (3, 2) in fault.victims
+        assert fault.vddcc < 0.60
+
+    def test_march_m_lz_detects(self):
+        scenario = _scenario(defect=DEFECTS[1], resistance=2e7)
+        result = scenario.run_test(march_m_lz())
+        assert result.detected
+
+    def test_march_lz_misses_zero_side(self):
+        """The mirrored (CSx-0) scenario escapes March LZ."""
+        scenario = _scenario(
+            variation=CS2.mirrored(), defect=DEFECTS[1], resistance=2e7
+        )
+        assert scenario.run_test(march_lz()).passed
+        assert scenario.run_test(march_m_lz()).detected
+
+    def test_small_defect_is_harmless(self):
+        scenario = _scenario(defect=DEFECTS[1], resistance=10.0)
+        assert not scenario.fault().is_present
+        assert scenario.run_test(march_m_lz()).passed
+
+    def test_vddcc_cached(self):
+        scenario = _scenario(defect=DEFECTS[1], resistance=2e7)
+        assert scenario.vddcc == scenario.vddcc  # cached_property: one solve

@@ -1,0 +1,60 @@
+"""Reduced-scale run of the full Section III-V pipeline."""
+
+import pytest
+
+from repro.core.methodology import MethodologyReport, RetentionTestMethodology
+from repro.devices.pvt import PVT
+
+
+@pytest.fixture(scope="module")
+def report() -> MethodologyReport:
+    """One reduced pipeline run shared by all assertions below.
+
+    Two divider defects plus one output-stage defect are enough to exercise
+    every step, including the optimiser's tap-repair logic.
+    """
+    methodology = RetentionTestMethodology(
+        defect_ids=(1, 3, 16),
+        pvt_grid=[PVT("fs", 1.1, 125.0)],
+    )
+    return methodology.run()
+
+
+class TestPipeline:
+    def test_sensitivity_covers_all_transistors(self, report):
+        assert set(report.transistor_sensitivity) == {
+            "mpcc1", "mncc1", "mpcc2", "mncc2", "mncc3", "mncc4"
+        }
+
+    def test_inverter_devices_dominate(self, report):
+        s = report.transistor_sensitivity
+        assert max(s["mpcc1"], s["mncc1"], s["mpcc2"], s["mncc2"]) > max(
+            s["mncc3"], s["mncc4"]
+        )
+
+    def test_pass_gates_not_negligible(self, report):
+        s = report.transistor_sensitivity
+        assert min(s["mncc3"], s["mncc4"]) > 0.005
+
+    def test_worst_case_drv(self, report):
+        assert 0.6 < report.drv_worst < 0.75
+        assert report.drv_worst_pvt.corner == "fs"
+
+    def test_matrix_covers_requested_defects(self, report):
+        assert report.matrix.defect_ids == [1, 3, 16]
+        assert len(report.matrix.configs) == 12
+
+    def test_flow_is_three_iterations(self, report):
+        assert len(report.flow.iterations) == 3
+        assert report.flow.time_reduction() == pytest.approx(0.75)
+
+    def test_flow_covers_all_detectable_defects(self, report):
+        detectable = {
+            d for d in report.matrix.defect_ids if report.matrix.detectable(d)
+        }
+        assert detectable <= report.flow.covered_defects()
+
+    def test_summary_text(self, report):
+        text = report.summary()
+        assert "Worst-case DRV_DS" in text
+        assert "Optimised test flow" in text

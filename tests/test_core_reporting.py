@@ -1,0 +1,31 @@
+"""Table renderers."""
+
+from repro.core.reporting import drv_cell, render_table, resistance_cell
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(
+            ["name", "value"],
+            [["a", 1], ["longer", 22]],
+            title="demo",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert all(len(line) == len(lines[1]) for line in lines[1:])
+        assert "longer" in text
+
+    def test_no_title(self):
+        text = render_table(["x"], [["1"]])
+        assert text.splitlines()[0].startswith("x")
+
+
+class TestCells:
+    def test_resistance_formats(self):
+        assert resistance_cell(9760) == "9.76K"
+        assert resistance_cell(None) == "> 500M"
+        assert resistance_cell(0.0) == "config-invalid"
+
+    def test_drv_formats(self):
+        assert drv_cell(0.730) == "730mV"
+        assert drv_cell(0.064) == "~64mV"

@@ -1,0 +1,163 @@
+"""Test-flow machinery: configs, detection matrix, optimiser.
+
+The optimiser logic is exercised on synthetic matrices (no circuit solves),
+so every branch is cheap and deterministic; the electrically-derived flow is
+covered by the integration test and the Table III benchmark.
+"""
+
+import pytest
+
+from repro.core.testflow import (
+    DetectionMatrix,
+    TestConfig,
+    TestFlow,
+    TestIteration,
+    all_test_configs,
+    optimize_flow,
+    paper_flow,
+)
+from repro.regulator import VrefSelect
+
+
+def _config(vdd, sel):
+    return TestConfig(vdd, sel)
+
+
+def _matrix(entries, drv=0.706):
+    m = DetectionMatrix(drv_worst=drv)
+    m.entries.update(entries)
+    return m
+
+
+def _ladder_matrix():
+    """Synthetic matrix mimicking the electrical results:
+
+    * Df1 detectable everywhere Vreg is valid, best at the lowest margin;
+    * Df3 only below its divider position (taps 0.70/0.64);
+    * Df4 only at tap 0.64;
+    * configs whose Vreg target sits below the worst-case DRV are invalid.
+    """
+    drv = 0.706
+    entries = {}
+    for config in all_test_configs():
+        margin = config.vreg_expected - drv
+        if margin < 0:
+            for d in (1, 3, 4):
+                entries[(d, config)] = 0.0
+            continue
+        entries[(1, config)] = 1e4 * (1 + 20 * margin)
+        entries[(3, config)] = (
+            2e4 * (1 + 20 * margin)
+            if config.vrefsel in (VrefSelect.VREF70, VrefSelect.VREF64)
+            else None
+        )
+        entries[(4, config)] = (
+            3e4 * (1 + 20 * margin)
+            if config.vrefsel is VrefSelect.VREF64
+            else None
+        )
+    return _matrix(entries, drv)
+
+
+class TestTestConfig:
+    def test_vreg_expected(self):
+        assert _config(1.1, VrefSelect.VREF70).vreg_expected == pytest.approx(0.77)
+
+    def test_pvt_binds_test_corner(self):
+        pvt = _config(1.2, VrefSelect.VREF64).pvt
+        assert pvt.corner == "fs" and pvt.temp_c == 125.0 and pvt.vdd == 1.2
+
+    def test_label(self):
+        label = _config(1.0, VrefSelect.VREF74).label()
+        assert "0.740V" in label and "1ms" in label
+
+    def test_all_configs_is_12(self):
+        configs = all_test_configs()
+        assert len(configs) == 12
+        assert len({(c.vdd, c.vrefsel) for c in configs}) == 12
+
+
+class TestDetectionMatrix:
+    def test_valid_configs_exclude_baseline_failures(self):
+        m = _ladder_matrix()
+        valid = m.valid_configs()
+        assert _config(1.0, VrefSelect.VREF64) not in valid  # 0.64 < DRV
+        assert _config(1.0, VrefSelect.VREF74) in valid
+        assert len(valid) == 9
+
+    def test_detectable(self):
+        m = _ladder_matrix()
+        assert m.detectable(1) and m.detectable(4)
+        m.entries[(9, _config(1.0, VrefSelect.VREF74))] = None
+        assert not m.detectable(9)
+
+    def test_maximizing_configs_factor(self):
+        m = _ladder_matrix()
+        best = m.maximizing_configs(1, factor=1.05)
+        # Smallest margin above DRV: VDD=1.0 / 0.74 (Vreg = 0.740).
+        assert best == {_config(1.0, VrefSelect.VREF74)}
+
+    def test_maximizing_excludes_invalid(self):
+        m = _ladder_matrix()
+        for configs in m.maximizing_configs(4, factor=10.0),:
+            assert all(c in m.valid_configs() for c in configs)
+
+
+class TestOptimizer:
+    def test_reproduces_table_iii_ladder(self):
+        flow = optimize_flow(_ladder_matrix())
+        picks = [(it.config.vdd, it.config.vrefsel) for it in flow.iterations]
+        assert picks == [
+            (1.0, VrefSelect.VREF74),
+            (1.1, VrefSelect.VREF70),
+            (1.2, VrefSelect.VREF64),
+        ]
+
+    def test_every_defect_maximised_once(self):
+        m = _ladder_matrix()
+        flow = optimize_flow(m)
+        picked = {it.config for it in flow.iterations}
+        for d in (1, 3, 4):
+            assert m.maximizing_configs(d) & picked
+
+    def test_75_percent_reduction(self):
+        flow = optimize_flow(_ladder_matrix())
+        assert flow.time_reduction() == pytest.approx(0.75, abs=1e-6)
+
+    def test_rejects_empty_matrix(self):
+        with pytest.raises(ValueError):
+            optimize_flow(_matrix({(1, _config(1.0, VrefSelect.VREF64)): 0.0}))
+
+    def test_iteration_reports_detected_set(self):
+        flow = optimize_flow(_ladder_matrix())
+        final = flow.iterations[-1]
+        assert set(final.detected_defects) == {1, 3, 4}
+
+
+class TestTestFlowAccounting:
+    def test_test_time_includes_ds_dwell(self):
+        flow = paper_flow(ds_time=1e-3)
+        t = flow.test_time(n_words=4096, cycle_time=10e-9)
+        march_ops = 3 * (5 * 4096 + 4) * 10e-9
+        dwell = 3 * 2 * 1e-3
+        assert t == pytest.approx(march_ops + dwell, rel=1e-9)
+
+    def test_paper_flow_structure(self):
+        flow = paper_flow()
+        assert len(flow.iterations) == 3
+        assert flow.time_reduction() == pytest.approx(0.75)
+        vregs = [round(it.config.vreg_expected, 3) for it in flow.iterations]
+        assert vregs == [0.740, 0.770, 0.768]
+
+    def test_covered_defects_union(self):
+        flow = TestFlow(
+            iterations=[
+                TestIteration(_config(1.0, VrefSelect.VREF74), (1,), (1, 2)),
+                TestIteration(_config(1.1, VrefSelect.VREF70), (3,), (3,)),
+            ]
+        )
+        assert flow.covered_defects() == {1, 2, 3}
+
+    def test_str_rendering(self):
+        text = str(paper_flow())
+        assert "3 iterations" in text and "75%" in text

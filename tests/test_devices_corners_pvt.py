@@ -1,0 +1,74 @@
+"""Process corners and PVT grid definitions."""
+
+import pytest
+
+from repro.devices.corners import CORNERS, get_corner
+from repro.devices.pvt import (
+    NOMINAL_PVT,
+    PVT,
+    SUPPLY_VOLTAGES,
+    TEMPERATURES,
+    corner_temp_grid,
+    paper_pvt_grid,
+)
+
+
+class TestCorners:
+    def test_paper_corner_set(self):
+        assert set(CORNERS) == {"slow", "typical", "fast", "fs", "sf"}
+
+    def test_typical_is_neutral(self):
+        tt = CORNERS["typical"]
+        assert tt.vth_shift_n == 0.0 and tt.vth_shift_p == 0.0
+        assert tt.kp_scale_n == 1.0 and tt.kp_scale_p == 1.0
+
+    def test_slow_raises_vth_both(self):
+        ss = CORNERS["slow"]
+        assert ss.vth_shift_n > 0 and ss.vth_shift_p > 0
+        assert ss.kp_scale_n < 1 and ss.kp_scale_p < 1
+
+    def test_mixed_corners(self):
+        fs = CORNERS["fs"]
+        assert fs.vth_shift_n < 0 < fs.vth_shift_p
+        sf = CORNERS["sf"]
+        assert sf.vth_shift_p < 0 < sf.vth_shift_n
+
+    def test_unknown_corner_message(self):
+        with pytest.raises(KeyError, match="options"):
+            get_corner("ttt")
+
+
+class TestPVT:
+    def test_paper_grid_is_45(self):
+        grid = paper_pvt_grid()
+        assert len(grid) == 45
+        assert len(set(grid)) == 45
+
+    def test_grid_contents(self):
+        grid = paper_pvt_grid()
+        assert PVT("fs", 1.0, 125.0) in grid
+        assert PVT("slow", 1.2, -30.0) in grid
+
+    def test_corner_temp_grid_is_15(self):
+        assert len(corner_temp_grid()) == 15
+
+    def test_label_format(self):
+        assert PVT("fs", 1.0, 125.0).label() == "fs, 1.0V, 125C"
+        assert PVT("sf", 1.2, -30.0).label() == "sf, 1.2V, -30C"
+
+    def test_validation(self):
+        with pytest.raises(KeyError):
+            PVT("bogus", 1.0, 25.0)
+        with pytest.raises(ValueError):
+            PVT("typical", -1.0, 25.0)
+
+    def test_nominal(self):
+        assert NOMINAL_PVT.vdd == 1.1
+        assert NOMINAL_PVT.corner == "typical"
+
+    def test_paper_constants(self):
+        assert SUPPLY_VOLTAGES == (1.0, 1.1, 1.2)
+        assert TEMPERATURES == (-30.0, 25.0, 125.0)
+
+    def test_corner_obj_access(self):
+        assert PVT("fs", 1.0, 25.0).corner_obj is CORNERS["fs"]

@@ -1,0 +1,153 @@
+"""EKV MOSFET model: regimes, derivatives, temperature, corners."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.devices import CORNERS, MosfetModel, nmos_params, pmos_params
+
+TT = CORNERS["typical"]
+
+
+def _nmos(temp_c=25.0, corner=TT, **over):
+    return MosfetModel(nmos_params("mn", 200e-9, **over), corner, temp_c)
+
+
+def _pmos(temp_c=25.0, corner=TT, **over):
+    return MosfetModel(pmos_params("mp", 200e-9, **over), corner, temp_c)
+
+
+class TestParamValidation:
+    def test_polarity_checked(self):
+        with pytest.raises(ValueError, match="polarity"):
+            nmos_params("x", 1e-7).__class__(
+                name="x", polarity="z", w=1e-7, l=4e-8
+            )
+
+    def test_geometry_checked(self):
+        with pytest.raises(ValueError, match="positive"):
+            nmos_params("x", -1e-7)
+
+    def test_vth_offset(self):
+        p = nmos_params("x", 1e-7)
+        assert p.with_vth_offset(-0.1).vth == pytest.approx(p.vth - 0.1)
+
+    def test_width_scaling(self):
+        p = nmos_params("x", 1e-7)
+        assert p.scaled(3.0).w == pytest.approx(3e-7)
+
+
+class TestOperatingRegimes:
+    def test_saturation_square_law(self):
+        m = _nmos()
+        i1 = m.ids_value(0.9, 1.1, 0.0)
+        i2 = m.ids_value(1.1, 1.1, 0.0)
+        # Stronger gate drive, more current; rough square-law growth.
+        ratio = i2 / i1
+        expected = ((1.1 - m.vth_eff) / (0.9 - m.vth_eff)) ** 2
+        assert ratio == pytest.approx(expected, rel=0.25)
+
+    def test_subthreshold_exponential(self):
+        m = _nmos()
+        i1 = m.ids_value(0.20, 1.1, 0.0)
+        i2 = m.ids_value(0.30, 1.1, 0.0)
+        # One subthreshold slope-factor decade step.
+        expected = np.exp(0.1 / (m.n * m.phi_t))
+        assert i2 / i1 == pytest.approx(expected, rel=0.12)
+
+    def test_off_leakage_positive(self):
+        m = _nmos()
+        leak = m.ids_value(0.0, 1.1, 0.0)
+        assert 0 < leak < 1e-9
+
+    def test_zero_vds_zero_current(self):
+        m = _nmos()
+        assert m.ids_value(1.0, 0.5, 0.5) == pytest.approx(0.0, abs=1e-15)
+
+    def test_drain_source_antisymmetry(self):
+        m = _nmos()
+        forward = m.ids_value(0.8, 0.6, 0.2)
+        reverse = m.ids_value(0.8, 0.2, 0.6)
+        # Swapping drain and source flips sign; CLM breaks exactness mildly.
+        assert reverse == pytest.approx(-forward, rel=0.2)
+        assert reverse < 0
+
+    def test_pmos_mirrors_nmos(self):
+        mn, mp = _nmos(), _pmos()
+        i_n = mn.ids_value(1.1, 1.1, 0.0)
+        # PMOS biased complementarily: gate 0, drain 0, source 1.1.
+        i_p = mp.ids_value(0.0, 0.0, 1.1)
+        assert i_p < 0  # conducts source -> drain
+        # kp ratio ~2.5 between the default cards.
+        assert abs(i_p) == pytest.approx(i_n * 120 / 300, rel=0.15)
+
+
+class TestDerivatives:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        vg=st.floats(0.0, 1.2),
+        vd=st.floats(0.0, 1.2),
+        vs=st.floats(0.0, 1.2),
+        polarity=st.sampled_from(["n", "p"]),
+    )
+    def test_analytic_matches_numeric(self, vg, vd, vs, polarity):
+        m = _nmos() if polarity == "n" else _pmos()
+        i, gg, gd, gs = m.ids(vg, vd, vs)
+        h = 1e-7
+
+        def num(f_plus, f_minus):
+            return (f_plus - f_minus) / (2 * h)
+
+        gg_n = num(m.ids(vg + h, vd, vs)[0], m.ids(vg - h, vd, vs)[0])
+        gd_n = num(m.ids(vg, vd + h, vs)[0], m.ids(vg, vd - h, vs)[0])
+        gs_n = num(m.ids(vg, vd, vs + h)[0], m.ids(vg, vd, vs - h)[0])
+        scale = max(abs(gg_n), abs(gd_n), abs(gs_n), 1e-12)
+        assert gg == pytest.approx(gg_n, abs=2e-4 * scale + 1e-13)
+        assert gd == pytest.approx(gd_n, abs=2e-4 * scale + 1e-13)
+        assert gs == pytest.approx(gs_n, abs=2e-4 * scale + 1e-13)
+
+    def test_terminal_derivative_sum_zero(self):
+        """KCL: shifting all terminals together changes nothing."""
+        m = _nmos()
+        _i, gg, gd, gs = m.ids(0.7, 0.4, 0.1)
+        assert gg + gd + gs == pytest.approx(0.0, abs=1e-9)
+
+
+class TestTemperatureAndCorners:
+    def test_leakage_grows_with_temperature(self):
+        cold = _nmos(-30.0).ids_value(0.0, 1.1, 0.0)
+        room = _nmos(25.0).ids_value(0.0, 1.1, 0.0)
+        hot = _nmos(125.0).ids_value(0.0, 1.1, 0.0)
+        assert cold < room < hot
+        assert hot / room > 50  # orders of magnitude, as in silicon
+
+    def test_drive_degrades_with_temperature(self):
+        room = _nmos(25.0).ids_value(1.1, 1.1, 0.0)
+        hot = _nmos(125.0).ids_value(1.1, 1.1, 0.0)
+        assert hot < room  # mobility loss dominates at high overdrive
+
+    def test_fast_corner_lowers_vth(self):
+        fast = MosfetModel(nmos_params("m", 1e-7), CORNERS["fast"], 25.0)
+        slow = MosfetModel(nmos_params("m", 1e-7), CORNERS["slow"], 25.0)
+        assert fast.vth_eff < slow.vth_eff
+
+    def test_fs_corner_is_asymmetric(self):
+        fs = CORNERS["fs"]
+        n = MosfetModel(nmos_params("m", 1e-7), fs, 25.0)
+        p = MosfetModel(pmos_params("m", 1e-7), fs, 25.0)
+        tt_n = MosfetModel(nmos_params("m", 1e-7), TT, 25.0)
+        tt_p = MosfetModel(pmos_params("m", 1e-7), TT, 25.0)
+        assert n.vth_eff < tt_n.vth_eff  # fast NMOS
+        assert p.vth_eff > tt_p.vth_eff  # slow PMOS
+
+    def test_vectorised_evaluation(self):
+        m = _nmos()
+        vg = np.linspace(0, 1.1, 10)
+        i = m.ids_value(vg, 1.1, 0.0)
+        assert i.shape == (10,)
+        assert np.all(np.diff(i) > 0)  # monotone in gate voltage
+
+    def test_gate_capacitance_scales_with_area(self):
+        small = _nmos().gate_capacitance()
+        big = MosfetModel(nmos_params("m", 400e-9), TT, 25.0).gate_capacitance()
+        assert big == pytest.approx(2 * small, rel=1e-9)

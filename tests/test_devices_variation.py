@@ -1,0 +1,79 @@
+"""Within-die Vth variation model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.devices.variation import CELL_TRANSISTORS, SIGMA_VTH, CellVariation
+
+sigma_values = st.floats(min_value=-6.0, max_value=6.0, allow_nan=False)
+variations = st.builds(
+    CellVariation,
+    mpcc1=sigma_values, mncc1=sigma_values, mpcc2=sigma_values,
+    mncc2=sigma_values, mncc3=sigma_values, mncc4=sigma_values,
+)
+
+
+class TestConstruction:
+    def test_symmetric(self):
+        v = CellVariation.symmetric()
+        assert v.is_symmetric()
+        assert v.magnitude() == 0.0
+
+    def test_single(self):
+        v = CellVariation.single("mncc3", -2.5)
+        assert v.mncc3 == -2.5
+        assert sum(abs(x) for _, x in v.items()) == 2.5
+
+    def test_single_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown transistor"):
+            CellVariation.single("mncc9", 1.0)
+
+    def test_worst_case_signs(self):
+        """Fig. 4 observation 1: the DRV_DS1-maximising sign pattern."""
+        v = CellVariation.worst_case_drv1(6.0)
+        assert v.mpcc1 == v.mncc1 == v.mncc3 == -6.0
+        assert v.mpcc2 == v.mncc2 == v.mncc4 == +6.0
+
+    def test_worst_case_drv0_is_mirror(self):
+        assert CellVariation.worst_case_drv0(6.0) == CellVariation.worst_case_drv1(6.0).mirrored()
+
+    def test_sample_reproducible(self):
+        a = CellVariation.sample(np.random.default_rng(42))
+        b = CellVariation.sample(np.random.default_rng(42))
+        assert a == b
+        assert not a.is_symmetric()
+
+
+class TestMirroring:
+    @given(variations)
+    def test_mirror_is_involution(self, v):
+        assert v.mirrored().mirrored() == v
+
+    @given(variations)
+    def test_mirror_preserves_magnitude(self, v):
+        assert v.mirrored().magnitude() == pytest.approx(v.magnitude())
+
+    def test_mirror_swaps_halves(self):
+        v = CellVariation(mpcc1=1, mncc1=2, mpcc2=3, mncc2=4, mncc3=5, mncc4=6)
+        m = v.mirrored()
+        assert (m.mpcc1, m.mncc1) == (3, 4)
+        assert (m.mpcc2, m.mncc2) == (1, 2)
+        assert (m.mncc3, m.mncc4) == (6, 5)
+
+
+class TestOffsets:
+    def test_scaling(self):
+        v = CellVariation.single("mpcc1", 2.0)
+        offsets = v.vth_offsets()
+        assert offsets["mpcc1"] == pytest.approx(2.0 * SIGMA_VTH)
+        assert offsets["mncc4"] == 0.0
+
+    def test_custom_sigma(self):
+        v = CellVariation.single("mncc1", -1.0)
+        assert v.vth_offsets(sigma_vth=0.05)["mncc1"] == pytest.approx(-0.05)
+
+    def test_transistor_name_ordering(self):
+        assert CELL_TRANSISTORS == (
+            "mpcc1", "mncc1", "mpcc2", "mncc2", "mncc3", "mncc4"
+        )

@@ -1,0 +1,77 @@
+"""End-to-end integration: the paper's storyline on one scenario.
+
+A CS2-class weak cell, a divider defect in the regulator, and the optimised
+test flow's first iteration - driven exclusively through the public API, the
+way the examples and a downstream user would.
+"""
+
+import pytest
+
+from repro import (
+    CellVariation,
+    DRFScenario,
+    PVT,
+    VrefSelect,
+    march_lz,
+    march_m_lz,
+    paper_flow,
+)
+from repro.regulator import DEFECTS
+from repro.units import OPEN_LINE_OHMS
+
+
+@pytest.fixture(scope="module")
+def iteration1():
+    """Table III iteration 1: VDD=1.0 V, Vref=0.74*VDD, hot corner."""
+    flow = paper_flow()
+    return flow.iterations[0].config
+
+
+class TestStoryline:
+    def test_defect_free_device_ships(self, iteration1):
+        scenario = DRFScenario(
+            pvt=iteration1.pvt,
+            vrefsel=iteration1.vrefsel,
+            variation=CellVariation(mpcc1=-3, mncc1=-3),
+        )
+        assert scenario.run_test(march_m_lz(iteration1.ds_time)).passed
+
+    def test_defective_device_is_rejected(self, iteration1):
+        scenario = DRFScenario(
+            pvt=iteration1.pvt,
+            vrefsel=iteration1.vrefsel,
+            variation=CellVariation(mpcc1=-3, mncc1=-3),
+            defect=DEFECTS[1],
+            resistance=20e6,
+        )
+        result = scenario.run_test(march_m_lz(iteration1.ds_time))
+        assert result.detected
+
+    def test_march_lz_gap_on_mirrored_cells(self, iteration1):
+        """Why the paper extended March LZ: stored-0 retention escapes."""
+        scenario = DRFScenario(
+            pvt=iteration1.pvt,
+            vrefsel=iteration1.vrefsel,
+            variation=CellVariation(mpcc2=-3, mncc2=-3),  # degrades 0s
+            defect=DEFECTS[1],
+            resistance=20e6,
+        )
+        assert scenario.run_test(march_lz()).passed
+        assert scenario.run_test(march_m_lz()).detected
+
+    def test_open_line_is_always_caught(self, iteration1):
+        """An actual open (> 500M) in a DRF branch must never ship."""
+        scenario = DRFScenario(
+            pvt=iteration1.pvt,
+            vrefsel=iteration1.vrefsel,
+            variation=CellVariation.worst_case_drv1(6.0),
+            defect=DEFECTS[29],
+            resistance=OPEN_LINE_OHMS,
+        )
+        assert scenario.run_test(march_m_lz()).detected
+
+    def test_flow_cost_accounting(self):
+        flow = paper_flow()
+        # 3 runs of a 5N+4 algorithm on 4K words at 10 ns, plus 6 x 1 ms DS.
+        assert flow.test_time(4096) == pytest.approx(3 * 20484 * 10e-9 + 6e-3)
+        assert flow.time_reduction() == pytest.approx(0.75)

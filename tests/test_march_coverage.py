@@ -1,0 +1,84 @@
+"""Fault-coverage evaluation across the March library."""
+
+import pytest
+
+from repro.march import (
+    evaluate_coverage,
+    march_c_minus,
+    march_m_lz,
+    march_ss,
+    mats_plus,
+)
+from repro.sram import (
+    CouplingFaultIdempotent,
+    PeripheralPowerGatingFault,
+    SRAMConfig,
+    StuckAtFault,
+    TransitionFault,
+)
+
+CFG = SRAMConfig(n_words=16, word_bits=4)
+
+
+def _saf_instances():
+    return [
+        (f"SAF{v}@{a}.{b}", lambda a=a, b=b, v=v: StuckAtFault(a, b, v))
+        for a in (0, 7, 15)
+        for b in (0, 3)
+        for v in (0, 1)
+    ]
+
+
+def _tf_instances():
+    return [
+        (f"TF{'r' if r else 'f'}@{a}", lambda a=a, r=r: TransitionFault(a, 1, rising=r))
+        for a in (0, 8, 15)
+        for r in (True, False)
+    ]
+
+
+class TestClassicCoverage:
+    def test_all_tests_catch_stuck_at(self):
+        for factory in (mats_plus, march_c_minus, march_ss, march_m_lz):
+            report = evaluate_coverage(factory(), _saf_instances(), config=CFG)
+            assert report.coverage == 1.0, report
+
+    def test_mats_plus_misses_falling_transition(self):
+        """Textbook gap: MATS+ never reads after its final w0."""
+        report = evaluate_coverage(mats_plus(), _tf_instances(), config=CFG)
+        assert all(label.startswith("TFf") for label in report.missed)
+        assert report.coverage == pytest.approx(0.5)
+
+    def test_march_c_minus_catches_all_transitions(self):
+        report = evaluate_coverage(march_c_minus(), _tf_instances(), config=CFG)
+        assert report.coverage == 1.0
+
+    def test_coupling_coverage(self):
+        instances = [
+            ("CFid_up", lambda: CouplingFaultIdempotent(2, 0, 10, 2, True, 1)),
+            ("CFid_down", lambda: CouplingFaultIdempotent(10, 2, 2, 0, False, 0)),
+        ]
+        report = evaluate_coverage(march_c_minus(), instances, config=CFG)
+        assert report.coverage == 1.0
+
+    def test_only_lz_family_catches_power_gating(self):
+        instances = [("PPG", lambda: PeripheralPowerGatingFault(recovery_ops=3))]
+        for factory, expected in (
+            (mats_plus, 0.0),
+            (march_c_minus, 0.0),
+            (march_ss, 0.0),
+            (march_m_lz, 1.0),
+        ):
+            report = evaluate_coverage(factory(), instances, config=CFG)
+            assert report.coverage == expected, factory().name
+
+
+class TestReport:
+    def test_counts_and_str(self):
+        report = evaluate_coverage(mats_plus(), _saf_instances(), config=CFG)
+        assert report.total == len(_saf_instances())
+        assert "detected" in str(report)
+
+    def test_empty_instances(self):
+        report = evaluate_coverage(mats_plus(), [], config=CFG)
+        assert report.coverage == 1.0

@@ -1,0 +1,96 @@
+"""March DSL: operations, elements, length accounting."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.march import (
+    DSM,
+    WUP,
+    AddressOrder,
+    MarchElement,
+    MarchTest,
+    read,
+    write,
+)
+from repro.march.dsl import element
+
+
+class TestOperations:
+    def test_read_write_constructors(self):
+        assert str(read(1)) == "r1"
+        assert str(write(0)) == "w0"
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="kind"):
+            read(1).__class__("x", 1)
+        with pytest.raises(ValueError, match="value"):
+            write(2)
+
+
+class TestAddressOrders:
+    def test_up(self):
+        assert list(AddressOrder.UP.addresses(4)) == [0, 1, 2, 3]
+
+    def test_down(self):
+        assert list(AddressOrder.DOWN.addresses(4)) == [3, 2, 1, 0]
+
+    def test_any_defaults_up(self):
+        assert list(AddressOrder.ANY.addresses(3)) == [0, 1, 2]
+
+
+class TestElements:
+    def test_empty_element_rejected(self):
+        with pytest.raises(ValueError):
+            MarchElement(AddressOrder.UP, ())
+
+    def test_rendering(self):
+        el = element(AddressOrder.UP, read(1), write(0), read(0))
+        assert str(el) == "u(r1,w0,r0)"
+        assert str(DSM()) == "DSM"
+        assert str(WUP()) == "WUP"
+
+
+class TestMarchTest:
+    def _test(self):
+        return MarchTest(
+            "demo",
+            (
+                element(AddressOrder.UP, write(1)),
+                DSM(2e-3),
+                WUP(),
+                element(AddressOrder.DOWN, read(1), write(0)),
+            ),
+        )
+
+    def test_length(self):
+        t = self._test()
+        assert t.length(100) == 3 * 100 + 2
+
+    def test_complexity_string(self):
+        assert self._test().complexity() == "3N+2"
+
+    def test_complexity_without_constants(self):
+        t = MarchTest("x", (element(AddressOrder.UP, write(0)),))
+        assert t.complexity() == "1N"
+
+    def test_ds_intervals(self):
+        assert self._test().ds_intervals() == [2e-3]
+
+    def test_str_rendering(self):
+        text = str(self._test())
+        assert text == "demo = { u(w1); DSM; WUP; d(r1,w0) }"
+
+    @given(
+        n_elements=st.integers(1, 5),
+        ops_per_element=st.integers(1, 4),
+        n_specials=st.integers(0, 4),
+        n_words=st.integers(1, 4096),
+    )
+    def test_length_formula_property(self, n_elements, ops_per_element, n_specials, n_words):
+        """length(N) == (ops per word) * N + (special ops), always."""
+        elements = tuple(
+            element(AddressOrder.UP, *[write(0)] * ops_per_element)
+            for _ in range(n_elements)
+        ) + tuple(DSM() for _ in range(n_specials))
+        t = MarchTest("gen", elements)
+        assert t.length(n_words) == n_elements * ops_per_element * n_words + n_specials

@@ -1,0 +1,70 @@
+"""Standard March test definitions."""
+
+import pytest
+
+from repro.march import (
+    march_c_minus,
+    march_lz,
+    march_m_lz,
+    march_ss,
+    mats_plus,
+    standard_tests,
+)
+from repro.march.dsl import DSM, WUP, MarchElement
+
+
+class TestMarchMLZ:
+    def test_paper_length_5n_plus_4(self):
+        t = march_m_lz()
+        assert t.complexity() == "5N+4"
+        assert t.length(4096) == 5 * 4096 + 4
+
+    def test_structure_matches_paper(self):
+        """{ u(w1); DSM; WUP; u(r1,w0,r0); DSM; WUP; u(r0) }"""
+        t = march_m_lz()
+        kinds = [type(el).__name__ for el in t.elements]
+        assert kinds == [
+            "MarchElement", "DSM", "WUP", "MarchElement", "DSM", "WUP", "MarchElement",
+        ]
+        me1, me4, me7 = t.elements[0], t.elements[3], t.elements[6]
+        assert str(me1) == "u(w1)"
+        assert str(me4) == "u(r1,w0,r0)"
+        assert str(me7) == "u(r0)"
+
+    def test_ds_time_parameter(self):
+        t = march_m_lz(ds_time=5e-3)
+        assert t.ds_intervals() == [5e-3, 5e-3]
+
+    def test_extends_march_lz(self):
+        """March m-LZ = March LZ + second sleep cycle + final r0."""
+        lz = march_lz()
+        mlz = march_m_lz()
+        assert [str(e) for e in mlz.elements[:4]] == [str(e) for e in lz.elements]
+
+
+class TestClassicLengths:
+    @pytest.mark.parametrize(
+        "factory, complexity",
+        [
+            (mats_plus, "5N"),
+            (march_c_minus, "10N"),
+            (march_ss, "22N"),
+            (march_lz, "4N+2"),
+        ],
+    )
+    def test_lengths(self, factory, complexity):
+        assert factory().complexity() == complexity
+
+
+class TestLibrary:
+    def test_standard_tests_keys(self):
+        tests = standard_tests()
+        assert set(tests) == {
+            "MATS+", "March C-", "March SS", "March LZ", "March m-LZ"
+        }
+
+    def test_all_start_with_initialising_write(self):
+        for test in standard_tests().values():
+            first = test.elements[0]
+            assert isinstance(first, MarchElement)
+            assert first.ops[0].kind == "w"

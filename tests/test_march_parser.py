@@ -1,0 +1,98 @@
+"""March notation parser: round trips and error handling."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.march import march_m_lz, standard_tests
+from repro.march.dsl import DSM, WUP, AddressOrder, MarchTest, element, read, write
+from repro.march.parser import MarchParseError, parse_library_or_custom, parse_march
+
+
+class TestParsing:
+    def test_paper_algorithm(self):
+        test = parse_march("{ u(w1); DSM; WUP; u(r1,w0,r0); DSM; WUP; u(r0) }")
+        assert str(test).endswith(str(march_m_lz()).split("= ", 1)[1])
+        assert test.complexity() == "5N+4"
+
+    def test_named_test(self):
+        test = parse_march("March X = { u(w0); d(r0) }")
+        assert test.name == "March X"
+
+    def test_name_override(self):
+        test = parse_march("March X = { u(w0) }", name="Mine")
+        assert test.name == "Mine"
+
+    def test_braceless_form(self):
+        test = parse_march("a(w0); u(r0,w1)")
+        assert test.length(10) == 30
+
+    def test_dsm_dwell_suffix(self):
+        test = parse_march("{ u(w1); DSM[2ms]; WUP; u(r1); DSM[500us]; WUP; u(r1) }")
+        assert test.ds_intervals() == [2e-3, 500e-6]
+
+    def test_whitespace_insensitive(self):
+        a = parse_march("{u(w1);DSM;WUP;u(r1)}")
+        b = parse_march("{ u( w1 ) ; DSM ; WUP ; u( r1 ) }")
+        assert str(a) == str(b)
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "{ u(w2) }",          # bad data value
+            "{ x(w0) }",          # bad order
+            "{ u() }",            # empty ops
+            "{ u(w0); DSM[3h] }", # bad unit
+            "{ u(w0)",            # unbalanced brace
+            "{ }",                # empty test
+            "{ q }",              # garbage element
+        ],
+    )
+    def test_rejected(self, text):
+        with pytest.raises(MarchParseError):
+            parse_march(text)
+
+
+class TestRoundTrip:
+    @given(
+        st.lists(
+            st.one_of(
+                st.builds(
+                    lambda order, ops: element(order, *ops),
+                    st.sampled_from(list(AddressOrder)),
+                    st.lists(
+                        st.builds(
+                            lambda k, v: read(v) if k else write(v),
+                            st.booleans(), st.integers(0, 1),
+                        ),
+                        min_size=1, max_size=4,
+                    ),
+                ),
+                st.just(DSM()),
+                st.just(WUP()),
+            ),
+            min_size=1, max_size=6,
+        )
+    )
+    def test_str_parse_identity(self, elements):
+        original = MarchTest("gen", tuple(elements))
+        parsed = parse_march(str(original))
+        assert str(parsed) == str(original)
+        assert parsed.length(64) == original.length(64)
+
+
+class TestLibraryResolution:
+    def test_library_name(self):
+        assert parse_library_or_custom("March m-LZ") is not None
+        assert parse_library_or_custom("MATS+").complexity() == "5N"
+
+    def test_custom_fallback(self):
+        test = parse_library_or_custom("{ u(w0); u(r0) }")
+        assert test.name == "custom"
+
+    def test_every_library_test_round_trips(self):
+        for name, test in standard_tests().items():
+            parsed = parse_march(str(test))
+            assert parsed.name == name
+            assert str(parsed) == str(test)

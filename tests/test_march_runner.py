@@ -1,0 +1,98 @@
+"""March runner: execution, failure logging, DRF sensitisation."""
+
+import pytest
+
+from repro.march import march_lz, march_m_lz, mats_plus, run_march
+from repro.sram import (
+    LowPowerSRAM,
+    RetentionEngine,
+    SRAMConfig,
+    StuckAtFault,
+    WeakCell,
+)
+
+CFG = SRAMConfig(n_words=16, word_bits=8)
+
+
+class TestBasics:
+    def test_fault_free_passes(self, small_config):
+        result = run_march(march_m_lz(), LowPowerSRAM(small_config))
+        assert result.passed and not result.detected
+
+    def test_operation_count_matches_length(self, small_config):
+        test = march_m_lz()
+        result = run_march(test, LowPowerSRAM(small_config))
+        assert result.operations == test.length(small_config.n_words)
+
+    def test_str_summary(self):
+        result = run_march(mats_plus(), LowPowerSRAM(CFG))
+        assert "PASS" in str(result)
+
+
+class TestFailureReporting:
+    def test_stuck_at_zero_located(self):
+        m = LowPowerSRAM(CFG)
+        m.inject(StuckAtFault(5, 3, 0))
+        result = run_march(mats_plus(), m)
+        assert result.detected
+        assert (5, 3) in result.failing_cells()
+        first = result.failures[0]
+        assert first.expected != first.observed
+
+    def test_failure_records_element(self):
+        m = LowPowerSRAM(CFG)
+        m.inject(StuckAtFault(5, 3, 0))
+        result = run_march(mats_plus(), m)
+        # SA0 first observed by the r1 of ME3 (element index 2).
+        assert result.failures[0].element_index == 2
+
+    def test_max_failures_cap(self):
+        m = LowPowerSRAM(CFG)
+        for bit in range(8):
+            m.inject(StuckAtFault(0, bit, 1))
+        result = run_march(mats_plus(), m, max_failures=3)
+        assert len(result.failures) == 3
+
+
+class TestDRFSensitisation:
+    def _weak(self, drv1=0.05, drv0=0.05):
+        engine = RetentionEngine([WeakCell(2, 4, drv1=drv1, drv0=drv0)])
+        return LowPowerSRAM(CFG, retention=engine)
+
+    def test_drf_on_ones_detected_by_me4(self):
+        m = self._weak(drv1=0.70)
+        result = run_march(march_m_lz(), m, vddcc_for_sleep=lambda i: 0.50)
+        assert result.detected
+        assert result.failures[0].element_index == 3  # ME4's r1
+
+    def test_drf_on_zeros_detected_by_me7(self):
+        m = self._weak(drv0=0.70)
+        result = run_march(march_m_lz(), m, vddcc_for_sleep=lambda i: 0.50)
+        assert result.detected
+        assert result.failures[0].element_index == 6  # ME7's r0
+
+    def test_march_lz_misses_drf_on_zeros(self):
+        """The coverage gap that motivates March m-LZ (Section V)."""
+        m = self._weak(drv0=0.70)
+        result = run_march(march_lz(), m, vddcc_for_sleep=lambda i: 0.50)
+        assert result.passed
+
+    def test_march_lz_catches_drf_on_ones(self):
+        m = self._weak(drv1=0.70)
+        result = run_march(march_lz(), m, vddcc_for_sleep=lambda i: 0.50)
+        assert result.detected
+
+    def test_per_sleep_voltages(self):
+        """vddcc_for_sleep is indexed: fail only the second sleep."""
+        m = self._weak(drv0=0.70)
+        voltages = {0: 0.77, 1: 0.50}
+        result = run_march(
+            march_m_lz(), m, vddcc_for_sleep=lambda i: voltages[i]
+        )
+        assert result.detected
+        assert result.failures[0].element_index == 6
+
+    def test_healthy_vreg_passes(self):
+        m = self._weak(drv1=0.70, drv0=0.70)
+        result = run_march(march_m_lz(), m, vddcc_for_sleep=lambda i: 0.77)
+        assert result.passed

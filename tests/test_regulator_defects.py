@@ -1,0 +1,77 @@
+"""The 32-defect registry: structure and paper category lists."""
+
+import pytest
+
+from repro.regulator.defects import (
+    DEFECT_IDS,
+    DEFECTS,
+    DRF_IDS,
+    NEGLIGIBLE_IDS,
+    DefectCategory,
+    TimingMode,
+    get_defect,
+)
+
+
+class TestRegistryStructure:
+    def test_exactly_32_sites(self):
+        assert DEFECT_IDS == tuple(range(1, 33))
+        assert len(DEFECTS) == 32
+
+    def test_names(self):
+        assert DEFECTS[1].name == "Df1"
+        assert DEFECTS[32].name == "Df32"
+        assert str(DEFECTS[7]) == "Df7"
+
+    def test_every_site_has_description_and_branch(self):
+        for site in DEFECTS.values():
+            assert site.description
+            assert ":" in site.branch
+
+    def test_divider_defects_map_to_sections(self):
+        for k in range(1, 7):
+            assert DEFECTS[k].branch == f"divider:r{k}"
+
+    def test_get_defect_error(self):
+        with pytest.raises(KeyError, match="1..32"):
+            get_defect(33)
+
+
+class TestPaperCategoryLists:
+    def test_negligible_set_matches_paper(self):
+        """Section IV.B: Df14, Df17, Df18, Df21, Df24, Df25 are negligible."""
+        assert NEGLIGIBLE_IDS == (14, 17, 18, 21, 24, 25)
+
+    def test_table_ii_defect_set(self):
+        """Table II rows: the 17 defects that can cause DRFs."""
+        assert DRF_IDS == (1, 2, 3, 4, 5, 7, 8, 9, 10, 11, 12, 16, 19, 23, 26, 29, 32)
+
+    def test_green_category(self):
+        """Df2..Df5 cause both DRFs and increased power."""
+        for k in (2, 3, 4, 5):
+            assert DEFECTS[k].category is DefectCategory.BOTH
+
+    def test_power_only_by_elimination(self):
+        power = {
+            n for n, d in DEFECTS.items() if d.category is DefectCategory.POWER
+        }
+        assert power == {6, 13, 15, 20, 22, 27, 28, 30, 31}
+
+    def test_causes_drf_flag(self):
+        assert DEFECTS[1].causes_drf
+        assert DEFECTS[3].causes_drf  # BOTH counts
+        assert not DEFECTS[6].causes_drf
+        assert not DEFECTS[14].causes_drf
+
+
+class TestTimingDefects:
+    def test_timing_assignments(self):
+        assert DEFECTS[8].timing is TimingMode.ACTIVATION_DELAY
+        assert DEFECTS[11].timing is TimingMode.UNDERSHOOT
+        assert DEFECTS[28].timing is TimingMode.DEACTIVATION_DELAY
+
+    def test_all_other_defects_are_dc(self):
+        timed = {8, 11, 28}
+        for n, d in DEFECTS.items():
+            if n not in timed:
+                assert d.timing is None

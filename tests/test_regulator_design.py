@@ -1,0 +1,77 @@
+"""Regulator design parameters and tap selection."""
+
+import pytest
+
+from repro.regulator import VREF_TAPS, VrefSelect
+from repro.regulator.design import DEFAULT_REGULATOR, RegulatorDesign
+
+
+class TestDivider:
+    def test_sections_sum_to_total(self):
+        design = RegulatorDesign()
+        total = sum(design.divider_sections().values())
+        assert total == pytest.approx(design.divider_total)
+
+    def test_tap_fractions_from_sections(self):
+        """Walking the chain reproduces the paper's tap fractions."""
+        design = RegulatorDesign(divider_total=1.0)
+        sections = design.divider_sections()
+        remaining = 1.0
+        fractions = []
+        for name in ("r1", "r2", "r3", "r4", "r5"):
+            remaining -= sections[name]
+            fractions.append(round(remaining, 10))
+        assert fractions == [0.78, 0.74, 0.70, 0.64, 0.52]
+
+    def test_paper_tap_constants(self):
+        assert VREF_TAPS == (0.78, 0.74, 0.70, 0.64, 0.52)
+
+
+class TestVrefSelect:
+    def test_fractions(self):
+        assert {sel.fraction for sel in VrefSelect} == {0.78, 0.74, 0.70, 0.64}
+
+    def test_tap_nodes(self):
+        assert VrefSelect.VREF74.tap_node == "vref74"
+        assert VrefSelect.VREF64.tap_node == "vref64"
+
+    @pytest.mark.parametrize(
+        "vdd, expected, vreg",
+        [
+            (1.0, VrefSelect.VREF74, 0.740),
+            (1.1, VrefSelect.VREF70, 0.770),
+            (1.2, VrefSelect.VREF64, 0.768),
+        ],
+    )
+    def test_closest_at_or_above_reproduces_table_iii(self, vdd, expected, vreg):
+        """The paper's configuration rule yields the Table III tap ladder."""
+        sel = VrefSelect.closest_at_or_above(0.730, vdd)
+        assert sel is expected
+        assert sel.fraction * vdd == pytest.approx(vreg, abs=1e-9)
+
+    def test_falls_back_to_highest_tap(self):
+        assert VrefSelect.closest_at_or_above(2.0, 1.0) is VrefSelect.VREF78
+
+
+class TestDeviceParams:
+    def test_all_seven_transistors(self):
+        params = DEFAULT_REGULATOR.device_params()
+        assert set(params) == {
+            "mnreg1", "mnreg2", "mnreg3", "mpreg1", "mpreg2", "mpreg3", "mpreg4"
+        }
+
+    def test_polarities(self):
+        params = DEFAULT_REGULATOR.device_params()
+        assert all(params[k].polarity == "n" for k in ("mnreg1", "mnreg2", "mnreg3"))
+        assert all(params[k].polarity == "p" for k in ("mpreg1", "mpreg2", "mpreg3", "mpreg4"))
+
+    def test_only_output_device_has_gate_leak(self):
+        params = DEFAULT_REGULATOR.device_params()
+        assert params["mpreg1"].gate_leak_density > 0
+        for name in ("mnreg1", "mnreg2", "mnreg3", "mpreg2", "mpreg3", "mpreg4"):
+            assert params[name].gate_leak_density == 0.0
+
+    def test_amp_devices_are_low_vth(self):
+        params = DEFAULT_REGULATOR.device_params()
+        assert params["mnreg1"].vth == DEFAULT_REGULATOR.amp_vth
+        assert params["mnreg1"].vth < params["mpreg1"].vth

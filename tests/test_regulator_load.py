@@ -1,0 +1,100 @@
+"""Leakage table and the array-load MNA element."""
+
+import numpy as np
+import pytest
+
+from repro.regulator.load import (
+    ArrayLoad,
+    LeakageTable,
+    WeakCellGroup,
+    leakage_table,
+)
+from repro.spice import Circuit, solve_dc
+
+
+class TestLeakageTable:
+    def test_interpolation_consistency(self):
+        """i() and di_dv() must come from the same linear segment."""
+        table = leakage_table("typical", 25.0)
+        v0 = 0.613
+        h = 1e-5
+        slope_numeric = (table.i(v0 + h) - table.i(v0 - h)) / (2 * h)
+        assert table.di_dv(v0) == pytest.approx(slope_numeric, rel=1e-6)
+
+    def test_clamping(self):
+        table = leakage_table("typical", 25.0)
+        assert table.i(-1.0) == table.i(0.0)
+        assert table.i(5.0) == table.i(1.4)
+        assert table.di_dv(-1.0) == 0.0
+
+    def test_monotone(self):
+        table = leakage_table("typical", 25.0)
+        # The model has a tiny non-monotone dip below ~0.2 V (pass-gate
+        # leak reshaping); the regulator never operates there.
+        values = [table.i(v) for v in np.linspace(0.25, 1.2, 15)]
+        assert values == sorted(values)
+
+    def test_cached(self):
+        assert leakage_table("fs", 125.0) is leakage_table("fs", 125.0)
+
+    def test_temperature_ordering(self):
+        assert leakage_table("typical", 125.0).i(0.77) > leakage_table("typical", 25.0).i(0.77) * 50
+
+
+class TestArrayLoad:
+    def _solve_with_load(self, n_cells=262144, weak=(), v=0.77):
+        c = Circuit()
+        c.vsource("v", "n", "0", v)
+        c.add(ArrayLoad("load", c.node("n"), leakage_table("typical", 25.0), n_cells, weak))
+        s = solve_dc(c)
+        return -s.branch_current("v")
+
+    def test_draws_array_leakage(self):
+        table = leakage_table("typical", 25.0)
+        current = self._solve_with_load()
+        assert current == pytest.approx(262144 * table.i(0.77), rel=1e-6)
+
+    def test_weak_cells_add_current_below_drv(self):
+        # 64 weak cells at 200x leakage against a 10K-cell array: the
+        # crowbar roughly doubles the load once the supply is below DRV.
+        base = self._solve_with_load(n_cells=10_000, v=0.60)
+        crowbar = self._solve_with_load(
+            n_cells=10_000, weak=(WeakCellGroup(count=64, drv=0.70),), v=0.60
+        )
+        assert crowbar > base * 2.0
+
+    def test_weak_cell_share_matches_paper_scale(self):
+        # Against the full 256K array the CS5 population adds a few percent
+        # of extra current - the same order as Table II's CS5-vs-CS2 shift.
+        base = self._solve_with_load(v=0.60)
+        crowbar = self._solve_with_load(
+            weak=(WeakCellGroup(count=64, drv=0.70),), v=0.60
+        )
+        assert 1.02 < crowbar / base < 1.15
+
+    def test_weak_cells_quiet_above_drv(self):
+        base = self._solve_with_load(v=0.80)
+        quiet = self._solve_with_load(
+            weak=(WeakCellGroup(count=64, drv=0.70),), v=0.80
+        )
+        assert quiet == pytest.approx(base, rel=0.02)
+
+    def test_internal_derivative_consistency(self):
+        load = ArrayLoad(
+            "l", 1, leakage_table("typical", 25.0), 1000,
+            (WeakCellGroup(count=8, drv=0.7),),
+        )
+        v0 = 0.695  # inside the crowbar turn-on region
+        h = 1e-6
+        i_p, _ = load._current(v0 + h)
+        i_m, _ = load._current(v0 - h)
+        _i, slope = load._current(v0)
+        assert slope == pytest.approx((i_p - i_m) / (2 * h), rel=1e-4)
+
+    def test_describe(self):
+        load = ArrayLoad(
+            "l", 1, leakage_table("typical", 25.0), 256,
+            (WeakCellGroup(count=1, drv=0.7),),
+        )
+        text = load.describe(["0", "vddcc"])
+        assert "cells=256" in text and "1x@0.700V" in text

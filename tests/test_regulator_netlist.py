@@ -1,0 +1,85 @@
+"""Regulator netlist construction and fault-free operating points."""
+
+import pytest
+
+from repro.devices.pvt import PVT
+from repro.regulator import DEFECTS, VrefSelect, build_regulator, solve_regulator
+
+
+class TestFaultFreeOperation:
+    def test_nominal_regulation(self, clean_op_nominal):
+        """Vreg tracks Vref = 0.70 * 1.1 V within a small amp offset."""
+        op = clean_op_nominal
+        assert op.vddcc == pytest.approx(0.77, abs=0.01)
+        assert op.vref == pytest.approx(0.77, abs=1e-3)
+        assert op.vbias == pytest.approx(0.52 * 1.1, abs=1e-3)
+
+    def test_all_four_taps(self, nominal_pvt):
+        for sel in VrefSelect:
+            op, _ = solve_regulator(nominal_pvt, sel)
+            assert op.vddcc == pytest.approx(sel.fraction * 1.1, abs=0.012)
+
+    def test_sub_microwatt_class_overhead(self, nominal_pvt, clean_op_nominal):
+        """Regulator + array current stays in the low-microamp range."""
+        assert clean_op_nominal.supply_current < 10e-6
+
+    def test_regulation_holds_at_test_corner(self, hot_pvt, drv_worst_hot):
+        """Fault-free Vreg must stay above the worst-case DRV (margin)."""
+        op, _ = solve_regulator(hot_pvt, VrefSelect.VREF74)
+        assert op.vddcc > drv_worst_hot
+
+    def test_regulator_off_discharges_output(self, nominal_pvt):
+        op, _ = solve_regulator(nominal_pvt, VrefSelect.VREF74, regon=False)
+        # MPreg2 pulls MPreg1's gate to VDD; the bleed discharges Vreg.
+        assert op.vddcc < 0.2
+        assert op.vref == pytest.approx(1.1, abs=0.01)  # selector forces VDD
+        assert op.vbias == pytest.approx(0.0, abs=0.01)
+
+
+class TestDefectInjection:
+    def test_requires_positive_resistance(self, nominal_pvt):
+        with pytest.raises(ValueError, match="positive resistance"):
+            build_regulator(nominal_pvt, VrefSelect.VREF70, DEFECTS[1], 0.0)
+
+    def test_defect_splits_branch(self, nominal_pvt):
+        circuit, nodes = build_regulator(
+            nominal_pvt, VrefSelect.VREF70, DEFECTS[19], 1e3
+        )
+        assert circuit.has_node("vreg")
+        assert nodes["vreg"] == "vreg"
+        clean_circuit, clean_nodes = build_regulator(nominal_pvt, VrefSelect.VREF70)
+        assert clean_nodes["vreg"] == "vout_stage"  # no split without defect
+
+    def test_drf_defect_lowers_vddcc(self, nominal_pvt, clean_op_nominal):
+        op, _ = solve_regulator(nominal_pvt, VrefSelect.VREF70, DEFECTS[1], 300e3)
+        assert op.vddcc < clean_op_nominal.vddcc - 0.02
+
+    def test_power_defect_raises_vddcc(self, nominal_pvt, clean_op_nominal):
+        op, _ = solve_regulator(nominal_pvt, VrefSelect.VREF70, DEFECTS[6], 1e6)
+        assert op.vddcc > clean_op_nominal.vddcc + 0.02
+
+    def test_gate_stub_defect_is_harmless(self, nominal_pvt, clean_op_nominal):
+        """Df14 (MNreg2 gate stub) carries no current: no DC effect."""
+        op, _ = solve_regulator(nominal_pvt, VrefSelect.VREF70, DEFECTS[14], 100e6)
+        assert op.vddcc == pytest.approx(clean_op_nominal.vddcc, abs=2e-3)
+
+    def test_resistance_stepping_fallback(self, nominal_pvt):
+        """Hard mid-range mirror defect converges via R-stepping."""
+        op, _ = solve_regulator(nominal_pvt, VrefSelect.VREF74, DEFECTS[15], 3e6)
+        assert op.vddcc > 0.9  # Vreg floats high: power category behaviour
+
+    def test_vreg_error_property(self, clean_op_nominal):
+        assert clean_op_nominal.vreg_error == pytest.approx(
+            clean_op_nominal.vddcc - 0.77, abs=1e-12
+        )
+
+    def test_weak_group_loads_regulator(self, hot_pvt):
+        from repro.regulator.load import WeakCellGroup
+
+        clean, _ = solve_regulator(hot_pvt, VrefSelect.VREF74, DEFECTS[16], 2e3)
+        loaded, _ = solve_regulator(
+            hot_pvt, VrefSelect.VREF74, DEFECTS[16], 2e3,
+            weak_groups=(WeakCellGroup(count=64, drv=0.73),),
+        )
+        # Near-flip crowbar current of 64 weak cells degrades Vddcc further.
+        assert loaded.vddcc < clean.vddcc

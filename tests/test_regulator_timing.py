@@ -1,0 +1,100 @@
+"""Semi-analytic timing layer (Df8 activation delay / Df11 undershoot)."""
+
+import pytest
+
+from repro.devices.pvt import PVT
+from repro.regulator.defects import DEFECTS, TimingMode
+from repro.regulator.timing import (
+    activation_failure,
+    min_resistance_timing,
+    settle_time,
+    time_to_reach,
+    voltage_after,
+)
+
+HOT = PVT("fs", 1.0, 125.0)
+COLD = PVT("typical", 1.1, -30.0)
+
+
+class TestSettleTime:
+    def test_linear_in_resistance(self):
+        a = settle_time(1e6, TimingMode.ACTIVATION_DELAY)
+        b = settle_time(2e6, TimingMode.ACTIVATION_DELAY)
+        assert b == pytest.approx(2 * a)
+
+    def test_reference_line_slower_than_bias_line(self):
+        """Bigger Vref-line capacitance: Df11 fails at lower R than Df8."""
+        assert settle_time(1e6, TimingMode.UNDERSHOOT) > settle_time(
+            1e6, TimingMode.ACTIVATION_DELAY
+        )
+
+
+class TestDischargeProfile:
+    def test_voltage_monotone_in_time(self):
+        times = [0.0, 1e-6, 1e-5, 1e-4, 1e-3]
+        voltages = [voltage_after(t, HOT) for t in times]
+        assert voltages[0] == pytest.approx(HOT.vdd)
+        assert voltages == sorted(voltages, reverse=True)
+
+    def test_time_voltage_inverse(self):
+        t = time_to_reach(0.6, HOT)
+        assert voltage_after(t, HOT) == pytest.approx(0.6, abs=0.01)
+
+    def test_cold_rail_decays_slower(self):
+        """Leakage-driven discharge: orders of magnitude slower when cold."""
+        assert time_to_reach(0.8, COLD) > 100 * time_to_reach(0.8, HOT)
+
+    def test_boundary_values(self):
+        assert time_to_reach(HOT.vdd + 0.1, HOT) == 0.0
+        assert voltage_after(0.0, HOT) == HOT.vdd
+
+
+class TestActivationFailure:
+    def test_monotone_in_resistance(self):
+        drv = 0.70
+        fails = [
+            activation_failure(r, drv, HOT, TimingMode.ACTIVATION_DELAY)
+            for r in (1e3, 1e6, 1e8, 5e8)
+        ]
+        # Once failing, stays failing as R grows.
+        first_fail = fails.index(True) if True in fails else len(fails)
+        assert all(fails[first_fail:])
+
+    def test_small_resistance_is_safe(self):
+        assert not activation_failure(100.0, 0.70, HOT, TimingMode.ACTIVATION_DELAY)
+
+    def test_short_ds_time_masks_failure(self):
+        """An eventual flip needs enough DS dwell time (Section V)."""
+        r = 2e8
+        long_ds = activation_failure(r, 0.70, HOT, TimingMode.ACTIVATION_DELAY, ds_time=1e-3)
+        short_ds = activation_failure(r, 0.70, HOT, TimingMode.ACTIVATION_DELAY, ds_time=1e-9)
+        assert long_ds and not short_ds
+
+
+class TestMinResistance:
+    def test_bisection_brackets_threshold(self):
+        drv = 0.70
+        r = min_resistance_timing(DEFECTS[8], drv, HOT)
+        assert r is not None
+        assert activation_failure(r * 1.05, drv, HOT, TimingMode.ACTIVATION_DELAY)
+        assert not activation_failure(r * 0.95, drv, HOT, TimingMode.ACTIVATION_DELAY)
+
+    def test_df11_fails_at_lower_resistance_than_df8(self):
+        drv = 0.70
+        r8 = min_resistance_timing(DEFECTS[8], drv, HOT)
+        r11 = min_resistance_timing(DEFECTS[11], drv, HOT)
+        assert r11 < r8
+
+    def test_none_when_open_line_is_safe(self):
+        """Cold + low DRV: the rail never decays far enough in 1 ms."""
+        assert min_resistance_timing(DEFECTS[8], 0.08, COLD) is None
+
+    def test_rejects_dc_defect(self):
+        with pytest.raises(ValueError, match="not a timing defect"):
+            min_resistance_timing(DEFECTS[1], 0.7, HOT)
+
+    def test_easier_scenario_needs_less_resistance(self):
+        """Higher DRV (weaker cells) -> earlier crossing -> smaller min R."""
+        r_weak = min_resistance_timing(DEFECTS[8], 0.70, HOT)
+        r_strong = min_resistance_timing(DEFECTS[8], 0.30, HOT)
+        assert r_weak < r_strong

@@ -1,0 +1,101 @@
+"""DC analysis: Newton robustness, sweeps, bistability."""
+
+import numpy as np
+import pytest
+
+from repro.devices import CORNERS, MosfetModel, nmos_params, pmos_params
+from repro.spice import Circuit, ConvergenceError, dc_sweep, solve_dc
+
+
+def _inverter(circuit, name, vin_node, vout_node, vdd_node, corner="typical", w=120e-9):
+    c = CORNERS[corner]
+    circuit.mosfet(
+        f"{name}_p", vout_node, vin_node, vdd_node,
+        MosfetModel(pmos_params(f"{name}_p", w), c, 25.0),
+    )
+    circuit.mosfet(
+        f"{name}_n", vout_node, vin_node, "0",
+        MosfetModel(nmos_params(f"{name}_n", w), c, 25.0),
+    )
+
+
+class TestSolveDC:
+    def test_x0_length_validation(self):
+        c = Circuit()
+        c.vsource("v", "a", "0", 1.0)
+        with pytest.raises(ValueError, match="unknowns"):
+            solve_dc(c, x0=np.zeros(17))
+
+    def test_inverter_rails(self):
+        c = Circuit()
+        c.vsource("vdd", "vdd", "0", 1.1)
+        c.vsource("vin", "in", "0", 0.0)
+        _inverter(c, "inv", "in", "out", "vdd")
+        assert solve_dc(c).voltage("out") == pytest.approx(1.1, abs=1e-3)
+        c.element("vin").voltage = 1.1
+        assert solve_dc(c).voltage("out") == pytest.approx(0.0, abs=1e-3)
+
+    def test_bistable_latch_selects_state_from_x0(self):
+        """A cross-coupled inverter pair converges to the seeded state."""
+        def build():
+            c = Circuit()
+            c.vsource("vdd", "vdd", "0", 1.1)
+            _inverter(c, "i1", "b", "a", "vdd")
+            _inverter(c, "i2", "a", "b", "vdd")
+            return c
+
+        c = build()
+        x0 = np.zeros(c.unknown_count())
+        x0[c.node("a") - 1] = 1.1  # seed a high
+        s = solve_dc(c, x0=x0)
+        assert s.voltage("a") > 1.0 and s.voltage("b") < 0.1
+
+        c = build()
+        x0 = np.zeros(c.unknown_count())
+        x0[c.node("b") - 1] = 1.1  # seed the opposite state
+        s = solve_dc(c, x0=x0)
+        assert s.voltage("b") > 1.0 and s.voltage("a") < 0.1
+
+    def test_floating_node_handled_by_gmin(self):
+        """A node with no DC path resolves (to ~0) instead of singularity."""
+        c = Circuit()
+        c.vsource("v", "a", "0", 1.0)
+        c.capacitor("c1", "a", "float", 1e-15)
+        c.resistor("r", "a", "0", 1e3)
+        s = solve_dc(c)
+        assert abs(s.voltage("float")) < 1e-3
+
+
+class TestDCSweep:
+    def test_vtc_monotone(self):
+        c = Circuit()
+        c.vsource("vdd", "vdd", "0", 1.1)
+        c.vsource("vin", "in", "0", 0.0)
+        _inverter(c, "inv", "in", "out", "vdd")
+        values = np.linspace(0.0, 1.1, 23)
+        sols = dc_sweep(c, "vin", values)
+        outs = [s.voltage("out") for s in sols]
+        assert all(a >= b - 1e-9 for a, b in zip(outs, outs[1:]))
+        assert outs[0] > 1.0 and outs[-1] < 0.05
+
+    def test_sweep_restores_source_value(self):
+        c = Circuit()
+        c.vsource("vin", "a", "0", 0.7)
+        c.resistor("r", "a", "0", 1e3)
+        dc_sweep(c, "vin", [0.0, 0.5, 1.0])
+        assert c.element("vin").voltage == 0.7
+
+    def test_sweep_requires_voltage_source(self):
+        c = Circuit()
+        c.vsource("vin", "a", "0", 1.0)
+        c.resistor("r", "a", "0", 1e3)
+        with pytest.raises(TypeError):
+            dc_sweep(c, "r", [1.0])
+
+    def test_sweep_solution_count(self):
+        c = Circuit()
+        c.vsource("vin", "a", "0", 0.0)
+        c.resistor("r", "a", "0", 1e3)
+        sols = dc_sweep(c, "vin", np.linspace(0, 1, 7))
+        assert len(sols) == 7
+        assert sols[-1].voltage("a") == pytest.approx(1.0)

@@ -1,0 +1,144 @@
+"""Element stamps and netlist construction."""
+
+import numpy as np
+import pytest
+
+from repro.devices import CORNERS, MosfetModel, nmos_params, pmos_params
+from repro.spice import Circuit, Resistor, solve_dc
+
+
+class TestCircuitConstruction:
+    def test_ground_aliases(self):
+        c = Circuit()
+        assert c.node("0") == 0
+        assert c.node("gnd") == 0
+        assert c.node("GND") == 0
+
+    def test_node_interning(self):
+        c = Circuit()
+        a = c.node("a")
+        assert c.node("a") == a
+        assert c.node("b") != a
+        assert c.node_count == 3  # ground + a + b
+
+    def test_duplicate_element_name_rejected(self):
+        c = Circuit()
+        c.resistor("r1", "a", "0", 1e3)
+        with pytest.raises(ValueError, match="duplicate"):
+            c.resistor("r1", "b", "0", 1e3)
+
+    def test_element_lookup(self):
+        c = Circuit()
+        r = c.resistor("r1", "a", "0", 1e3)
+        assert c.element("r1") is r
+        with pytest.raises(KeyError):
+            c.element("nope")
+
+    def test_invalid_resistor(self):
+        with pytest.raises(ValueError, match="positive"):
+            Resistor("r", 1, 0, -5.0)
+
+    def test_unknown_count_includes_branches(self):
+        c = Circuit()
+        c.vsource("v1", "a", "0", 1.0)
+        c.resistor("r1", "a", "b", 1e3)
+        c.resistor("r2", "b", "0", 1e3)
+        # nodes a, b plus one branch current
+        assert c.unknown_count() == 3
+
+    def test_describe_contains_elements(self):
+        c = Circuit("demo")
+        c.vsource("v1", "a", "0", 1.5)
+        c.resistor("r1", "a", "0", 2e3)
+        text = c.describe()
+        assert "demo" in text
+        assert "v1" in text and "r1" in text
+
+
+class TestLinearStamps:
+    def test_divider(self):
+        c = Circuit()
+        c.vsource("vin", "in", "0", 3.0)
+        c.resistor("r1", "in", "mid", 2e3)
+        c.resistor("r2", "mid", "0", 1e3)
+        s = solve_dc(c)
+        assert s.voltage("mid") == pytest.approx(1.0, rel=1e-9)
+        # branch current flows plus -> minus through the source: -1 mA here.
+        assert s.branch_current("vin") == pytest.approx(-1e-3, rel=1e-6)
+
+    def test_current_source_into_resistor(self):
+        c = Circuit()
+        c.isource("i1", "0", "n", 1e-3)  # 1 mA pushed into node n
+        c.resistor("r1", "n", "0", 1e3)
+        s = solve_dc(c)
+        assert s.voltage("n") == pytest.approx(1.0, rel=1e-6)
+
+    def test_capacitor_open_in_dc(self):
+        c = Circuit()
+        c.vsource("vin", "in", "0", 1.0)
+        c.resistor("r1", "in", "out", 1e3)
+        c.capacitor("c1", "out", "0", 1e-12)
+        s = solve_dc(c)
+        # No DC path through the capacitor: no drop across r1.
+        assert s.voltage("out") == pytest.approx(1.0, rel=1e-9)
+
+    def test_voltages_map(self):
+        c = Circuit()
+        c.vsource("v", "a", "0", 2.0)
+        s = solve_dc(c)
+        volts = s.voltages()
+        assert volts["a"] == pytest.approx(2.0)
+        assert volts["0"] == 0.0
+
+
+class TestMosfetStamp:
+    def test_kcl_balance_in_inverter(self):
+        """Drain current leaving VDD equals current entering ground."""
+        c = Circuit()
+        c.vsource("vdd", "vdd", "0", 1.1)
+        c.vsource("vin", "in", "0", 0.55)
+        corner = CORNERS["typical"]
+        c.mosfet("mp", "out", "in", "vdd", MosfetModel(pmos_params("mp", 120e-9), corner, 25.0))
+        c.mosfet("mn", "out", "in", "0", MosfetModel(nmos_params("mn", 120e-9), corner, 25.0))
+        s = solve_dc(c)
+        v_out = s.voltage("out")
+        assert 0.0 < v_out < 1.1
+
+    def test_diode_connected_shared_node_derivatives(self):
+        """Gate tied to drain: stamps must accumulate, not overwrite."""
+        c = Circuit()
+        c.vsource("vdd", "vdd", "0", 1.1)
+        c.resistor("r", "vdd", "d", 50e3)
+        corner = CORNERS["typical"]
+        c.mosfet("mn", "d", "d", "0", MosfetModel(nmos_params("mn", 1e-6), corner, 25.0))
+        s = solve_dc(c)
+        v = s.voltage("d")
+        # Diode-connected NMOS settles a bit above threshold.
+        assert 0.4 < v < 0.8
+
+    def test_multiplier_scales_current(self):
+        corner = CORNERS["typical"]
+        model = MosfetModel(nmos_params("mn", 1e-6), corner, 25.0)
+
+        def solve_with_m(m):
+            c = Circuit()
+            c.vsource("vdd", "vdd", "0", 1.1)
+            c.resistor("r", "vdd", "d", 10e3)
+            c.mosfet("mn", "d", "vdd", "0", model, multiplier=m)
+            return solve_dc(c).voltage("d")
+
+        assert solve_with_m(4.0) < solve_with_m(1.0)
+
+    def test_gate_leak_creates_gate_current(self):
+        corner = CORNERS["typical"]
+        leaky = MosfetModel(
+            pmos_params("mp", 100e-6, 100e-9, gate_leak_density=1e5), corner, 25.0
+        )
+        assert leaky.gate_leak_g > 0
+        c = Circuit()
+        c.vsource("vdd", "vdd", "0", 1.0)
+        c.resistor("rg", "g", "0", 1e6)  # gate pulled low through a resistor
+        c.mosfet("mp", "0", "g", "vdd", leaky)
+        s = solve_dc(c)
+        # Gate leakage from the source (VDD) lifts the gate above 0.
+        assert s.voltage("g") > 0.05

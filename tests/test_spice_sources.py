@@ -1,0 +1,102 @@
+"""Time-dependent and controlled sources."""
+
+import numpy as np
+import pytest
+
+from repro.spice import Circuit, solve_dc, solve_transient
+from repro.spice.sources import (
+    PiecewiseLinearVoltageSource,
+    PulseVoltageSource,
+    VoltageControlledVoltageSource,
+)
+
+
+class TestPulse:
+    def _pulse(self, **kw):
+        defaults = dict(v1=0.0, v2=1.0, delay=1e-6, rise=0.1e-6,
+                        width=1e-6, fall=0.1e-6, period=0.0)
+        defaults.update(kw)
+        return PulseVoltageSource("p", 1, 0, **defaults)
+
+    def test_waveform_segments(self):
+        p = self._pulse()
+        assert p.value_at(0.0) == 0.0
+        assert p.value_at(1.05e-6) == pytest.approx(0.5)  # mid-rise
+        assert p.value_at(1.5e-6) == 1.0                  # high plateau
+        assert p.value_at(2.15e-6) == pytest.approx(0.5)  # mid-fall
+        assert p.value_at(5e-6) == 0.0                    # back low
+
+    def test_periodic(self):
+        p = self._pulse(period=4e-6)
+        assert p.value_at(1.5e-6) == p.value_at(5.5e-6) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="rise/fall"):
+            self._pulse(rise=0.0)
+        with pytest.raises(ValueError, match="period"):
+            self._pulse(period=0.5e-6)
+
+    def test_dc_uses_initial_value(self):
+        c = Circuit()
+        c.add(PulseVoltageSource("p", c.node("a"), 0, v1=0.2, v2=1.0, delay=1e-6))
+        c.resistor("r", "a", "0", 1e3)
+        assert solve_dc(c).voltage("a") == pytest.approx(0.2)
+
+    def test_drives_transient(self):
+        c = Circuit()
+        c.add(PulseVoltageSource(
+            "p", c.node("in"), 0, v1=0.0, v2=1.0,
+            delay=0.0, rise=1e-9, width=5e-6, fall=1e-9,
+        ))
+        c.resistor("r", "in", "out", 1e3)
+        c.capacitor("cl", "out", "0", 1e-10)  # tau = 100 ns
+        x0 = np.zeros(c.unknown_count())
+        result = solve_transient(c, t_stop=2e-6, dt=2e-8, x0=x0)
+        assert result.final().voltage("out") == pytest.approx(1.0, abs=0.01)
+
+
+class TestPWL:
+    def test_interpolation(self):
+        p = PiecewiseLinearVoltageSource("p", 1, 0, [(0.0, 0.0), (1.0, 2.0), (3.0, 0.0)])
+        assert p.value_at(-1.0) == 0.0
+        assert p.value_at(0.5) == pytest.approx(1.0)
+        assert p.value_at(2.0) == pytest.approx(1.0)
+        assert p.value_at(9.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="strictly increase"):
+            PiecewiseLinearVoltageSource("p", 1, 0, [(1.0, 0.0), (1.0, 1.0)])
+        with pytest.raises(ValueError, match="at least one"):
+            PiecewiseLinearVoltageSource("p", 1, 0, [])
+
+
+class TestVCVS:
+    def test_ideal_amplification(self):
+        c = Circuit()
+        c.vsource("vin", "in", "0", 0.25)
+        c.add(VoltageControlledVoltageSource(
+            "e1", c.node("out"), 0, c.node("in"), 0, gain=4.0
+        ))
+        c.resistor("rl", "out", "0", 1e3)
+        assert solve_dc(c).voltage("out") == pytest.approx(1.0)
+
+    def test_differential_control(self):
+        c = Circuit()
+        c.vsource("va", "a", "0", 0.8)
+        c.vsource("vb", "b", "0", 0.3)
+        c.add(VoltageControlledVoltageSource(
+            "e1", c.node("out"), 0, c.node("a"), c.node("b"), gain=2.0
+        ))
+        c.resistor("rl", "out", "0", 1e3)
+        assert solve_dc(c).voltage("out") == pytest.approx(1.0)
+
+    def test_unity_follower_with_shared_node(self):
+        """Output node also the control node: derivative accumulation."""
+        c = Circuit()
+        c.vsource("vin", "in", "0", 0.6)
+        # V(out) = 0.5 * (V(in) - V(out))  =>  V(out) = 0.2
+        c.add(VoltageControlledVoltageSource(
+            "e1", c.node("out"), 0, c.node("in"), c.node("out"), gain=0.5
+        ))
+        c.resistor("rl", "out", "0", 1e3)
+        assert solve_dc(c).voltage("out") == pytest.approx(0.2)

@@ -1,0 +1,81 @@
+"""Backward-Euler transient analysis."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.spice import Circuit, solve_transient
+
+
+def _rc(r=1e3, c=1e-9, v=1.0):
+    circuit = Circuit("rc")
+    circuit.vsource("vin", "in", "0", v)
+    circuit.resistor("r", "in", "out", r)
+    circuit.capacitor("c", "out", "0", c)
+    return circuit
+
+
+class TestRCCharging:
+    def test_matches_analytic_exponential(self):
+        tau = 1e-6  # 1k * 1n
+        circuit = _rc()
+        n = circuit.unknown_count()
+        x0 = np.zeros(n)  # capacitor initially discharged
+        result = solve_transient(circuit, t_stop=5 * tau, dt=tau / 50, x0=x0)
+        wave = result.voltage("out")
+        for t, v in zip(result.times, wave):
+            expected = 1.0 - math.exp(-t / tau)
+            assert v == pytest.approx(expected, abs=0.02)
+
+    def test_final_value(self):
+        circuit = _rc()
+        x0 = np.zeros(circuit.unknown_count())
+        result = solve_transient(circuit, t_stop=10e-6, dt=0.1e-6, x0=x0)
+        assert result.final().voltage("out") == pytest.approx(1.0, abs=1e-3)
+
+    def test_settling_time(self):
+        tau = 1e-6
+        circuit = _rc()
+        x0 = np.zeros(circuit.unknown_count())
+        result = solve_transient(circuit, t_stop=8 * tau, dt=tau / 25, x0=x0)
+        settle = result.settling_time("out", target=1.0, tolerance=0.05)
+        # v reaches 95% at 3 tau.
+        assert settle == pytest.approx(3 * tau, rel=0.15)
+
+    def test_settling_time_none_when_never_settles(self):
+        circuit = _rc()
+        x0 = np.zeros(circuit.unknown_count())
+        result = solve_transient(circuit, t_stop=0.5e-6, dt=0.05e-6, x0=x0)
+        assert result.settling_time("out", target=1.0, tolerance=0.01) is None
+
+
+class TestStimulus:
+    def test_pre_step_toggles_source(self):
+        circuit = _rc()
+        x0 = np.zeros(circuit.unknown_count())
+        vin = circuit.element("vin")
+
+        def stimulus(t):
+            vin.voltage = 1.0 if t < 5e-6 else 0.0
+
+        result = solve_transient(circuit, t_stop=10e-6, dt=0.1e-6, x0=x0, pre_step=stimulus)
+        wave = result.voltage("out")
+        mid = np.searchsorted(result.times, 5e-6)
+        assert wave[mid - 1] > 0.9  # charged
+        assert result.final().voltage("out") < 0.05  # discharged again
+
+
+class TestValidation:
+    def test_rejects_bad_timestep(self):
+        circuit = _rc()
+        with pytest.raises(ValueError):
+            solve_transient(circuit, t_stop=0.0, dt=1e-9)
+        with pytest.raises(ValueError):
+            solve_transient(circuit, t_stop=1e-6, dt=-1.0)
+
+    def test_ground_waveform_is_zero(self):
+        circuit = _rc()
+        x0 = np.zeros(circuit.unknown_count())
+        result = solve_transient(circuit, t_stop=1e-6, dt=0.2e-6, x0=x0)
+        assert np.all(result.voltage("0") == 0.0)

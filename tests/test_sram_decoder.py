@@ -1,0 +1,95 @@
+"""Address decoder and the AF fault classes."""
+
+import pytest
+
+from repro.march import march_c_minus, mats_plus, run_march
+from repro.sram import AddressDecoder, DecoderFault, LowPowerSRAM, SRAMConfig
+
+CFG = SRAMConfig(n_words=16, word_bits=4)
+
+
+def _memory_with(fault: DecoderFault) -> LowPowerSRAM:
+    decoder = AddressDecoder(CFG.n_words)
+    decoder.inject(fault)
+    return LowPowerSRAM(CFG, decoder=decoder)
+
+
+class TestDecoder:
+    def test_identity_by_default(self):
+        decoder = AddressDecoder(8)
+        assert decoder.rows(5) == [5]
+        assert not decoder.is_faulty
+
+    def test_bounds(self):
+        decoder = AddressDecoder(8)
+        with pytest.raises(IndexError):
+            decoder.rows(8)
+        with pytest.raises(IndexError):
+            decoder.inject(DecoderFault("none", 9))
+        with pytest.raises(IndexError):
+            decoder.inject(DecoderFault("wrong", 0, (12,)))
+
+    def test_fault_kinds(self):
+        decoder = AddressDecoder(8)
+        decoder.inject(DecoderFault("none", 1))
+        decoder.inject(DecoderFault("wrong", 2, (5,)))
+        decoder.inject(DecoderFault("multiple", 3, (6, 7)))
+        assert decoder.rows(1) == []
+        assert decoder.rows(2) == [5]
+        assert decoder.rows(3) == [3, 6, 7]
+        decoder.clear()
+        assert decoder.rows(1) == [1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="kind"):
+            DecoderFault("sometimes", 0)
+        with pytest.raises(ValueError, match="target rows"):
+            DecoderFault("wrong", 0)
+
+
+class TestFunctionalEffects:
+    def test_af1_reads_precharge(self):
+        m = _memory_with(DecoderFault("none", 3))
+        m.write(3, 0x0)
+        assert m.read(3) == CFG.word_mask  # all-ones precharge background
+
+    def test_af3_accesses_other_row(self):
+        m = _memory_with(DecoderFault("wrong", 2, (9,)))
+        m.write(2, 0x5)
+        assert m.peek_bit(9, 0) == 1  # landed in row 9
+        assert m.peek_bit(2, 0) == 0
+        assert m.read(2) == 0x5  # read follows the same wrong row
+
+    def test_af2_wired_or_read(self):
+        m = _memory_with(DecoderFault("multiple", 4, (11,)))
+        m.force_bit(11, 2, 1)
+        m.write(4, 0x1)  # also writes row 11 -> 0x1, clearing bit 2 there
+        assert m.read(4) == 0x1
+        m.force_bit(11, 3, 1)
+        assert m.read(4) == 0x9  # OR of rows 4 and 11
+
+
+class TestMarchDetection:
+    """MATS+ is the minimal test guaranteeing AF detection [10]."""
+
+    @pytest.mark.parametrize(
+        "fault",
+        [
+            DecoderFault("none", 0),
+            DecoderFault("none", 15),
+            DecoderFault("wrong", 3, (10,)),
+            DecoderFault("wrong", 10, (3,)),
+            DecoderFault("multiple", 2, (12,)),
+            DecoderFault("multiple", 12, (2,)),
+        ],
+        ids=lambda f: f"{f.kind}@{f.addr}",
+    )
+    def test_mats_plus_detects_all_afs(self, fault):
+        assert run_march(mats_plus(), _memory_with(fault)).detected
+
+    def test_march_c_minus_also_detects(self):
+        fault = DecoderFault("wrong", 3, (10,))
+        assert run_march(march_c_minus(), _memory_with(fault)).detected
+
+    def test_healthy_decoder_passes(self):
+        assert run_march(mats_plus(), LowPowerSRAM(CFG)).passed

@@ -1,0 +1,127 @@
+"""Functional fault models: hooks and detection semantics."""
+
+import pytest
+
+from repro.sram import (
+    CouplingFaultIdempotent,
+    CouplingFaultState,
+    LowPowerSRAM,
+    PeripheralPowerGatingFault,
+    SRAMConfig,
+    StuckAtFault,
+    TransitionFault,
+)
+
+CFG = SRAMConfig(n_words=16, word_bits=8)
+
+
+def _mem(*faults):
+    m = LowPowerSRAM(CFG)
+    for f in faults:
+        m.inject(f)
+    return m
+
+
+class TestStuckAt:
+    def test_sa0_forces_zero(self):
+        m = _mem(StuckAtFault(3, 1, 0))
+        m.write(3, 0xFF)
+        assert m.read(3) == 0xFF & ~(1 << 1)
+
+    def test_sa1_forces_one(self):
+        m = _mem(StuckAtFault(3, 1, 1))
+        m.write(3, 0x00)
+        assert m.read(3) == 1 << 1
+
+    def test_other_cells_unaffected(self):
+        m = _mem(StuckAtFault(3, 1, 0))
+        m.write(5, 0xFF)
+        assert m.read(5) == 0xFF
+
+    def test_touches(self):
+        f = StuckAtFault(3, 1, 0)
+        assert f.touches(3, 1) and not f.touches(3, 2)
+
+
+class TestTransition:
+    def test_rising_blocked(self):
+        m = _mem(TransitionFault(2, 0, rising=True))
+        m.write(2, 0)
+        m.write(2, 1)
+        assert m.read(2) == 0  # 0 -> 1 write lost
+
+    def test_falling_still_works_for_rising_fault(self):
+        m = _mem(TransitionFault(2, 0, rising=True))
+        m.force_bit(2, 0, 1)
+        m.write(2, 0)
+        assert m.read(2) == 0
+
+    def test_falling_blocked(self):
+        m = _mem(TransitionFault(2, 0, rising=False))
+        m.force_bit(2, 0, 1)
+        m.write(2, 0)
+        assert m.read(2) == 1
+
+
+class TestCoupling:
+    def test_idempotent_fires_on_aggressor_transition(self):
+        m = _mem(CouplingFaultIdempotent(1, 0, 9, 3, aggressor_rising=True, victim_value=1))
+        m.write(9, 0)
+        m.write(1, 0)
+        m.write(1, 1)  # rising aggressor write
+        assert m.read(9) == 1 << 3
+
+    def test_idempotent_quiet_without_transition(self):
+        m = _mem(CouplingFaultIdempotent(1, 0, 9, 3, aggressor_rising=True, victim_value=1))
+        m.write(9, 0)
+        m.write(1, 1)
+        m.write(1, 1)  # no transition on the second write
+        m.write(9, 0)
+        m.write(1, 1)  # still 1 -> 1
+        assert m.read(9) == 0
+
+    def test_state_coupling_masks_reads(self):
+        m = _mem(CouplingFaultState(1, 0, 9, 3, aggressor_value=1, victim_value=0))
+        m.write(9, 0xFF)
+        m.write(1, 0)
+        assert m.read(9) == 0xFF  # aggressor low: read is honest
+        m.write(1, 1)
+        assert m.read(9) == 0xFF & ~(1 << 3)  # aggressor high: victim reads 0
+
+
+class TestPeripheralPowerGating:
+    def test_writes_lost_right_after_wakeup(self):
+        m = _mem(PeripheralPowerGatingFault(recovery_ops=2))
+        m.fill(0xFF)
+        m.enter_deep_sleep()
+        m.wake_up()
+        m.write(0, 0x00)  # within the recovery window: silently lost
+        assert m.read(0) == 0xFF
+
+    def test_recovery_window_expires(self):
+        m = _mem(PeripheralPowerGatingFault(recovery_ops=2))
+        m.fill(0xFF)
+        m.enter_deep_sleep()
+        m.wake_up()
+        m.read(0)
+        m.read(0)  # two ops consume the window
+        m.write(0, 0x00)
+        assert m.read(0) == 0x00
+
+    def test_no_effect_without_sleep(self):
+        m = _mem(PeripheralPowerGatingFault(recovery_ops=2))
+        m.write(0, 0x12)
+        assert m.read(0) == 0x12
+
+
+class TestFaultManagement:
+    def test_clear_faults(self):
+        m = _mem(StuckAtFault(0, 0, 1))
+        m.clear_faults()
+        m.write(0, 0)
+        assert m.read(0) == 0
+
+    def test_multiple_faults_compose(self):
+        m = _mem(StuckAtFault(0, 0, 1), StuckAtFault(0, 1, 0))
+        m.write(0, 0b10)
+        assert m.read(0) == 0b01

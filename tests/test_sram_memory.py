@@ -1,0 +1,151 @@
+"""Behavioral SRAM: operations, power-mode protocol, retention plumbing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sram import (
+    LowPowerSRAM,
+    MemoryModeError,
+    PowerMode,
+    RetentionEngine,
+    SRAMConfig,
+    WeakCell,
+)
+
+CFG = SRAMConfig(n_words=16, word_bits=8)
+
+
+class TestReadWrite:
+    def test_roundtrip(self):
+        m = LowPowerSRAM(CFG)
+        m.write(3, 0xA5)
+        assert m.read(3) == 0xA5
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        addr=st.integers(0, 15),
+        value=st.integers(0, 255),
+    )
+    def test_roundtrip_property(self, addr, value):
+        m = LowPowerSRAM(CFG)
+        m.write(addr, value)
+        assert m.read(addr) == value
+
+    def test_word_masking(self):
+        m = LowPowerSRAM(CFG)
+        m.write(0, 0x1FF)  # 9 bits into an 8-bit word
+        assert m.read(0) == 0xFF
+
+    def test_bounds_checked(self):
+        m = LowPowerSRAM(CFG)
+        with pytest.raises(IndexError):
+            m.write(16, 0)
+        with pytest.raises(IndexError):
+            m.read(-1)
+        with pytest.raises(IndexError):
+            m.peek_bit(0, 8)
+
+    def test_fill(self):
+        m = LowPowerSRAM(CFG)
+        m.fill(0xFF)
+        assert all(m.read(a) == 0xFF for a in range(16))
+
+    def test_op_count(self):
+        m = LowPowerSRAM(CFG)
+        m.write(0, 1)
+        m.read(0)
+        assert m.op_count == 2
+
+    def test_force_and_peek_bypass_mode(self):
+        m = LowPowerSRAM(CFG)
+        m.force_bit(2, 5, 1)
+        assert m.peek_bit(2, 5) == 1
+        assert m.read(2) == 1 << 5
+
+
+class TestModeProtocol:
+    def test_no_ops_outside_act(self):
+        m = LowPowerSRAM(CFG)
+        m.enter_deep_sleep()
+        with pytest.raises(MemoryModeError, match="DS"):
+            m.read(0)
+        with pytest.raises(MemoryModeError):
+            m.write(0, 1)
+
+    def test_ds_requires_act(self):
+        m = LowPowerSRAM(CFG)
+        m.enter_deep_sleep()
+        with pytest.raises(MemoryModeError):
+            m.enter_deep_sleep()
+
+    def test_wake_requires_ds(self):
+        m = LowPowerSRAM(CFG)
+        with pytest.raises(MemoryModeError):
+            m.wake_up()
+
+    def test_power_on_requires_po(self):
+        m = LowPowerSRAM(CFG)
+        with pytest.raises(MemoryModeError):
+            m.power_on()
+
+    def test_full_cycle(self):
+        m = LowPowerSRAM(CFG)
+        m.write(1, 0x42)
+        m.enter_deep_sleep()
+        assert m.mode is PowerMode.DS
+        m.wake_up()
+        assert m.mode is PowerMode.ACT
+        assert m.read(1) == 0x42  # fault-free sleep retains everything
+
+
+class TestRetentionIntegration:
+    def _weak_memory(self, drv1=0.70, drv0=0.05):
+        engine = RetentionEngine([WeakCell(addr=4, bit=2, drv1=drv1, drv0=drv0)])
+        return LowPowerSRAM(CFG, retention=engine)
+
+    def test_weak_cell_flips_below_drv(self):
+        m = self._weak_memory()
+        m.write(4, 1 << 2)
+        m.enter_deep_sleep(ds_time=1e-3, vddcc=0.50)
+        flipped = m.wake_up()
+        assert flipped == [(4, 2)]
+        assert m.read(4) == 0
+
+    def test_weak_cell_retains_above_drv(self):
+        m = self._weak_memory()
+        m.write(4, 1 << 2)
+        m.enter_deep_sleep(ds_time=1e-3, vddcc=0.74)
+        assert m.wake_up() == []
+        assert m.read(4) == 1 << 2
+
+    def test_state_dependence(self):
+        """The weak cell only loses the state whose DRV is violated."""
+        m = self._weak_memory(drv1=0.70, drv0=0.05)
+        m.write(4, 0)  # stores '0': drv0 = 50 mV, safe at 0.5 V
+        m.enter_deep_sleep(ds_time=1e-3, vddcc=0.50)
+        assert m.wake_up() == []
+
+    def test_short_sleep_retains(self):
+        m = self._weak_memory()
+        m.write(4, 1 << 2)
+        m.enter_deep_sleep(ds_time=1e-12, vddcc=0.68)
+        assert m.wake_up() == []
+
+    def test_bulk_loss_randomises_array(self):
+        m = LowPowerSRAM(CFG, rng=np.random.default_rng(3))
+        m.fill(0xFF)
+        m.enter_deep_sleep(ds_time=1e-3, vddcc=0.01)
+        flipped = m.wake_up()
+        assert flipped == [("*", "*")]
+        words = [m.read(a) for a in range(16)]
+        assert any(w != 0xFF for w in words)
+
+    def test_power_off_randomises(self):
+        m = LowPowerSRAM(CFG)
+        m.fill(0xAA)
+        m.power_off()
+        assert m.mode is PowerMode.PO
+        m.power_on()
+        words = [m.read(a) for a in range(16)]
+        assert any(w != 0xAA for w in words)

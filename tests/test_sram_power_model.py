@@ -1,0 +1,72 @@
+"""Static power model (Section IV.B claims)."""
+
+import pytest
+
+from repro.devices.pvt import PVT
+from repro.regulator import VrefSelect
+from repro.sram.power_model import (
+    PERIPHERY_LEAK_RATIO,
+    act_idle_power,
+    ds_power,
+    ds_savings,
+    static_power,
+    worst_case_ds_power,
+)
+
+HOT = PVT("typical", 1.1, 125.0)
+ROOM = PVT("typical", 1.1, 25.0)
+
+
+class TestActIdle:
+    def test_breakdown_sums(self):
+        report = act_idle_power(HOT)
+        assert report.power_w == pytest.approx(sum(report.breakdown.values()))
+
+    def test_periphery_ratio(self):
+        report = act_idle_power(HOT)
+        assert report.breakdown["periphery"] == pytest.approx(
+            PERIPHERY_LEAK_RATIO * report.breakdown["array"]
+        )
+
+    def test_grows_with_temperature(self):
+        assert act_idle_power(HOT).power_w > 20 * act_idle_power(ROOM).power_w
+
+
+class TestDeepSleep:
+    def test_ds_saves_power_when_leakage_dominates(self):
+        """At high temperature deep sleep must beat ACT idle."""
+        assert ds_savings(HOT, VrefSelect.VREF70) > 0.2
+
+    def test_defective_savings_is_periphery_share(self):
+        """Vreg = VDD: only the gated periphery is saved (paper: >30%)."""
+        saving = ds_savings(HOT, defective=True)
+        expected = PERIPHERY_LEAK_RATIO / (1.0 + PERIPHERY_LEAK_RATIO)
+        assert saving == pytest.approx(expected, abs=1e-9)
+        assert saving > 0.30
+
+    def test_defective_worse_than_healthy_at_high_temp(self):
+        healthy = ds_power(HOT, VrefSelect.VREF70).power_w
+        defective = worst_case_ds_power(HOT).power_w
+        assert defective > healthy
+
+    def test_ds_report_label_mentions_defect(self):
+        from repro.regulator import DEFECTS
+
+        report = ds_power(HOT, VrefSelect.VREF70, DEFECTS[6], 1e6)
+        assert "Df6" in report.label
+
+
+class TestDispatcher:
+    def test_modes(self):
+        assert static_power("act", HOT).power_w > 0
+        assert static_power("ds", HOT).power_w > 0
+        assert static_power("ds_defective", HOT).power_w > 0
+        assert static_power("po", HOT).power_w == 0.0
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            static_power("standby", HOT)
+
+    def test_report_str(self):
+        text = str(act_idle_power(ROOM))
+        assert "uW" in text and "array" in text

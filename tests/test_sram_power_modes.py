@@ -1,0 +1,62 @@
+"""Power-mode control FSM (Section II.A)."""
+
+from repro.sram import PMControl, PowerMode
+
+
+class TestDecoding:
+    def test_default_is_active(self):
+        assert PMControl().mode is PowerMode.ACT
+
+    def test_pwron_low_wins(self):
+        pm = PMControl()
+        pm.set_inputs(sleep=True, pwron=False)
+        assert pm.mode is PowerMode.PO
+        pm.set_inputs(sleep=False, pwron=False)
+        assert pm.mode is PowerMode.PO
+
+    def test_sleep_selects_ds(self):
+        pm = PMControl()
+        assert pm.set_inputs(sleep=True, pwron=True) is PowerMode.DS
+        assert pm.set_inputs(sleep=False, pwron=True) is PowerMode.ACT
+
+
+class TestDerivedSignals:
+    def test_regon_only_in_ds(self):
+        pm = PMControl()
+        assert not pm.regon
+        pm.to_deep_sleep()
+        assert pm.regon
+        pm.to_power_off()
+        assert not pm.regon
+
+    def test_periphery_only_in_act(self):
+        pm = PMControl()
+        assert pm.periphery_powered
+        pm.to_deep_sleep()
+        assert not pm.periphery_powered
+
+    def test_core_powered_in_act_and_ds(self):
+        pm = PMControl()
+        assert pm.core_powered
+        pm.to_deep_sleep()
+        assert pm.core_powered
+        pm.to_power_off()
+        assert not pm.core_powered
+
+
+class TestHistory:
+    def test_transitions_logged(self):
+        pm = PMControl()
+        pm.to_deep_sleep()
+        pm.to_active()
+        pm.to_power_off()
+        assert pm.history == [
+            (PowerMode.ACT, PowerMode.DS),
+            (PowerMode.DS, PowerMode.ACT),
+            (PowerMode.ACT, PowerMode.PO),
+        ]
+
+    def test_no_op_transitions_not_logged(self):
+        pm = PMControl()
+        pm.to_active()
+        assert pm.history == []

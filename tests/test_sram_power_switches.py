@@ -1,0 +1,113 @@
+"""Power-switch network and wake-up ramp (refs [12][13])."""
+
+import math
+
+import pytest
+
+from repro.sram import PowerSwitchNetwork
+
+VDD = 1.1
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PowerSwitchNetwork(n_segments=0)
+        with pytest.raises(ValueError, match="out of range"):
+            PowerSwitchNetwork(n_segments=4, stuck_off=(4,))
+
+    def test_working_segments(self):
+        ps = PowerSwitchNetwork(n_segments=8, stuck_off=(0, 3))
+        assert ps.working_segments == 6
+
+
+class TestConductance:
+    def test_daisy_chain_steps(self):
+        ps = PowerSwitchNetwork(n_segments=4, r_on_segment=400.0, stage_delay=5e-9)
+        assert ps.conductance_after(-1.0) == 0.0
+        assert ps.conductance_after(0.0) == pytest.approx(1 / 400.0)
+        assert ps.conductance_after(5e-9) == pytest.approx(2 / 400.0)
+        assert ps.conductance_after(1.0) == pytest.approx(4 / 400.0)
+
+    def test_stuck_off_reduces_final_conductance(self):
+        ps = PowerSwitchNetwork(n_segments=4, stuck_off=(1, 2))
+        assert ps.conductance_after(1.0) == pytest.approx(2 / ps.r_on_segment)
+
+
+class TestRamp:
+    def test_monotone_to_vdd(self):
+        ps = PowerSwitchNetwork()
+        times, volts = ps.ramp(VDD)
+        assert volts[0] == 0.0
+        assert all(b >= a - 1e-12 for a, b in zip(volts, volts[1:]))
+        assert volts[-1] == pytest.approx(VDD, abs=1e-3)
+
+    def test_single_stage_matches_rc(self):
+        ps = PowerSwitchNetwork(n_segments=1, r_on_segment=100.0, c_rail=1e-9)
+        tau = 100.0 * 1e-9
+        t = ps.wakeup_time(VDD, fraction=1 - math.exp(-1))
+        assert t == pytest.approx(tau, rel=1e-6)
+
+    def test_all_stuck_off(self):
+        ps = PowerSwitchNetwork(n_segments=2, stuck_off=(0, 1))
+        assert ps.wakeup_time(VDD) == math.inf
+        times, volts = ps.ramp(VDD)
+        assert volts == [0.0]
+
+
+class TestWakeupTime:
+    def test_more_segments_wake_faster(self):
+        slow = PowerSwitchNetwork(n_segments=2, stage_delay=1e-12)
+        fast = PowerSwitchNetwork(n_segments=8, stage_delay=1e-12)
+        assert fast.wakeup_time(VDD) < slow.wakeup_time(VDD)
+
+    def test_stuck_off_segments_slow_the_ramp(self):
+        healthy = PowerSwitchNetwork(n_segments=8)
+        broken = PowerSwitchNetwork(n_segments=8, stuck_off=(4, 5, 6, 7))
+        assert broken.wakeup_time(VDD) > healthy.wakeup_time(VDD)
+
+    def test_ramp_consistent_with_wakeup_time(self):
+        ps = PowerSwitchNetwork()
+        t95 = ps.wakeup_time(VDD, fraction=0.95)
+        times, volts = ps.ramp(VDD, points_per_stage=64)
+        below = [t for t, v in zip(times, volts) if v < 0.95 * VDD]
+        assert max(below) <= t95 * 1.05
+
+
+class TestRecoveryOps:
+    def test_healthy_network_loses_nothing(self):
+        assert PowerSwitchNetwork().recovery_ops(VDD) == 0
+
+    def test_defective_network_loses_operations(self):
+        broken = PowerSwitchNetwork(n_segments=8, stuck_off=(1, 2, 3, 4, 5, 6, 7))
+        assert broken.recovery_ops(VDD) > 0
+
+    def test_fully_dead_network(self):
+        dead = PowerSwitchNetwork(n_segments=2, stuck_off=(0, 1))
+        assert dead.recovery_ops(VDD) >= 1 << 30
+
+    def test_feeds_power_gating_fault(self):
+        """The [13] chain: stuck segments -> lost post-WUP writes."""
+        from repro.march import march_m_lz, run_march
+        from repro.sram import LowPowerSRAM, PeripheralPowerGatingFault, SRAMConfig
+
+        broken = PowerSwitchNetwork(
+            n_segments=8, r_on_segment=4e3, c_rail=1e-9,
+            stuck_off=(1, 2, 3, 4, 5, 6, 7),
+        )
+        ops = broken.recovery_ops(VDD, cycle_time=10e-9)
+        assert ops > 0
+        memory = LowPowerSRAM(SRAMConfig(n_words=16, word_bits=4))
+        memory.inject(PeripheralPowerGatingFault(recovery_ops=ops))
+        assert run_march(march_m_lz(), memory).detected
+
+
+class TestIRDrop:
+    def test_scales_with_load_and_segments(self):
+        ps = PowerSwitchNetwork(n_segments=8, r_on_segment=400.0)
+        assert ps.ir_drop(1e-3) == pytest.approx(1e-3 * 50.0)
+        half = PowerSwitchNetwork(n_segments=8, r_on_segment=400.0, stuck_off=(0, 1, 2, 3))
+        assert half.ir_drop(1e-3) == pytest.approx(1e-3 * 100.0)
+
+    def test_dead_network_floats(self):
+        assert PowerSwitchNetwork(n_segments=1, stuck_off=(0,)).ir_drop(1e-6) == math.inf

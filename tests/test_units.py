@@ -1,0 +1,76 @@
+"""Units, formatting and parsing helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.units import (
+    OPEN_LINE_OHMS,
+    format_eng,
+    millivolts,
+    parse_eng,
+    thermal_voltage,
+)
+
+
+class TestThermalVoltage:
+    def test_room_temperature(self):
+        assert thermal_voltage(25.0) == pytest.approx(0.0257, abs=2e-4)
+
+    def test_increases_with_temperature(self):
+        assert thermal_voltage(125.0) > thermal_voltage(25.0) > thermal_voltage(-30.0)
+
+    def test_hot_value(self):
+        assert thermal_voltage(125.0) == pytest.approx(0.0343, abs=3e-4)
+
+
+class TestFormatEng:
+    @pytest.mark.parametrize(
+        "value, expected",
+        [
+            (9760, "9.76K"),
+            (2.36e6, "2.36M"),
+            (976.56, "976.56"),
+            (97.65e3, "97.65K"),
+            (0, "0"),
+            (1e-3, "1.00m"),
+        ],
+    )
+    def test_paper_style_values(self, value, expected):
+        assert format_eng(value) == expected
+
+    def test_open_line(self):
+        assert format_eng(math.inf) == "> 500M"
+        assert format_eng(OPEN_LINE_OHMS * 2) == "> 500M"
+        assert format_eng(None) == "> 500M"
+
+    def test_unit_suffix(self):
+        assert format_eng(4.7e3, unit="Ohm") == "4.70KOhm"
+
+    def test_negative(self):
+        assert format_eng(-2200) == "-2.20K"
+
+
+class TestParseEng:
+    def test_roundtrip_paper_values(self):
+        for text, value in [("9.76K", 9760), ("2.36M", 2.36e6), ("976.56", 976.56)]:
+            assert parse_eng(text) == pytest.approx(value)
+
+    def test_open_line(self):
+        assert parse_eng("> 500M") == math.inf
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            parse_eng("   ")
+
+    @given(st.floats(min_value=1e-9, max_value=4.9e8))
+    def test_roundtrip_property(self, value):
+        parsed = parse_eng(format_eng(value, digits=9))
+        assert parsed == pytest.approx(value, rel=1e-6)
+
+
+class TestMillivolts:
+    def test_formats(self):
+        assert millivolts(0.73) == "730mV"
+        assert millivolts(0.0604, digits=1) == "60.4mV"

@@ -1,0 +1,50 @@
+"""E9 - campaign engine: parallel dispatch overhead and cache-hit reruns.
+
+Measures the three execution modes of the same Table II slice - serial
+inline, process-pool, and fully cached - and asserts the engine's
+contracts: parallel rows equal serial rows, and a warm cache turns the
+sweep into pure bookkeeping (>90% of the work skipped, the acceptance bar
+for resumable paper-grid runs).
+"""
+
+import pytest
+
+from repro.analysis.table2 import run_table2_campaign
+
+SLICE = dict(defect_ids=(1,), families=("CS2-1", "CS4-1"))
+
+
+@pytest.fixture(scope="module")
+def grid(characterization_grid):
+    return characterization_grid[:2]
+
+
+def test_campaign_serial(benchmark, grid):
+    rows, result = benchmark.pedantic(
+        lambda: run_table2_campaign(pvt_grid=grid, **SLICE),
+        rounds=1, iterations=1,
+    )
+    assert result.summary.failures == 0
+    assert rows[0].cells["CS2-1"].min_resistance is not None
+
+
+def test_campaign_pool_matches_serial(benchmark, grid):
+    serial, _ = run_table2_campaign(pvt_grid=grid, **SLICE)
+    rows, result = benchmark.pedantic(
+        lambda: run_table2_campaign(pvt_grid=grid, jobs=2, **SLICE),
+        rounds=1, iterations=1,
+    )
+    assert rows == serial
+    assert result.summary.executed == len(result.spec.tasks)
+
+
+def test_campaign_cached_rerun(benchmark, grid, tmp_path_factory):
+    cache_dir = str(tmp_path_factory.mktemp("campaign-cache"))
+    cold, _ = run_table2_campaign(pvt_grid=grid, cache_dir=cache_dir, **SLICE)
+    rows, result = benchmark.pedantic(
+        lambda: run_table2_campaign(pvt_grid=grid, cache_dir=cache_dir, **SLICE),
+        rounds=1, iterations=1,
+    )
+    assert rows == cold
+    assert result.summary.cache_hit_rate > 0.9
+    assert result.summary.executed == 0

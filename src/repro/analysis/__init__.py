@@ -14,17 +14,40 @@ paper-style text table, so benchmarks and examples share one code path.
 
 from .case_studies import CASE_STUDIES, CaseStudy, render_table1, table1_rows
 from .ds_time import DsTimeResult, ds_time_sweep, render_ds_time
-from .figure4 import Figure4Point, figure4_sweep, render_figure4
-from .montecarlo import MonteCarloResult, drv_distribution
+from .figure4 import (
+    Figure4Point,
+    figure4_spec,
+    figure4_sweep,
+    render_figure4,
+    run_figure4_campaign,
+)
+from .montecarlo import (
+    MonteCarloResult,
+    drv_distribution,
+    montecarlo_spec,
+    render_montecarlo,
+    run_montecarlo_campaign,
+)
 from .power_savings import PowerComparison, power_comparison, render_power
-from .table2 import Table2Row, render_table2, table2_rows
+from .table2 import (
+    Table2Row,
+    render_table2,
+    run_table2_campaign,
+    table2_rows,
+    table2_spec,
+)
 from .transient_validation import (
     ValidationPoint,
     gate_settling_comparison,
     max_relative_error,
     rail_discharge_comparison,
 )
-from .table3 import render_table3, table3_flow
+from .table3 import (
+    detection_matrix_spec,
+    render_table3,
+    run_table3_campaign,
+    table3_flow,
+)
 from .tap_tradeoff import (
     TapOperatingPoint,
     recommended_tap,
@@ -42,9 +65,18 @@ __all__ = [
     "render_figure4",
     "Table2Row",
     "table2_rows",
+    "table2_spec",
+    "run_table2_campaign",
     "render_table2",
     "table3_flow",
+    "detection_matrix_spec",
+    "run_table3_campaign",
     "render_table3",
+    "figure4_spec",
+    "run_figure4_campaign",
+    "montecarlo_spec",
+    "run_montecarlo_campaign",
+    "render_montecarlo",
     "PowerComparison",
     "power_comparison",
     "render_power",

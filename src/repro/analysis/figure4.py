@@ -10,20 +10,25 @@ Expected shapes (paper Section III.B):
 * variations on the inverter driving the degraded value dominate;
 * pass-transistor variations matter least but are not negligible;
 * the symmetric cell sits at the ~60 mV floor.
+
+Each (transistor, sigma) sample is one :mod:`repro.campaign` task (the
+inner corner x temperature maximisation stays inside the task - it shares
+warm solver state), so the 42-sample paper sweep parallelises and caches
+like the other artifacts.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..cell.design import DEFAULT_CELL, CellDesign
-from ..cell.drv import drv_ds0, drv_ds1
 from ..devices.pvt import PVT, corner_temp_grid
 from ..devices.variation import CELL_TRANSISTORS, CellVariation
 from ..core.reporting import render_table
+from ..campaign import CampaignResult, SweepSpec, TaskPoint, run_campaign
 
 #: Default sigma sweep (paper Fig. 4 spans -6 sigma .. +6 sigma).
 DEFAULT_SIGMAS = (-6.0, -4.0, -2.0, 0.0, 2.0, 4.0, 6.0)
@@ -41,13 +46,66 @@ class Figure4Point:
     worst_pvt_ds0: PVT
 
 
-def _worst_over_grid(func, variation, grid, cell):
-    best, best_pvt = -1.0, grid[0]
-    for pvt in grid:
-        value = func(variation, pvt.corner, pvt.temp_c, cell)
-        if value > best:
-            best, best_pvt = value, pvt
-    return best, best_pvt
+def _grid_param(grid: Sequence[PVT]) -> Tuple[Tuple[str, float, float], ...]:
+    return tuple((p.corner, p.vdd, p.temp_c) for p in grid)
+
+
+def _sample_point(
+    transistor: str, sigma: float, grid: Sequence[PVT]
+) -> TaskPoint:
+    return TaskPoint.make(
+        "figure4-point",
+        transistor=transistor, sigma=float(sigma), grid=_grid_param(grid),
+    )
+
+
+def figure4_spec(
+    sigmas: Sequence[float] = DEFAULT_SIGMAS,
+    transistors: Sequence[str] = CELL_TRANSISTORS,
+    pvt_grid: Optional[Sequence[PVT]] = None,
+    cell: CellDesign = DEFAULT_CELL,
+) -> SweepSpec:
+    """Declarative Fig. 4 sweep: one task per (transistor, sigma)."""
+    grid = list(pvt_grid) if pvt_grid is not None else corner_temp_grid()
+    tasks = [
+        _sample_point(name, sigma, grid)
+        for name in transistors
+        for sigma in sigmas
+    ]
+    return SweepSpec.build("figure4", tasks, context={"cell": cell})
+
+
+def run_figure4_campaign(
+    sigmas: Sequence[float] = DEFAULT_SIGMAS,
+    transistors: Sequence[str] = CELL_TRANSISTORS,
+    pvt_grid: Optional[Sequence[PVT]] = None,
+    cell: CellDesign = DEFAULT_CELL,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    retries: int = 1,
+    verbose: bool = False,
+) -> Tuple[List[Figure4Point], CampaignResult]:
+    """Run the Fig. 4 experiment as a campaign; returns (points, result).
+
+    Failed samples (recorded solver failures) are dropped from the point
+    list; the campaign summary counts them.
+    """
+    grid = list(pvt_grid) if pvt_grid is not None else corner_temp_grid()
+    spec = figure4_spec(sigmas, transistors, grid, cell)
+    result = run_campaign(
+        spec, jobs=jobs, cache_dir=cache_dir, retries=retries, verbose=verbose
+    )
+    points = []
+    for name in transistors:
+        for sigma in sigmas:
+            value = result.value_for(_sample_point(name, sigma, grid))
+            if value is None:
+                continue
+            points.append(Figure4Point(
+                name, float(sigma), value["drv_ds1"], value["drv_ds0"],
+                PVT(*value["pvt_ds1"]), PVT(*value["pvt_ds0"]),
+            ))
+    return points, result
 
 
 def figure4_sweep(
@@ -55,20 +113,17 @@ def figure4_sweep(
     transistors: Sequence[str] = CELL_TRANSISTORS,
     pvt_grid: Optional[Sequence[PVT]] = None,
     cell: CellDesign = DEFAULT_CELL,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> List[Figure4Point]:
     """Run the Fig. 4 experiment; returns all sampled points.
 
     Pass a reduced ``pvt_grid`` and/or ``sigmas`` for quick runs; defaults
     reproduce the paper's procedure (15 corner-temperature combinations).
     """
-    grid = list(pvt_grid) if pvt_grid is not None else corner_temp_grid()
-    points = []
-    for name in transistors:
-        for sigma in sigmas:
-            variation = CellVariation.single(name, float(sigma))
-            v1, p1 = _worst_over_grid(drv_ds1, variation, grid, cell)
-            v0, p0 = _worst_over_grid(drv_ds0, variation, grid, cell)
-            points.append(Figure4Point(name, float(sigma), v1, v0, p1, p0))
+    points, _result = run_figure4_campaign(
+        sigmas, transistors, pvt_grid, cell, jobs=jobs, cache_dir=cache_dir
+    )
     return points
 
 

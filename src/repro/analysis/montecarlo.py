@@ -10,18 +10,29 @@ the least stable core-cell of the array").
 Sampling the full 256K-cell array directly is wasteful; the array DRV for
 ``n`` cells is estimated from the sample maximum of ``n`` draws via
 bootstrap over the simulated population.
+
+For populations beyond a few hundred cells use the sharded campaign
+(:func:`run_montecarlo_campaign`): the population splits into fixed shards
+whose generators are spawned from ``(seed, shard_index)``, so the sampled
+cells - and therefore every statistic - depend only on ``(n_samples, seed,
+shards)``, never on how many worker processes executed them.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from ..cell.design import DEFAULT_CELL, CellDesign
 from ..cell.drv import drv_ds
 from ..devices.variation import CellVariation
+from ..campaign import CampaignResult, SweepSpec, TaskPoint, run_campaign
+
+#: Default shard count of the sharded campaign (fixed, not tied to --jobs,
+#: so the sampled population is invariant under the worker count).
+DEFAULT_SHARDS = 4
 
 
 @dataclass(frozen=True)
@@ -72,3 +83,87 @@ def drv_distribution(
         for _ in range(n_samples)
     ])
     return MonteCarloResult(corner, temp_c, samples)
+
+
+def _shard_sizes(n_samples: int, shards: int) -> List[int]:
+    base, extra = divmod(n_samples, shards)
+    return [base + (1 if i < extra else 0) for i in range(shards)]
+
+
+def montecarlo_spec(
+    n_samples: int = 100,
+    corner: str = "typical",
+    temp_c: float = 25.0,
+    seed: int = 1,
+    shards: int = DEFAULT_SHARDS,
+    cell: CellDesign = DEFAULT_CELL,
+) -> SweepSpec:
+    """Declarative Monte Carlo sweep: one task per population shard."""
+    tasks = [
+        TaskPoint.make(
+            "mc-shard",
+            corner=corner, temp_c=float(temp_c), seed=int(seed),
+            shard=i, n_samples=size,
+        )
+        for i, size in enumerate(_shard_sizes(n_samples, shards))
+        if size > 0
+    ]
+    return SweepSpec.build(
+        "montecarlo", tasks, context={"cell": cell}, seed=int(seed)
+    )
+
+
+def run_montecarlo_campaign(
+    n_samples: int = 100,
+    corner: str = "typical",
+    temp_c: float = 25.0,
+    seed: int = 1,
+    shards: int = DEFAULT_SHARDS,
+    cell: CellDesign = DEFAULT_CELL,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    retries: int = 1,
+    verbose: bool = False,
+) -> Tuple[MonteCarloResult, CampaignResult]:
+    """Sample the population in shards; returns (result, campaign result).
+
+    Unlike the table sweeps, a lost shard would silently bias the
+    statistics, so any failed shard raises instead of being dropped.
+    """
+    spec = montecarlo_spec(n_samples, corner, temp_c, seed, shards, cell)
+    result = run_campaign(
+        spec, jobs=jobs, cache_dir=cache_dir, retries=retries, verbose=verbose
+    )
+    if result.failures:
+        errors = "; ".join(r.error or "?" for r in result.failures)
+        raise RuntimeError(f"{len(result.failures)} Monte Carlo shards failed: {errors}")
+    samples: List[float] = []
+    for point in spec.tasks:
+        samples.extend(result.value_for(point)["samples"])
+    return MonteCarloResult(corner, float(temp_c), np.array(samples)), result
+
+
+def render_montecarlo(
+    result: MonteCarloResult,
+    array_sizes: Tuple[int, ...] = (1024, 65536, 262144),
+) -> str:
+    """Text summary: distribution statistics + array-level DRV estimates."""
+    from ..core.reporting import render_table
+
+    rows = [
+        ["samples", f"{len(result.samples)}"],
+        ["mean", f"{result.mean * 1e3:.1f} mV"],
+        ["std", f"{result.std * 1e3:.1f} mV"],
+        ["median", f"{result.quantile(0.5) * 1e3:.1f} mV"],
+        ["q99", f"{result.quantile(0.99) * 1e3:.1f} mV"],
+    ]
+    for n_cells in array_sizes:
+        mean, std = result.array_drv(n_cells)
+        rows.append([
+            f"array DRV ({n_cells} cells)",
+            f"{mean * 1e3:.1f} +/- {std * 1e3:.1f} mV",
+        ])
+    return render_table(
+        ["statistic", "value"], rows,
+        title=f"Monte Carlo DRV_DS ({result.corner}, {result.temp_c:g}C)",
+    )

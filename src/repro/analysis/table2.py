@@ -11,17 +11,20 @@ The mirrored -1/-0 flavours of a family produce the same numbers by
 symmetry (the paper prints one column per family pair); we characterise the
 -1 flavour.
 
-The full paper grid is 45 conditions; the default here keeps the corners
-and temperatures that host every arg-min in the paper's Table II
-(fs / sf at -30 C / 125 C, all three supplies) to stay tractable - pass
-``pvt_grid`` explicitly for the full sweep.
+The grid sweep is a :mod:`repro.campaign`: every (defect, family, PVT)
+point is one cached task, so ``jobs>1`` fans the sweep over worker
+processes and a ``cache_dir`` makes reruns (and interrupted runs)
+incremental.  ``jobs=1`` without a cache executes the exact serial loop
+this module always had.  The historical default grid keeps the corners and
+temperatures that host every arg-min in the paper's Table II (fs / sf at
+-30 C / 125 C, all three supplies); with the campaign engine the full
+45-condition sweep is a ``pvt_grid=paper_pvt_grid()`` away.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import lru_cache
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from ..cell.design import DEFAULT_CELL, CellDesign
 from ..devices.pvt import PVT, paper_pvt_grid
@@ -30,6 +33,8 @@ from ..regulator.defects import DEFECTS, DRF_IDS
 from ..regulator.design import DEFAULT_REGULATOR, RegulatorDesign, VrefSelect
 from ..regulator.load import WeakCellGroup
 from ..core.reporting import render_table, resistance_cell
+from ..campaign import CampaignResult, SweepSpec, TaskPoint, run_campaign
+from ..campaign.memo import case_drv
 from .case_studies import CaseStudy, case_study
 
 #: Default reduced grid covering the paper's arg-min conditions.
@@ -52,11 +57,6 @@ def vrefsel_for_vdd(vdd: float) -> VrefSelect:
     if vdd >= 1.05:
         return VrefSelect.VREF70
     return VrefSelect.VREF74
-
-
-@lru_cache(maxsize=1024)
-def _drv_cached(cs_name: str, corner: str, temp_c: float, cell: CellDesign) -> float:
-    return case_study(cs_name).drv_affected(corner, temp_c, cell)
 
 
 @dataclass(frozen=True)
@@ -99,7 +99,7 @@ def characterize_case(
     best_r: Optional[float] = None
     best_pvt: Optional[PVT] = None
     for pvt in pvt_grid:
-        drv = _drv_cached(cs.name, pvt.corner, pvt.temp_c, cell)
+        drv = case_drv(cs.name, pvt.corner, pvt.temp_c, cell)
         weak = (WeakCellGroup(count=cs.n_cells, drv=drv),)
         r = min_resistance_for_drf(
             defect, drv, pvt, vrefsel_for_vdd(pvt.vdd),
@@ -110,6 +110,76 @@ def characterize_case(
     return Table2Cell(best_r, best_pvt)
 
 
+def _cell_point(
+    defect_id: int, family: str, pvt: PVT, ds_time: float
+) -> TaskPoint:
+    return TaskPoint.make(
+        "table2-cell",
+        defect_id=int(defect_id), family=family, corner=pvt.corner,
+        vdd=pvt.vdd, temp_c=pvt.temp_c, ds_time=ds_time,
+    )
+
+
+def table2_spec(
+    defect_ids: Sequence[int] = DRF_IDS,
+    families: Sequence[str] = FAMILIES,
+    pvt_grid: Sequence[PVT] = DEFAULT_TABLE2_GRID,
+    ds_time: float = 1e-3,
+    design: RegulatorDesign = DEFAULT_REGULATOR,
+    cell: CellDesign = DEFAULT_CELL,
+) -> SweepSpec:
+    """Declarative Table II sweep: one task per (defect, family, PVT)."""
+    tasks = [
+        _cell_point(defect_id, family, pvt, ds_time)
+        for defect_id in defect_ids
+        for family in families
+        for pvt in pvt_grid
+    ]
+    return SweepSpec.build(
+        "table2", tasks, context={"design": design, "cell": cell}
+    )
+
+
+def run_table2_campaign(
+    defect_ids: Sequence[int] = DRF_IDS,
+    families: Sequence[str] = FAMILIES,
+    pvt_grid: Sequence[PVT] = DEFAULT_TABLE2_GRID,
+    ds_time: float = 1e-3,
+    design: RegulatorDesign = DEFAULT_REGULATOR,
+    cell: CellDesign = DEFAULT_CELL,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    retries: int = 1,
+    verbose: bool = False,
+) -> Tuple[List[Table2Row], CampaignResult]:
+    """Compute Table II as a campaign; returns (rows, campaign result).
+
+    A failed grid point (recorded ConvergenceError) contributes nothing to
+    its cell's minimum, mirroring the serial scan's behaviour of skipping
+    intractable resistances.
+    """
+    spec = table2_spec(defect_ids, families, pvt_grid, ds_time, design, cell)
+    result = run_campaign(
+        spec, jobs=jobs, cache_dir=cache_dir, retries=retries, verbose=verbose
+    )
+    rows = []
+    for defect_id in defect_ids:
+        cells = {}
+        for family in families:
+            best_r: Optional[float] = None
+            best_pvt: Optional[PVT] = None
+            for pvt in pvt_grid:
+                value = result.value_for(
+                    _cell_point(defect_id, family, pvt, ds_time)
+                )
+                r = value.get("min_resistance") if value else None
+                if r is not None and r > 0.0 and (best_r is None or r < best_r):
+                    best_r, best_pvt = r, pvt
+            cells[family] = Table2Cell(best_r, best_pvt)
+        rows.append(Table2Row(defect_id, cells))
+    return rows, result
+
+
 def table2_rows(
     defect_ids: Sequence[int] = DRF_IDS,
     families: Sequence[str] = FAMILIES,
@@ -117,17 +187,14 @@ def table2_rows(
     ds_time: float = 1e-3,
     design: RegulatorDesign = DEFAULT_REGULATOR,
     cell: CellDesign = DEFAULT_CELL,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> List[Table2Row]:
     """Compute Table II (or a sub-grid of it)."""
-    rows = []
-    for defect_id in defect_ids:
-        cells = {
-            family: characterize_case(
-                defect_id, family, pvt_grid, ds_time, design, cell
-            )
-            for family in families
-        }
-        rows.append(Table2Row(defect_id, cells))
+    rows, _result = run_table2_campaign(
+        defect_ids, families, pvt_grid, ds_time, design, cell,
+        jobs=jobs, cache_dir=cache_dir,
+    )
     return rows
 
 

@@ -9,25 +9,31 @@ outcome (and the paper's) is the ladder
     1.2 V / 0.64 * VDD  (Vreg 0.768 V)   - adds Df4
 
 with a 75% test-time reduction versus the naive 12-configuration flow.
+
+The detection matrix is built as a :mod:`repro.campaign` - one cached task
+per (defect, configuration) entry - so the 3-iteration flow derivation
+shares the worker pool and the persistent cache with the other sweeps.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from ..cell.design import DEFAULT_CELL, CellDesign
-from ..cell.drv import drv_ds1
-from ..devices.variation import CellVariation
 from ..regulator.defects import DRF_IDS
 from ..regulator.design import DEFAULT_REGULATOR, RegulatorDesign
 from ..core.reporting import render_table
 from ..core.testflow import (
     TEST_CORNER,
     TEST_TEMP_C,
+    DetectionMatrix,
+    TestConfig,
     TestFlow,
-    build_detection_matrix,
+    all_test_configs,
     optimize_flow,
 )
+from ..campaign import CampaignResult, SweepSpec, TaskPoint, run_campaign
+from ..campaign.memo import worst_case_drv
 
 
 def worst_case_drv_at_test_conditions(
@@ -35,9 +41,77 @@ def worst_case_drv_at_test_conditions(
     cell: CellDesign = DEFAULT_CELL,
 ) -> float:
     """Worst-case array DRV_DS at the recommended test corner/temperature."""
-    return drv_ds1(
-        CellVariation.worst_case_drv1(sigma), TEST_CORNER, TEST_TEMP_C, cell
+    return worst_case_drv(sigma, TEST_CORNER, TEST_TEMP_C, cell)
+
+
+def _entry_point(
+    defect_id: int, config: TestConfig, drv_worst: float
+) -> TaskPoint:
+    return TaskPoint.make(
+        "detection-entry",
+        defect_id=int(defect_id), vdd=config.vdd,
+        vrefsel=config.vrefsel.name, ds_time=config.ds_time,
+        drv_worst=drv_worst,
     )
+
+
+def detection_matrix_spec(
+    drv_worst: float,
+    defect_ids: Sequence[int] = DRF_IDS,
+    configs: Optional[Sequence[TestConfig]] = None,
+    ds_time: float = 1e-3,
+    design: RegulatorDesign = DEFAULT_REGULATOR,
+    cell: CellDesign = DEFAULT_CELL,
+) -> Tuple[SweepSpec, List[TestConfig]]:
+    """Declarative detection-matrix sweep (plus the config list it covers)."""
+    if configs is None:
+        configs = all_test_configs(ds_time=ds_time)
+    configs = list(configs)
+    tasks = [
+        _entry_point(defect_id, config, drv_worst)
+        for config in configs
+        for defect_id in defect_ids
+    ]
+    spec = SweepSpec.build(
+        "table3", tasks, context={"design": design, "cell": cell}
+    )
+    return spec, configs
+
+
+def run_table3_campaign(
+    defect_ids: Sequence[int] = DRF_IDS,
+    drv_worst: Optional[float] = None,
+    ds_time: float = 1e-3,
+    design: RegulatorDesign = DEFAULT_REGULATOR,
+    cell: CellDesign = DEFAULT_CELL,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    retries: int = 1,
+    verbose: bool = False,
+) -> Tuple[TestFlow, CampaignResult]:
+    """Derive the optimised flow as a campaign; returns (flow, result).
+
+    A failed matrix entry (recorded ConvergenceError) is treated as "no
+    DRF below the open-line limit" for that configuration, exactly like an
+    intractable point in the serial scan.
+    """
+    if drv_worst is None:
+        drv_worst = worst_case_drv_at_test_conditions(cell=cell)
+    spec, configs = detection_matrix_spec(
+        drv_worst, defect_ids=defect_ids, ds_time=ds_time,
+        design=design, cell=cell,
+    )
+    result = run_campaign(
+        spec, jobs=jobs, cache_dir=cache_dir, retries=retries, verbose=verbose
+    )
+    matrix = DetectionMatrix(drv_worst=drv_worst)
+    for config in configs:
+        for defect_id in defect_ids:
+            value = result.value_for(_entry_point(defect_id, config, drv_worst))
+            matrix.entries[(defect_id, config)] = (
+                value.get("min_resistance") if value else None
+            )
+    return optimize_flow(matrix), result
 
 
 def table3_flow(
@@ -46,19 +120,19 @@ def table3_flow(
     ds_time: float = 1e-3,
     design: RegulatorDesign = DEFAULT_REGULATOR,
     cell: CellDesign = DEFAULT_CELL,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> TestFlow:
     """Run the flow-generation experiment and return the optimised flow.
 
     Pass a ``defect_ids`` subset for quick runs (the ladder already emerges
     from the divider defects Df1..Df5 plus any one amp defect).
     """
-    if drv_worst is None:
-        drv_worst = worst_case_drv_at_test_conditions(cell=cell)
-    matrix = build_detection_matrix(
-        drv_worst, defect_ids=defect_ids, ds_time=ds_time,
-        design=design, cell=cell,
+    flow, _result = run_table3_campaign(
+        defect_ids, drv_worst, ds_time, design, cell,
+        jobs=jobs, cache_dir=cache_dir,
     )
-    return optimize_flow(matrix)
+    return flow
 
 
 def render_table3(flow: TestFlow) -> str:

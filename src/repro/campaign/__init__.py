@@ -1,0 +1,46 @@
+"""Sweep-campaign engine: declarative grids, parallel execution, caching.
+
+The paper's headline artifacts are all grid sweeps - defects x case
+studies x PVT (Table II), defects x test configurations (Table III),
+transistors x sigmas (Fig. 4), Monte Carlo shards - and this package turns
+them from hand-rolled serial loops into *campaigns*:
+
+* :mod:`repro.campaign.spec` - :class:`TaskPoint` / :class:`SweepSpec`,
+  the content-hashable description of the work;
+* :mod:`repro.campaign.tasks` - the registry of task implementations
+  workers look up by name;
+* :mod:`repro.campaign.executor` - serial or process-pool execution with
+  chunked dispatch, retries, and failure downgrade;
+* :mod:`repro.campaign.cache` - the append-only JSONL result store behind
+  cache-hit skip and checkpoint/resume;
+* :mod:`repro.campaign.memo` - the shared per-process DRV memo;
+* :mod:`repro.campaign.metrics` - progress stream and run summary.
+
+Drivers in :mod:`repro.analysis` build specs and aggregate results; the
+CLI exposes ``--jobs/--cache-dir/--resume`` plus a generic ``campaign``
+subcommand.
+"""
+
+from .cache import ResultCache, TaskRecord
+from .executor import CampaignResult, Executor, run_campaign
+from .metrics import CampaignSummary, ProgressReporter
+from .spec import SweepSpec, TaskPoint, canonical, digest
+from .tasks import code_digest, get_task, registered_kinds, task
+
+__all__ = [
+    "CampaignResult",
+    "CampaignSummary",
+    "Executor",
+    "ProgressReporter",
+    "ResultCache",
+    "SweepSpec",
+    "TaskPoint",
+    "TaskRecord",
+    "canonical",
+    "code_digest",
+    "digest",
+    "get_task",
+    "registered_kinds",
+    "run_campaign",
+    "task",
+]

@@ -1,0 +1,123 @@
+"""Persistent campaign result store: append-only JSONL.
+
+Every finished task becomes one JSON line ``{key, fingerprint, kind,
+params, status, value, ...}``; the file is append-only and flushed after
+every chunk, which is the whole checkpoint/resume story - an interrupted
+campaign leaves at worst one truncated trailing line, which the loader
+tolerates, and the next run simply skips everything already on disk whose
+fingerprint still matches.
+
+Results are plain JSON values (the task functions guarantee that), so the
+store is greppable, diffable and survives refactors of the in-memory
+types.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, Optional
+
+RESULTS_FILENAME = "results.jsonl"
+
+
+@dataclass(frozen=True)
+class TaskRecord:
+    """Outcome of one task: cached value or recorded failure."""
+
+    key: str
+    kind: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    fingerprint: str = ""
+    status: str = "ok"  #: "ok" or "failed"
+    value: Any = None
+    error: Optional[str] = None
+    elapsed: float = 0.0
+    attempts: int = 1
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "key": self.key,
+            "kind": self.kind,
+            "params": self.params,
+            "fingerprint": self.fingerprint,
+            "status": self.status,
+            "value": self.value,
+            "error": self.error,
+            "elapsed": self.elapsed,
+            "attempts": self.attempts,
+        }, sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, line: str) -> "TaskRecord":
+        data = json.loads(line)
+        return cls(
+            key=data["key"],
+            kind=data.get("kind", ""),
+            params=data.get("params", {}),
+            fingerprint=data.get("fingerprint", ""),
+            status=data.get("status", "ok"),
+            value=data.get("value"),
+            error=data.get("error"),
+            elapsed=data.get("elapsed", 0.0),
+            attempts=data.get("attempts", 1),
+        )
+
+
+class ResultCache:
+    """On-disk JSONL store keyed by task hash, guarded by fingerprint."""
+
+    def __init__(self, cache_dir: os.PathLike) -> None:
+        self.directory = Path(cache_dir)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.path = self.directory / RESULTS_FILENAME
+        self._records: Dict[str, TaskRecord] = {}
+        self._loaded = False
+
+    def load(self) -> Dict[str, TaskRecord]:
+        """Read the store, tolerating a truncated final line (interrupt)."""
+        if self._loaded:
+            return self._records
+        self._records = {}
+        if self.path.exists():
+            with self.path.open("r", encoding="utf-8") as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = TaskRecord.from_json(line)
+                    except (json.JSONDecodeError, KeyError):
+                        continue  # half-written checkpoint tail
+                    self._records[record.key] = record  # last write wins
+        self._loaded = True
+        return self._records
+
+    def lookup(self, key: str, fingerprint: str) -> Optional[TaskRecord]:
+        """Cached record for ``key``, or None on miss/stale fingerprint."""
+        record = self.load().get(key)
+        if record is None or record.fingerprint != fingerprint:
+            return None
+        return record
+
+    def append(self, records: Iterable[TaskRecord]) -> None:
+        """Checkpoint a batch of finished tasks (flushed immediately)."""
+        records = list(records)
+        if not records:
+            return
+        self.load()
+        with self.path.open("a", encoding="utf-8") as fh:
+            for record in records:
+                fh.write(record.to_json() + "\n")
+                self._records[record.key] = record
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def __len__(self) -> int:
+        return len(self.load())

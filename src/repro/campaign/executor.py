@@ -1,0 +1,214 @@
+"""Campaign execution: serial or process-pool, cache-aware, interruptible.
+
+The executor walks a :class:`~repro.campaign.spec.SweepSpec`, skips every
+point already present in the persistent cache under the current
+fingerprint, and runs the rest - inline when ``jobs=1`` (bit-identical to
+the historical serial loops), on a ``ProcessPoolExecutor`` otherwise.
+
+Tasks are dispatched in chunks so worker round-trips amortise the pickling
+overhead, and every finished chunk is checkpointed to the cache before the
+next is awaited - killing the process mid-sweep loses at most the chunks
+in flight.
+
+Failure policy: :class:`~repro.spice.ConvergenceError` is the expected
+"this grid point is numerically intractable" signal - it is recorded as a
+failed task and the sweep continues.  Any other exception is retried
+(``retries`` extra attempts) and then likewise recorded, so one pathological
+point can never kill a thousand-point campaign.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Dict, IO, List, Optional, Sequence
+
+from ..spice import ConvergenceError
+from .cache import ResultCache, TaskRecord
+from .metrics import CampaignSummary, ProgressReporter
+from .spec import SweepSpec, TaskPoint
+from .tasks import get_task
+
+
+def _run_one(
+    point: TaskPoint,
+    context: Dict[str, Any],
+    fingerprint: str,
+    retries: int,
+) -> TaskRecord:
+    """Execute one task point, downgrading failures to records."""
+    start = time.perf_counter()
+    attempts = 0
+    while True:
+        attempts += 1
+        try:
+            value = get_task(point.kind)(point.as_dict(), context)
+        except ConvergenceError as exc:
+            # Deterministic solver failure: retrying cannot help.
+            return TaskRecord(
+                key=point.key, kind=point.kind, params=point.as_dict(),
+                fingerprint=fingerprint, status="failed", value=None,
+                error=f"ConvergenceError: {exc}",
+                elapsed=time.perf_counter() - start, attempts=attempts,
+            )
+        except Exception as exc:  # noqa: BLE001 - the sweep must survive
+            if attempts <= retries:
+                continue
+            return TaskRecord(
+                key=point.key, kind=point.kind, params=point.as_dict(),
+                fingerprint=fingerprint, status="failed", value=None,
+                error=f"{type(exc).__name__}: {exc}",
+                elapsed=time.perf_counter() - start, attempts=attempts,
+            )
+        return TaskRecord(
+            key=point.key, kind=point.kind, params=point.as_dict(),
+            fingerprint=fingerprint, status="ok", value=value,
+            elapsed=time.perf_counter() - start, attempts=attempts,
+        )
+
+
+def _run_chunk(
+    points: Sequence[TaskPoint],
+    context: Dict[str, Any],
+    fingerprint: str,
+    retries: int,
+) -> List[TaskRecord]:
+    """Worker entry point: run a chunk of points back to back."""
+    return [_run_one(p, context, fingerprint, retries) for p in points]
+
+
+@dataclass
+class CampaignResult:
+    """Everything a driver needs to aggregate a finished campaign."""
+
+    spec: SweepSpec
+    records: Dict[str, TaskRecord] = field(default_factory=dict)
+    summary: Optional[CampaignSummary] = None
+
+    def record_for(self, point: TaskPoint) -> Optional[TaskRecord]:
+        return self.records.get(point.key)
+
+    def value_for(self, point: TaskPoint) -> Any:
+        """The task's cached/computed value, or None if failed/missing."""
+        record = self.records.get(point.key)
+        if record is None or not record.ok:
+            return None
+        return record.value
+
+    @property
+    def failures(self) -> List[TaskRecord]:
+        return [r for r in self.records.values() if not r.ok]
+
+
+class Executor:
+    """Runs sweep campaigns; see the module docstring for the policy."""
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        retries: int = 1,
+        chunksize: Optional[int] = None,
+        verbose: bool = False,
+        stream: Optional[IO[str]] = None,
+        rerun_failures: bool = False,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.retries = retries
+        self.chunksize = chunksize
+        self.verbose = verbose
+        self.stream = stream
+        self.rerun_failures = rerun_failures
+
+    def _chunk(self, pending: Sequence[TaskPoint]) -> List[List[TaskPoint]]:
+        if self.chunksize is not None:
+            size = max(1, self.chunksize)
+        elif self.jobs == 1:
+            # Inline execution has no dispatch overhead to amortise;
+            # checkpoint after every task so interrupts lose nothing.
+            size = 1
+        else:
+            # Aim for ~4 chunks per worker so stragglers rebalance, while
+            # keeping chunks big enough to amortise dispatch.
+            size = max(1, min(8, -(-len(pending) // (self.jobs * 4))))
+        return [
+            list(pending[i:i + size]) for i in range(0, len(pending), size)
+        ]
+
+    def run(
+        self,
+        spec: SweepSpec,
+        cache: Optional[ResultCache] = None,
+    ) -> CampaignResult:
+        fingerprint = spec.fingerprint()
+        context = spec.context_dict()
+        progress = ProgressReporter(
+            spec.name, len(spec.tasks), verbose=self.verbose, stream=self.stream
+        )
+        result = CampaignResult(spec)
+
+        pending: List[TaskPoint] = []
+        seen = set()
+        hit_failures = 0
+        for point in spec.tasks:
+            if point.key in seen:
+                continue  # duplicated grid point: one execution serves all
+            seen.add(point.key)
+            record = cache.lookup(point.key, fingerprint) if cache else None
+            if record is not None and (record.ok or not self.rerun_failures):
+                result.records[point.key] = record
+                hit_failures += 0 if record.ok else 1
+            else:
+                pending.append(point)
+        progress.cache_hits(len(seen) - len(pending), failed=hit_failures)
+
+        def absorb(records: List[TaskRecord]) -> None:
+            if cache is not None:
+                cache.append(records)
+            for record in records:
+                result.records[record.key] = record
+            progress.chunk_done(
+                len(records), failed=sum(0 if r.ok else 1 for r in records)
+            )
+
+        if pending:
+            chunks = self._chunk(pending)
+            if self.jobs == 1:
+                for chunk in chunks:
+                    absorb(_run_chunk(chunk, context, fingerprint, self.retries))
+            else:
+                with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+                    futures = {
+                        pool.submit(
+                            _run_chunk, chunk, context, fingerprint, self.retries
+                        )
+                        for chunk in chunks
+                    }
+                    while futures:
+                        done, futures = wait(futures, return_when=FIRST_COMPLETED)
+                        for future in done:
+                            absorb(future.result())
+
+        result.summary = progress.summary()
+        return result
+
+
+def run_campaign(
+    spec: SweepSpec,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    retries: int = 1,
+    chunksize: Optional[int] = None,
+    verbose: bool = False,
+    stream: Optional[IO[str]] = None,
+    rerun_failures: bool = False,
+) -> CampaignResult:
+    """One-call façade: build the executor (and cache) and run the spec."""
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    executor = Executor(
+        jobs=jobs, retries=retries, chunksize=chunksize, verbose=verbose,
+        stream=stream, rerun_failures=rerun_failures,
+    )
+    return executor.run(spec, cache)

@@ -1,0 +1,52 @@
+"""Shared per-process DRV memoisation.
+
+Table II and Table III both reduce to thousands of
+:func:`repro.regulator.characterize.min_resistance_for_drf` calls, each of
+which needs a scenario DRV that only depends on (scenario, corner,
+temperature, cell) - a handful of distinct values recomputed over and over
+by the old module-local caches.  This module is the single home for those
+memos; every campaign worker process warms its own copy on first use.
+
+The memos are keyed on hashable inputs only (:class:`CellDesign` is a
+frozen dataclass), so they are safe to share between the Table II case
+studies and the Table III worst-case scenario in the same process.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..cell.design import DEFAULT_CELL, CellDesign
+
+
+@lru_cache(maxsize=4096)
+def case_drv(
+    cs_name: str,
+    corner: str,
+    temp_c: float,
+    cell: CellDesign = DEFAULT_CELL,
+) -> float:
+    """Degraded-state DRV of one case study at one (corner, temperature)."""
+    from ..analysis.case_studies import case_study
+
+    return case_study(cs_name).drv_affected(corner, temp_c, cell)
+
+
+@lru_cache(maxsize=1024)
+def worst_case_drv(
+    sigma: float,
+    corner: str,
+    temp_c: float,
+    cell: CellDesign = DEFAULT_CELL,
+) -> float:
+    """Worst-case array DRV_DS1 (Section III.B) at one (corner, temperature)."""
+    from ..cell.drv import drv_ds1
+    from ..devices.variation import CellVariation
+
+    return drv_ds1(CellVariation.worst_case_drv1(sigma), corner, temp_c, cell)
+
+
+def clear() -> None:
+    """Drop both memos (test isolation hook)."""
+    case_drv.cache_clear()
+    worst_case_drv.cache_clear()

@@ -1,0 +1,96 @@
+"""Campaign accounting: live progress and the end-of-run summary."""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass
+from typing import IO, Optional
+
+
+@dataclass(frozen=True)
+class CampaignSummary:
+    """What a finished campaign did, in numbers."""
+
+    name: str
+    total: int  #: task points in the spec
+    executed: int  #: ran this time (cache misses)
+    cache_hits: int  #: satisfied from the persistent store
+    failures: int  #: recorded failures (hits + executed)
+    wall_time: float  #: seconds for the whole run
+
+    @property
+    def completed(self) -> int:
+        return self.cache_hits + self.executed
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cache_hits / self.total if self.total else 0.0
+
+    @property
+    def tasks_per_sec(self) -> float:
+        if self.wall_time <= 0.0:
+            return 0.0
+        return self.executed / self.wall_time
+
+    def render(self) -> str:
+        return (
+            f"campaign[{self.name}] {self.total} tasks: "
+            f"{self.executed} executed, {self.cache_hits} cache hits "
+            f"({self.cache_hit_rate:.0%}), {self.failures} failed, "
+            f"{self.wall_time:.1f}s wall, {self.tasks_per_sec:.2f} tasks/s"
+        )
+
+
+class ProgressReporter:
+    """Streams per-chunk progress lines when verbose, stays silent otherwise."""
+
+    def __init__(
+        self,
+        name: str,
+        total: int,
+        verbose: bool = False,
+        stream: Optional[IO[str]] = None,
+    ) -> None:
+        self.name = name
+        self.total = total
+        self.verbose = verbose
+        self.stream = stream if stream is not None else sys.stderr
+        self.started = time.perf_counter()
+        self.done = 0
+        self.hits = 0
+        self.failed = 0
+
+    def cache_hits(self, count: int, failed: int = 0) -> None:
+        self.done += count
+        self.hits += count
+        self.failed += failed
+        if count:
+            self._emit(f"{count} cached results reused")
+
+    def chunk_done(self, count: int, failed: int = 0) -> None:
+        self.done += count
+        self.failed += failed
+        self._emit("chunk complete")
+
+    def _emit(self, note: str) -> None:
+        if not self.verbose:
+            return
+        elapsed = time.perf_counter() - self.started
+        rate = (self.done - self.hits) / elapsed if elapsed > 0 else 0.0
+        self.stream.write(
+            f"campaign[{self.name}] {self.done}/{self.total} done "
+            f"({self.hits} hits, {self.failed} failed, {rate:.2f} tasks/s): "
+            f"{note}\n"
+        )
+        self.stream.flush()
+
+    def summary(self) -> CampaignSummary:
+        return CampaignSummary(
+            name=self.name,
+            total=self.total,
+            executed=self.done - self.hits,
+            cache_hits=self.hits,
+            failures=self.failed,
+            wall_time=time.perf_counter() - self.started,
+        )

@@ -1,0 +1,169 @@
+"""Task registry: the functions a campaign knows how to execute.
+
+Workers receive :class:`~repro.campaign.spec.TaskPoint` descriptions, not
+callables, so every task kind is registered here by name and looked up
+inside the worker process.  A task function takes ``(params, context)`` -
+the point's parameter dict and the spec's shared context dict - and returns
+a JSON-serialisable value (that is what the persistent cache stores).
+
+The registry also exposes each implementation's source digest, which feeds
+the campaign fingerprint: editing a task function invalidates its cached
+results without touching anybody else's.
+
+Imports inside the task bodies are deliberate: the registry itself must be
+importable from anywhere (including the analysis modules that build specs)
+without dragging the whole analysis layer along, and the laziness keeps the
+import graph acyclic.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+from typing import Any, Callable, Dict, List, Optional
+
+TaskFn = Callable[[Dict[str, Any], Dict[str, Any]], Any]
+
+_REGISTRY: Dict[str, TaskFn] = {}
+
+
+def task(kind: str) -> Callable[[TaskFn], TaskFn]:
+    """Register a task implementation under ``kind``."""
+
+    def register(fn: TaskFn) -> TaskFn:
+        if kind in _REGISTRY and _REGISTRY[kind] is not fn:
+            raise ValueError(f"task kind {kind!r} already registered")
+        _REGISTRY[kind] = fn
+        return fn
+
+    return register
+
+
+def get_task(kind: str) -> TaskFn:
+    try:
+        return _REGISTRY[kind]
+    except KeyError:
+        raise KeyError(
+            f"unknown task kind {kind!r}; registered: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def registered_kinds() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def code_digest(kind: str) -> str:
+    """SHA-256 of the task implementation's source (fingerprint input).
+
+    An unregistered kind digests to a sentinel: fingerprinting must not
+    fail before the executor gets the chance to record the failure.
+    """
+    fn = _REGISTRY.get(kind)
+    if fn is None:
+        return "unregistered"
+    try:
+        blob = inspect.getsource(fn)
+    except (OSError, TypeError):  # dynamically defined, e.g. in a REPL
+        blob = f"{fn.__module__}.{fn.__qualname__}"
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _design_and_cell(context: Dict[str, Any]):
+    from ..cell.design import DEFAULT_CELL
+    from ..regulator.design import DEFAULT_REGULATOR
+
+    return (
+        context.get("design", DEFAULT_REGULATOR),
+        context.get("cell", DEFAULT_CELL),
+    )
+
+
+@task("table2-cell")
+def table2_cell(params: Dict[str, Any], context: Dict[str, Any]) -> Dict[str, Any]:
+    """Min DRF-causing resistance of one (defect, case study, PVT) point.
+
+    The Table II driver aggregates these per-PVT values into the paper's
+    min-over-grid cells; keeping the grid point as the task unit makes the
+    cache reusable across different grid restrictions of the same sweep.
+    """
+    from ..devices.pvt import PVT
+    from ..regulator.characterize import min_resistance_for_drf
+    from ..regulator.defects import DEFECTS
+    from ..regulator.load import WeakCellGroup
+    from ..analysis.case_studies import case_study
+    from ..analysis.table2 import vrefsel_for_vdd
+    from .memo import case_drv
+
+    design, cell = _design_and_cell(context)
+    family = params["family"]
+    pvt = PVT(params["corner"], params["vdd"], params["temp_c"])
+    drv = case_drv(family, pvt.corner, pvt.temp_c, cell)
+    weak = (WeakCellGroup(count=case_study(family).n_cells, drv=drv),)
+    r = min_resistance_for_drf(
+        DEFECTS[params["defect_id"]], drv, pvt, vrefsel_for_vdd(pvt.vdd),
+        ds_time=params["ds_time"], weak_groups=weak, design=design, cell=cell,
+    )
+    return {"min_resistance": r}
+
+
+@task("detection-entry")
+def detection_entry(params: Dict[str, Any], context: Dict[str, Any]) -> Dict[str, Any]:
+    """One (defect, test configuration) entry of the Table III matrix."""
+    from ..core.testflow import TEST_CORNER, TEST_TEMP_C
+    from ..devices.pvt import PVT
+    from ..regulator.characterize import min_resistance_for_drf
+    from ..regulator.defects import DEFECTS
+    from ..regulator.design import VrefSelect
+
+    design, cell = _design_and_cell(context)
+    pvt = PVT(TEST_CORNER, params["vdd"], TEST_TEMP_C)
+    r = min_resistance_for_drf(
+        DEFECTS[params["defect_id"]], params["drv_worst"], pvt,
+        VrefSelect[params["vrefsel"]], ds_time=params["ds_time"],
+        design=design, cell=cell,
+    )
+    return {"min_resistance": r}
+
+
+@task("figure4-point")
+def figure4_point(params: Dict[str, Any], context: Dict[str, Any]) -> Dict[str, Any]:
+    """Worst-over-grid DRV_DS1/DRV_DS0 for one (transistor, sigma) sample."""
+    from ..cell.drv import drv_ds0, drv_ds1
+    from ..devices.pvt import PVT
+    from ..devices.variation import CellVariation
+
+    _design, cell = _design_and_cell(context)
+    variation = CellVariation.single(params["transistor"], params["sigma"])
+    grid = [PVT(c, v, t) for (c, v, t) in params["grid"]]
+    out: Dict[str, Any] = {}
+    for label, func in (("ds1", drv_ds1), ("ds0", drv_ds0)):
+        best, best_pvt = -1.0, grid[0]
+        for pvt in grid:
+            value = func(variation, pvt.corner, pvt.temp_c, cell)
+            if value > best:
+                best, best_pvt = value, pvt
+        out[f"drv_{label}"] = best
+        out[f"pvt_{label}"] = [best_pvt.corner, best_pvt.vdd, best_pvt.temp_c]
+    return out
+
+
+@task("mc-shard")
+def mc_shard(params: Dict[str, Any], context: Dict[str, Any]) -> Dict[str, Any]:
+    """One shard of the Monte Carlo DRV study.
+
+    The shard's generator is spawned from ``(seed, shard)``, so the sampled
+    population depends only on the spec - never on how many worker
+    processes the shards were spread over.
+    """
+    import numpy as np
+
+    from ..cell.drv import drv_ds
+    from ..devices.variation import CellVariation
+
+    _design, cell = _design_and_cell(context)
+    rng = np.random.default_rng([params["seed"], params["shard"]])
+    samples = [
+        drv_ds(CellVariation.sample(rng), params["corner"], params["temp_c"], cell)
+        for _ in range(params["n_samples"])
+    ]
+    return {"samples": samples}

@@ -4,16 +4,28 @@ Examples::
 
     python -m repro table1                   # case-study DRV ladder
     python -m repro table2 --defects 1,16    # Table II slice
+    python -m repro table2 --jobs 4 --cache-dir .repro-cache
     python -m repro table3 --defects 1,3,4   # optimised flow
     python -m repro fig4 --fast              # Fig. 4 panels
+    python -m repro mc --samples 64 --seed 7 # Monte Carlo DRV statistics
+    python -m repro campaign table2 --full-grid --jobs 8 --resume
     python -m repro power                    # Section IV.B comparison
     python -m repro classify                 # 32-defect taxonomy
     python -m repro run-march "March m-LZ"   # run a test on a clean SRAM
     python -m repro run-march "{ u(w0); u(r0) }" --words 128
 
 The ``--fast`` flag swaps the PVT sweep for a minimal grid; without it the
-commands use the same reduced defaults as the benchmarks (set
-``REPRO_FULL_GRID=1`` there for the complete 45-condition sweep).
+commands use the same reduced defaults as the benchmarks.
+
+The sweep-backed commands (``table2``/``table3``/``fig4``/``mc`` and the
+generic ``campaign`` umbrella) run as :mod:`repro.campaign` sweeps:
+``--jobs N`` fans the grid over N worker processes (default 1 = the
+historical serial loop), ``--cache-dir`` persists per-point results so
+reruns and interrupted runs are incremental, ``--resume`` is shorthand for
+caching under ``.repro-cache/``, and every run reports a one-line campaign
+summary (cache hit rate, tasks/sec) on stderr.  ``campaign`` additionally
+accepts ``--full-grid`` for the paper's complete 45-condition sweep - the
+run the campaign engine exists to make feasible.
 """
 
 from __future__ import annotations
@@ -22,18 +34,25 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
+#: Cache location implied by ``--resume`` when ``--cache-dir`` is absent.
+DEFAULT_CACHE_DIR = ".repro-cache"
 
-def _grid(fast: bool):
+
+def _grid(fast: bool, full: bool = False):
     from .devices.pvt import corner_temp_grid
 
+    if full:
+        return corner_temp_grid()
     if fast:
         return corner_temp_grid(corners=("fs",), temps=(125.0,))
     return corner_temp_grid(corners=("fs", "sf"), temps=(-30.0, 125.0))
 
 
-def _pvt_grid(fast: bool):
+def _pvt_grid(fast: bool, full: bool = False):
     from .devices.pvt import paper_pvt_grid
 
+    if full:
+        return paper_pvt_grid()
     if fast:
         return paper_pvt_grid(corners=("fs",), temps=(125.0,))
     return paper_pvt_grid(corners=("fs", "sf"), temps=(125.0,))
@@ -43,9 +62,43 @@ def _parse_defects(text: Optional[str], default: Sequence[int]) -> List[int]:
     if not text:
         return list(default)
     try:
-        return [int(part) for part in text.split(",") if part.strip()]
+        ids = [int(part) for part in text.split(",") if part.strip()]
     except ValueError:
         raise SystemExit(f"--defects expects comma-separated integers, got {text!r}")
+    from .regulator.defects import DEFECTS
+
+    unknown = [i for i in ids if i not in DEFECTS]
+    if unknown:
+        known = ", ".join(str(i) for i in sorted(DEFECTS))
+        raise SystemExit(
+            f"--defects: unknown defect id(s) {unknown}; known sites: {known}"
+        )
+    return ids
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _campaign_kwargs(args) -> dict:
+    """Executor keyword arguments from the campaign CLI flags."""
+    cache_dir = getattr(args, "cache_dir", None)
+    if cache_dir is None and getattr(args, "resume", False):
+        cache_dir = DEFAULT_CACHE_DIR
+    return {
+        "jobs": getattr(args, "jobs", 1),
+        "cache_dir": cache_dir,
+        "verbose": getattr(args, "verbose", False),
+    }
+
+
+def _report(result) -> None:
+    """One-line campaign summary on stderr (stdout carries the artifact)."""
+    if result.summary is not None:
+        print(result.summary.render(), file=sys.stderr)
 
 
 def cmd_table1(args) -> int:
@@ -56,32 +109,59 @@ def cmd_table1(args) -> int:
 
 
 def cmd_table2(args) -> int:
-    from .analysis import render_table2, table2_rows
+    from .analysis import render_table2, run_table2_campaign
     from .regulator.defects import DRF_IDS
 
     defects = _parse_defects(args.defects, DRF_IDS if not args.fast else (1, 16, 23))
-    rows = table2_rows(defect_ids=defects, pvt_grid=_pvt_grid(args.fast))
+    rows, result = run_table2_campaign(
+        defect_ids=defects,
+        pvt_grid=_pvt_grid(args.fast, getattr(args, "full_grid", False)),
+        **_campaign_kwargs(args),
+    )
     print(render_table2(rows))
+    _report(result)
     return 0
 
 
 def cmd_table3(args) -> int:
-    from .analysis import render_table3, table3_flow
+    from .analysis import render_table3, run_table3_campaign
     from .regulator.defects import DRF_IDS
 
     defects = _parse_defects(args.defects, DRF_IDS if not args.fast else (1, 3, 4))
-    print(render_table3(table3_flow(defect_ids=defects)))
+    flow, result = run_table3_campaign(
+        defect_ids=defects, **_campaign_kwargs(args)
+    )
+    print(render_table3(flow))
+    _report(result)
     return 0
 
 
 def cmd_fig4(args) -> int:
-    from .analysis import figure4_sweep, render_figure4
+    from .analysis import render_figure4, run_figure4_campaign
 
     sigmas = (-6.0, -3.0, 0.0, 3.0, 6.0) if args.fast else (-6, -4, -2, 0, 2, 4, 6)
-    points = figure4_sweep(sigmas=[float(s) for s in sigmas], pvt_grid=_grid(args.fast))
+    points, result = run_figure4_campaign(
+        sigmas=[float(s) for s in sigmas],
+        pvt_grid=_grid(args.fast, getattr(args, "full_grid", False)),
+        **_campaign_kwargs(args),
+    )
     print(render_figure4(points, "ds1"))
     print()
     print(render_figure4(points, "ds0"))
+    _report(result)
+    return 0
+
+
+def cmd_mc(args) -> int:
+    from .analysis import render_montecarlo, run_montecarlo_campaign
+
+    samples = args.samples if args.samples is not None else (16 if args.fast else 100)
+    result, campaign = run_montecarlo_campaign(
+        n_samples=samples, corner=args.corner, temp_c=args.temp,
+        seed=args.seed, shards=args.shards, **_campaign_kwargs(args),
+    )
+    print(render_montecarlo(result))
+    _report(campaign)
     return 0
 
 
@@ -129,6 +209,41 @@ def cmd_run_march(args) -> int:
     return 0 if result.passed else 1
 
 
+#: Sweep-backed targets of the generic ``campaign`` umbrella command.
+CAMPAIGN_TARGETS = {
+    "table2": cmd_table2,
+    "table3": cmd_table3,
+    "fig4": cmd_fig4,
+    "mc": cmd_mc,
+}
+
+
+def cmd_campaign(args) -> int:
+    return CAMPAIGN_TARGETS[args.target](args)
+
+
+def _add_campaign_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--jobs", type=_positive_int, default=1, metavar="N",
+                   help="worker processes (default 1 = serial)")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="persist per-point results for cache-hit skip / resume")
+    p.add_argument("--resume", action="store_true",
+                   help=f"shorthand for --cache-dir {DEFAULT_CACHE_DIR}")
+    p.add_argument("--verbose", action="store_true",
+                   help="stream per-chunk campaign progress to stderr")
+
+
+def _add_mc_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--samples", type=_positive_int, default=None,
+                   help="sampled cell population (default 100, 16 with --fast)")
+    p.add_argument("--corner", default="typical", help="process corner")
+    p.add_argument("--temp", type=float, default=25.0, help="temperature (C)")
+    p.add_argument("--seed", type=int, default=1,
+                   help="RNG seed; shard generators spawn from (seed, shard)")
+    p.add_argument("--shards", type=_positive_int, default=4,
+                   help="population shards (fixed, independent of --jobs)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -137,21 +252,45 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def add(name, func, help_text, defects=False):
+    def add(name, func, help_text, defects=False, campaign=False):
         p = sub.add_parser(name, help=help_text)
         p.add_argument("--fast", action="store_true",
                        help="minimal PVT grid / defect set")
         if defects:
             p.add_argument("--defects", help="comma-separated defect numbers")
+        if campaign:
+            _add_campaign_flags(p)
         p.set_defaults(func=func)
         return p
 
     add("table1", cmd_table1, "Table I: case-study DRV ladder")
-    add("table2", cmd_table2, "Table II: minimal DRF-causing resistances", defects=True)
-    add("table3", cmd_table3, "Table III: optimised test flow", defects=True)
-    add("fig4", cmd_fig4, "Fig. 4: DRV vs per-transistor Vth variation")
+    add("table2", cmd_table2, "Table II: minimal DRF-causing resistances",
+        defects=True, campaign=True)
+    add("table3", cmd_table3, "Table III: optimised test flow",
+        defects=True, campaign=True)
+    add("fig4", cmd_fig4, "Fig. 4: DRV vs per-transistor Vth variation",
+        campaign=True)
+    mc = add("mc", cmd_mc, "Monte Carlo DRV distribution (sharded campaign)",
+             campaign=True)
+    _add_mc_flags(mc)
     add("power", cmd_power, "Section IV.B static-power comparison")
-    add("classify", cmd_classify, "Defect taxonomy from Vreg signatures", defects=True)
+    add("classify", cmd_classify, "Defect taxonomy from Vreg signatures",
+        defects=True)
+
+    camp = sub.add_parser(
+        "campaign",
+        help="run any sweep target through the campaign engine",
+    )
+    camp.add_argument("target", choices=sorted(CAMPAIGN_TARGETS),
+                      help="which artifact sweep to run")
+    camp.add_argument("--fast", action="store_true",
+                      help="minimal PVT grid / defect set")
+    camp.add_argument("--full-grid", action="store_true",
+                      help="the paper's complete 45-condition PVT grid")
+    camp.add_argument("--defects", help="comma-separated defect numbers")
+    _add_campaign_flags(camp)
+    _add_mc_flags(camp)
+    camp.set_defaults(func=cmd_campaign)
 
     run = sub.add_parser("run-march", help="run a March test on a behavioral SRAM")
     run.add_argument("test", help="library name (e.g. 'March m-LZ') or notation")

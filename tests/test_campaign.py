@@ -1,0 +1,232 @@
+"""The sweep-campaign engine: specs, cache, executor, resume, parallel runs."""
+
+import json
+import os
+
+import pytest
+
+from repro.campaign import (
+    Executor,
+    ResultCache,
+    SweepSpec,
+    TaskPoint,
+    TaskRecord,
+    run_campaign,
+    task,
+)
+from repro.campaign.cache import RESULTS_FILENAME
+from repro.devices.pvt import PVT
+from repro.spice import ConvergenceError
+
+ONE_PVT = (PVT("fs", 1.0, 125.0),)
+
+
+# --- toy task kinds (registered once at import; cheap and deterministic) ---
+
+@task("toy-square")
+def _toy_square(params, context):
+    return {"y": params["x"] ** 2 + context.get("offset", 0)}
+
+
+@task("toy-converge")
+def _toy_converge(params, context):
+    if params["x"] == 2:
+        raise ConvergenceError("operating point on the crowbar transition")
+    return {"y": params["x"]}
+
+
+@task("toy-flaky")
+def _toy_flaky(params, context):
+    marker = os.path.join(params["scratch"], f"attempted-{params['x']}")
+    if not os.path.exists(marker):
+        open(marker, "w").close()
+        raise RuntimeError("transient worker hiccup")
+    return {"y": params["x"]}
+
+
+@task("toy-interruptible")
+def _toy_interruptible(params, context):
+    if params["x"] >= 3 and os.path.exists(params["flag"]):
+        raise KeyboardInterrupt
+    return {"y": params["x"]}
+
+
+def square_spec(n=6, offset=0, seed=None):
+    tasks = [TaskPoint.make("toy-square", x=i) for i in range(n)]
+    context = {"offset": offset} if offset else {}
+    return SweepSpec.build("toy", tasks, context=context, seed=seed)
+
+
+class TestTaskPoint:
+    def test_key_independent_of_param_order(self):
+        a = TaskPoint.make("k", alpha=1, beta=2.5)
+        b = TaskPoint.make("k", beta=2.5, alpha=1)
+        assert a == b and a.key == b.key
+
+    def test_key_separates_kind_and_params(self):
+        base = TaskPoint.make("k", x=1)
+        assert base.key != TaskPoint.make("k2", x=1).key
+        assert base.key != TaskPoint.make("k", x=2).key
+
+    def test_nested_sequences_freeze_hashable(self):
+        p = TaskPoint.make("k", grid=[["fs", 1.0, 125.0], ["sf", 1.1, -30.0]])
+        assert hash(p) is not None
+        assert p.param("grid") == (("fs", 1.0, 125.0), ("sf", 1.1, -30.0))
+
+
+class TestFingerprint:
+    def test_context_changes_fingerprint(self):
+        assert square_spec().fingerprint() != square_spec(offset=1).fingerprint()
+
+    def test_seed_changes_fingerprint(self):
+        assert square_spec(seed=1).fingerprint() != square_spec(seed=2).fingerprint()
+
+    def test_stable_across_builds(self):
+        assert square_spec().fingerprint() == square_spec().fingerprint()
+
+
+class TestCacheHitMiss:
+    def test_second_run_all_hits(self, tmp_path):
+        spec = square_spec(8)
+        first = run_campaign(spec, cache_dir=str(tmp_path))
+        assert first.summary.executed == 8 and first.summary.cache_hits == 0
+        second = run_campaign(spec, cache_dir=str(tmp_path))
+        assert second.summary.executed == 0 and second.summary.cache_hits == 8
+        assert second.summary.cache_hit_rate == 1.0
+        for point in spec.tasks:
+            assert second.value_for(point) == first.value_for(point)
+
+    def test_fingerprint_invalidates_stale_entries(self, tmp_path):
+        run_campaign(square_spec(4), cache_dir=str(tmp_path))
+        shifted = run_campaign(square_spec(4, offset=10), cache_dir=str(tmp_path))
+        assert shifted.summary.cache_hits == 0 and shifted.summary.executed == 4
+        assert shifted.value_for(shifted.spec.tasks[0])["y"] == 10
+
+    def test_growing_the_grid_reuses_the_overlap(self, tmp_path):
+        run_campaign(square_spec(4), cache_dir=str(tmp_path))
+        grown = run_campaign(square_spec(10), cache_dir=str(tmp_path))
+        assert grown.summary.cache_hits == 4 and grown.summary.executed == 6
+
+
+class TestResume:
+    def test_interrupt_checkpoints_then_resumes(self, tmp_path):
+        flag = tmp_path / "interrupt-now"
+        flag.touch()
+        tasks = [
+            TaskPoint.make("toy-interruptible", x=i, flag=str(flag))
+            for i in range(6)
+        ]
+        spec = SweepSpec.build("interruptible", tasks)
+        cache_dir = str(tmp_path / "cache")
+        executor = Executor(jobs=1, chunksize=1)
+        with pytest.raises(KeyboardInterrupt):
+            executor.run(spec, ResultCache(cache_dir))
+        flag.unlink()
+        resumed = run_campaign(spec, cache_dir=cache_dir)
+        assert resumed.summary.cache_hits == 3  # x = 0, 1, 2 checkpointed
+        assert resumed.summary.executed == 3
+        assert [resumed.value_for(p)["y"] for p in tasks] == list(range(6))
+
+    def test_truncated_checkpoint_tail_tolerated(self, tmp_path):
+        spec = square_spec(5)
+        run_campaign(spec, cache_dir=str(tmp_path))
+        store = tmp_path / RESULTS_FILENAME
+        with store.open("a", encoding="utf-8") as fh:
+            fh.write('{"key": "deadbeef", "fingerp')  # killed mid-write
+        again = run_campaign(spec, cache_dir=str(tmp_path))
+        assert again.summary.cache_hits == 5
+
+
+class TestFailurePolicy:
+    def test_convergence_error_recorded_not_fatal(self, tmp_path):
+        tasks = [TaskPoint.make("toy-converge", x=i) for i in range(4)]
+        spec = SweepSpec.build("converge", tasks)
+        result = run_campaign(spec, cache_dir=str(tmp_path))
+        assert result.summary.failures == 1
+        assert result.summary.completed == 4  # the sweep finished
+        failed = result.record_for(tasks[2])
+        assert not failed.ok and "ConvergenceError" in failed.error
+        assert result.value_for(tasks[2]) is None
+        assert result.value_for(tasks[3]) == {"y": 3}
+
+    def test_recorded_failure_is_a_cache_hit_by_default(self, tmp_path):
+        tasks = [TaskPoint.make("toy-converge", x=2)]
+        spec = SweepSpec.build("converge", tasks)
+        run_campaign(spec, cache_dir=str(tmp_path))
+        again = run_campaign(spec, cache_dir=str(tmp_path))
+        assert again.summary.cache_hits == 1 and again.summary.failures == 1
+        rerun = run_campaign(
+            spec, cache_dir=str(tmp_path), rerun_failures=True
+        )
+        assert rerun.summary.executed == 1
+
+    def test_transient_errors_retried(self, tmp_path):
+        tasks = [
+            TaskPoint.make("toy-flaky", x=i, scratch=str(tmp_path))
+            for i in range(3)
+        ]
+        spec = SweepSpec.build("flaky", tasks)
+        result = run_campaign(spec, retries=1)
+        assert result.summary.failures == 0
+        assert all(result.record_for(p).attempts == 2 for p in tasks)
+
+    def test_exhausted_retries_recorded(self, tmp_path):
+        tasks = [TaskPoint.make("toy-flaky", x=0, scratch=str(tmp_path))]
+        result = run_campaign(SweepSpec.build("flaky", tasks), retries=0)
+        assert result.summary.failures == 1
+        assert "RuntimeError" in result.record_for(tasks[0]).error
+
+
+class TestCacheStore:
+    def test_records_round_trip_as_json_lines(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        record = TaskRecord(
+            key="k1", kind="toy-square", params={"x": 1},
+            fingerprint="fp", value={"y": 1}, elapsed=0.25,
+        )
+        cache.append([record])
+        lines = (tmp_path / RESULTS_FILENAME).read_text().splitlines()
+        assert json.loads(lines[0])["value"] == {"y": 1}
+        fresh = ResultCache(tmp_path)
+        assert fresh.lookup("k1", "fp") == record
+        assert fresh.lookup("k1", "other-fp") is None
+
+
+class TestExecutorValidation:
+    def test_rejects_nonpositive_jobs(self):
+        with pytest.raises(ValueError):
+            Executor(jobs=0)
+
+    def test_unknown_kind_is_a_recorded_failure(self):
+        spec = SweepSpec.build("nope", [TaskPoint.make("no-such-kind", x=1)])
+        result = run_campaign(spec, retries=0)
+        assert result.summary.failures == 1
+        assert "KeyError" in result.failures[0].error
+
+
+@pytest.mark.slow
+class TestParallelEqualsSerial:
+    def test_table2_rows_jobs4_identical_to_serial(self):
+        from repro.analysis.table2 import table2_rows
+
+        kwargs = dict(
+            defect_ids=(1,), families=("CS2-1", "CS4-1"), pvt_grid=ONE_PVT
+        )
+        serial = table2_rows(jobs=1, **kwargs)
+        parallel = table2_rows(jobs=4, **kwargs)
+        assert serial == parallel
+
+    def test_montecarlo_shards_invariant_under_jobs(self, tmp_path):
+        from repro.analysis.montecarlo import run_montecarlo_campaign
+
+        kwargs = dict(n_samples=6, shards=3, seed=5)
+        one, _ = run_montecarlo_campaign(jobs=1, **kwargs)
+        two, _ = run_montecarlo_campaign(jobs=2, **kwargs)
+        assert one.samples.tolist() == two.samples.tolist()
+
+    def test_montecarlo_seed_changes_population(self):
+        from repro.analysis.montecarlo import run_montecarlo_campaign
+
+        a, _ = run_montecarlo_campaign(n_samples=4, shards=2, seed=5)
+        b, _ = run_montecarlo_campaign(n_samples=4, shards=2, seed=6)
+        assert a.samples.tolist() != b.samples.tolist()

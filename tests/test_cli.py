@@ -40,6 +40,40 @@ class TestCommands:
         assert "Df16" in capsys.readouterr().out
 
 
+class TestCampaignCommands:
+    def test_mc_sharded(self, capsys):
+        assert main(["mc", "--samples", "4", "--shards", "2", "--seed", "9"]) == 0
+        captured = capsys.readouterr()
+        assert "Monte Carlo DRV_DS" in captured.out
+        assert "campaign[montecarlo] 2 tasks" in captured.err
+
+    def test_campaign_umbrella_reports_cache_hits(self, capsys, tmp_path):
+        argv = [
+            "campaign", "mc", "--samples", "4", "--shards", "2",
+            "--cache-dir", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        assert "2 cache hits (100%)" in captured.err
+        assert "Monte Carlo DRV_DS" in captured.out
+
+    @pytest.mark.slow
+    def test_table2_jobs_and_cache(self, capsys, tmp_path):
+        argv = [
+            "table2", "--fast", "--defects", "16",
+            "--jobs", "2", "--cache-dir", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr()
+        assert "Df16" in first.out
+        assert main(argv) == 0
+        second = capsys.readouterr()
+        assert second.out == first.out  # cached rerun renders the same table
+        assert "5 cache hits (100%)" in second.err
+
+
 class TestRunMarch:
     def test_library_test_passes_clean_memory(self, capsys):
         assert main(["run-march", "MATS+", "--words", "8", "--bits", "2"]) == 0

@@ -1,0 +1,154 @@
+"""Observability overhead: the repro.obs hooks on a tight solve_dc loop.
+
+The instrumentation contract (DESIGN.md Section 9) is that disabled hooks
+cost one predicate per call site - a sweep that never installs a recorder
+must run at the speed of the pre-obs code.  This file measures that
+contract directly:
+
+* ``test_disabled_overhead_within_bound`` - the shipped solver loop (obs
+  present but uninstalled) against an "uninstrumented" proxy in which
+  every hook the solver reaches is replaced by a bare no-op lambda.  The
+  ratio gates CI at 5%.
+* ``test_enabled_overhead_is_modest`` - a live recorder against the
+  disabled path; recorder bookkeeping must stay small next to the
+  millisecond-scale Newton solves it meters.
+* ``test_primitive_costs`` - raw per-operation cost of count/observe/span.
+
+Timings use min-of-rounds (the standard robust estimator for "true cost"
+comparisons: noise only ever adds time).
+"""
+
+import time
+
+import pytest
+
+from repro import obs
+from repro.devices import CORNERS, MosfetModel, nmos_params, pmos_params
+from repro.spice import Circuit, dc_sweep
+
+#: VTC points per solver loop; warm-started sweep, a few ms per point.
+SWEEP_POINTS = 24
+ROUNDS = 5
+
+#: CI gate: disabled instrumentation within 5% of the no-hook proxy.
+DISABLED_OVERHEAD_BOUND = 0.05
+
+
+def _inverter():
+    c = CORNERS["typical"]
+    circuit = Circuit("bench-obs-inverter")
+    circuit.vsource("vdd", "vdd", "0", 1.1)
+    circuit.vsource("vin", "in", "0", 0.0)
+    circuit.mosfet(
+        "mp", "out", "in", "vdd", MosfetModel(pmos_params("mp", 240e-9), c, 25.0)
+    )
+    circuit.mosfet(
+        "mn", "out", "in", "0", MosfetModel(nmos_params("mn", 120e-9), c, 25.0)
+    )
+    return circuit
+
+
+def _solve_loop():
+    circuit = _inverter()
+    vins = [1.1 * i / (SWEEP_POINTS - 1) for i in range(SWEEP_POINTS)]
+    return dc_sweep(circuit, "vin", vins)
+
+
+def _min_of(fn, rounds=ROUNDS):
+    best = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return best
+
+
+class _NoopHooks:
+    """Stand-in for the obs module with every hook a free function call -
+    the closest runnable proxy for the solver as it was before the hooks
+    existed (same call sites, nothing behind them)."""
+
+    @staticmethod
+    def enabled():
+        return False
+
+    count = staticmethod(lambda *a, **k: None)
+    observe = staticmethod(lambda *a, **k: None)
+    span = staticmethod(lambda *a, **k: obs._NULL_SPAN)
+
+
+@pytest.fixture(autouse=True)
+def _obs_disabled():
+    obs.uninstall()
+    yield
+    obs.uninstall()
+
+
+def test_disabled_overhead_within_bound(benchmark, monkeypatch):
+    """Uninstalled hooks must track the hook-free solver within 5%."""
+    import repro.cell.drv as drv_mod
+    import repro.cell.snm as snm_mod
+    import repro.spice.dc as dc_mod
+
+    noop = _NoopHooks()
+    with monkeypatch.context() as patched:
+        for module in (dc_mod, drv_mod, snm_mod):
+            patched.setattr(module, "obs", noop)
+        _solve_loop()  # warm-up outside the timed region
+        baseline = _min_of(_solve_loop)
+
+    _solve_loop()
+    disabled = benchmark.pedantic(_solve_loop, rounds=ROUNDS, iterations=1)
+    assert disabled is not None
+    disabled_time = min(benchmark.stats.stats.data)
+    overhead = disabled_time / baseline - 1.0
+    print(f"\nobs disabled: {disabled_time * 1e3:.2f} ms "
+          f"vs no-hook {baseline * 1e3:.2f} ms ({overhead:+.1%})")
+    assert overhead < DISABLED_OVERHEAD_BOUND, (
+        f"disabled instrumentation costs {overhead:.1%} "
+        f"(bound {DISABLED_OVERHEAD_BOUND:.0%})"
+    )
+
+
+def test_enabled_overhead_is_modest(benchmark):
+    """A live recorder stays cheap next to the solves it meters."""
+    _solve_loop()
+    disabled = _min_of(_solve_loop)
+
+    def observed_loop():
+        with obs.recording() as recorder:
+            _solve_loop()
+        return recorder
+
+    recorder = benchmark.pedantic(observed_loop, rounds=ROUNDS, iterations=1)
+    assert recorder.counters["dc.solves"] == SWEEP_POINTS
+    assert recorder.histograms["dc.newton_iters"].count == SWEEP_POINTS
+    enabled = min(benchmark.stats.stats.data)
+    overhead = enabled / disabled - 1.0
+    print(f"\nobs enabled: {enabled * 1e3:.2f} ms "
+          f"vs disabled {disabled * 1e3:.2f} ms ({overhead:+.1%})")
+    # Loose sanity bound - the histogram/counter work per solve is ~1 us
+    # against multi-ms Newton iterations.
+    assert overhead < 0.25
+
+
+def test_primitive_costs(benchmark):
+    """Raw cost per count+observe+span cycle on a live recorder."""
+    n = 10_000
+
+    def primitives():
+        with obs.recording() as recorder:
+            for _ in range(n):
+                obs.count("bench.counter")
+                obs.observe("bench.iters", 7)
+                with obs.span("bench.span"):
+                    pass
+        return recorder
+
+    recorder = benchmark.pedantic(primitives, rounds=ROUNDS, iterations=1)
+    assert recorder.counters["bench.counter"] == n
+    per_cycle = min(benchmark.stats.stats.data) / n
+    print(f"\nper count+observe+span cycle: {per_cycle * 1e6:.2f} us")
+    assert per_cycle < 50e-6  # generous: shared CI machines

@@ -84,16 +84,20 @@ def run_figure4_campaign(
     cache_dir: Optional[str] = None,
     retries: int = 1,
     verbose: bool = False,
+    observe: bool = False,
+    obs_dir: Optional[str] = None,
 ) -> Tuple[List[Figure4Point], CampaignResult]:
     """Run the Fig. 4 experiment as a campaign; returns (points, result).
 
     Failed samples (recorded solver failures) are dropped from the point
-    list; the campaign summary counts them.
+    list; the campaign summary counts them.  ``observe``/``obs_dir`` meter
+    the run and place its ``report.json`` (see :mod:`repro.obs`).
     """
     grid = list(pvt_grid) if pvt_grid is not None else corner_temp_grid()
     spec = figure4_spec(sigmas, transistors, grid, cell)
     result = run_campaign(
-        spec, jobs=jobs, cache_dir=cache_dir, retries=retries, verbose=verbose
+        spec, jobs=jobs, cache_dir=cache_dir, retries=retries, verbose=verbose,
+        observe=observe, obs_dir=obs_dir,
     )
     points = []
     for name in transistors:

@@ -124,15 +124,20 @@ def run_montecarlo_campaign(
     cache_dir: Optional[str] = None,
     retries: int = 1,
     verbose: bool = False,
+    observe: bool = False,
+    obs_dir: Optional[str] = None,
 ) -> Tuple[MonteCarloResult, CampaignResult]:
     """Sample the population in shards; returns (result, campaign result).
 
     Unlike the table sweeps, a lost shard would silently bias the
     statistics, so any failed shard raises instead of being dropped.
+    ``observe``/``obs_dir`` meter the run and place its ``report.json``
+    (see :mod:`repro.obs`).
     """
     spec = montecarlo_spec(n_samples, corner, temp_c, seed, shards, cell)
     result = run_campaign(
-        spec, jobs=jobs, cache_dir=cache_dir, retries=retries, verbose=verbose
+        spec, jobs=jobs, cache_dir=cache_dir, retries=retries, verbose=verbose,
+        observe=observe, obs_dir=obs_dir,
     )
     if result.failures:
         errors = "; ".join(r.error or "?" for r in result.failures)

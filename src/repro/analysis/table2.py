@@ -151,16 +151,21 @@ def run_table2_campaign(
     cache_dir: Optional[str] = None,
     retries: int = 1,
     verbose: bool = False,
+    observe: bool = False,
+    obs_dir: Optional[str] = None,
 ) -> Tuple[List[Table2Row], CampaignResult]:
     """Compute Table II as a campaign; returns (rows, campaign result).
 
     A failed grid point (recorded ConvergenceError) contributes nothing to
     its cell's minimum, mirroring the serial scan's behaviour of skipping
-    intractable resistances.
+    intractable resistances.  ``observe=True`` instruments the run (see
+    :mod:`repro.obs`) and writes ``report.json``/``trace.jsonl`` into
+    ``obs_dir`` (default: next to the result cache).
     """
     spec = table2_spec(defect_ids, families, pvt_grid, ds_time, design, cell)
     result = run_campaign(
-        spec, jobs=jobs, cache_dir=cache_dir, retries=retries, verbose=verbose
+        spec, jobs=jobs, cache_dir=cache_dir, retries=retries, verbose=verbose,
+        observe=observe, obs_dir=obs_dir,
     )
     rows = []
     for defect_id in defect_ids:

@@ -88,12 +88,15 @@ def run_table3_campaign(
     cache_dir: Optional[str] = None,
     retries: int = 1,
     verbose: bool = False,
+    observe: bool = False,
+    obs_dir: Optional[str] = None,
 ) -> Tuple[TestFlow, CampaignResult]:
     """Derive the optimised flow as a campaign; returns (flow, result).
 
     A failed matrix entry (recorded ConvergenceError) is treated as "no
     DRF below the open-line limit" for that configuration, exactly like an
-    intractable point in the serial scan.
+    intractable point in the serial scan.  ``observe``/``obs_dir`` meter
+    the run and place its ``report.json`` (see :mod:`repro.obs`).
     """
     if drv_worst is None:
         drv_worst = worst_case_drv_at_test_conditions(cell=cell)
@@ -102,7 +105,8 @@ def run_table3_campaign(
         design=design, cell=cell,
     )
     result = run_campaign(
-        spec, jobs=jobs, cache_dir=cache_dir, retries=retries, verbose=verbose
+        spec, jobs=jobs, cache_dir=cache_dir, retries=retries, verbose=verbose,
+        observe=observe, obs_dir=obs_dir,
     )
     matrix = DetectionMatrix(drv_worst=drv_worst)
     for config in configs:

@@ -14,11 +14,14 @@ them from hand-rolled serial loops into *campaigns*:
 * :mod:`repro.campaign.cache` - the append-only JSONL result store behind
   cache-hit skip and checkpoint/resume;
 * :mod:`repro.campaign.memo` - the shared per-process DRV memo;
-* :mod:`repro.campaign.metrics` - progress stream and run summary.
+* :mod:`repro.campaign.metrics` - progress stream and run summary, both
+  accounted through a :class:`repro.obs.Recorder`.
 
 Drivers in :mod:`repro.analysis` build specs and aggregate results; the
 CLI exposes ``--jobs/--cache-dir/--resume`` plus a generic ``campaign``
-subcommand.
+subcommand.  Runs with ``observe=True`` additionally merge per-worker
+:mod:`repro.obs` telemetry and emit ``trace.jsonl`` / ``report.json``
+next to the result cache (see ``repro stats``).
 """
 
 from .cache import ResultCache, TaskRecord

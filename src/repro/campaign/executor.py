@@ -15,6 +15,16 @@ Failure policy: :class:`~repro.spice.ConvergenceError` is the expected
 failed task and the sweep continues.  Any other exception is retried
 (``retries`` extra attempts) and then likewise recorded, so one pathological
 point can never kill a thousand-point campaign.
+
+Observability: with ``observe=True`` every chunk runs under a fresh
+:class:`repro.obs.Recorder` - the solver/memo/bisection hooks in the hot
+layers go live inside the worker, each task is timed as a span - and the
+chunk's picklable snapshot rides back with its records to be merged into
+the run-level recorder.  The parent additionally streams one JSONL trace
+event per task (plus run/chunk markers) and, through
+:func:`run_campaign`, writes the schema-versioned ``report.json`` next to
+the result cache.  With ``observe=False`` the hooks stay no-ops and the
+only recorder traffic is the per-chunk campaign accounting.
 """
 
 from __future__ import annotations
@@ -22,8 +32,11 @@ from __future__ import annotations
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import Any, Dict, IO, List, Optional, Sequence
+from typing import Any, Dict, IO, List, Optional, Sequence, Tuple
 
+from .. import obs
+from ..obs.report import build_report, write_report
+from ..obs.trace import TRACE_FILENAME, TraceWriter, null_trace
 from ..spice import ConvergenceError
 from .cache import ResultCache, TaskRecord
 from .metrics import CampaignSummary, ProgressReporter
@@ -73,9 +86,24 @@ def _run_chunk(
     context: Dict[str, Any],
     fingerprint: str,
     retries: int,
-) -> List[TaskRecord]:
-    """Worker entry point: run a chunk of points back to back."""
-    return [_run_one(p, context, fingerprint, retries) for p in points]
+    observe: bool = False,
+) -> Tuple[List[TaskRecord], Optional[Dict[str, Any]]]:
+    """Worker entry point: run a chunk of points back to back.
+
+    Returns ``(records, recorder snapshot or None)``.  Each chunk meters
+    itself under a fresh recorder so worker process reuse across chunks
+    can never double-count; the parent merges the snapshots.
+    """
+    if not observe:
+        return [_run_one(p, context, fingerprint, retries) for p in points], None
+    with obs.recording() as recorder:
+        records = []
+        for point in points:
+            with obs.span(f"task.{point.kind}"):
+                record = _run_one(point, context, fingerprint, retries)
+            obs.observe("task.seconds", record.elapsed)
+            records.append(record)
+    return records, recorder.snapshot()
 
 
 @dataclass
@@ -85,6 +113,9 @@ class CampaignResult:
     spec: SweepSpec
     records: Dict[str, TaskRecord] = field(default_factory=dict)
     summary: Optional[CampaignSummary] = None
+    recorder: Optional["obs.Recorder"] = None  #: merged run-level metrics
+    report: Optional[Dict[str, Any]] = None  #: built when observing
+    report_path: Optional[str] = None  #: where report.json landed, if written
 
     def record_for(self, point: TaskPoint) -> Optional[TaskRecord]:
         return self.records.get(point.key)
@@ -112,6 +143,7 @@ class Executor:
         verbose: bool = False,
         stream: Optional[IO[str]] = None,
         rerun_failures: bool = False,
+        observe: bool = False,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -121,6 +153,7 @@ class Executor:
         self.verbose = verbose
         self.stream = stream
         self.rerun_failures = rerun_failures
+        self.observe = observe
 
     def _chunk(self, pending: Sequence[TaskPoint]) -> List[List[TaskPoint]]:
         if self.chunksize is not None:
@@ -141,13 +174,21 @@ class Executor:
         self,
         spec: SweepSpec,
         cache: Optional[ResultCache] = None,
+        trace: Optional[TraceWriter] = None,
     ) -> CampaignResult:
         fingerprint = spec.fingerprint()
         context = spec.context_dict()
+        recorder = obs.Recorder()
         progress = ProgressReporter(
-            spec.name, len(spec.tasks), verbose=self.verbose, stream=self.stream
+            spec.name, len(spec.tasks), verbose=self.verbose,
+            stream=self.stream, recorder=recorder,
         )
-        result = CampaignResult(spec)
+        result = CampaignResult(spec, recorder=recorder)
+        events = trace if trace is not None else null_trace()
+        events.emit(
+            "run-start", campaign=spec.name, fingerprint=fingerprint,
+            total=len(spec.tasks), jobs=self.jobs,
+        )
 
         pending: List[TaskPoint] = []
         seen = set()
@@ -163,12 +204,29 @@ class Executor:
             else:
                 pending.append(point)
         progress.cache_hits(len(seen) - len(pending), failed=hit_failures)
+        if len(seen) > len(pending):
+            events.emit(
+                "cache-hits", count=len(seen) - len(pending),
+                failed=hit_failures,
+            )
 
-        def absorb(records: List[TaskRecord]) -> None:
+        def absorb(records: List[TaskRecord],
+                   snapshot: Optional[Dict[str, Any]]) -> None:
             if cache is not None:
                 cache.append(records)
+            if snapshot is not None:
+                recorder.merge(snapshot)
             for record in records:
                 result.records[record.key] = record
+                fields = {
+                    "key": record.key, "kind": record.kind,
+                    "status": record.status,
+                    "elapsed": round(record.elapsed, 6),
+                    "attempts": record.attempts,
+                }
+                if record.error:
+                    fields["error"] = record.error
+                events.emit("task", **fields)
             progress.chunk_done(
                 len(records), failed=sum(0 if r.ok else 1 for r in records)
             )
@@ -177,21 +235,35 @@ class Executor:
             chunks = self._chunk(pending)
             if self.jobs == 1:
                 for chunk in chunks:
-                    absorb(_run_chunk(chunk, context, fingerprint, self.retries))
+                    absorb(*_run_chunk(
+                        chunk, context, fingerprint, self.retries, self.observe
+                    ))
             else:
                 with ProcessPoolExecutor(max_workers=self.jobs) as pool:
                     futures = {
                         pool.submit(
-                            _run_chunk, chunk, context, fingerprint, self.retries
+                            _run_chunk, chunk, context, fingerprint,
+                            self.retries, self.observe,
                         )
                         for chunk in chunks
                     }
                     while futures:
                         done, futures = wait(futures, return_when=FIRST_COMPLETED)
                         for future in done:
-                            absorb(future.result())
+                            absorb(*future.result())
 
+        progress.finish()
         result.summary = progress.summary()
+        events.emit(
+            "run-end", executed=result.summary.executed,
+            cache_hits=result.summary.cache_hits,
+            failures=result.summary.failures,
+            wall_time=round(result.summary.wall_time, 6),
+        )
+        if self.observe:
+            result.report = build_report(
+                result.summary, recorder, result.records.values(), fingerprint
+            )
         return result
 
 
@@ -204,11 +276,29 @@ def run_campaign(
     verbose: bool = False,
     stream: Optional[IO[str]] = None,
     rerun_failures: bool = False,
+    observe: bool = False,
+    obs_dir: Optional[str] = None,
 ) -> CampaignResult:
-    """One-call façade: build the executor (and cache) and run the spec."""
+    """One-call façade: build the executor (and cache) and run the spec.
+
+    With ``observe=True`` the run is fully instrumented; ``obs_dir``
+    (defaulting to ``cache_dir``) receives the per-run ``trace.jsonl``
+    and the schema-versioned ``report.json``.  Observing without any
+    directory still collects in-memory metrics (``result.recorder`` /
+    ``result.report``) - nothing is written.
+    """
     cache = ResultCache(cache_dir) if cache_dir is not None else None
     executor = Executor(
         jobs=jobs, retries=retries, chunksize=chunksize, verbose=verbose,
-        stream=stream, rerun_failures=rerun_failures,
+        stream=stream, rerun_failures=rerun_failures, observe=observe,
     )
-    return executor.run(spec, cache)
+    out_dir = obs_dir if obs_dir is not None else cache_dir
+    if observe and out_dir is not None:
+        from pathlib import Path
+
+        with TraceWriter(Path(out_dir) / TRACE_FILENAME) as trace:
+            result = executor.run(spec, cache, trace)
+        result.report_path = str(write_report(result.report, out_dir))
+    else:
+        result = executor.run(spec, cache)
+    return result

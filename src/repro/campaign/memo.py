@@ -10,16 +10,64 @@ memos; every campaign worker process warms its own copy on first use.
 The memos are keyed on hashable inputs only (:class:`CellDesign` is a
 frozen dataclass), so they are safe to share between the Table II case
 studies and the Table III worst-case scenario in the same process.
+
+Hits and misses are metered through :mod:`repro.obs` (counters
+``memo.<name>.hits`` / ``memo.<name>.misses``), which is why the memos are
+plain dicts rather than ``functools.lru_cache``: the memo decision is the
+observable event.  Note that per-worker warm-up makes miss counts depend
+on the worker count - a 2-process campaign computes each distinct DRV
+twice, which is exactly the redundancy the counters exist to expose.
 """
 
 from __future__ import annotations
 
-from functools import lru_cache
+from typing import Any, Callable, Dict, Tuple
 
+from .. import obs
 from ..cell.design import DEFAULT_CELL, CellDesign
 
 
-@lru_cache(maxsize=4096)
+def _memoised(name: str, fn: Callable[..., float]) -> Callable[..., float]:
+    """Dict-backed memo that counts hits/misses through repro.obs."""
+    cache: Dict[Tuple[Any, ...], float] = {}
+
+    def lookup(*args: Any) -> float:
+        try:
+            value = cache[args]
+        except KeyError:
+            obs.count(f"memo.{name}.misses")
+            value = fn(*args)
+            cache[args] = value
+            return value
+        obs.count(f"memo.{name}.hits")
+        return value
+
+    lookup.cache_clear = cache.clear  # type: ignore[attr-defined]
+    lookup.__name__ = name
+    return lookup
+
+
+def _case_drv(
+    cs_name: str, corner: str, temp_c: float, cell: CellDesign
+) -> float:
+    from ..analysis.case_studies import case_study
+
+    return case_study(cs_name).drv_affected(corner, temp_c, cell)
+
+
+def _worst_case_drv(
+    sigma: float, corner: str, temp_c: float, cell: CellDesign
+) -> float:
+    from ..cell.drv import drv_ds1
+    from ..devices.variation import CellVariation
+
+    return drv_ds1(CellVariation.worst_case_drv1(sigma), corner, temp_c, cell)
+
+
+_case_drv_memo = _memoised("case_drv", _case_drv)
+_worst_case_drv_memo = _memoised("worst_case_drv", _worst_case_drv)
+
+
 def case_drv(
     cs_name: str,
     corner: str,
@@ -27,12 +75,9 @@ def case_drv(
     cell: CellDesign = DEFAULT_CELL,
 ) -> float:
     """Degraded-state DRV of one case study at one (corner, temperature)."""
-    from ..analysis.case_studies import case_study
-
-    return case_study(cs_name).drv_affected(corner, temp_c, cell)
+    return _case_drv_memo(cs_name, corner, temp_c, cell)
 
 
-@lru_cache(maxsize=1024)
 def worst_case_drv(
     sigma: float,
     corner: str,
@@ -40,13 +85,10 @@ def worst_case_drv(
     cell: CellDesign = DEFAULT_CELL,
 ) -> float:
     """Worst-case array DRV_DS1 (Section III.B) at one (corner, temperature)."""
-    from ..cell.drv import drv_ds1
-    from ..devices.variation import CellVariation
-
-    return drv_ds1(CellVariation.worst_case_drv1(sigma), corner, temp_c, cell)
+    return _worst_case_drv_memo(sigma, corner, temp_c, cell)
 
 
 def clear() -> None:
     """Drop both memos (test isolation hook)."""
-    case_drv.cache_clear()
-    worst_case_drv.cache_clear()
+    _case_drv_memo.cache_clear()
+    _worst_case_drv_memo.cache_clear()

@@ -1,4 +1,13 @@
-"""Campaign accounting: live progress and the end-of-run summary."""
+"""Campaign accounting: live progress and the end-of-run summary.
+
+Since the observability layer landed there is exactly one accounting path:
+the :class:`ProgressReporter` writes its tallies into a
+:class:`repro.obs.Recorder` (counters ``campaign.executed`` /
+``campaign.cache_hits`` / ``campaign.failures``) and the
+:class:`CampaignSummary` is derived from those counters.  The same
+recorder receives the merged per-worker solver metrics, so the run report
+and the one-line summary can never disagree.
+"""
 
 from __future__ import annotations
 
@@ -6,6 +15,8 @@ import sys
 import time
 from dataclasses import dataclass
 from typing import IO, Optional
+
+from ..obs import Recorder
 
 
 @dataclass(frozen=True)
@@ -29,6 +40,7 @@ class CampaignSummary:
 
     @property
     def tasks_per_sec(self) -> float:
+        """Executed tasks per wall second (cache hits excluded)."""
         if self.wall_time <= 0.0:
             return 0.0
         return self.executed / self.wall_time
@@ -43,7 +55,14 @@ class CampaignSummary:
 
 
 class ProgressReporter:
-    """Streams per-chunk progress lines when verbose, stays silent otherwise."""
+    """Streams per-chunk progress lines when verbose, stays silent otherwise.
+
+    The tallies live in a :class:`~repro.obs.Recorder` (one accounting
+    path with the run report); the streamed rate counts *executed* tasks
+    only, regardless of the order in which cache hits and chunks were
+    recorded - a cache hit costs no solver time and must never inflate
+    (or, recorded late, deflate) the throughput figure.
+    """
 
     def __init__(
         self,
@@ -51,33 +70,61 @@ class ProgressReporter:
         total: int,
         verbose: bool = False,
         stream: Optional[IO[str]] = None,
+        recorder: Optional[Recorder] = None,
     ) -> None:
         self.name = name
         self.total = total
         self.verbose = verbose
         self.stream = stream if stream is not None else sys.stderr
+        self.recorder = recorder if recorder is not None else Recorder()
         self.started = time.perf_counter()
-        self.done = 0
-        self.hits = 0
-        self.failed = 0
+        self._finished = False
+
+    @property
+    def executed(self) -> int:
+        return self.recorder.counters.get("campaign.executed", 0)
+
+    @property
+    def hits(self) -> int:
+        return self.recorder.counters.get("campaign.cache_hits", 0)
+
+    @property
+    def failed(self) -> int:
+        return self.recorder.counters.get("campaign.failures", 0)
+
+    @property
+    def done(self) -> int:
+        return self.executed + self.hits
 
     def cache_hits(self, count: int, failed: int = 0) -> None:
-        self.done += count
-        self.hits += count
-        self.failed += failed
+        self.recorder.count("campaign.cache_hits", count)
+        self.recorder.count("campaign.failures", failed)
         if count:
             self._emit(f"{count} cached results reused")
 
     def chunk_done(self, count: int, failed: int = 0) -> None:
-        self.done += count
-        self.failed += failed
+        self.recorder.count("campaign.executed", count)
+        self.recorder.count("campaign.failures", failed)
         self._emit("chunk complete")
 
-    def _emit(self, note: str) -> None:
-        if not self.verbose:
+    def finish(self) -> None:
+        """Mark the run complete; called exactly once by the executor.
+
+        A non-verbose run that recorded failures gets one final progress
+        line so the failures cannot scroll by unseen - the end-of-run
+        summary itself is still rendered exactly once by the caller.
+        """
+        if self._finished:
+            return
+        self._finished = True
+        if not self.verbose and self.failed > 0:
+            self._emit("run complete", force=True)
+
+    def _emit(self, note: str, force: bool = False) -> None:
+        if not self.verbose and not force:
             return
         elapsed = time.perf_counter() - self.started
-        rate = (self.done - self.hits) / elapsed if elapsed > 0 else 0.0
+        rate = self.executed / elapsed if elapsed > 0 else 0.0
         self.stream.write(
             f"campaign[{self.name}] {self.done}/{self.total} done "
             f"({self.hits} hits, {self.failed} failed, {rate:.2f} tasks/s): "
@@ -89,7 +136,7 @@ class ProgressReporter:
         return CampaignSummary(
             name=self.name,
             total=self.total,
-            executed=self.done - self.hits,
+            executed=self.executed,
             cache_hits=self.hits,
             failures=self.failed,
             wall_time=time.perf_counter() - self.started,

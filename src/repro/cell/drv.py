@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Iterable, Optional, Tuple
 
+from .. import obs
 from ..devices.pvt import PVT, corner_temp_grid
 from ..devices.variation import CellVariation
 from .design import DEFAULT_CELL, CellDesign
@@ -36,12 +37,17 @@ def _drv_single(
     cell: CellDesign,
 ) -> float:
     """Bisection on supply for SNM[which] = 0 (which: 0 -> SNM1, 1 -> SNM0)."""
+    obs.count("drv.solves")
     lo, hi = DRV_SEARCH_LO, DRV_SEARCH_HI
     snm_lo = snm_ds(variation, lo, corner, temp_c, cell)[which]
     if snm_lo > 0.0:
+        obs.count("drv.floor_exits")
+        obs.observe("drv.bisection_steps", 0)
         return lo  # stable all the way down to the search floor
     snm_hi = snm_ds(variation, hi, corner, temp_c, cell)[which]
     if snm_hi < 0.0:
+        obs.count("drv.ceiling_exits")
+        obs.observe("drv.bisection_steps", 0)
         return hi  # cannot hold this state even at full supply
     for _ in range(_BISECTION_STEPS):
         mid = 0.5 * (lo + hi)
@@ -49,6 +55,7 @@ def _drv_single(
             hi = mid
         else:
             lo = mid
+    obs.observe("drv.bisection_steps", _BISECTION_STEPS)
     return 0.5 * (lo + hi)
 
 

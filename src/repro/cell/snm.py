@@ -24,6 +24,7 @@ from typing import Dict, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..devices.mosfet import MosfetModel
 from ..devices.variation import CellVariation
 from .design import DEFAULT_CELL, CellDesign
@@ -101,6 +102,7 @@ def snm_ds(
     Negative values mean the corresponding lobe has closed: the cell cannot
     retain that logic value at this supply.
     """
+    obs.count("snm.evaluations")
     curves = butterfly_curves(variation, vdd_cell, corner, temp_c, cell)
     return _lobe_separations(curves)
 

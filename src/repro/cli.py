@@ -9,6 +9,7 @@ Examples::
     python -m repro fig4 --fast              # Fig. 4 panels
     python -m repro mc --samples 64 --seed 7 # Monte Carlo DRV statistics
     python -m repro campaign table2 --full-grid --jobs 8 --resume
+    python -m repro stats .repro-cache       # read back the run report
     python -m repro power                    # Section IV.B comparison
     python -m repro classify                 # 32-defect taxonomy
     python -m repro run-march "March m-LZ"   # run a test on a clean SRAM
@@ -26,6 +27,14 @@ caching under ``.repro-cache/``, and every run reports a one-line campaign
 summary (cache hit rate, tasks/sec) on stderr.  ``campaign`` additionally
 accepts ``--full-grid`` for the paper's complete 45-condition sweep - the
 run the campaign engine exists to make feasible.
+
+Observability (:mod:`repro.obs`) is on by default for the sweep commands:
+solver strategy counters, iteration/latency histograms and per-task spans
+are merged across workers, and - whenever the run has a cache/obs
+directory - a per-run ``trace.jsonl`` plus a schema-versioned
+``report.json`` land next to the result cache (the ``campaign`` umbrella
+defaults that directory to ``.repro-cache/``).  ``repro stats <report>``
+renders a report as text; ``--no-obs`` turns the instrumentation off.
 """
 
 from __future__ import annotations
@@ -92,6 +101,8 @@ def _campaign_kwargs(args) -> dict:
         "jobs": getattr(args, "jobs", 1),
         "cache_dir": cache_dir,
         "verbose": getattr(args, "verbose", False),
+        "observe": not getattr(args, "no_obs", False),
+        "obs_dir": getattr(args, "obs_dir", None),
     }
 
 
@@ -219,7 +230,33 @@ CAMPAIGN_TARGETS = {
 
 
 def cmd_campaign(args) -> int:
+    # The umbrella command always leaves a run report behind: without an
+    # explicit cache/obs directory it reports into the default cache dir.
+    if (
+        not getattr(args, "no_obs", False)
+        and getattr(args, "obs_dir", None) is None
+        and getattr(args, "cache_dir", None) is None
+        and not getattr(args, "resume", False)
+    ):
+        args.obs_dir = DEFAULT_CACHE_DIR
     return CAMPAIGN_TARGETS[args.target](args)
+
+
+def cmd_stats(args) -> int:
+    from .obs.render import render_report
+    from .obs.report import REPORT_FILENAME, load_report
+
+    try:
+        report = load_report(args.report)
+    except FileNotFoundError:
+        raise SystemExit(
+            f"stats: no {REPORT_FILENAME} at {args.report!r} "
+            f"(run a campaign command with --cache-dir/--resume first)"
+        )
+    except ValueError as error:
+        raise SystemExit(f"stats: {error}")
+    print(render_report(report, top_n=args.top))
+    return 0
 
 
 def _add_campaign_flags(p: argparse.ArgumentParser) -> None:
@@ -231,6 +268,11 @@ def _add_campaign_flags(p: argparse.ArgumentParser) -> None:
                    help=f"shorthand for --cache-dir {DEFAULT_CACHE_DIR}")
     p.add_argument("--verbose", action="store_true",
                    help="stream per-chunk campaign progress to stderr")
+    p.add_argument("--no-obs", action="store_true",
+                   help="disable solver/campaign instrumentation")
+    p.add_argument("--obs-dir", default=None, metavar="DIR",
+                   help="where report.json/trace.jsonl go "
+                        "(default: the cache directory)")
 
 
 def _add_mc_flags(p: argparse.ArgumentParser) -> None:
@@ -291,6 +333,19 @@ def build_parser() -> argparse.ArgumentParser:
     _add_campaign_flags(camp)
     _add_mc_flags(camp)
     camp.set_defaults(func=cmd_campaign)
+
+    stats = sub.add_parser(
+        "stats",
+        help="render a campaign run report (report.json) as text",
+    )
+    stats.add_argument(
+        "report", nargs="?", default=DEFAULT_CACHE_DIR,
+        help="report.json path, or a directory containing one "
+             f"(default: {DEFAULT_CACHE_DIR})",
+    )
+    stats.add_argument("--top", type=_positive_int, default=10, metavar="N",
+                       help="how many slowest task points to show")
+    stats.set_defaults(func=cmd_stats)
 
     run = sub.add_parser("run-march", help="run a March test on a behavioral SRAM")
     run.add_argument("test", help="library name (e.g. 'March m-LZ') or notation")

@@ -1,0 +1,151 @@
+"""repro.obs - zero-dependency solver/campaign telemetry.
+
+The hot layers of this codebase (the Newton DC solver, the SNM/DRV
+bisections, the campaign executor) call the module-level helpers below -
+:func:`count`, :func:`observe`, :func:`span`, :func:`timed` - at their
+interesting points.  When no recorder is installed the helpers are
+single-``if`` no-ops, so instrumented code pays essentially nothing by
+default; installing a :class:`~repro.obs.recorder.Recorder` (usually via
+the :func:`recording` context manager) turns them live for the current
+process.
+
+Layers:
+
+* :mod:`repro.obs.recorder` - counters / histograms / spans and their
+  picklable snapshot-merge protocol (cross-process aggregation);
+* :mod:`repro.obs.trace`    - per-run JSONL event stream;
+* :mod:`repro.obs.report`   - the schema-versioned ``report.json``;
+* :mod:`repro.obs.render`   - human rendering behind ``repro stats``.
+
+The installation model is deliberately process-local and stack-shaped:
+``recording()`` nests, each level seeing only its own recorder, which is
+what lets a campaign worker meter one chunk at a time while the parent
+merges chunk snapshots into the run-level picture.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, Optional, Sequence
+
+from .recorder import COUNT_BOUNDS, TIME_BOUNDS, Histogram, Recorder, SpanStat
+
+__all__ = [
+    "COUNT_BOUNDS",
+    "TIME_BOUNDS",
+    "Histogram",
+    "Recorder",
+    "SpanStat",
+    "active",
+    "count",
+    "enabled",
+    "install",
+    "observe",
+    "recording",
+    "span",
+    "timed",
+    "uninstall",
+]
+
+#: The currently installed recorder, or None (instrumentation disabled).
+_active: Optional[Recorder] = None
+
+
+def active() -> Optional[Recorder]:
+    """The installed recorder, or None when instrumentation is off."""
+    return _active
+
+
+def enabled() -> bool:
+    return _active is not None
+
+
+def install(recorder: Optional[Recorder] = None) -> Recorder:
+    """Install ``recorder`` (or a fresh one) as the process's live sink."""
+    global _active
+    _active = recorder if recorder is not None else Recorder()
+    return _active
+
+
+def uninstall() -> None:
+    global _active
+    _active = None
+
+
+@contextmanager
+def recording(recorder: Optional[Recorder] = None) -> Iterator[Recorder]:
+    """Context manager: install a recorder, restore the previous on exit.
+
+    Nests cleanly - a campaign worker metering one chunk shadows whatever
+    the surrounding process had installed and hands back a recorder whose
+    :meth:`~repro.obs.recorder.Recorder.snapshot` the parent can merge.
+    """
+    global _active
+    previous = _active
+    current = recorder if recorder is not None else Recorder()
+    _active = current
+    try:
+        yield current
+    finally:
+        _active = previous
+
+
+# -- hot-path helpers (no-ops when no recorder is installed) --------------
+
+
+def count(name: str, n: int = 1) -> None:
+    rec = _active
+    if rec is not None:
+        rec.count(name, n)
+
+
+def observe(name: str, value: float,
+            bounds: Optional[Sequence[float]] = None) -> None:
+    rec = _active
+    if rec is not None:
+        rec.observe(name, value, bounds)
+
+
+class _NullSpan:
+    """Shared do-nothing context manager for the disabled fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+def span(name: str):
+    rec = _active
+    if rec is None:
+        return _NULL_SPAN
+    return rec.span(name)
+
+
+def timed(name: str) -> Callable:
+    """Decorator: time every call of the wrapped function as a span.
+
+    The recorder is looked up per call, so functions decorated at import
+    time become live/no-op as recorders are installed/uninstalled.
+    """
+
+    def wrap(fn: Callable) -> Callable:
+        def inner(*args: Any, **kwargs: Any) -> Any:
+            rec = _active
+            if rec is None:
+                return fn(*args, **kwargs)
+            with rec.span(name):
+                return fn(*args, **kwargs)
+
+        inner.__name__ = getattr(fn, "__name__", name)
+        inner.__doc__ = fn.__doc__
+        inner.__wrapped__ = fn
+        return inner
+
+    return wrap

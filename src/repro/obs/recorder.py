@@ -1,0 +1,299 @@
+"""The process-local metrics recorder: counters, histograms, timed spans.
+
+One :class:`Recorder` accumulates everything a run wants to know about
+itself.  Three primitive kinds cover the workloads in this project:
+
+* **counters** - monotonically increasing integers ("dc.solves",
+  "memo.case_drv.hits");
+* **histograms** - bucketed distributions with exact count/sum/min/max
+  side-car statistics (Newton iterations per solve, solve latency);
+* **spans** - hierarchical timed regions aggregated per path
+  ("task.table2-cell/solve" style), entered via context manager or
+  decorator.
+
+Everything is plain Python data - a recorder reduces to a JSON-able
+:meth:`Recorder.snapshot` dict and merges snapshots from other processes
+with :meth:`Recorder.merge`, which is how per-worker recorders from a
+``ProcessPoolExecutor`` fold into the campaign-level picture.
+
+The module deliberately knows nothing about *installation*: whether a
+recorder is globally active (and therefore whether the hot-path helper
+functions in :mod:`repro.obs` are live or no-ops) is decided in the
+package root, so this file stays importable from anywhere.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+#: Default bucket upper bounds for time-valued histograms (seconds).
+#: Five buckets per decade from 10 us to 100 s; values outside fall into
+#: the open-ended first/last buckets.
+TIME_BOUNDS: Tuple[float, ...] = tuple(
+    round(10.0 ** (exp / 5.0), 12) for exp in range(-25, 11)
+)
+
+#: Default bucket upper bounds for small-integer-valued histograms
+#: (iteration counts, bisection steps): exact up to 16, power-of-two above.
+COUNT_BOUNDS: Tuple[float, ...] = tuple(range(0, 17)) + tuple(
+    float(2 ** k) for k in range(5, 13)
+)
+
+
+def bounds_for(name: str) -> Tuple[float, ...]:
+    """Default bucket bounds by metric-name convention.
+
+    Names ending in ``.seconds`` get the time buckets, everything else the
+    small-count buckets.  Time-valued histograms are nondeterministic
+    across runs by nature; the suffix convention lets consumers (tests,
+    the serial-vs-parallel invariance check) tell the two apart.
+    """
+    return TIME_BOUNDS if name.endswith(".seconds") else COUNT_BOUNDS
+
+
+class Histogram:
+    """Fixed-bound bucket histogram with exact summary statistics.
+
+    ``bounds`` are ascending bucket *upper* bounds; a value lands in the
+    first bucket whose bound is >= value, or in the overflow bucket past
+    the last bound.  ``len(counts) == len(bounds) + 1``.
+    """
+
+    __slots__ = ("bounds", "counts", "count", "total", "min", "max")
+
+    def __init__(self, bounds: Sequence[float]) -> None:
+        self.bounds: Tuple[float, ...] = tuple(bounds)
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        # Bisection over the (short) bound tuple: ~5 comparisons.
+        lo, hi = 0, len(self.bounds)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if value <= self.bounds[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        self.counts[lo] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile from the buckets (upper bound of the bucket
+        holding the q-th observation; exact min/max at the extremes)."""
+        if not self.count:
+            return 0.0
+        if q <= 0.0:
+            return self.min
+        if q >= 1.0:
+            return self.max
+        target = q * self.count
+        seen = 0
+        for i, c in enumerate(self.counts):
+            seen += c
+            if seen >= target:
+                if i >= len(self.bounds):
+                    return self.max
+                return min(self.bounds[i], self.max)
+        return self.max
+
+    def merge(self, other: "Histogram") -> None:
+        if self.bounds != other.bounds:
+            raise ValueError(
+                f"cannot merge histograms with different bounds "
+                f"({len(self.bounds)} vs {len(other.bounds)} buckets)"
+            )
+        for i, c in enumerate(other.counts):
+            self.counts[i] += c
+        self.count += other.count
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Histogram":
+        hist = cls(data["bounds"])
+        hist.counts = list(data["counts"])
+        hist.count = int(data["count"])
+        hist.total = float(data["sum"])
+        hist.min = data["min"] if data["min"] is not None else math.inf
+        hist.max = data["max"] if data["max"] is not None else -math.inf
+        return hist
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Histogram):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Histogram(count={self.count}, mean={self.mean:.4g}, "
+            f"min={self.min:.4g}, max={self.max:.4g})"
+        )
+
+
+class SpanStat:
+    """Aggregate of one span path: call count, total and worst wall time."""
+
+    __slots__ = ("calls", "total", "max")
+
+    def __init__(self) -> None:
+        self.calls = 0
+        self.total = 0.0
+        self.max = 0.0
+
+    def add(self, elapsed: float) -> None:
+        self.calls += 1
+        self.total += elapsed
+        if elapsed > self.max:
+            self.max = elapsed
+
+    def merge(self, other: "SpanStat") -> None:
+        self.calls += other.calls
+        self.total += other.total
+        self.max = max(self.max, other.max)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"calls": self.calls, "total": self.total, "max": self.max}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SpanStat":
+        stat = cls()
+        stat.calls = int(data["calls"])
+        stat.total = float(data["total"])
+        stat.max = float(data["max"])
+        return stat
+
+
+class _Span:
+    """Context manager timing one region under the recorder's span stack."""
+
+    __slots__ = ("recorder", "name", "_start")
+
+    def __init__(self, recorder: "Recorder", name: str) -> None:
+        self.recorder = recorder
+        self.name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_Span":
+        self.recorder._stack.append(self.name)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        elapsed = time.perf_counter() - self._start
+        stack = self.recorder._stack
+        path = "/".join(stack)
+        stack.pop()
+        self.recorder._span_stat(path).add(elapsed)
+
+
+class Recorder:
+    """Accumulates counters, histograms and spans for one process.
+
+    Not thread-safe by design: each worker process (and the campaign
+    parent) owns exactly one live recorder at a time, and cross-process
+    aggregation happens through :meth:`snapshot`/:meth:`merge`.
+    """
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, int] = {}
+        self.histograms: Dict[str, Histogram] = {}
+        self.spans: Dict[str, SpanStat] = {}
+        self._stack: List[str] = []
+
+    # -- primitives -------------------------------------------------------
+
+    def count(self, name: str, n: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def observe(self, name: str, value: float,
+                bounds: Optional[Sequence[float]] = None) -> None:
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = Histogram(bounds if bounds is not None else bounds_for(name))
+            self.histograms[name] = hist
+        hist.observe(value)
+
+    def span(self, name: str) -> _Span:
+        return _Span(self, name)
+
+    def timed(self, name: str) -> Callable:
+        """Decorator form of :meth:`span`."""
+
+        def wrap(fn: Callable) -> Callable:
+            def inner(*args: Any, **kwargs: Any) -> Any:
+                with self.span(name):
+                    return fn(*args, **kwargs)
+
+            inner.__name__ = getattr(fn, "__name__", name)
+            inner.__doc__ = fn.__doc__
+            return inner
+
+        return wrap
+
+    def _span_stat(self, path: str) -> SpanStat:
+        stat = self.spans.get(path)
+        if stat is None:
+            stat = SpanStat()
+            self.spans[path] = stat
+        return stat
+
+    # -- aggregation ------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Plain-data (picklable, JSON-able) copy of everything recorded."""
+        return {
+            "counters": dict(self.counters),
+            "histograms": {k: h.to_dict() for k, h in self.histograms.items()},
+            "spans": {k: s.to_dict() for k, s in self.spans.items()},
+        }
+
+    def merge(self, snapshot: Dict[str, Any]) -> None:
+        """Fold another recorder's snapshot into this one."""
+        for name, n in snapshot.get("counters", {}).items():
+            self.count(name, n)
+        for name, data in snapshot.get("histograms", {}).items():
+            incoming = Histogram.from_dict(data)
+            existing = self.histograms.get(name)
+            if existing is None:
+                self.histograms[name] = incoming
+            else:
+                existing.merge(incoming)
+        for path, data in snapshot.get("spans", {}).items():
+            incoming_stat = SpanStat.from_dict(data)
+            existing_stat = self.spans.get(path)
+            if existing_stat is None:
+                self.spans[path] = incoming_stat
+            else:
+                existing_stat.merge(incoming_stat)
+
+    def clear(self) -> None:
+        self.counters.clear()
+        self.histograms.clear()
+        self.spans.clear()
+        self._stack.clear()

@@ -1,0 +1,179 @@
+"""Human rendering of a run report: the ``repro stats`` output.
+
+Sections, in reading order: the campaign header line, the convergence
+breakdown (which solver strategy finally converged, and what killed the
+failures), the top-N slowest task points, histogram summaries, and the
+span/counter tails.  Everything renders from the ``report.json`` dict
+alone - no live recorder needed - so stats can be read long after (or on a
+different machine than) the run that produced them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from ..core.reporting import render_table
+
+
+def _fmt_seconds(value: float) -> str:
+    if value >= 100.0:
+        return f"{value:.0f}s"
+    if value >= 1.0:
+        return f"{value:.2f}s"
+    if value >= 1e-3:
+        return f"{value * 1e3:.2f}ms"
+    return f"{value * 1e6:.0f}us"
+
+
+def _fmt_value(name: str, value: float) -> str:
+    """Histogram values: seconds get engineering units, counts stay plain."""
+    if name.endswith(".seconds"):
+        return _fmt_seconds(value)
+    return f"{value:g}"
+
+
+def _params_label(params: Dict[str, Any], limit: int = 4) -> str:
+    parts = [f"{k}={v!r}" for k, v in list(params.items())[:limit]]
+    suffix = ", ..." if len(params) > limit else ""
+    return ", ".join(parts) + suffix
+
+
+def render_header(report: Dict[str, Any]) -> str:
+    c = report["campaign"]
+    hit_rate = c["cache_hits"] / c["total"] if c["total"] else 0.0
+    return (
+        f"campaign[{c['name']}] {c['total']} tasks: {c['executed']} executed, "
+        f"{c['cache_hits']} cache hits ({hit_rate:.0%}), "
+        f"{c['failures']} failed, {c['wall_time']:.1f}s wall, "
+        f"{c.get('tasks_per_sec', 0.0):.2f} tasks/s"
+    )
+
+
+def render_convergence(report: Dict[str, Any]) -> str:
+    conv = report["convergence"]
+    rows: List[List[str]] = []
+    solves = conv.get("solves", 0)
+    for strategy, count in conv.get("strategies", {}).items():
+        share = count / solves if solves else 0.0
+        rows.append([strategy, str(count), f"{share:.1%}"])
+    if conv.get("failed_solves"):
+        share = conv["failed_solves"] / solves if solves else 0.0
+        rows.append(["(no convergence)", str(conv["failed_solves"]),
+                     f"{share:.1%}"])
+    if not rows:
+        return "convergence: no DC solves recorded"
+    table = render_table(
+        ["strategy", "solves", "share"], rows,
+        title=f"Convergence fallback breakdown ({solves} DC solves)",
+    )
+    causes = conv.get("failure_causes", {})
+    if causes:
+        cause_rows = [[cause, str(n)] for cause, n in sorted(causes.items())]
+        table += "\n\n" + render_table(
+            ["failure cause", "tasks"], cause_rows,
+            title="Recorded task failures by cause",
+        )
+    return table
+
+
+def render_slowest(report: Dict[str, Any], top_n: int = 10) -> str:
+    slowest = report.get("slowest", [])[:top_n]
+    if not slowest:
+        return "slowest points: none recorded (fully cached run?)"
+    rows = [
+        [
+            _fmt_seconds(entry["elapsed"]),
+            entry["kind"],
+            entry["status"],
+            _params_label(entry.get("params", {})),
+        ]
+        for entry in slowest
+    ]
+    return render_table(
+        ["elapsed", "kind", "status", "point"], rows,
+        title=f"Top {len(rows)} slowest task points",
+    )
+
+
+def render_histograms(report: Dict[str, Any]) -> str:
+    histograms = report.get("histograms", {})
+    if not histograms:
+        return "histograms: none recorded"
+    rows = []
+    for name, data in histograms.items():
+        count = data["count"]
+        mean = data["sum"] / count if count else 0.0
+        # p50/p95 from the buckets (bucket upper bound, clamped to max).
+        rows.append([
+            name,
+            str(count),
+            _fmt_value(name, mean),
+            _fmt_value(name, _bucket_quantile(data, 0.5)),
+            _fmt_value(name, _bucket_quantile(data, 0.95)),
+            _fmt_value(name, data["max"] if data["max"] is not None else 0.0),
+        ])
+    return render_table(
+        ["histogram", "count", "mean", "p50", "p95", "max"], rows,
+        title="Histogram summaries",
+    )
+
+
+def _bucket_quantile(data: Dict[str, Any], q: float) -> float:
+    count = data["count"]
+    if not count:
+        return 0.0
+    target = q * count
+    seen = 0
+    bounds = data["bounds"]
+    for i, c in enumerate(data["counts"]):
+        seen += c
+        if seen >= target:
+            if i >= len(bounds):
+                return data["max"]
+            upper = bounds[i]
+            return min(upper, data["max"]) if data["max"] is not None else upper
+    return data["max"] if data["max"] is not None else 0.0
+
+
+def render_spans(report: Dict[str, Any]) -> str:
+    spans = report.get("spans", {})
+    if not spans:
+        return ""
+    rows = []
+    for path, stat in sorted(
+        spans.items(), key=lambda kv: kv[1]["total"], reverse=True
+    ):
+        mean = stat["total"] / stat["calls"] if stat["calls"] else 0.0
+        rows.append([
+            path, str(stat["calls"]), _fmt_seconds(stat["total"]),
+            _fmt_seconds(mean), _fmt_seconds(stat["max"]),
+        ])
+    return render_table(
+        ["span", "calls", "total", "mean", "max"], rows,
+        title="Timed spans (by total wall time)",
+    )
+
+
+def render_counters(report: Dict[str, Any]) -> str:
+    counters = report.get("counters", {})
+    interesting = {
+        name: value for name, value in counters.items()
+        if not name.startswith("campaign.")
+    }
+    if not interesting:
+        return ""
+    rows = [[name, str(value)] for name, value in sorted(interesting.items())]
+    return render_table(["counter", "value"], rows, title="Counters")
+
+
+def render_report(report: Dict[str, Any], top_n: int = 10) -> str:
+    """The full ``repro stats`` page for one report."""
+    sections = [
+        render_header(report),
+        render_convergence(report),
+        render_slowest(report, top_n),
+        render_histograms(report),
+        render_spans(report),
+        render_counters(report),
+    ]
+    return "\n\n".join(s for s in sections if s)

@@ -1,0 +1,100 @@
+"""Per-run JSONL event stream.
+
+One campaign run writes one trace file (truncated per run, unlike the
+append-only result cache): a ``run-start`` header, one ``task`` event per
+finished task as its chunk is absorbed, ``cache-hits`` / ``chunk`` progress
+events, and a ``run-end`` footer carrying the final summary.  Each line is
+a self-contained JSON object with a ``t`` field (seconds since run start),
+so the file doubles as a poor-man's timeline: sorting by ``t`` or tailing
+it live shows exactly where a sweep is spending its time.
+
+Events are flushed per write - the trace must survive a mid-run kill, the
+very situation it exists to diagnose.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+TRACE_FILENAME = "trace.jsonl"
+
+
+class TraceWriter:
+    """Writes timestamped JSON events to a per-run trace file."""
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = self.path.open("w", encoding="utf-8")
+        self._start = time.perf_counter()
+
+    def emit(self, event: str, **fields: Any) -> None:
+        if self._fh is None:
+            return
+        record: Dict[str, Any] = {
+            "t": round(time.perf_counter() - self._start, 6),
+            "event": event,
+        }
+        record.update(fields)
+        self._fh.write(json.dumps(record, sort_keys=True,
+                                  separators=(",", ":")) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def read_trace(path) -> list:
+    """Load a trace file as a list of event dicts (tolerates a torn tail)."""
+    events = []
+    trace_path = Path(path)
+    if not trace_path.exists():
+        return events
+    with trace_path.open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue  # killed mid-write
+    return events
+
+
+class NullTrace:
+    """Do-nothing stand-in so call sites skip the None checks."""
+
+    def emit(self, event: str, **fields: Any) -> None:
+        return None
+
+    def close(self) -> None:
+        return None
+
+    def __enter__(self) -> "NullTrace":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        return None
+
+
+_NULL_TRACE: Optional[NullTrace] = None
+
+
+def null_trace() -> NullTrace:
+    """Shared :class:`NullTrace` instance."""
+    global _NULL_TRACE
+    if _NULL_TRACE is None:
+        _NULL_TRACE = NullTrace()
+    return _NULL_TRACE

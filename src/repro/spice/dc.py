@@ -16,16 +16,28 @@ matters more than asymptotic speed:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .circuit import Circuit
 from .elements import StampContext, VoltageSource
+from .. import obs
 
 
 class ConvergenceError(RuntimeError):
-    """Raised when all Newton continuation strategies fail."""
+    """Raised when all Newton continuation strategies fail.
+
+    ``context`` carries the machine-readable failure trail (strategy names,
+    gmin level, iteration counts at failure); the message embeds the same
+    information so a recorded campaign failure is diagnosable from the
+    cache/trace JSONL alone.
+    """
+
+    def __init__(self, message: str, context: Optional[Dict[str, Any]] = None):
+        super().__init__(message)
+        self.context: Dict[str, Any] = dict(context or {})
 
 
 class Solution:
@@ -92,19 +104,23 @@ def _newton(
     tol_v: float,
     dt: Optional[float] = None,
     x_prev: Optional[np.ndarray] = None,
-) -> Optional[np.ndarray]:
-    """One damped-Newton run; returns the solution vector or ``None``."""
+) -> Tuple[Optional[np.ndarray], int]:
+    """One damped-Newton run; returns ``(solution or None, iterations)``.
+
+    The iteration count feeds the telemetry histograms and the failure
+    trail attached to :class:`ConvergenceError`.
+    """
     x = x0.copy()
     n_nodes = circuit.node_count - 1
     residual, jacobian = _assemble(circuit, x, gmin, source_scale, dt, x_prev)
     norm = float(np.linalg.norm(residual))
-    for _ in range(max_iter):
+    for iteration in range(max_iter):
         try:
             dx = np.linalg.solve(jacobian, -residual)
         except np.linalg.LinAlgError:
-            return None
+            return None, iteration
         if not np.all(np.isfinite(dx)):
-            return None
+            return None, iteration
         # Clip voltage updates (branch-current updates are left free).
         v_part = dx[:n_nodes]
         max_step = float(np.max(np.abs(v_part))) if n_nodes else 0.0
@@ -130,8 +146,8 @@ def _newton(
         # KCL residual is at numerical noise, so a step-size criterion would
         # never fire there.
         if float(np.max(np.abs(residual))) < tol_i:
-            return x
-    return None
+            return x, iteration + 1
+    return None, max_iter
 
 
 def solve_dc(
@@ -150,18 +166,51 @@ def solve_dc(
     strategy chain fails at the requested ``vstep_limit``, it is retried
     with progressively tighter step clipping (steep table-driven loads can
     make Newton hop across their transition region at large steps).
-    Raises :class:`ConvergenceError` only after every combination fails.
+    Raises :class:`ConvergenceError` only after every combination fails;
+    the error message carries the full strategy trail (strategy name, gmin
+    level, iteration count at each failure) so recorded campaign failures
+    stay diagnosable from the cache JSONL alone.
+
+    When a :mod:`repro.obs` recorder is installed, every solve records its
+    winning strategy (``dc.converged.<strategy>``), Newton iteration count
+    (``dc.newton_iters``) and latency (``dc.solve.seconds``); disabled
+    recorders cost one predicate per solve.
     """
+    start = time.perf_counter()
     last_error: Optional[ConvergenceError] = None
+    limits_tried: List[float] = []
     for limit in (vstep_limit, 0.1, 0.04):
         if limit > vstep_limit:
             continue
+        limits_tried.append(limit)
         try:
-            return _solve_dc_once(circuit, x0, gmin, max_iter, limit, tol_i, tol_v)
+            solution, strategy, iters = _solve_dc_once(
+                circuit, x0, gmin, max_iter, limit, tol_i, tol_v
+            )
         except ConvergenceError as error:
             last_error = error
-        if limit <= 0.04:
-            break
+            if limit <= 0.04:
+                break
+            continue
+        if obs.enabled():
+            obs.count("dc.solves")
+            obs.count(f"dc.converged.{strategy}")
+            if len(limits_tried) > 1:
+                obs.count("dc.step_retries")
+            obs.observe("dc.newton_iters", iters)
+            obs.observe("dc.solve.seconds", time.perf_counter() - start)
+        return solution
+    if obs.enabled():
+        obs.count("dc.solves")
+        obs.count("dc.failures")
+        obs.observe("dc.solve.seconds", time.perf_counter() - start)
+    assert last_error is not None
+    if len(limits_tried) > 1:
+        raise ConvergenceError(
+            f"{last_error} [vstep limits tried: "
+            + ", ".join(f"{v:g}" for v in limits_tried) + "]",
+            context={**last_error.context, "vstep_limits": limits_tried},
+        ) from last_error
     raise last_error
 
 
@@ -173,62 +222,117 @@ def _solve_dc_once(
     vstep_limit: float,
     tol_i: float,
     tol_v: float,
-) -> Solution:
-    """One pass of the full strategy chain at a fixed step limit."""
+) -> Tuple[Solution, str, int]:
+    """One pass of the full strategy chain at a fixed step limit.
+
+    Returns ``(solution, winning strategy name, total Newton iterations)``.
+    On failure the raised :class:`ConvergenceError` carries the attempt
+    trail of every strategy tried.
+    """
     _assign_branch_indices(circuit)
     n = circuit.unknown_count()
+    warm = x0 is not None and bool(np.any(x0))
     if x0 is None:
         x0 = np.zeros(n)
     elif len(x0) != n:
         raise ValueError(f"x0 has length {len(x0)}, circuit has {n} unknowns")
 
-    x = _newton(circuit, x0, gmin, 1.0, max_iter, vstep_limit, tol_i, tol_v)
+    trail: List[str] = []
+    total_iters = 0
+
+    first_strategy = "newton-warm" if warm else "newton"
+    x, iters = _newton(circuit, x0, gmin, 1.0, max_iter, vstep_limit, tol_i, tol_v)
+    total_iters += iters
     if x is not None:
-        return Solution(circuit, x)
-    if np.any(x0):
+        return Solution(circuit, x), first_strategy, total_iters
+    trail.append(f"{first_strategy}({iters} iters)")
+    if warm:
         # A bad warm start can be worse than none: retry cold.
-        x = _newton(circuit, np.zeros(n), gmin, 1.0, max_iter, vstep_limit, tol_i, tol_v)
+        x, iters = _newton(
+            circuit, np.zeros(n), gmin, 1.0, max_iter, vstep_limit, tol_i, tol_v
+        )
+        total_iters += iters
         if x is not None:
-            return Solution(circuit, x)
+            return Solution(circuit, x), "newton-cold-retry", total_iters
+        trail.append(f"newton-cold-retry({iters} iters)")
 
     # gmin stepping: solve with a large shunt, then relax it decade by decade.
-    for start in (x0.copy(), np.zeros(n)):
+    for label, start in (("gmin-step", x0.copy()), ("gmin-step-cold", np.zeros(n))):
         guess = start
         converged_chain = True
         for exponent in range(3, 13):
             step_gmin = 10.0 ** (-exponent)
-            x = _newton(circuit, guess, step_gmin, 1.0, max_iter, vstep_limit, tol_i, tol_v)
+            x, iters = _newton(
+                circuit, guess, step_gmin, 1.0, max_iter, vstep_limit, tol_i, tol_v
+            )
+            total_iters += iters
+            obs.count("dc.gmin_decades")
             if x is None:
                 converged_chain = False
+                trail.append(
+                    f"{label}(stalled at gmin={step_gmin:g}, {iters} iters)"
+                )
                 break
             guess = x
         if converged_chain:
-            x = _newton(circuit, guess, gmin, 1.0, max_iter, vstep_limit, tol_i, tol_v)
+            x, iters = _newton(
+                circuit, guess, gmin, 1.0, max_iter, vstep_limit, tol_i, tol_v
+            )
+            total_iters += iters
             if x is not None:
-                return Solution(circuit, x)
+                return Solution(circuit, x), label, total_iters
+            trail.append(f"{label}(release to gmin={gmin:g}, {iters} iters)")
 
     # Source stepping: continuation from the all-off circuit, with a softer
     # shunt held during the ramp and relaxed decade by decade at the end.
     ramp_gmin = max(gmin, 1e-9)
     guess = np.zeros(n)
     for scale in np.linspace(0.05, 1.0, 20):
-        x = _newton(circuit, guess, ramp_gmin, float(scale), max_iter, vstep_limit, tol_i, tol_v)
+        x, iters = _newton(
+            circuit, guess, ramp_gmin, float(scale), max_iter, vstep_limit, tol_i, tol_v
+        )
+        total_iters += iters
         if x is None:
-            raise ConvergenceError(
-                f"DC analysis failed for circuit {circuit.title!r} at source scale {scale:.2f}"
+            trail.append(
+                f"source-step(failed at source scale {scale:.2f}, "
+                f"gmin={ramp_gmin:g}, {iters} iters)"
             )
+            raise _trail_error(circuit, trail, vstep_limit, total_iters)
         guess = x
     shunt = ramp_gmin
     while shunt > gmin * 1.0001:
         shunt = max(shunt / 10.0, gmin)
-        x = _newton(circuit, guess, shunt, 1.0, max_iter, vstep_limit, tol_i, tol_v)
+        x, iters = _newton(
+            circuit, guess, shunt, 1.0, max_iter, vstep_limit, tol_i, tol_v
+        )
+        total_iters += iters
         if x is None:
-            raise ConvergenceError(
-                f"DC analysis failed for circuit {circuit.title!r} releasing "
-                f"the ramp shunt at gmin={shunt:g}"
+            trail.append(
+                f"source-step(failed releasing the ramp shunt at "
+                f"gmin={shunt:g}, {iters} iters)"
             )
+            raise _trail_error(circuit, trail, vstep_limit, total_iters)
         guess = x
-    return Solution(circuit, guess)
+    return Solution(circuit, guess), "source-step", total_iters
+
+
+def _trail_error(
+    circuit: Circuit,
+    trail: List[str],
+    vstep_limit: float,
+    total_iters: int,
+) -> ConvergenceError:
+    """Build the diagnosable failure: full strategy trail in the message."""
+    return ConvergenceError(
+        f"DC analysis failed for circuit {circuit.title!r}: tried "
+        + ", ".join(trail)
+        + f"; vstep_limit={vstep_limit:g}, {total_iters} Newton iterations total",
+        context={
+            "strategies": list(trail),
+            "vstep_limit": vstep_limit,
+            "total_iterations": total_iters,
+        },
+    )
 
 
 def dc_sweep(

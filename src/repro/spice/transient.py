@@ -89,14 +89,14 @@ def solve_transient(
             advance = getattr(element, "advance_to", None)
             if advance is not None:
                 advance(t_next)
-        x = _newton(
+        x, _iters = _newton(
             circuit, x_prev, gmin, 1.0, max_iter, vstep_limit, tol_i, tol_v,
             dt=step, x_prev=x_prev,
         )
         if x is None:
             # One retry with a halved step before giving up.
             half = step / 2.0
-            x_half = _newton(
+            x_half, _iters = _newton(
                 circuit, x_prev, gmin, 1.0, max_iter, vstep_limit, tol_i, tol_v,
                 dt=half, x_prev=x_prev,
             )
@@ -104,7 +104,7 @@ def solve_transient(
                 raise ConvergenceError(
                     f"transient step failed at t={t_next:g}s for {circuit.title!r}"
                 )
-            x = _newton(
+            x, _iters = _newton(
                 circuit, x_half, gmin, 1.0, max_iter, vstep_limit, tol_i, tol_v,
                 dt=step - half, x_prev=x_half,
             )

@@ -74,6 +74,63 @@ class TestCampaignCommands:
         assert "5 cache hits (100%)" in second.err
 
 
+class TestStatsCommand:
+    def test_campaign_run_then_stats(self, capsys, tmp_path):
+        argv = [
+            "mc", "--samples", "4", "--shards", "2",
+            "--cache-dir", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        assert (tmp_path / "report.json").exists()
+        assert (tmp_path / "trace.jsonl").exists()
+        capsys.readouterr()
+        assert main(["stats", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "campaign[montecarlo]" in out
+        assert "slowest" in out and "mc-shard" in out
+
+    def test_stats_accepts_report_file_and_top(self, capsys, tmp_path):
+        main([
+            "mc", "--samples", "4", "--shards", "4",
+            "--cache-dir", str(tmp_path),
+        ])
+        capsys.readouterr()
+        report_file = str(tmp_path / "report.json")
+        assert main(["stats", report_file, "--top", "1"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("mc-shard") >= 1
+
+    def test_stats_missing_report_exits_with_hint(self, tmp_path):
+        with pytest.raises(SystemExit, match="report.json"):
+            main(["stats", str(tmp_path / "nowhere")])
+
+    def test_stats_rejects_foreign_schema(self, tmp_path):
+        bogus = tmp_path / "report.json"
+        bogus.write_text('{"schema": "something/else"}')
+        with pytest.raises(SystemExit, match="schema"):
+            main(["stats", str(bogus)])
+
+    def test_no_obs_suppresses_report(self, capsys, tmp_path):
+        argv = [
+            "mc", "--samples", "4", "--shards", "2", "--no-obs",
+            "--cache-dir", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        assert not (tmp_path / "report.json").exists()
+        assert not (tmp_path / "trace.jsonl").exists()
+
+    def test_obs_dir_redirects_artifacts(self, capsys, tmp_path):
+        obs_dir = tmp_path / "obs"
+        argv = [
+            "mc", "--samples", "4", "--shards", "2",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--obs-dir", str(obs_dir),
+        ]
+        assert main(argv) == 0
+        assert (obs_dir / "report.json").exists()
+        assert not (tmp_path / "cache" / "report.json").exists()
+
+
 class TestRunMarch:
     def test_library_test_passes_clean_memory(self, capsys):
         assert main(["run-march", "MATS+", "--words", "8", "--bits", "2"]) == 0

@@ -1,0 +1,481 @@
+"""The observability layer: recorder primitives, solver/campaign telemetry,
+cross-process merge invariance, and the schema-versioned run report."""
+
+import json
+import math
+
+import pytest
+
+from repro import obs
+from repro.campaign import SweepSpec, TaskPoint, run_campaign, task
+from repro.campaign.metrics import ProgressReporter
+from repro.devices import CORNERS, MosfetModel, nmos_params, pmos_params
+from repro.obs import COUNT_BOUNDS, TIME_BOUNDS, Histogram, Recorder
+from repro.obs.recorder import bounds_for
+from repro.obs.report import (
+    REPORT_FILENAME,
+    SCHEMA,
+    build_report,
+    load_report,
+    validate,
+    write_report,
+)
+from repro.obs.trace import TraceWriter, read_trace
+from repro.spice import Circuit, ConvergenceError, solve_dc
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_recorder():
+    """Every test starts and ends with instrumentation disabled."""
+    obs.uninstall()
+    yield
+    obs.uninstall()
+
+
+def _inverter_circuit(vin=0.55, corner="typical"):
+    c = CORNERS[corner]
+    circuit = Circuit("obs-inverter")
+    circuit.vsource("vdd", "vdd", "0", 1.1)
+    circuit.vsource("vin", "in", "0", vin)
+    circuit.mosfet(
+        "mp", "out", "in", "vdd", MosfetModel(pmos_params("mp", 240e-9), c, 25.0)
+    )
+    circuit.mosfet(
+        "mn", "out", "in", "0", MosfetModel(nmos_params("mn", 120e-9), c, 25.0)
+    )
+    return circuit
+
+
+def _singular_circuit():
+    """Two voltage sources pinning one node to different values: every
+    strategy's Jacobian is singular, so the full chain fails fast."""
+    circuit = Circuit("contradiction")
+    circuit.vsource("v1", "a", "0", 1.0)
+    circuit.vsource("v2", "a", "0", 2.0)
+    return circuit
+
+
+@task("obs-inverter")
+def _obs_inverter_task(params, context):
+    solution = solve_dc(_inverter_circuit(vin=params["vin"]))
+    return {"vout": solution.voltage("out")}
+
+
+def _inverter_spec(n=6):
+    tasks = [
+        TaskPoint.make("obs-inverter", vin=round(0.2 + 0.1 * i, 3))
+        for i in range(n)
+    ]
+    return SweepSpec.build("obs-toy", tasks)
+
+
+class TestHistogram:
+    def test_bucketing_is_exact_for_small_counts(self):
+        hist = Histogram(COUNT_BOUNDS)
+        for value in (0, 1, 1, 16, 17, 5000):
+            hist.observe(value)
+        assert hist.counts[0] == 1  # value 0
+        assert hist.counts[1] == 2  # the two 1s
+        assert hist.counts[16] == 1  # value 16 (last exact bucket)
+        assert hist.counts[17] == 1  # 17 spills into the 32 bucket
+        assert hist.counts[-1] == 1  # 5000 > 4096: overflow bucket
+        assert hist.count == 6 and hist.min == 0 and hist.max == 5000
+
+    def test_summary_statistics(self):
+        hist = Histogram(COUNT_BOUNDS)
+        for value in (2, 4, 6):
+            hist.observe(value)
+        assert hist.mean == pytest.approx(4.0)
+        assert hist.quantile(0.0) == 2 and hist.quantile(1.0) == 6
+        assert hist.quantile(0.5) == 4
+
+    def test_merge_adds_everything(self):
+        a, b = Histogram(COUNT_BOUNDS), Histogram(COUNT_BOUNDS)
+        for value in (1, 2):
+            a.observe(value)
+        for value in (3, 100):
+            b.observe(value)
+        a.merge(b)
+        assert a.count == 4 and a.total == 106
+        assert a.min == 1 and a.max == 100
+
+    def test_merge_rejects_mismatched_bounds(self):
+        with pytest.raises(ValueError, match="bounds"):
+            Histogram(COUNT_BOUNDS).merge(Histogram(TIME_BOUNDS))
+
+    def test_dict_round_trip(self):
+        hist = Histogram(TIME_BOUNDS)
+        for value in (1e-4, 2.5e-3, 0.7):
+            hist.observe(value)
+        clone = Histogram.from_dict(json.loads(json.dumps(hist.to_dict())))
+        assert clone == hist
+
+    def test_empty_histogram_serialises_nulls(self):
+        data = Histogram(COUNT_BOUNDS).to_dict()
+        assert data["min"] is None and data["max"] is None
+        assert Histogram.from_dict(data).min == math.inf
+
+    def test_bounds_chosen_by_name_convention(self):
+        assert bounds_for("dc.solve.seconds") == TIME_BOUNDS
+        assert bounds_for("dc.newton_iters") == COUNT_BOUNDS
+
+
+class TestRecorder:
+    def test_counters_accumulate(self):
+        rec = Recorder()
+        rec.count("a")
+        rec.count("a", 4)
+        assert rec.counters == {"a": 5}
+
+    def test_spans_nest_into_paths(self):
+        rec = Recorder()
+        with rec.span("outer"):
+            with rec.span("inner"):
+                pass
+            with rec.span("inner"):
+                pass
+        assert set(rec.spans) == {"outer", "outer/inner"}
+        assert rec.spans["outer/inner"].calls == 2
+        assert rec.spans["outer"].calls == 1
+        assert rec.spans["outer"].total >= rec.spans["outer/inner"].total
+
+    def test_timed_decorator(self):
+        rec = Recorder()
+
+        @rec.timed("f")
+        def f(x):
+            return x + 1
+
+        assert f(1) == 2 and f(2) == 3
+        assert rec.spans["f"].calls == 2
+
+    def test_snapshot_merge_equals_direct_recording(self):
+        direct, merged, other = Recorder(), Recorder(), Recorder()
+        for rec in (direct, merged):
+            rec.count("n", 2)
+            rec.observe("iters", 3)
+        direct.count("n", 1)
+        direct.observe("iters", 9)
+        other.count("n", 1)
+        other.observe("iters", 9)
+        merged.merge(other.snapshot())
+        assert merged.counters == direct.counters
+        assert merged.histograms["iters"] == direct.histograms["iters"]
+
+    def test_snapshot_is_json_able(self):
+        rec = Recorder()
+        rec.count("n")
+        rec.observe("iters", 1)
+        with rec.span("s"):
+            pass
+        clone = json.loads(json.dumps(rec.snapshot()))
+        fresh = Recorder()
+        fresh.merge(clone)
+        assert fresh.counters == {"n": 1}
+        assert fresh.spans["s"].calls == 1
+
+    def test_clear(self):
+        rec = Recorder()
+        rec.count("n")
+        rec.observe("h", 1)
+        rec.clear()
+        assert not rec.counters and not rec.histograms and not rec.spans
+
+
+class TestModuleHelpers:
+    def test_disabled_helpers_are_no_ops(self):
+        assert not obs.enabled()
+        obs.count("x")
+        obs.observe("x", 1.0)
+        with obs.span("x"):
+            pass
+        assert obs.active() is None
+
+    def test_disabled_span_is_shared_singleton(self):
+        assert obs.span("a") is obs.span("b")
+
+    def test_recording_installs_and_restores(self):
+        outer = Recorder()
+        with obs.recording(outer):
+            assert obs.active() is outer
+            obs.count("n")
+            with obs.recording() as inner:
+                assert obs.active() is inner and inner is not outer
+                obs.count("n")
+            assert obs.active() is outer
+        assert obs.active() is None
+        assert outer.counters == {"n": 1}
+
+    def test_timed_decorator_follows_installation(self):
+        calls = []
+
+        @obs.timed("g")
+        def g():
+            calls.append(1)
+
+        g()  # disabled: runs, records nothing
+        with obs.recording() as rec:
+            g()
+        assert len(calls) == 2
+        assert rec.spans["g"].calls == 1
+
+
+class TestSolverTelemetry:
+    def test_successful_solve_records_strategy_and_iters(self):
+        with obs.recording() as rec:
+            solve_dc(_inverter_circuit())
+        assert rec.counters["dc.solves"] == 1
+        assert rec.counters.get("dc.failures", 0) == 0
+        strategies = [
+            k for k in rec.counters if k.startswith("dc.converged.")
+        ]
+        assert strategies == ["dc.converged.newton"]
+        iters = rec.histograms["dc.newton_iters"]
+        assert iters.count == 1 and iters.min >= 1
+        assert rec.histograms["dc.solve.seconds"].count == 1
+
+    def test_failed_solve_counts_failure(self):
+        with obs.recording() as rec:
+            with pytest.raises(ConvergenceError):
+                solve_dc(_singular_circuit())
+        assert rec.counters["dc.solves"] == 1
+        assert rec.counters["dc.failures"] == 1
+        assert rec.counters["dc.gmin_decades"] >= 2
+
+    def test_convergence_error_carries_strategy_trail(self):
+        with pytest.raises(ConvergenceError) as excinfo:
+            solve_dc(_singular_circuit())
+        message = str(excinfo.value)
+        assert "'contradiction'" in message and "tried" in message
+        for strategy in ("newton(", "gmin-step(", "source-step("):
+            assert strategy in message
+        assert "Newton iterations total" in message
+        context = excinfo.value.context
+        assert context["vstep_limits"] == [0.4, 0.1, 0.04]
+        assert any("gmin-step" in entry for entry in context["strategies"])
+        assert context["total_iterations"] >= 0
+
+    def test_tightened_step_limits_reported(self):
+        with pytest.raises(ConvergenceError, match=r"vstep limits tried: "
+                                                   r"0\.4, 0\.1, 0\.04"):
+            solve_dc(_singular_circuit())
+        # A single-limit failure keeps the plain trail message.
+        with pytest.raises(ConvergenceError) as excinfo:
+            solve_dc(_singular_circuit(), vstep_limit=0.04)
+        assert "vstep limits tried" not in str(excinfo.value)
+
+
+class TestProgressReporterRate:
+    """Satellite: the streamed rate counts executed tasks only."""
+
+    def _reporter(self, stream, verbose=True, elapsed=2.0):
+        import io
+        import time
+
+        reporter = ProgressReporter("toy", 10, verbose=verbose, stream=stream)
+        reporter.started = time.perf_counter() - elapsed
+        return reporter
+
+    def test_rate_ignores_cache_hits(self):
+        import io
+
+        stream = io.StringIO()
+        reporter = self._reporter(stream)
+        reporter.cache_hits(8)
+        reporter.chunk_done(2)
+        lines = stream.getvalue().splitlines()
+        # 8 hits in ~2s must not read as 4 tasks/s; only the 2 executed count.
+        assert "1.00 tasks/s" in lines[-1]
+        assert "4.0" not in lines[-1]
+
+    def test_hits_only_run_reports_zero_rate(self):
+        import io
+
+        stream = io.StringIO()
+        reporter = self._reporter(stream)
+        reporter.cache_hits(10)
+        assert "0.00 tasks/s" in stream.getvalue()
+
+    def test_nonverbose_failure_run_gets_one_final_line(self):
+        import io
+
+        stream = io.StringIO()
+        reporter = self._reporter(stream, verbose=False)
+        reporter.chunk_done(9, failed=1)
+        reporter.cache_hits(1)
+        assert stream.getvalue() == ""  # silent while running
+        reporter.finish()
+        reporter.finish()  # idempotent: the line appears exactly once
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 1
+        assert "10/10 done" in lines[0] and "1 failed" in lines[0]
+        assert "run complete" in lines[0]
+
+    def test_nonverbose_clean_run_stays_silent(self):
+        import io
+
+        stream = io.StringIO()
+        reporter = self._reporter(stream, verbose=False)
+        reporter.chunk_done(10)
+        reporter.finish()
+        assert stream.getvalue() == ""
+
+    def test_summary_derived_from_recorder_counters(self):
+        import io
+
+        recorder = Recorder()
+        reporter = ProgressReporter(
+            "toy", 4, stream=io.StringIO(), recorder=recorder
+        )
+        reporter.cache_hits(1)
+        reporter.chunk_done(3, failed=2)
+        summary = reporter.summary()
+        assert (summary.executed, summary.cache_hits, summary.failures) == (3, 1, 2)
+        assert recorder.counters["campaign.executed"] == 3
+        assert recorder.counters["campaign.cache_hits"] == 1
+        assert recorder.counters["campaign.failures"] == 2
+
+
+def _deterministic_histograms(recorder):
+    return {
+        name: hist.to_dict()
+        for name, hist in recorder.histograms.items()
+        if not name.endswith(".seconds")
+    }
+
+
+class TestCampaignTelemetry:
+    def test_serial_observe_collects_solver_metrics(self):
+        result = run_campaign(_inverter_spec(3), observe=True)
+        rec = result.recorder
+        assert rec.counters["campaign.executed"] == 3
+        assert rec.counters["dc.solves"] == 3
+        assert rec.histograms["dc.newton_iters"].count == 3
+        assert rec.histograms["task.seconds"].count == 3
+        assert rec.spans["task.obs-inverter"].calls == 3
+        assert result.report is not None
+        assert result.report_path is None  # no directory: in-memory only
+
+    def test_observe_off_leaves_solver_counters_empty(self):
+        result = run_campaign(_inverter_spec(2), observe=False)
+        assert "dc.solves" not in result.recorder.counters
+        assert result.recorder.counters["campaign.executed"] == 2
+        assert result.report is None
+
+    @pytest.mark.slow
+    def test_parallel_merge_matches_serial(self):
+        """Satellite: counters and deterministic histograms are invariant
+        under the worker count; time-valued histograms agree on count."""
+        serial = run_campaign(_inverter_spec(6), observe=True)
+        parallel = run_campaign(_inverter_spec(6), jobs=2, observe=True)
+        assert serial.recorder.counters == parallel.recorder.counters
+        assert (_deterministic_histograms(serial.recorder)
+                == _deterministic_histograms(parallel.recorder))
+        for name in ("dc.solve.seconds", "task.seconds"):
+            assert (serial.recorder.histograms[name].count
+                    == parallel.recorder.histograms[name].count)
+        spans = parallel.recorder.spans
+        assert spans["task.obs-inverter"].calls == 6
+
+
+class TestReport:
+    def test_report_schema_and_convergence_block(self):
+        result = run_campaign(_inverter_spec(4), observe=True)
+        report = validate(result.report)
+        assert report["schema"] == SCHEMA
+        assert report["campaign"]["name"] == "obs-toy"
+        assert report["campaign"]["total"] == 4
+        assert report["convergence"]["solves"] == 4
+        assert report["convergence"]["strategies"] == {"newton": 4}
+        assert report["convergence"]["failure_causes"] == {}
+        assert len(report["slowest"]) == 4
+        elapsed = [entry["elapsed"] for entry in report["slowest"]]
+        assert elapsed == sorted(elapsed, reverse=True)
+
+    def test_failure_causes_grouped_by_type(self):
+        records = run_campaign(
+            SweepSpec.build(
+                "mixed",
+                [TaskPoint.make("obs-inverter", vin=0.5),
+                 TaskPoint.make("no-such-kind", x=1)],
+            ),
+            retries=0, observe=True,
+        )
+        causes = records.report["convergence"]["failure_causes"]
+        assert causes == {"KeyError": 1}
+
+    def test_top_n_truncates_slowest(self):
+        result = run_campaign(_inverter_spec(5), observe=True)
+        report = build_report(
+            result.summary, result.recorder, result.records.values(), top_n=2
+        )
+        assert len(report["slowest"]) == 2
+
+    def test_write_load_round_trip(self, tmp_path):
+        result = run_campaign(_inverter_spec(2), observe=True)
+        path = write_report(result.report, tmp_path)
+        assert path.name == REPORT_FILENAME
+        assert load_report(path) == result.report
+        assert load_report(tmp_path) == result.report  # directory form
+
+    def test_validate_rejects_foreign_schema(self):
+        with pytest.raises(ValueError, match="schema"):
+            validate({"schema": "repro.obs.report/999"})
+        with pytest.raises(ValueError, match="campaign"):
+            validate({"schema": SCHEMA})
+
+    def test_run_campaign_writes_report_and_trace(self, tmp_path):
+        result = run_campaign(
+            _inverter_spec(3), cache_dir=str(tmp_path), observe=True
+        )
+        assert result.report_path == str(tmp_path / REPORT_FILENAME)
+        report = load_report(result.report_path)
+        assert report["campaign"]["executed"] == 3
+        events = read_trace(tmp_path / "trace.jsonl")
+        kinds = [e["event"] for e in events]
+        assert kinds[0] == "run-start" and kinds[-1] == "run-end"
+        assert kinds.count("task") == 3
+        assert all("t" in e for e in events)
+
+    def test_rerun_reports_cache_hits_and_truncates_trace(self, tmp_path):
+        run_campaign(_inverter_spec(3), cache_dir=str(tmp_path), observe=True)
+        again = run_campaign(
+            _inverter_spec(3), cache_dir=str(tmp_path), observe=True
+        )
+        report = load_report(tmp_path)
+        assert report["campaign"]["cache_hits"] == 3
+        assert report["campaign"]["executed"] == 0
+        events = read_trace(tmp_path / "trace.jsonl")
+        assert [e["event"] for e in events if e["event"] == "task"] == []
+        assert any(e["event"] == "cache-hits" for e in events)
+        assert again.summary.cache_hits == 3
+
+    def test_obs_dir_separates_report_from_cache(self, tmp_path):
+        cache = tmp_path / "cache"
+        reports = tmp_path / "reports"
+        run_campaign(
+            _inverter_spec(2), cache_dir=str(cache), observe=True,
+            obs_dir=str(reports),
+        )
+        assert (reports / REPORT_FILENAME).exists()
+        assert not (cache / REPORT_FILENAME).exists()
+
+
+class TestTrace:
+    def test_writer_truncates_per_run(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with TraceWriter(path) as trace:
+            trace.emit("run-start", total=1)
+        with TraceWriter(path) as trace:
+            trace.emit("run-start", total=2)
+        events = read_trace(path)
+        assert len(events) == 1 and events[0]["total"] == 2
+
+    def test_reader_tolerates_torn_tail(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with TraceWriter(path) as trace:
+            trace.emit("task", key="k")
+        with path.open("a", encoding="utf-8") as fh:
+            fh.write('{"event": "task", "key"')
+        events = read_trace(path)
+        assert len(events) == 1 and events[0]["key"] == "k"

@@ -1,0 +1,158 @@
+"""Solver-stack benchmark: compiled assembly vs the reference stamp oracle.
+
+Measures, in one process, the two headline speedups of the compiled MNA
+engine (DESIGN.md Section 10):
+
+* a cold regulator operating-point solve (``backend="compiled"`` against
+  ``backend="reference"``), gated at >= 2x;
+* a 64-point cell supply sweep (:func:`repro.spice.solve_dc_batch` against
+  the sequential reference-backend :func:`repro.spice.dc_sweep`), gated at
+  >= 4x;
+
+plus the assembly-vs-factorisation wall-time split the solver reports
+through :mod:`repro.obs`.
+
+Results are printed (run with ``-s``) and, when ``REPRO_BENCH_JSON`` names
+a directory, written to ``bench_spice.json`` there - CI points it at the
+campaign cache directory so the numbers ride along with ``report.json`` in
+the uploaded artifact.  Set ``REPRO_BENCH_SMOKE=1`` for single-round
+timings (the CI smoke mode); the speedup gates still apply.
+
+Timings use min-of-rounds (noise only ever adds time).
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.cell.design import DEFAULT_CELL
+from repro.devices.pvt import PVT
+from repro.devices.variation import CellVariation
+from repro.regulator.design import VrefSelect
+from repro.regulator.netlist import _initial_guess, build_regulator
+from repro.spice import dc_sweep, solve_dc, solve_dc_batch, using_backend
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "0") == "1"
+ROUNDS = 2 if SMOKE else 5
+SWEEP_POINTS = 64
+
+#: Acceptance floors for the compiled engine (see ISSUE/DESIGN Section 10).
+REGULATOR_SPEEDUP_FLOOR = 2.0
+SWEEP_SPEEDUP_FLOOR = 4.0
+
+RESULTS = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _dump_results():
+    yield
+    out_dir = os.environ.get("REPRO_BENCH_JSON")
+    if out_dir and RESULTS:
+        os.makedirs(out_dir, exist_ok=True)
+        path = os.path.join(out_dir, "bench_spice.json")
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(RESULTS, fh, indent=2, sort_keys=True)
+        print(f"\nbench_spice results -> {path}")
+
+
+def _min_time(fn, rounds=ROUNDS):
+    best = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return best
+
+
+def _regulator_solve_time(backend):
+    pvt = PVT("typical", 1.1, 25.0)
+    circuit, _ = build_regulator(pvt, VrefSelect.VREF70)
+    x0 = _initial_guess(circuit, pvt, VrefSelect.VREF70, True)
+
+    def run():
+        solve_dc(circuit, x0=x0.copy(), backend=backend)
+
+    run()  # warm-up: one-off plan compilation stays out of the timing
+    return _min_time(run)
+
+
+def _hold_cell():
+    return DEFAULT_CELL.build_hold_circuit(1.1, CellVariation.symmetric())
+
+
+def test_regulator_operating_point_speedup():
+    """Cold regulator solve: compiled assembly vs per-element stamps."""
+    reference = _regulator_solve_time("reference")
+    compiled = _regulator_solve_time("compiled")
+    speedup = reference / compiled
+    RESULTS["regulator_solve"] = {
+        "reference_s": reference,
+        "compiled_s": compiled,
+        "speedup": speedup,
+        "floor": REGULATOR_SPEEDUP_FLOOR,
+    }
+    print(
+        f"\nregulator op point: reference {reference * 1e3:.3f}ms, "
+        f"compiled {compiled * 1e3:.3f}ms, speedup {speedup:.2f}x"
+    )
+    assert speedup >= REGULATOR_SPEEDUP_FLOOR
+
+
+def test_cell_vdd_sweep_speedup():
+    """64-point supply sweep: lock-step batch vs sequential reference."""
+    values = list(np.linspace(1.1, 0.35, SWEEP_POINTS))
+    sequential_circuit = _hold_cell()
+    batch_circuit = _hold_cell()
+
+    def sequential():
+        with using_backend("reference"):
+            dc_sweep(sequential_circuit, "vddc", values)
+
+    def batch():
+        solve_dc_batch(batch_circuit, "vddc", values)
+
+    sequential()
+    batch()  # warm-up both (plan compilation out of the timing)
+    reference = _min_time(sequential)
+    compiled = _min_time(batch)
+    speedup = reference / compiled
+    RESULTS["cell_vdd_sweep"] = {
+        "points": SWEEP_POINTS,
+        "reference_s": reference,
+        "compiled_s": compiled,
+        "speedup": speedup,
+        "floor": SWEEP_SPEEDUP_FLOOR,
+    }
+    print(
+        f"\ncell VDD sweep ({SWEEP_POINTS} pts): reference {reference * 1e3:.3f}ms, "
+        f"batch {compiled * 1e3:.3f}ms, speedup {speedup:.2f}x"
+    )
+    assert speedup >= SWEEP_SPEEDUP_FLOOR
+
+
+def test_assembly_factorisation_split():
+    """The obs split histograms quantify where solve time goes."""
+    pvt = PVT("typical", 1.1, 25.0)
+    circuit, _ = build_regulator(pvt, VrefSelect.VREF70)
+    x0 = _initial_guess(circuit, pvt, VrefSelect.VREF70, True)
+    with obs.recording() as rec:
+        solve_dc(circuit, x0=x0.copy())
+    assemble = rec.histograms["dc.assemble.seconds"].total
+    factor = rec.histograms["dc.factor.seconds"].total
+    total = assemble + factor
+    RESULTS["dc_split"] = {
+        "assemble_s": assemble,
+        "factor_s": factor,
+        "assemble_share": assemble / total if total else 0.0,
+    }
+    print(
+        f"\ndc split: assembly {assemble * 1e3:.3f}ms "
+        f"({assemble / total:.0%}), factorisation {factor * 1e3:.3f}ms"
+    )
+    assert assemble > 0.0 and factor > 0.0

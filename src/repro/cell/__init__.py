@@ -19,15 +19,16 @@ and the impact of per-transistor Vth variation on both.
 """
 
 from .design import CellDesign, DEFAULT_CELL
-from .drv import drv_ds, drv_ds0, drv_ds1, worst_case_drv
+from .drv import drv_ds, drv_ds0, drv_ds1, drv_ds_pair, worst_case_drv
 from .leakage import array_leakage_current, cell_leakage_current
 from .retention import flip_time, retains
-from .snm import butterfly_curves, snm_ds, snm_ds0, snm_ds1
+from .snm import SnmSession, butterfly_curves, snm_ds, snm_ds0, snm_ds1
 from .vtc import inverter_vtc
 
 __all__ = [
     "CellDesign",
     "DEFAULT_CELL",
+    "SnmSession",
     "inverter_vtc",
     "butterfly_curves",
     "snm_ds",
@@ -36,6 +37,7 @@ __all__ = [
     "drv_ds",
     "drv_ds0",
     "drv_ds1",
+    "drv_ds_pair",
     "worst_case_drv",
     "cell_leakage_current",
     "array_leakage_current",

@@ -39,7 +39,7 @@ def _node_residual(v_out, v_in, vdd_cell, pullup, pulldown, pass_gate):
 
 def inverter_vtc(
     v_in: np.ndarray,
-    vdd_cell: float,
+    vdd_cell,
     pullup: MosfetModel,
     pulldown: MosfetModel,
     pass_gate: MosfetModel,
@@ -47,12 +47,16 @@ def inverter_vtc(
     """Output voltage of one half-cell inverter for an array of inputs.
 
     All three device models must already be instantiated at the desired
-    (corner, temperature, Vth offset).  Returns an array shaped like
-    ``v_in``.
+    (corner, temperature, Vth offset).  ``vdd_cell`` may be a scalar or an
+    array broadcastable against ``v_in`` (e.g. a ``(V, 1)`` supply column
+    against a ``(V, G)`` input grid for batched-supply butterfly curves).
+    Returns an array of the broadcast shape.
     """
     v_in = np.asarray(v_in, dtype=float)
-    lo = np.zeros_like(v_in)
-    hi = np.full_like(v_in, vdd_cell)
+    vdd_cell = np.asarray(vdd_cell, dtype=float)
+    shape = np.broadcast_shapes(v_in.shape, vdd_cell.shape)
+    lo = np.zeros(shape)
+    hi = np.broadcast_to(vdd_cell, shape).astype(float, copy=True)
     for _ in range(_BISECTION_STEPS):
         mid = 0.5 * (lo + hi)
         residual = _node_residual(mid, v_in, vdd_cell, pullup, pulldown, pass_gate)
@@ -64,10 +68,13 @@ def inverter_vtc(
 
 def vtc_pair(
     grid: np.ndarray,
-    vdd_cell: float,
+    vdd_cell,
     models: Dict[str, MosfetModel],
 ):
     """Both half-cell VTCs on a common input grid.
+
+    ``vdd_cell`` may be a scalar or broadcastable against ``grid`` (see
+    :func:`inverter_vtc`).
 
     Returns ``(s_of_sb, sb_of_s)``:
 

@@ -135,6 +135,30 @@ def _bucket_quantile(data: Dict[str, Any], q: float) -> float:
     return data["max"] if data["max"] is not None else 0.0
 
 
+def render_dc_split(report: Dict[str, Any]) -> str:
+    """One-line assembly-vs-factorisation wall-time split of the DC solver.
+
+    Summarises the ``dc.assemble.seconds`` / ``dc.factor.seconds``
+    histograms the solver records per solve; empty when neither was
+    observed (obs off, or a run with no DC solves).
+    """
+    histograms = report.get("histograms", {})
+    assemble = histograms.get("dc.assemble.seconds")
+    factor = histograms.get("dc.factor.seconds")
+    if not assemble and not factor:
+        return ""
+    a = assemble["sum"] if assemble else 0.0
+    f = factor["sum"] if factor else 0.0
+    total = a + f
+    a_share = a / total if total else 0.0
+    solves = (assemble or factor)["count"]
+    return (
+        f"dc solver split: assembly {_fmt_seconds(a)} ({a_share:.0%}), "
+        f"factorization {_fmt_seconds(f)} ({1.0 - a_share if total else 0.0:.0%}) "
+        f"over {solves} solves"
+    )
+
+
 def render_spans(report: Dict[str, Any]) -> str:
     spans = report.get("spans", {})
     if not spans:
@@ -173,6 +197,7 @@ def render_report(report: Dict[str, Any], top_n: int = 10) -> str:
         render_convergence(report),
         render_slowest(report, top_n),
         render_histograms(report),
+        render_dc_split(report),
         render_spans(report),
         render_counters(report),
     ]

@@ -29,7 +29,12 @@ from .characterize import (
 )
 from .defects import DEFECT_IDS, DEFECTS, DefectCategory, DefectSite
 from .design import RegulatorDesign, VREF_TAPS, VrefSelect
-from .netlist import RegulatorOperatingPoint, build_regulator, solve_regulator
+from .netlist import (
+    RegulatorOperatingPoint,
+    RegulatorSession,
+    build_regulator,
+    solve_regulator,
+)
 from .load import ArrayLoad, LeakageTable
 
 __all__ = [
@@ -44,6 +49,7 @@ __all__ = [
     "LeakageTable",
     "build_regulator",
     "solve_regulator",
+    "RegulatorSession",
     "RegulatorOperatingPoint",
     "vreg_curve",
     "min_resistance_for_drf",

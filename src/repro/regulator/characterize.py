@@ -31,7 +31,7 @@ from ..units import OPEN_LINE_OHMS
 from .defects import DefectCategory, DefectSite
 from .design import DEFAULT_REGULATOR, RegulatorDesign, VrefSelect
 from .load import WeakCellGroup
-from .netlist import solve_regulator
+from .netlist import RegulatorSession, solve_regulator
 from .timing import min_resistance_timing
 
 #: Log-spaced resistance grid for the coarse failure bracketing.
@@ -49,17 +49,18 @@ def vreg_curve(
     design: RegulatorDesign = DEFAULT_REGULATOR,
     cell: CellDesign = DEFAULT_CELL,
 ) -> List[float]:
-    """VDD_CC versus defect resistance, with warm-started solves."""
+    """VDD_CC versus defect resistance, with warm-started solves.
+
+    One :class:`RegulatorSession` carries the whole sweep: the netlist and
+    its compiled assembly plan are built once, and each point warm-starts
+    from the previous converged state.
+    """
+    session = RegulatorSession(
+        pvt, vrefsel, defect, weak_groups=weak_groups, design=design, cell=cell
+    )
     values = []
-    guess = None
     for resistance in resistances:
-        op, solution = solve_regulator(
-            pvt, vrefsel, defect, float(resistance),
-            weak_groups=weak_groups, design=design, cell=cell, x0=guess,
-        )
-        # Solutions share the unknown layout along the sweep because the
-        # same branch stays split; reuse as the next starting point.
-        guess = solution.x.copy()
+        op, _ = session.solve(float(resistance))
         values.append(op.vddcc)
     return values
 
@@ -102,42 +103,36 @@ def min_resistance_for_drf(
     if _fails(baseline.vddcc, drv, ds_time, pvt, cell):
         return 0.0
 
-    guess = None
+    session = RegulatorSession(
+        pvt, vrefsel, defect, weak_groups=weak_groups, design=design, cell=cell
+    )
     previous_r = None
     for resistance in _R_GRID:
         try:
-            op, solution = solve_regulator(
-                pvt, vrefsel, defect, float(resistance),
-                weak_groups=weak_groups, design=design, cell=cell, x0=guess,
-            )
+            op, _ = session.solve(float(resistance))
         except ConvergenceError:
             # A single intractable grid point (typically when the operating
             # point sits exactly on the weak-cell crowbar transition) only
             # coarsens the bracketing; monotonicity lets the scan continue.
-            guess = None
+            session.reset()
             continue
-        guess = solution.x.copy()
         if _fails(op.vddcc, drv, ds_time, pvt, cell):
             if previous_r is None:
                 return float(resistance)
             return _refine(
-                previous_r, float(resistance), defect, drv, pvt, vrefsel,
-                ds_time, weak_groups, design, cell,
+                session, previous_r, float(resistance), drv, pvt, ds_time, cell
             )
         previous_r = float(resistance)
     return None
 
 
 def _refine(
+    session: RegulatorSession,
     r_pass: float,
     r_fail: float,
-    defect: DefectSite,
     drv: float,
     pvt: PVT,
-    vrefsel: VrefSelect,
     ds_time: float,
-    weak_groups: Sequence[WeakCellGroup],
-    design: RegulatorDesign,
     cell: CellDesign,
 ) -> float:
     """Log-scale bisection between the last passing and first failing R.
@@ -146,17 +141,15 @@ def _refine(
     already a proven failing resistance, so returning it only loses
     precision, never correctness.
     """
-    guess = None
+    # The grid scan left the session warm at the first failing point; the
+    # refinement jumps back below it, so restart from the heuristic guess.
+    session.reset()
     for _ in range(_REFINE_STEPS):
         mid = math.sqrt(r_pass * r_fail)
         try:
-            op, solution = solve_regulator(
-                pvt, vrefsel, defect, mid,
-                weak_groups=weak_groups, design=design, cell=cell, x0=guess,
-            )
+            op, _ = session.solve(mid)
         except ConvergenceError:
             break
-        guess = solution.x.copy()
         if _fails(op.vddcc, drv, ds_time, pvt, cell):
             r_fail = mid
         else:
@@ -237,12 +230,9 @@ def classify_defect(
     raises = False
     for sel in VrefSelect:
         clean, _ = solve_regulator(pvt, sel, design=design, cell=cell)
-        guess = None
+        session = RegulatorSession(pvt, sel, defect, design=design, cell=cell)
         for probe in probe_resistances:
-            faulty, solution = solve_regulator(
-                pvt, sel, defect, probe, design=design, cell=cell, x0=guess
-            )
-            guess = solution.x.copy()
+            faulty, _ = session.solve(probe)
             delta = faulty.vddcc - clean.vddcc
             if delta < -threshold:
                 lowers = True

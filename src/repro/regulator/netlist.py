@@ -221,6 +221,126 @@ def _initial_guess(circuit: Circuit, pvt: PVT, vrefsel: VrefSelect, regon: bool)
     return x0
 
 
+class RegulatorSession:
+    """Reusable regulator solver for resistance sweeps and probing ladders.
+
+    The netlist is built **once** (with a 1 Ohm placeholder when a defect
+    site is given); each :meth:`solve` then mutates the injected ``df_*``
+    resistor in place.  Because the unknown layout and the element list
+    never change, the compiled assembly plan (see
+    :mod:`repro.spice.compiled`) is built once and only re-gathers values,
+    and every solve warm-starts from the previous converged state - the two
+    effects that dominate Table II's thousands of regulator solves.
+
+    The warm-start contract matches :class:`repro.spice.SweepSession`:
+    monotone walks of the defect resistance stay on one branch of the
+    characteristic; independent searches should use separate sessions (or
+    call :meth:`reset`).
+    """
+
+    def __init__(
+        self,
+        pvt: PVT,
+        vrefsel: VrefSelect,
+        defect: Optional[DefectSite] = None,
+        regon: bool = True,
+        weak_groups: Sequence[WeakCellGroup] = (),
+        design: RegulatorDesign = DEFAULT_REGULATOR,
+        cell: CellDesign = DEFAULT_CELL,
+    ) -> None:
+        self.pvt = pvt
+        self.vrefsel = vrefsel
+        self.defect = defect
+        self.regon = regon
+        self.circuit, self.nodes = build_regulator(
+            pvt, vrefsel, defect, 1.0 if defect is not None else 0.0,
+            regon, weak_groups, design, cell,
+        )
+        self._title_base = f"regulator {pvt.label()} {vrefsel.name}"
+        self._defect_resistor = None
+        if defect is not None:
+            self._defect_resistor = next(
+                e for e in self.circuit.elements if e.name.startswith("df_")
+            )
+        self._warm: Optional[np.ndarray] = None
+        self.solves = 0
+
+    def reset(self) -> None:
+        """Drop the warm-start state (e.g. before jumping branches)."""
+        self._warm = None
+
+    def _heuristic(self) -> np.ndarray:
+        return _initial_guess(self.circuit, self.pvt, self.vrefsel, self.regon)
+
+    def _set_resistance(self, resistance: float) -> None:
+        if self.defect is None:
+            return
+        if resistance <= 0.0:
+            raise ValueError("an injected defect needs a positive resistance")
+        self._defect_resistor.resistance = float(resistance)
+        self.circuit.title = (
+            self._title_base + f" + {self.defect.name}={resistance:g}"
+        )
+
+    def _operating_point(self, solution: Solution) -> RegulatorOperatingPoint:
+        nodes = self.nodes
+        return RegulatorOperatingPoint(
+            vreg=solution.voltage(nodes["vreg"]),
+            vddcc=solution.voltage(nodes["vddcc"]),
+            vref=solution.voltage(nodes["vref_in"]),
+            vbias=solution.voltage(nodes["vbias_in"]),
+            out_amp=solution.voltage(nodes["out_amp"]),
+            tail=solution.voltage(nodes["tail"]),
+            supply_current=-solution.branch_current("vvdd"),
+            vreg_expected=self.vrefsel.fraction * self.pvt.vdd,
+        )
+
+    def solve(
+        self,
+        resistance: float = 0.0,
+        x0: Optional[np.ndarray] = None,
+    ) -> Tuple[RegulatorOperatingPoint, Solution]:
+        """Solve the operating point at ``resistance``, warm-started.
+
+        The guess chain is: caller ``x0`` -> the session's last converged
+        state -> the topology-aware heuristic -> a geometric resistance ramp
+        (defect sessions only).  Returns the condensed operating point plus
+        the raw solution.
+        """
+        self._set_resistance(resistance)
+        guess = x0 if x0 is not None else self._warm
+        if guess is None:
+            guess = self._heuristic()
+        try:
+            solution = solve_dc(self.circuit, x0=guess)
+        except ConvergenceError:
+            # A warm start can be worse than the topology-aware heuristic
+            # guess: retry from that first.
+            try:
+                solution = solve_dc(self.circuit, x0=self._heuristic())
+            except ConvergenceError:
+                if self.defect is None or resistance <= 1.0:
+                    raise
+                solution = self._ramp(resistance)
+        self._warm = solution.x.copy()
+        self.solves += 1
+        return self._operating_point(solution), solution
+
+    def _ramp(self, resistance: float) -> Solution:
+        """Geometric resistance stepping with warm starts.
+
+        The defect-free-ish circuit (small R) is easy; the layout is
+        identical along the ramp, so solutions carry over step to step.
+        """
+        guess = self._heuristic()
+        ramp_start = min(1e3, resistance / 10.0)
+        for r_step in np.geomspace(ramp_start, resistance, 10):
+            self._set_resistance(float(r_step))
+            solution = solve_dc(self.circuit, x0=guess)
+            guess = solution.x.copy()
+        return solution
+
+
 def solve_regulator(
     pvt: PVT,
     vrefsel: VrefSelect,
@@ -232,49 +352,12 @@ def solve_regulator(
     cell: CellDesign = DEFAULT_CELL,
     x0: Optional[np.ndarray] = None,
 ) -> Tuple[RegulatorOperatingPoint, Solution]:
-    """Solve the regulator's DC operating point.
+    """Solve the regulator's DC operating point (one-shot).
 
     Pass ``x0`` (from a previous, nearby solve) to warm-start resistance
-    sweeps.  Returns the condensed operating point plus the raw solution.
+    sweeps, or - better - keep a :class:`RegulatorSession` alive across the
+    sweep so the netlist and its compiled plan are built only once.
+    Returns the condensed operating point plus the raw solution.
     """
-    circuit, nodes = build_regulator(
-        pvt, vrefsel, defect, resistance, regon, weak_groups, design, cell
-    )
-    if x0 is None:
-        x0 = _initial_guess(circuit, pvt, vrefsel, regon)
-    try:
-        solution = solve_dc(circuit, x0=x0)
-    except ConvergenceError:
-        # A caller-supplied warm start can be worse than the topology-aware
-        # heuristic guess: retry from that first.
-        try:
-            solution = solve_dc(circuit, x0=_initial_guess(circuit, pvt, vrefsel, regon))
-        except ConvergenceError:
-            if defect is None or resistance <= 1.0:
-                raise
-            # Resistance stepping: the defect-free-ish circuit (small R) is
-            # easy; ramp the injected resistance geometrically with warm
-            # starts.  The layout is identical along the ramp, so solutions
-            # carry over step to step.
-            guess = None
-            ramp_start = min(1e3, resistance / 10.0)
-            for r_step in np.geomspace(ramp_start, resistance, 10):
-                step_circuit, _ = build_regulator(
-                    pvt, vrefsel, defect, float(r_step), regon, weak_groups, design, cell
-                )
-                if guess is None:
-                    guess = _initial_guess(step_circuit, pvt, vrefsel, regon)
-                solution = solve_dc(step_circuit, x0=guess)
-                guess = solution.x.copy()
-            circuit = step_circuit
-    op = RegulatorOperatingPoint(
-        vreg=solution.voltage(nodes["vreg"]),
-        vddcc=solution.voltage(nodes["vddcc"]),
-        vref=solution.voltage(nodes["vref_in"]),
-        vbias=solution.voltage(nodes["vbias_in"]),
-        out_amp=solution.voltage(nodes["out_amp"]),
-        tail=solution.voltage(nodes["tail"]),
-        supply_current=-solution.branch_current("vvdd"),
-        vreg_expected=vrefsel.fraction * pvt.vdd,
-    )
-    return op, solution
+    session = RegulatorSession(pvt, vrefsel, defect, regon, weak_groups, design, cell)
+    return session.solve(resistance, x0=x0)

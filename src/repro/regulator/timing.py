@@ -21,7 +21,6 @@ cell-flip time from :mod:`repro.cell.retention` as the final arbiter.
 
 from __future__ import annotations
 
-import math
 from functools import lru_cache
 from typing import Optional
 
@@ -30,6 +29,7 @@ import numpy as np
 from ..cell.design import DEFAULT_CELL, CellDesign
 from ..cell.retention import flip_time
 from ..devices.pvt import PVT
+from ..spice import log_bisect
 from .defects import DefectSite, TimingMode
 from .design import DEFAULT_REGULATOR, RegulatorDesign
 from .load import leakage_table
@@ -149,15 +149,12 @@ def min_resistance_timing(
     if defect.timing is None:
         raise ValueError(f"{defect.name} is not a timing defect")
     mode = defect.timing
-    if not activation_failure(r_max, drv, pvt, mode, ds_time, design, cell):
+    def fails(resistance: float) -> bool:
+        return activation_failure(resistance, drv, pvt, mode, ds_time, design, cell)
+
+    if not fails(r_max):
         return None
-    lo, hi = 1.0, r_max
-    if activation_failure(lo, drv, pvt, mode, ds_time, design, cell):
+    lo = 1.0
+    if fails(lo):
         return lo
-    for _ in range(40):
-        mid = math.sqrt(lo * hi)
-        if activation_failure(mid, drv, pvt, mode, ds_time, design, cell):
-            hi = mid
-        else:
-            lo = mid
-    return hi
+    return log_bisect(fails, lo, r_max, steps=40)

@@ -17,6 +17,11 @@ Public API
     Netlist elements.
 :func:`solve_dc`, :func:`dc_sweep`, :func:`solve_transient`
     Analyses returning :class:`Solution` / lists thereof.
+:func:`solve_dc_batch`, :class:`SweepSession`, :func:`log_bisect`
+    Batched/warm-started sweeps over the compiled assembly plan.
+:func:`default_backend`, :func:`set_default_backend`, :func:`using_backend`
+    Assembly-backend selection (``"compiled"`` vs the ``"reference"``
+    per-element stamp oracle).
 """
 
 from .circuit import Circuit
@@ -28,15 +33,35 @@ from .elements import (
     Resistor,
     VoltageSource,
 )
-from .dc import ConvergenceError, Solution, dc_sweep, solve_dc
+from .dc import (
+    BACKENDS,
+    ConvergenceError,
+    Solution,
+    dc_sweep,
+    default_backend,
+    set_default_backend,
+    solve_dc,
+    using_backend,
+)
+from .compiled import CompiledCircuit, compiled_plan
 from .sources import (
     PiecewiseLinearVoltageSource,
     PulseVoltageSource,
     VoltageControlledVoltageSource,
 )
+from .sweep import SweepSession, log_bisect, solve_dc_batch
 from .transient import TransientResult, solve_transient
 
 __all__ = [
+    "BACKENDS",
+    "CompiledCircuit",
+    "SweepSession",
+    "compiled_plan",
+    "default_backend",
+    "log_bisect",
+    "set_default_backend",
+    "solve_dc_batch",
+    "using_backend",
     "Circuit",
     "Element",
     "Resistor",

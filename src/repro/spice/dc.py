@@ -12,18 +12,110 @@ matters more than asymptotic speed:
   when gmin stepping also fails (continuation from the trivial solution).
 * **Warm starts** - callers may pass ``x0`` (e.g. the previous point of a
   sweep, or a chosen state of a bistable cell).
+
+Assembly backends
+-----------------
+Two interchangeable residual/Jacobian assemblers drive the same Newton
+loop:
+
+* ``"compiled"`` (default) - :class:`repro.spice.compiled.CompiledCircuit`:
+  flat index plans, one vectorised EKV call for all MOSFETs, preallocated
+  buffers.  This is the production path.
+* ``"reference"`` - the original per-element ``Element.stamp`` walk
+  (:func:`_assemble`).  It remains the semantic oracle: the property tests
+  assert the compiled path matches it to machine precision, and it is the
+  fallback for experiments with element types the compiler cannot see.
+
+Select per call (``solve_dc(..., backend="reference")``), per process
+(:func:`set_default_backend` or ``REPRO_SPICE_BACKEND``), or lexically
+(:func:`using_backend`).  The campaign cache fingerprints the active
+default so resumed sweeps never mix results from different assemblers.
 """
 
 from __future__ import annotations
 
+import contextlib
+import os
 import time
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .circuit import Circuit
 from .elements import StampContext, VoltageSource
 from .. import obs
+
+try:
+    # Direct LAPACK entry: for the 4-15 unknown systems here the
+    # ``np.linalg.solve`` wrapper overhead (type promotion, error-state
+    # handling) costs more than the factorisation itself.
+    from scipy.linalg.lapack import dgesv as _lapack_dgesv
+except ImportError:  # pragma: no cover - scipy is a baked-in dependency
+    _lapack_dgesv = None
+
+
+def _dense_solve(jacobian: np.ndarray, neg_residual: np.ndarray) -> Optional[np.ndarray]:
+    """Solve ``J dx = -r``; ``None`` on a singular matrix.
+
+    ``neg_residual`` must be an owned buffer: the LAPACK path solves in
+    place and returns it.
+    """
+    if _lapack_dgesv is not None:
+        _, _, dx, info = _lapack_dgesv(jacobian, neg_residual, overwrite_b=1)
+        return dx if info == 0 else None
+    try:
+        return np.linalg.solve(jacobian, neg_residual)
+    except np.linalg.LinAlgError:
+        return None
+
+BACKENDS = ("compiled", "reference")
+
+_default_backend: Optional[str] = None
+
+
+def _validate_backend(backend: str) -> str:
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown spice backend {backend!r}; expected one of {BACKENDS}"
+        )
+    return backend
+
+
+def default_backend() -> str:
+    """The process-wide assembly backend.
+
+    Resolution order: :func:`set_default_backend` / :func:`using_backend`,
+    then the ``REPRO_SPICE_BACKEND`` environment variable, then
+    ``"compiled"``.
+    """
+    if _default_backend is not None:
+        return _default_backend
+    env = os.environ.get("REPRO_SPICE_BACKEND", "").strip()
+    if env:
+        return _validate_backend(env)
+    return "compiled"
+
+
+def set_default_backend(backend: Optional[str]) -> None:
+    """Set (or with ``None`` reset) the process-wide assembly backend."""
+    global _default_backend
+    _default_backend = None if backend is None else _validate_backend(backend)
+
+
+@contextlib.contextmanager
+def using_backend(backend: str) -> Iterator[None]:
+    """Run a block under a specific assembly backend."""
+    global _default_backend
+    previous = _default_backend
+    _default_backend = _validate_backend(backend)
+    try:
+        yield
+    finally:
+        _default_backend = previous
+
+
+def _resolve_backend(backend: Optional[str]) -> str:
+    return default_backend() if backend is None else _validate_backend(backend)
 
 
 class ConvergenceError(RuntimeError):
@@ -79,6 +171,11 @@ def _assemble(
     dt: Optional[float] = None,
     x_prev: Optional[np.ndarray] = None,
 ):
+    """Reference assembly: per-element ``Element.stamp`` dispatch.
+
+    Kept as the semantic oracle for the compiled backend (see module
+    docstring); allocates fresh buffers on every call.
+    """
     n = circuit.unknown_count()
     residual = np.zeros(n)
     jacobian = np.zeros((n, n))
@@ -93,17 +190,74 @@ def _assemble(
     return residual, jacobian
 
 
+#: An assembler maps ``(x, gmin, source_scale, dt, x_prev)`` to
+#: ``(residual, jacobian)``.  The compiled variant returns views into reused
+#: buffers; ``_newton`` factors them before the next assembly, so that is
+#: safe.
+Assembler = Callable[..., Tuple[np.ndarray, np.ndarray]]
+
+
+def _make_assembler(
+    circuit: Circuit, backend: str
+) -> Tuple[Assembler, Callable[[], None]]:
+    """Build ``(assemble, refresh)`` for ``circuit`` under ``backend``.
+
+    ``refresh`` re-gathers mutable element values into the compiled plan;
+    it is a no-op for the reference path, which reads elements directly.
+    Solvers call it once per solve (and per transient step) so that value
+    mutations between solves are picked up without recompiling.
+    """
+    if backend == "reference":
+        def assemble(x, gmin, source_scale, dt=None, x_prev=None):
+            return _assemble(circuit, x, gmin, source_scale, dt, x_prev)
+
+        return assemble, lambda: None
+    from .compiled import compiled_plan
+
+    plan = compiled_plan(circuit)
+    plan.refresh()
+    return plan.assemble, plan.refresh
+
+
+class _SolveTimer:
+    """Accumulates the assembly/factorisation time split of one solve.
+
+    Only instantiated when an obs recorder is installed, so the disabled
+    path pays nothing beyond a ``None`` check.
+    """
+
+    __slots__ = ("assemble_s", "factor_s")
+
+    def __init__(self) -> None:
+        self.assemble_s = 0.0
+        self.factor_s = 0.0
+
+    def wrap(self, assemble: Assembler) -> Assembler:
+        def timed(*args, **kwargs):
+            t0 = time.perf_counter()
+            result = assemble(*args, **kwargs)
+            self.assemble_s += time.perf_counter() - t0
+            return result
+
+        return timed
+
+    def flush(self) -> None:
+        obs.observe("dc.assemble.seconds", self.assemble_s)
+        obs.observe("dc.factor.seconds", self.factor_s)
+
+
 def _newton(
-    circuit: Circuit,
+    assembler: Assembler,
+    n_nodes: int,
     x0: np.ndarray,
     gmin: float,
     source_scale: float,
     max_iter: int,
     vstep_limit: float,
     tol_i: float,
-    tol_v: float,
     dt: Optional[float] = None,
     x_prev: Optional[np.ndarray] = None,
+    timer: Optional[_SolveTimer] = None,
 ) -> Tuple[Optional[np.ndarray], int]:
     """One damped-Newton run; returns ``(solution or None, iterations)``.
 
@@ -111,19 +265,23 @@ def _newton(
     trail attached to :class:`ConvergenceError`.
     """
     x = x0.copy()
-    n_nodes = circuit.node_count - 1
-    residual, jacobian = _assemble(circuit, x, gmin, source_scale, dt, x_prev)
-    norm = float(np.linalg.norm(residual))
+    if timer is not None:
+        assembler = timer.wrap(assembler)
+    residual, jacobian = assembler(x, gmin, source_scale, dt, x_prev)
+    norm = float(np.sqrt(np.dot(residual, residual)))
+    rhs = np.empty_like(x)  # owned rhs/solution buffer for _dense_solve
     for iteration in range(max_iter):
-        try:
-            dx = np.linalg.solve(jacobian, -residual)
-        except np.linalg.LinAlgError:
-            return None, iteration
-        if not np.all(np.isfinite(dx)):
+        np.negative(residual, out=rhs)
+        if timer is not None:
+            t0 = time.perf_counter()
+            dx = _dense_solve(jacobian, rhs)
+            timer.factor_s += time.perf_counter() - t0
+        else:
+            dx = _dense_solve(jacobian, rhs)
+        if dx is None or not np.isfinite(dx).all():
             return None, iteration
         # Clip voltage updates (branch-current updates are left free).
-        v_part = dx[:n_nodes]
-        max_step = float(np.max(np.abs(v_part))) if n_nodes else 0.0
+        max_step = float(np.abs(dx[:n_nodes]).max()) if n_nodes else 0.0
         if max_step > vstep_limit:
             dx = dx * (vstep_limit / max_step)
             max_step = vstep_limit
@@ -133,8 +291,8 @@ def _newton(
         alpha = 1.0
         for _ in range(12):
             x_try = x + alpha * dx
-            res_try, jac_try = _assemble(circuit, x_try, gmin, source_scale, dt, x_prev)
-            norm_try = float(np.linalg.norm(res_try))
+            res_try, jac_try = assembler(x_try, gmin, source_scale, dt, x_prev)
+            norm_try = float(np.sqrt(np.dot(res_try, res_try)))
             if norm_try <= norm * (1.0 - 1e-4 * alpha) or norm_try < tol_i:
                 break
             alpha *= 0.5
@@ -145,7 +303,7 @@ def _newton(
         # nodes the Newton step |dx| = |J^-1 r| can stay large even when the
         # KCL residual is at numerical noise, so a step-size criterion would
         # never fire there.
-        if float(np.max(np.abs(residual))) < tol_i:
+        if float(np.abs(residual).max()) < tol_i:
             return x, iteration + 1
     return None, max_iter
 
@@ -157,7 +315,7 @@ def solve_dc(
     max_iter: int = 150,
     vstep_limit: float = 0.4,
     tol_i: float = 5e-12,
-    tol_v: float = 1e-9,
+    backend: Optional[str] = None,
 ) -> Solution:
     """Solve the DC operating point of ``circuit``.
 
@@ -166,6 +324,8 @@ def solve_dc(
     strategy chain fails at the requested ``vstep_limit``, it is retried
     with progressively tighter step clipping (steep table-driven loads can
     make Newton hop across their transition region at large steps).
+    ``backend`` picks the assembly path (``None`` follows
+    :func:`default_backend`).
     Raises :class:`ConvergenceError` only after every combination fails;
     the error message carries the full strategy trail (strategy name, gmin
     level, iteration count at each failure) so recorded campaign failures
@@ -173,10 +333,15 @@ def solve_dc(
 
     When a :mod:`repro.obs` recorder is installed, every solve records its
     winning strategy (``dc.converged.<strategy>``), Newton iteration count
-    (``dc.newton_iters``) and latency (``dc.solve.seconds``); disabled
-    recorders cost one predicate per solve.
+    (``dc.newton_iters``), latency (``dc.solve.seconds``) and the
+    assembly-vs-factorisation time split (``dc.assemble.seconds`` /
+    ``dc.factor.seconds``); disabled recorders cost one predicate per
+    solve.
     """
     start = time.perf_counter()
+    backend = _resolve_backend(backend)
+    recording = obs.enabled()
+    timer = _SolveTimer() if recording else None
     last_error: Optional[ConvergenceError] = None
     limits_tried: List[float] = []
     for limit in (vstep_limit, 0.1, 0.04):
@@ -185,25 +350,29 @@ def solve_dc(
         limits_tried.append(limit)
         try:
             solution, strategy, iters = _solve_dc_once(
-                circuit, x0, gmin, max_iter, limit, tol_i, tol_v
+                circuit, x0, gmin, max_iter, limit, tol_i, backend, timer
             )
         except ConvergenceError as error:
             last_error = error
             if limit <= 0.04:
                 break
             continue
-        if obs.enabled():
+        if recording:
             obs.count("dc.solves")
+            obs.count(f"dc.backend.{backend}")
             obs.count(f"dc.converged.{strategy}")
             if len(limits_tried) > 1:
                 obs.count("dc.step_retries")
             obs.observe("dc.newton_iters", iters)
             obs.observe("dc.solve.seconds", time.perf_counter() - start)
+            timer.flush()
         return solution
-    if obs.enabled():
+    if recording:
         obs.count("dc.solves")
+        obs.count(f"dc.backend.{backend}")
         obs.count("dc.failures")
         obs.observe("dc.solve.seconds", time.perf_counter() - start)
+        timer.flush()
     assert last_error is not None
     if len(limits_tried) > 1:
         raise ConvergenceError(
@@ -221,7 +390,8 @@ def _solve_dc_once(
     max_iter: int,
     vstep_limit: float,
     tol_i: float,
-    tol_v: float,
+    backend: str,
+    timer: Optional[_SolveTimer] = None,
 ) -> Tuple[Solution, str, int]:
     """One pass of the full strategy chain at a fixed step limit.
 
@@ -230,7 +400,9 @@ def _solve_dc_once(
     trail of every strategy tried.
     """
     _assign_branch_indices(circuit)
+    assemble, _refresh = _make_assembler(circuit, backend)
     n = circuit.unknown_count()
+    n_nodes = circuit.node_count - 1
     warm = x0 is not None and bool(np.any(x0))
     if x0 is None:
         x0 = np.zeros(n)
@@ -240,17 +412,21 @@ def _solve_dc_once(
     trail: List[str] = []
     total_iters = 0
 
+    def newton(guess, step_gmin, scale):
+        return _newton(
+            assemble, n_nodes, guess, step_gmin, scale,
+            max_iter, vstep_limit, tol_i, timer=timer,
+        )
+
     first_strategy = "newton-warm" if warm else "newton"
-    x, iters = _newton(circuit, x0, gmin, 1.0, max_iter, vstep_limit, tol_i, tol_v)
+    x, iters = newton(x0, gmin, 1.0)
     total_iters += iters
     if x is not None:
         return Solution(circuit, x), first_strategy, total_iters
     trail.append(f"{first_strategy}({iters} iters)")
     if warm:
         # A bad warm start can be worse than none: retry cold.
-        x, iters = _newton(
-            circuit, np.zeros(n), gmin, 1.0, max_iter, vstep_limit, tol_i, tol_v
-        )
+        x, iters = newton(np.zeros(n), gmin, 1.0)
         total_iters += iters
         if x is not None:
             return Solution(circuit, x), "newton-cold-retry", total_iters
@@ -262,9 +438,7 @@ def _solve_dc_once(
         converged_chain = True
         for exponent in range(3, 13):
             step_gmin = 10.0 ** (-exponent)
-            x, iters = _newton(
-                circuit, guess, step_gmin, 1.0, max_iter, vstep_limit, tol_i, tol_v
-            )
+            x, iters = newton(guess, step_gmin, 1.0)
             total_iters += iters
             obs.count("dc.gmin_decades")
             if x is None:
@@ -275,9 +449,7 @@ def _solve_dc_once(
                 break
             guess = x
         if converged_chain:
-            x, iters = _newton(
-                circuit, guess, gmin, 1.0, max_iter, vstep_limit, tol_i, tol_v
-            )
+            x, iters = newton(guess, gmin, 1.0)
             total_iters += iters
             if x is not None:
                 return Solution(circuit, x), label, total_iters
@@ -288,9 +460,7 @@ def _solve_dc_once(
     ramp_gmin = max(gmin, 1e-9)
     guess = np.zeros(n)
     for scale in np.linspace(0.05, 1.0, 20):
-        x, iters = _newton(
-            circuit, guess, ramp_gmin, float(scale), max_iter, vstep_limit, tol_i, tol_v
-        )
+        x, iters = newton(guess, ramp_gmin, float(scale))
         total_iters += iters
         if x is None:
             trail.append(
@@ -302,9 +472,7 @@ def _solve_dc_once(
     shunt = ramp_gmin
     while shunt > gmin * 1.0001:
         shunt = max(shunt / 10.0, gmin)
-        x, iters = _newton(
-            circuit, guess, shunt, 1.0, max_iter, vstep_limit, tol_i, tol_v
-        )
+        x, iters = newton(guess, shunt, 1.0)
         total_iters += iters
         if x is None:
             trail.append(
@@ -345,7 +513,9 @@ def dc_sweep(
     """Sweep the value of voltage source ``source_name`` over ``values``.
 
     Each point warm-starts from the previous solution, which keeps the sweep
-    on one branch of a bistable characteristic.
+    on one branch of a bistable characteristic.  For long sweeps on compiled
+    circuits prefer :func:`repro.spice.sweep.solve_dc_batch`, which iterates
+    Newton on all points in lock-step.
     """
     element = circuit.element(source_name)
     if not isinstance(element, VoltageSource):

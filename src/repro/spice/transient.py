@@ -14,7 +14,17 @@ from typing import Callable, List, Optional
 import numpy as np
 
 from .circuit import Circuit
-from .dc import ConvergenceError, Solution, _assign_branch_indices, _newton, solve_dc
+from .dc import (
+    ConvergenceError,
+    Solution,
+    _assign_branch_indices,
+    _make_assembler,
+    _newton,
+    _resolve_backend,
+    _SolveTimer,
+    solve_dc,
+)
+from .. import obs
 
 
 class TransientResult:
@@ -62,24 +72,38 @@ def solve_transient(
     max_iter: int = 120,
     vstep_limit: float = 0.4,
     tol_i: float = 1e-10,
-    tol_v: float = 1e-9,
+    backend: Optional[str] = None,
 ) -> TransientResult:
     """Integrate the circuit from 0 to ``t_stop`` with fixed step ``dt``.
 
     ``x0`` is the initial state (defaults to the DC operating point).
     ``pre_step(t)`` is invoked before each step and may mutate element values
     (e.g. toggle a control voltage source) to realise piecewise-constant
-    stimuli.
+    stimuli; the compiled assembly plan is refreshed every step so those
+    mutations are picked up.  Capacitor backward-Euler companions go through
+    the same compiled plan as the DC stamps.  ``backend`` picks the assembly
+    path (``None`` follows :func:`repro.spice.dc.default_backend`).
     """
     if dt <= 0 or t_stop <= 0:
         raise ValueError("t_stop and dt must be positive")
+    backend = _resolve_backend(backend)
     _assign_branch_indices(circuit)
     if x0 is None:
-        x0 = solve_dc(circuit, gmin=gmin).x
+        x0 = solve_dc(circuit, gmin=gmin, backend=backend).x
+    assemble, refresh = _make_assembler(circuit, backend)
+    n_nodes = circuit.node_count - 1
+    timer = _SolveTimer() if obs.enabled() else None
     times = [0.0]
     states = [x0.copy()]
     x_prev = x0.copy()
     t = 0.0
+
+    def newton(guess, step_dt, prev):
+        return _newton(
+            assemble, n_nodes, guess, gmin, 1.0, max_iter, vstep_limit,
+            tol_i, dt=step_dt, x_prev=prev, timer=timer,
+        )
+
     while t < t_stop - 1e-15:
         step = min(dt, t_stop - t)
         t_next = t + step
@@ -89,25 +113,18 @@ def solve_transient(
             advance = getattr(element, "advance_to", None)
             if advance is not None:
                 advance(t_next)
-        x, _iters = _newton(
-            circuit, x_prev, gmin, 1.0, max_iter, vstep_limit, tol_i, tol_v,
-            dt=step, x_prev=x_prev,
-        )
+        # Element values (stimuli, loads) may change every step.
+        refresh()
+        x, _iters = newton(x_prev, step, x_prev)
         if x is None:
             # One retry with a halved step before giving up.
             half = step / 2.0
-            x_half, _iters = _newton(
-                circuit, x_prev, gmin, 1.0, max_iter, vstep_limit, tol_i, tol_v,
-                dt=half, x_prev=x_prev,
-            )
+            x_half, _iters = newton(x_prev, half, x_prev)
             if x_half is None:
                 raise ConvergenceError(
                     f"transient step failed at t={t_next:g}s for {circuit.title!r}"
                 )
-            x, _iters = _newton(
-                circuit, x_half, gmin, 1.0, max_iter, vstep_limit, tol_i, tol_v,
-                dt=step - half, x_prev=x_half,
-            )
+            x, _iters = newton(x_half, step - half, x_half)
             if x is None:
                 raise ConvergenceError(
                     f"transient step failed at t={t_next:g}s for {circuit.title!r}"
@@ -116,4 +133,6 @@ def solve_transient(
         states.append(x.copy())
         x_prev = x
         t = t_next
+    if timer is not None:
+        timer.flush()
     return TransientResult(circuit, times, states)

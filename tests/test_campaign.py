@@ -84,6 +84,30 @@ class TestFingerprint:
     def test_stable_across_builds(self):
         assert square_spec().fingerprint() == square_spec().fingerprint()
 
+    def test_solver_backend_changes_fingerprint(self):
+        from repro.spice import using_backend
+
+        with using_backend("compiled"):
+            compiled_fp = square_spec().fingerprint()
+        with using_backend("reference"):
+            reference_fp = square_spec().fingerprint()
+        assert compiled_fp != reference_fp
+
+    def test_flipping_backend_invalidates_cache(self, tmp_path):
+        from repro.spice import using_backend
+
+        with using_backend("compiled"):
+            first = run_campaign(square_spec(4), cache_dir=str(tmp_path))
+            assert first.summary.executed == 4
+        with using_backend("reference"):
+            flipped = run_campaign(square_spec(4), cache_dir=str(tmp_path))
+            assert flipped.summary.cache_hits == 0
+            assert flipped.summary.executed == 4
+        # Re-running on the same backend hits the refreshed entries.
+        with using_backend("reference"):
+            again = run_campaign(square_spec(4), cache_dir=str(tmp_path))
+            assert again.summary.cache_hits == 4 and again.summary.executed == 0
+
 
 class TestCacheHitMiss:
     def test_second_run_all_hits(self, tmp_path):

@@ -234,6 +234,24 @@ class TestSolverTelemetry:
         assert iters.count == 1 and iters.min >= 1
         assert rec.histograms["dc.solve.seconds"].count == 1
 
+    def test_solve_records_assembly_factor_split(self):
+        with obs.recording() as rec:
+            solve_dc(_inverter_circuit())
+        assemble = rec.histograms["dc.assemble.seconds"]
+        factor = rec.histograms["dc.factor.seconds"]
+        assert assemble.count >= 1 and factor.count >= 1
+        assert assemble.total > 0.0 and factor.total > 0.0
+        assert rec.counters["dc.backend.compiled"] == 1
+
+    def test_solve_counts_active_backend(self):
+        from repro.spice import using_backend
+
+        with obs.recording() as rec:
+            with using_backend("reference"):
+                solve_dc(_inverter_circuit())
+        assert rec.counters["dc.backend.reference"] == 1
+        assert "dc.backend.compiled" not in rec.counters
+
     def test_failed_solve_counts_failure(self):
         with obs.recording() as rec:
             with pytest.raises(ConvergenceError):
@@ -342,6 +360,38 @@ def _deterministic_histograms(recorder):
         for name, hist in recorder.histograms.items()
         if not name.endswith(".seconds")
     }
+
+
+class TestDcSplitRender:
+    @staticmethod
+    def _report(a_sum, f_sum, count):
+        def hist(total):
+            return {"count": count, "sum": total, "max": total,
+                    "bounds": [], "counts": [count]}
+
+        return {"histograms": {
+            "dc.assemble.seconds": hist(a_sum),
+            "dc.factor.seconds": hist(f_sum),
+        }}
+
+    def test_split_line_shares_and_units(self):
+        from repro.obs.render import render_dc_split
+
+        line = render_dc_split(self._report(0.75, 0.25, 12))
+        assert "assembly 750.00ms (75%)" in line
+        assert "factorization 250.00ms (25%)" in line
+        assert "over 12 solves" in line
+
+    def test_absent_histograms_render_nothing(self):
+        from repro.obs.render import render_dc_split
+
+        assert render_dc_split({"histograms": {}}) == ""
+
+    def test_full_report_carries_split_line(self):
+        from repro.obs.render import render_report
+
+        result = run_campaign(_inverter_spec(3), observe=True)
+        assert "dc solver split:" in render_report(result.report)
 
 
 class TestCampaignTelemetry:

@@ -79,8 +79,10 @@ class TestLinearStamps:
         c.resistor("r1", "in", "out", 1e3)
         c.capacitor("c1", "out", "0", 1e-12)
         s = solve_dc(c)
-        # No DC path through the capacitor: no drop across r1.
-        assert s.voltage("out") == pytest.approx(1.0, rel=1e-9)
+        # No DC path through the capacitor: no drop across r1 beyond the
+        # gmin shunt's leak, which is exactly 1e-9 relative here — the
+        # tolerance needs ulp headroom on top of that floor.
+        assert s.voltage("out") == pytest.approx(1.0, rel=2e-9)
 
     def test_voltages_map(self):
         c = Circuit()

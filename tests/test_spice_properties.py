@@ -4,11 +4,18 @@ For arbitrary linear resistor networks with voltage/current sources, the
 Newton solver must agree with a directly-assembled linear MNA solve - this
 catches stamp sign errors, branch-index bookkeeping bugs and gmin leakage
 far more broadly than hand-picked circuits.
+
+The second half pits the compiled assembly plan against the per-element
+``Element.stamp`` reference oracle on randomised *device* networks
+(MOSFETs with non-unit multipliers, capacitors with backward-Euler
+companions, sources under a partial source-stepping scale): both paths
+must produce the same residual and Jacobian to within ulp-level rounding,
+and the same DC solutions to within nanovolts.
 """
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import assume, given, settings, strategies as st
 
 from repro.spice import Circuit, solve_dc
 
@@ -113,3 +120,136 @@ class TestLinearNetworkEquivalence:
         circuit.element("vs").voltage *= scale
         scaled = solve_dc(circuit).x
         assert np.allclose(scaled, base * scale, rtol=1e-6, atol=1e-9)
+
+
+@st.composite
+def device_circuits(draw):
+    """A random mixed network: resistor chain, MOSFETs, caps and sources.
+
+    The resistor spanning chain keeps every node resistively tied to
+    ground, so the DC operating point is well-posed regardless of where
+    the devices land.  MOSFET multipliers are deliberately non-unit: the
+    compiled plan folds them into the device's ``i0`` up front, which is
+    exact only to rounding.
+    """
+    from repro.devices import CORNERS, MosfetModel, nmos_params, pmos_params
+
+    n_nodes = draw(st.integers(2, 6))
+    nodes = [f"n{i}" for i in range(n_nodes)]
+    chain = ["0"] + nodes
+    circuit = Circuit("random-devices")
+    for i in range(len(chain) - 1):
+        circuit.resistor(f"r{i}", chain[i], chain[i + 1], draw(st.floats(1e3, 1e7)))
+    circuit.vsource("vs", nodes[0], "0", draw(st.floats(0.2, 1.2)))
+    corner = CORNERS[draw(st.sampled_from(["typical", "fast", "slow", "fs", "sf"]))]
+    temp_c = draw(st.sampled_from([-40.0, 25.0, 125.0]))
+    for k in range(draw(st.integers(1, 4))):
+        d = draw(st.sampled_from(chain))
+        g = draw(st.sampled_from(chain))
+        s = draw(st.sampled_from(chain))
+        if draw(st.booleans()):
+            params = nmos_params(f"m{k}", 120e-9)
+        else:
+            params = pmos_params(f"m{k}", 240e-9)
+        circuit.mosfet(
+            f"m{k}", d, g, s, MosfetModel(params, corner, temp_c),
+            multiplier=draw(st.floats(0.5, 4.0)),
+        )
+    for k in range(draw(st.integers(0, 3))):
+        a = draw(st.sampled_from(chain))
+        b = draw(st.sampled_from(chain))
+        if a != b:
+            circuit.capacitor(f"c{k}", a, b, draw(st.floats(1e-15, 1e-9)))
+    for k in range(draw(st.integers(0, 2))):
+        node = draw(st.sampled_from(nodes))
+        circuit.isource(f"i{k}", "0", node, draw(st.floats(-1e-4, 1e-4)))
+    return circuit
+
+
+class TestCompiledVsReference:
+    """The compiled plan against the Element.stamp oracle (the tentpole's
+    core correctness contract)."""
+
+    @staticmethod
+    def _random_state(data, n):
+        values = data.draw(
+            st.lists(st.floats(-1.5, 1.5), min_size=n, max_size=n),
+            label="state",
+        )
+        return np.asarray(values)
+
+    @settings(max_examples=40, deadline=None)
+    @given(device_circuits(), st.data())
+    def test_dc_assembly_matches_reference(self, circuit, data):
+        from repro.spice.compiled import compiled_plan
+        from repro.spice.dc import _assemble, _assign_branch_indices
+
+        _assign_branch_indices(circuit)
+        x = self._random_state(data, circuit.unknown_count())
+        gmin = data.draw(st.sampled_from([0.0, 1e-12, 1e-6]), label="gmin")
+        scale = data.draw(st.floats(0.05, 1.0), label="source_scale")
+        residual_ref, jacobian_ref = _assemble(circuit, x, gmin, scale)
+        plan = compiled_plan(circuit)
+        plan.refresh()
+        residual, jacobian = plan.assemble(x, gmin, scale)
+        np.testing.assert_allclose(residual, residual_ref, rtol=1e-9, atol=1e-15)
+        np.testing.assert_allclose(jacobian, jacobian_ref, rtol=1e-9, atol=1e-15)
+
+    @settings(max_examples=40, deadline=None)
+    @given(device_circuits(), st.data())
+    def test_transient_companion_assembly_matches_reference(self, circuit, data):
+        """Backward-Euler capacitor companions agree between the paths."""
+        from repro.spice.compiled import compiled_plan
+        from repro.spice.dc import _assemble, _assign_branch_indices
+
+        _assign_branch_indices(circuit)
+        n = circuit.unknown_count()
+        x = self._random_state(data, n)
+        x_prev = self._random_state(data, n)
+        dt = data.draw(st.floats(1e-12, 1e-3), label="dt")
+        residual_ref, jacobian_ref = _assemble(
+            circuit, x, 1e-12, 1.0, dt=dt, x_prev=x_prev
+        )
+        plan = compiled_plan(circuit)
+        plan.refresh()
+        residual, jacobian = plan.assemble(x, 1e-12, 1.0, dt=dt, x_prev=x_prev)
+        np.testing.assert_allclose(residual, residual_ref, rtol=1e-9, atol=1e-15)
+        np.testing.assert_allclose(jacobian, jacobian_ref, rtol=1e-9, atol=1e-15)
+
+    @settings(max_examples=20, deadline=None)
+    @given(device_circuits())
+    def test_dc_solutions_agree_to_nanovolts(self, circuit):
+        from repro.spice import ConvergenceError
+
+        try:
+            reference = solve_dc(circuit, backend="reference")
+        except ConvergenceError:
+            assume(False)
+        compiled = solve_dc(circuit, backend="compiled")
+        n_nodes = circuit.node_count - 1
+        diff = np.abs(reference.x[:n_nodes] - compiled.x[:n_nodes])
+        assert diff.max() <= 1e-9
+
+    @settings(max_examples=20, deadline=None)
+    @given(device_circuits(), st.data())
+    def test_value_mutation_picked_up_by_refresh(self, circuit, data):
+        """Mutating element values and calling refresh() must equal a fresh
+        reference assembly - the contract RegulatorSession relies on."""
+        from repro.spice.compiled import compiled_plan
+        from repro.spice.dc import _assemble, _assign_branch_indices
+        from repro.spice.elements import Resistor
+
+        _assign_branch_indices(circuit)
+        plan = compiled_plan(circuit)
+        plan.refresh()
+        factor = data.draw(st.floats(0.5, 2.0), label="resistance_factor")
+        for element in circuit.elements:
+            if isinstance(element, Resistor):
+                element.resistance *= factor
+        circuit.element("vs").voltage *= 0.75
+        x = self._random_state(data, circuit.unknown_count())
+        plan.refresh()
+        residual, jacobian = plan.assemble(x, 1e-12, 1.0)
+        residual_ref, jacobian_ref = _assemble(circuit, x, 1e-12, 1.0)
+        np.testing.assert_allclose(residual, residual_ref, rtol=1e-9, atol=1e-15)
+        np.testing.assert_allclose(jacobian, jacobian_ref, rtol=1e-9, atol=1e-15)

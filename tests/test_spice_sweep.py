@@ -1,0 +1,224 @@
+"""Batched sweeps (`solve_dc_batch`), warm-started `SweepSession`s,
+geometric `log_bisect`, and assembly-backend selection."""
+
+import numpy as np
+import pytest
+
+from repro.cell.design import DEFAULT_CELL
+from repro.devices import CORNERS, MosfetModel, nmos_params, pmos_params
+from repro.devices.variation import CellVariation
+from repro.spice import (
+    Circuit,
+    PulseVoltageSource,
+    SweepSession,
+    dc_sweep,
+    default_backend,
+    log_bisect,
+    solve_dc,
+    solve_dc_batch,
+    using_backend,
+)
+from repro.spice.compiled import compiled_plan
+from repro.spice.dc import _assign_branch_indices
+
+
+def _inverter(vdd=1.1):
+    corner = CORNERS["typical"]
+    circuit = Circuit("sweep-inverter")
+    circuit.vsource("vdd", "vdd", "0", vdd)
+    circuit.vsource("vin", "in", "0", 0.0)
+    circuit.mosfet(
+        "mp", "out", "in", "vdd", MosfetModel(pmos_params("mp", 240e-9), corner, 25.0)
+    )
+    circuit.mosfet(
+        "mn", "out", "in", "0", MosfetModel(nmos_params("mn", 120e-9), corner, 25.0)
+    )
+    return circuit
+
+
+def _hold_cell(vdd=1.1):
+    return DEFAULT_CELL.build_hold_circuit(vdd, CellVariation.symmetric())
+
+
+class TestSolveDcBatch:
+    def test_matches_sequential_sweep_on_inverter(self):
+        """Batch and sequential sweeps take different Newton paths, so they
+        agree only to the residual-tolerance ball: with the output node's
+        small-signal conductance ~1e-4 S, |r| < 5e-12 A leaves ~5e-8 V of
+        legitimate slack."""
+        values = list(np.linspace(0.0, 1.1, 23))
+        batch = solve_dc_batch(_inverter(), "vin", values)
+        sequential = dc_sweep(_inverter(), "vin", values)
+        assert len(batch) == len(sequential) == 23
+        for b, s in zip(batch, sequential):
+            assert abs(b.voltage("out") - s.voltage("out")) < 1e-7
+
+    def test_cell_vdd_sweep_matches_sequential(self):
+        """64-point supply sweep of the bistable hold cell.
+
+        The sweep floor stays above the cell's retention voltage: below it
+        the cell flips and the two solver paths may legitimately land on
+        different branches of the bistable characteristic.  Approaching the
+        flip region the Jacobian's condition number climbs toward ~1e9, so
+        paths that both satisfy the residual tolerance can differ by
+        ~cond * tol_i in state space; the tolerance is conditioning-aware,
+        not a bug allowance.
+        """
+        values = list(np.linspace(1.1, 0.35, 64))
+        batch = solve_dc_batch(_hold_cell(), "vddc", values)
+        sequential = dc_sweep(_hold_cell(), "vddc", values)
+        for b, s in zip(batch, sequential):
+            assert abs(b.voltage("s") - s.voltage("s")) < 2e-5
+            assert abs(b.voltage("sb") - s.voltage("sb")) < 2e-5
+
+    def test_restores_source_value(self):
+        circuit = _inverter()
+        circuit.element("vin").voltage = 0.3
+        solve_dc_batch(circuit, "vin", [0.1, 0.9])
+        assert circuit.element("vin").voltage == 0.3
+
+    def test_empty_values(self):
+        assert solve_dc_batch(_inverter(), "vin", []) == []
+
+    def test_single_value_equals_solve_dc(self):
+        circuit = _inverter()
+        circuit.element("vin").voltage = 0.55
+        expected = solve_dc(circuit).voltage("out")
+        (solution,) = solve_dc_batch(circuit, "vin", [0.55])
+        assert solution.voltage("out") == pytest.approx(expected, abs=1e-12)
+
+    def test_non_vsource_rejected(self):
+        with pytest.raises(TypeError):
+            solve_dc_batch(_inverter(), "mp", [0.1])
+
+    def test_reference_backend_degrades_to_sequential(self):
+        values = [0.2, 0.55, 0.9]
+        with using_backend("reference"):
+            solutions = solve_dc_batch(_inverter(), "vin", values)
+        expected = dc_sweep(_inverter(), "vin", values)
+        for got, want in zip(solutions, expected):
+            assert abs(got.voltage("out") - want.voltage("out")) < 1e-9
+
+    def test_timed_source_falls_back_to_sequential(self):
+        """A VoltageSource subclass has no compiled rhs row to override;
+        the batch API must still return correct per-point solutions."""
+        circuit = _inverter()
+        circuit.add(
+            PulseVoltageSource("vp", circuit.node("aux"), 0, v1=0.1, v2=1.0)
+        )
+        circuit.resistor("raux", "aux", "out", 1e6)
+        values = [0.2, 0.8]
+        solutions = solve_dc_batch(circuit, "vp", values)
+        expected = dc_sweep(circuit, "vp", values)
+        for got, want in zip(solutions, expected):
+            assert abs(got.voltage("out") - want.voltage("out")) < 1e-9
+
+
+class TestSweepSession:
+    def test_solve_counts_and_is_deterministic(self):
+        session = SweepSession(_inverter())
+        first = session.solve()
+        second = session.solve()
+        assert session.solves == 2
+        np.testing.assert_allclose(first.x, second.x, atol=1e-12)
+
+    def test_sweep_returns_all_points(self):
+        session = SweepSession(_inverter())
+        solutions = session.sweep("vin", [0.0, 0.55, 1.1])
+        assert len(solutions) == 3 and session.solves == 3
+        outs = [s.voltage("out") for s in solutions]
+        assert outs[0] > outs[1] > outs[2]  # inverting characteristic
+
+    def test_bisect_finds_switching_threshold(self):
+        vdd = 1.1
+        session = SweepSession(_inverter(vdd))
+        vm = session.bisect(
+            "vin", 0.0, vdd,
+            lambda sol: sol.voltage("out") < vdd / 2, steps=30,
+        )
+        assert 0.1 < vm < vdd - 0.1
+        session.circuit.element("vin").voltage = vm
+        assert session.solve().voltage("out") == pytest.approx(vdd / 2, abs=1e-3)
+
+    def test_bisect_restores_source_value(self):
+        session = SweepSession(_inverter())
+        session.circuit.element("vin").voltage = 0.42
+        session.bisect("vin", 0.0, 1.1, lambda sol: sol.voltage("out") < 0.55, steps=4)
+        assert session.circuit.element("vin").voltage == 0.42
+
+    def test_bisect_rejects_non_vsource(self):
+        session = SweepSession(_inverter())
+        with pytest.raises(TypeError):
+            session.bisect("mn", 0.0, 1.0, lambda sol: True)
+
+    def test_reset_drops_warm_start(self):
+        session = SweepSession(_inverter())
+        session.solve()
+        session.reset()
+        assert session.solve() is not None  # cold restart still converges
+
+    def test_session_honours_reference_backend(self):
+        compiled = SweepSession(_inverter()).solve()
+        reference = SweepSession(_inverter(), backend="reference").solve()
+        n_nodes = 3
+        assert np.abs(compiled.x[:n_nodes] - reference.x[:n_nodes]).max() < 1e-9
+
+
+class TestLogBisect:
+    def test_converges_to_threshold_from_above(self):
+        target = 3.7e4
+        edge = log_bisect(lambda r: r >= target, 10.0, 1e8, steps=60)
+        assert edge == pytest.approx(target, rel=1e-9)
+        assert edge >= target  # the returned edge satisfies the predicate
+
+    def test_rejects_bad_brackets(self):
+        with pytest.raises(ValueError):
+            log_bisect(lambda r: True, 0.0, 10.0)
+        with pytest.raises(ValueError):
+            log_bisect(lambda r: True, 10.0, 5.0)
+
+    def test_matches_inline_sqrt_loop(self):
+        """Same arithmetic as the loop it replaced in regulator/timing.py."""
+        import math
+
+        target = 1.234e6
+        lo, hi = 1.0, 500e6
+        for _ in range(40):
+            mid = math.sqrt(lo * hi)
+            if mid >= target:
+                hi = mid
+            else:
+                lo = mid
+        assert log_bisect(lambda r: r >= target, 1.0, 500e6, steps=40) == hi
+
+
+class TestBackendSelection:
+    def test_using_backend_scopes_the_default(self):
+        before = default_backend()
+        with using_backend("reference"):
+            assert default_backend() == "reference"
+        assert default_backend() == before
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            solve_dc(_inverter(), backend="magic")
+
+    def test_env_variable_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SPICE_BACKEND", "reference")
+        assert default_backend() == "reference"
+
+
+class TestPlanCaching:
+    def test_plan_reused_for_unchanged_topology(self):
+        circuit = _inverter()
+        _assign_branch_indices(circuit)
+        plan = compiled_plan(circuit)
+        assert compiled_plan(circuit) is plan
+
+    def test_adding_an_element_invalidates_the_plan(self):
+        circuit = _inverter()
+        _assign_branch_indices(circuit)
+        plan = compiled_plan(circuit)
+        circuit.resistor("rload", "out", "0", 1e6)
+        _assign_branch_indices(circuit)
+        assert compiled_plan(circuit) is not plan

@@ -19,6 +19,11 @@ The package is layered bottom-up:
   pipeline, and the optimised test flow (Table III);
 * :mod:`repro.analysis` - drivers that regenerate each table and figure.
 
+Cross-cutting infrastructure: :mod:`repro.campaign` (parallel sweep
+engine with caching, crash recovery and graceful interrupts),
+:mod:`repro.obs` (telemetry), :mod:`repro.watchdog` (per-task deadlines)
+and :mod:`repro.chaos` (deterministic fault injection).
+
 Quickstart::
 
     from repro import march_m_lz, DRFScenario, PVT, VrefSelect, CellVariation

@@ -86,6 +86,8 @@ def run_figure4_campaign(
     verbose: bool = False,
     observe: bool = False,
     obs_dir: Optional[str] = None,
+    deadline_s: Optional[float] = None,
+    chaos=None,
 ) -> Tuple[List[Figure4Point], CampaignResult]:
     """Run the Fig. 4 experiment as a campaign; returns (points, result).
 
@@ -97,7 +99,7 @@ def run_figure4_campaign(
     spec = figure4_spec(sigmas, transistors, grid, cell)
     result = run_campaign(
         spec, jobs=jobs, cache_dir=cache_dir, retries=retries, verbose=verbose,
-        observe=observe, obs_dir=obs_dir,
+        observe=observe, obs_dir=obs_dir, deadline_s=deadline_s, chaos=chaos,
     )
     points = []
     for name in transistors:

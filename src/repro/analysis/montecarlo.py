@@ -126,6 +126,8 @@ def run_montecarlo_campaign(
     verbose: bool = False,
     observe: bool = False,
     obs_dir: Optional[str] = None,
+    deadline_s: Optional[float] = None,
+    chaos=None,
 ) -> Tuple[MonteCarloResult, CampaignResult]:
     """Sample the population in shards; returns (result, campaign result).
 
@@ -137,14 +139,22 @@ def run_montecarlo_campaign(
     spec = montecarlo_spec(n_samples, corner, temp_c, seed, shards, cell)
     result = run_campaign(
         spec, jobs=jobs, cache_dir=cache_dir, retries=retries, verbose=verbose,
-        observe=observe, obs_dir=obs_dir,
+        observe=observe, obs_dir=obs_dir, deadline_s=deadline_s, chaos=chaos,
     )
     if result.failures:
         errors = "; ".join(r.error or "?" for r in result.failures)
         raise RuntimeError(f"{len(result.failures)} Monte Carlo shards failed: {errors}")
     samples: List[float] = []
     for point in spec.tasks:
-        samples.extend(result.value_for(point)["samples"])
+        value = result.value_for(point)
+        if value is None:
+            # Only an interrupted (drained) run leaves shards unrun;
+            # report the partial statistics rather than crashing the
+            # checkpoint exit path.
+            if result.interrupted:
+                continue
+            raise RuntimeError(f"Monte Carlo shard {point.key} missing")
+        samples.extend(value["samples"])
     return MonteCarloResult(corner, float(temp_c), np.array(samples)), result
 
 

@@ -153,6 +153,8 @@ def run_table2_campaign(
     verbose: bool = False,
     observe: bool = False,
     obs_dir: Optional[str] = None,
+    deadline_s: Optional[float] = None,
+    chaos=None,
 ) -> Tuple[List[Table2Row], CampaignResult]:
     """Compute Table II as a campaign; returns (rows, campaign result).
 
@@ -165,7 +167,7 @@ def run_table2_campaign(
     spec = table2_spec(defect_ids, families, pvt_grid, ds_time, design, cell)
     result = run_campaign(
         spec, jobs=jobs, cache_dir=cache_dir, retries=retries, verbose=verbose,
-        observe=observe, obs_dir=obs_dir,
+        observe=observe, obs_dir=obs_dir, deadline_s=deadline_s, chaos=chaos,
     )
     rows = []
     for defect_id in defect_ids:

@@ -90,6 +90,8 @@ def run_table3_campaign(
     verbose: bool = False,
     observe: bool = False,
     obs_dir: Optional[str] = None,
+    deadline_s: Optional[float] = None,
+    chaos=None,
 ) -> Tuple[TestFlow, CampaignResult]:
     """Derive the optimised flow as a campaign; returns (flow, result).
 
@@ -106,7 +108,7 @@ def run_table3_campaign(
     )
     result = run_campaign(
         spec, jobs=jobs, cache_dir=cache_dir, retries=retries, verbose=verbose,
-        observe=observe, obs_dir=obs_dir,
+        observe=observe, obs_dir=obs_dir, deadline_s=deadline_s, chaos=chaos,
     )
     matrix = DetectionMatrix(drv_worst=drv_worst)
     for config in configs:

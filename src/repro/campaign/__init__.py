@@ -10,7 +10,9 @@ them from hand-rolled serial loops into *campaigns*:
 * :mod:`repro.campaign.tasks` - the registry of task implementations
   workers look up by name;
 * :mod:`repro.campaign.executor` - serial or process-pool execution with
-  chunked dispatch, retries, and failure downgrade;
+  chunked dispatch, retries with backoff, failure downgrade, worker-crash
+  recovery (pool respawn + poison-point quarantine), per-task deadlines
+  and graceful SIGINT/SIGTERM drain;
 * :mod:`repro.campaign.cache` - the append-only JSONL result store behind
   cache-hit skip and checkpoint/resume;
 * :mod:`repro.campaign.memo` - the shared per-process DRV memo;
@@ -24,16 +26,18 @@ subcommand.  Runs with ``observe=True`` additionally merge per-worker
 next to the result cache (see ``repro stats``).
 """
 
-from .cache import ResultCache, TaskRecord
-from .executor import CampaignResult, Executor, run_campaign
+from .cache import FAILURE_STATUSES, ResultCache, TaskRecord
+from .executor import BackoffPolicy, CampaignResult, Executor, run_campaign
 from .metrics import CampaignSummary, ProgressReporter
 from .spec import SweepSpec, TaskPoint, canonical, digest
 from .tasks import code_digest, get_task, registered_kinds, task
 
 __all__ = [
+    "BackoffPolicy",
     "CampaignResult",
     "CampaignSummary",
     "Executor",
+    "FAILURE_STATUSES",
     "ProgressReporter",
     "ResultCache",
     "SweepSpec",

@@ -7,6 +7,14 @@ campaign leaves at worst one truncated trailing line, which the loader
 tolerates, and the next run simply skips everything already on disk whose
 fingerprint still matches.
 
+Corrupt lines (torn writes, disk bitrot, injected chaos) are never fatal:
+the loader drops them but *counts* them (:attr:`ResultCache.corrupt_lines`,
+surfaced as the ``cache.lines.corrupt`` counter in run reports), so silent
+data loss shows up in ``repro stats`` instead of vanishing.  Because the
+store is append-only it accretes superseded duplicates and entries from
+retired fingerprints; :meth:`ResultCache.compact` rewrites it down to the
+live records (``repro campaign --compact-cache``).
+
 Results are plain JSON values (the task functions guarantee that), so the
 store is greppable, diffable and survives refactors of the in-memory
 types.
@@ -20,7 +28,12 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Iterable, Optional
 
+from .. import chaos
+
 RESULTS_FILENAME = "results.jsonl"
+
+#: Task statuses that count as failures (everything but "ok").
+FAILURE_STATUSES = ("failed", "crashed", "timeout")
 
 
 @dataclass(frozen=True)
@@ -31,7 +44,7 @@ class TaskRecord:
     kind: str
     params: Dict[str, Any] = field(default_factory=dict)
     fingerprint: str = ""
-    status: str = "ok"  #: "ok" or "failed"
+    status: str = "ok"  #: "ok", "failed", "crashed" or "timeout"
     value: Any = None
     error: Optional[str] = None
     elapsed: float = 0.0
@@ -79,22 +92,31 @@ class ResultCache:
         self.path = self.directory / RESULTS_FILENAME
         self._records: Dict[str, TaskRecord] = {}
         self._loaded = False
+        #: Lines dropped by the last :meth:`load` because they failed to
+        #: parse (torn checkpoint tail, corruption).
+        self.corrupt_lines = 0
+        #: Total JSONL lines (valid or not) seen by the last :meth:`load`.
+        self.total_lines = 0
 
     def load(self) -> Dict[str, TaskRecord]:
-        """Read the store, tolerating a truncated final line (interrupt)."""
+        """Read the store, dropping (but counting) unparsable lines."""
         if self._loaded:
             return self._records
         self._records = {}
+        self.corrupt_lines = 0
+        self.total_lines = 0
         if self.path.exists():
             with self.path.open("r", encoding="utf-8") as fh:
                 for line in fh:
                     line = line.strip()
                     if not line:
                         continue
+                    self.total_lines += 1
                     try:
                         record = TaskRecord.from_json(line)
                     except (json.JSONDecodeError, KeyError):
-                        continue  # half-written checkpoint tail
+                        self.corrupt_lines += 1
+                        continue  # torn checkpoint tail or corruption
                     self._records[record.key] = record  # last write wins
         self._loaded = True
         return self._records
@@ -107,17 +129,53 @@ class ResultCache:
         return record
 
     def append(self, records: Iterable[TaskRecord]) -> None:
-        """Checkpoint a batch of finished tasks (flushed immediately)."""
+        """Checkpoint a batch of finished tasks (flushed immediately).
+
+        Each line passes through :func:`repro.chaos.corrupt_line` - a
+        no-op unless a chaos injector with a corruption rate is installed,
+        in which case deterministically chosen lines are mangled on disk
+        (the in-memory copy stays intact for the current run; the *next*
+        load counts and drops them).
+        """
         records = list(records)
         if not records:
             return
         self.load()
         with self.path.open("a", encoding="utf-8") as fh:
             for record in records:
-                fh.write(record.to_json() + "\n")
+                fh.write(chaos.corrupt_line(record.to_json(), record.key) + "\n")
                 self._records[record.key] = record
             fh.flush()
             os.fsync(fh.fileno())
+
+    def compact(self, keep_fingerprint: Optional[str] = None) -> int:
+        """Rewrite the store down to its live records; returns lines dropped.
+
+        Drops corrupt lines, superseded duplicates (only the last write
+        per key survives, matching :meth:`load` semantics) and - when
+        ``keep_fingerprint`` is given - records from any other
+        fingerprint.  The rewrite goes through a temp file and an atomic
+        ``os.replace`` so a kill mid-compact loses nothing.
+        """
+        self._loaded = False  # re-read the file as it is on disk
+        records = self.load()
+        keep = [
+            record for record in records.values()
+            if keep_fingerprint is None
+            or record.fingerprint == keep_fingerprint
+        ]
+        dropped = self.total_lines - len(keep)
+        tmp_path = self.path.with_suffix(".jsonl.tmp")
+        with tmp_path.open("w", encoding="utf-8") as fh:
+            for record in keep:
+                fh.write(record.to_json() + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp_path, self.path)
+        self._records = {record.key: record for record in keep}
+        self.total_lines = len(keep)
+        self.corrupt_lines = 0
+        return dropped
 
     def __len__(self) -> int:
         return len(self.load())

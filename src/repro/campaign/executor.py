@@ -1,4 +1,4 @@
-"""Campaign execution: serial or process-pool, cache-aware, interruptible.
+"""Campaign execution: serial or process-pool, cache-aware, fault-tolerant.
 
 The executor walks a :class:`~repro.campaign.spec.SweepSpec`, skips every
 point already present in the persistent cache under the current
@@ -10,31 +10,69 @@ overhead, and every finished chunk is checkpointed to the cache before the
 next is awaited - killing the process mid-sweep loses at most the chunks
 in flight.
 
-Failure policy: :class:`~repro.spice.ConvergenceError` is the expected
-"this grid point is numerically intractable" signal - it is recorded as a
-failed task and the sweep continues.  Any other exception is retried
-(``retries`` extra attempts) and then likewise recorded, so one pathological
-point can never kill a thousand-point campaign.
+Failure policy (the full matrix lives in DESIGN.md Section 11):
+
+* :class:`~repro.spice.ConvergenceError` is the expected "this grid point
+  is numerically intractable" signal - recorded as ``status="failed"``,
+  never retried.
+* ``ValueError`` / ``TypeError`` / ``KeyError`` are deterministic caller
+  bugs (bad task params, unknown kinds): they fail fast on the first
+  attempt instead of burning identical retries.
+* :class:`~repro.watchdog.DeadlineExceeded` - a task that outlived the
+  ``deadline_s`` budget (armed around every attempt, enforced inside the
+  Newton iteration by the worker-side watchdog) - is recorded as
+  ``status="timeout"``, never retried.
+* Everything else is presumed transient: retried up to ``retries`` extra
+  attempts under the :class:`BackoffPolicy` (exponential delay with
+  deterministic per-key jitter), then recorded as ``status="failed"``.
+
+Worker-crash recovery: a dead worker (segfault, OOM kill, chaos
+``os._exit``) breaks the whole pool.  The executor catches
+``BrokenProcessPool``, rebuilds the pool (``campaign.pool.respawns``),
+and requeues the lost chunks with bisection - multi-point chunks split in
+half, repeat-offender single points go to an *isolation queue* that runs
+them one at a time with nothing else in flight, so a crash there blames
+exactly one point.  Convicted points are quarantined as
+``status="crashed"`` records (``campaign.task.quarantined``) and the rest
+of the sweep survives.  A parent-side per-chunk wall-clock budget
+(derived from ``deadline_s``) backstops hangs the watchdog cannot see:
+the pool is killed and the same bisection machinery isolates the hung
+point as ``status="timeout"``.
+
+Graceful interrupts: SIGINT/SIGTERM set a shutdown flag instead of
+unwinding the stack.  The executor stops submitting, drains in-flight
+futures, checkpoints their records, marks the run ``interrupted`` (trace
+event, summary flag, ``interrupted: true`` in the report) and returns
+normally so ``--resume`` picks up cleanly; the CLI maps the flag to a
+distinct exit code.
+
+Chaos: ``chaos=`` installs a :class:`repro.chaos.ChaosInjector` seeded by
+the campaign fingerprint in every worker (and, for cache-line corruption,
+the parent), deterministically injecting the fault classes above at the
+configured rates - the harness the recovery tests and the
+``repro campaign --chaos`` smoke flag are built on.
 
 Observability: with ``observe=True`` every chunk runs under a fresh
-:class:`repro.obs.Recorder` - the solver/memo/bisection hooks in the hot
-layers go live inside the worker, each task is timed as a span - and the
-chunk's picklable snapshot rides back with its records to be merged into
-the run-level recorder.  The parent additionally streams one JSONL trace
-event per task (plus run/chunk markers) and, through
-:func:`run_campaign`, writes the schema-versioned ``report.json`` next to
-the result cache.  With ``observe=False`` the hooks stay no-ops and the
-only recorder traffic is the per-chunk campaign accounting.
+:class:`repro.obs.Recorder` and the chunk's picklable snapshot rides back
+with its records to be merged into the run-level recorder; the parent
+additionally streams one JSONL trace event per task (plus run/chunk/
+recovery markers) and, through :func:`run_campaign`, writes the
+schema-versioned ``report.json`` next to the result cache.
 """
 
 from __future__ import annotations
 
+import signal
+import threading
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Any, Dict, IO, List, Optional, Sequence, Tuple
+from typing import Any, Deque, Dict, IO, List, Optional, Sequence, Tuple, Union
 
-from .. import obs
+from .. import chaos, obs, watchdog
+from ..chaos import ChaosSpec
 from ..obs.report import build_report, write_report
 from ..obs.trace import TRACE_FILENAME, TraceWriter, null_trace
 from ..spice import ConvergenceError
@@ -43,42 +81,87 @@ from .metrics import CampaignSummary, ProgressReporter
 from .spec import SweepSpec, TaskPoint
 from .tasks import get_task
 
+#: Deterministic failures that must fail fast instead of burning retries:
+#: bad task parameters or unknown kinds produce the same exception on
+#: every attempt.
+NON_RETRYABLE = (ValueError, TypeError, KeyError)
+
+#: How many times a single-point chunk may be lost to pool breaks before
+#: it is sent to the isolation queue for a definitive verdict.
+_SUSPECT_AFTER_LOSSES = 2
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Retry spacing: exponential growth with deterministic jitter.
+
+    The delay before retry ``attempt`` (1-based count of failures so far)
+    is ``min(cap_s, base_s * factor**(attempt-1))`` scaled by a jitter
+    factor in ``[0.5, 1.0)`` derived from the task key - deterministic per
+    (key, attempt) so reruns behave identically, but decorrelated across
+    keys so a pool of workers retrying a burst of transient failures does
+    not stampede in lock-step.  ``base_s=0`` disables sleeping (tests).
+    """
+
+    base_s: float = 0.05
+    factor: float = 2.0
+    cap_s: float = 2.0
+
+    def delay(self, key: str, attempt: int) -> float:
+        if self.base_s <= 0.0:
+            return 0.0
+        raw = min(self.cap_s, self.base_s * self.factor ** max(0, attempt - 1))
+        jitter = 0.5 + 0.5 * chaos.stable_fraction("backoff", key, attempt)
+        return raw * jitter
+
 
 def _run_one(
     point: TaskPoint,
     context: Dict[str, Any],
     fingerprint: str,
     retries: int,
+    deadline_s: Optional[float] = None,
+    backoff: Optional[BackoffPolicy] = None,
 ) -> TaskRecord:
     """Execute one task point, downgrading failures to records."""
     start = time.perf_counter()
     attempts = 0
+
+    def record(status: str, value: Any = None,
+               error: Optional[str] = None) -> TaskRecord:
+        return TaskRecord(
+            key=point.key, kind=point.kind, params=point.as_dict(),
+            fingerprint=fingerprint, status=status, value=value, error=error,
+            elapsed=time.perf_counter() - start, attempts=attempts,
+        )
+
     while True:
         attempts += 1
         try:
-            value = get_task(point.kind)(point.as_dict(), context)
+            with watchdog.deadline(deadline_s):
+                chaos.on_task(point.key, attempts)
+                value = get_task(point.kind)(point.as_dict(), context)
         except ConvergenceError as exc:
             # Deterministic solver failure: retrying cannot help.
-            return TaskRecord(
-                key=point.key, kind=point.kind, params=point.as_dict(),
-                fingerprint=fingerprint, status="failed", value=None,
-                error=f"ConvergenceError: {exc}",
-                elapsed=time.perf_counter() - start, attempts=attempts,
-            )
+            return record("failed", error=f"ConvergenceError: {exc}")
+        except watchdog.DeadlineExceeded as exc:
+            # The point already burned its whole budget; a retry would
+            # stall the sweep for another deadline_s for nothing.
+            obs.count("campaign.watchdog.expiries")
+            return record("timeout", error=f"DeadlineExceeded: {exc}")
+        except NON_RETRYABLE as exc:
+            # Deterministic caller bug: identical on every attempt.
+            return record("failed", error=f"{type(exc).__name__}: {exc}")
         except Exception as exc:  # noqa: BLE001 - the sweep must survive
             if attempts <= retries:
+                delay = backoff.delay(point.key, attempts) if backoff else 0.0
+                if delay > 0.0:
+                    obs.observe("campaign.retry.backoff.seconds", delay)
+                    time.sleep(delay)
+                obs.count("campaign.retries")
                 continue
-            return TaskRecord(
-                key=point.key, kind=point.kind, params=point.as_dict(),
-                fingerprint=fingerprint, status="failed", value=None,
-                error=f"{type(exc).__name__}: {exc}",
-                elapsed=time.perf_counter() - start, attempts=attempts,
-            )
-        return TaskRecord(
-            key=point.key, kind=point.kind, params=point.as_dict(),
-            fingerprint=fingerprint, status="ok", value=value,
-            elapsed=time.perf_counter() - start, attempts=attempts,
-        )
+            return record("failed", error=f"{type(exc).__name__}: {exc}")
+        return record("ok", value=value)
 
 
 def _run_chunk(
@@ -87,23 +170,48 @@ def _run_chunk(
     fingerprint: str,
     retries: int,
     observe: bool = False,
+    deadline_s: Optional[float] = None,
+    backoff: Optional[BackoffPolicy] = None,
+    chaos_cfg: Optional[Tuple[chaos.ChaosSpec, str, bool]] = None,
 ) -> Tuple[List[TaskRecord], Optional[Dict[str, Any]]]:
     """Worker entry point: run a chunk of points back to back.
 
     Returns ``(records, recorder snapshot or None)``.  Each chunk meters
     itself under a fresh recorder so worker process reuse across chunks
     can never double-count; the parent merges the snapshots.
+    ``chaos_cfg`` is ``(spec, seed, allow_exit)``; the injector is
+    (re-)installed per chunk so forked workers never inherit the parent's
+    exit-suppressed instance.
     """
-    if not observe:
-        return [_run_one(p, context, fingerprint, retries) for p in points], None
-    with obs.recording() as recorder:
-        records = []
-        for point in points:
-            with obs.span(f"task.{point.kind}"):
-                record = _run_one(point, context, fingerprint, retries)
-            obs.observe("task.seconds", record.elapsed)
-            records.append(record)
+    spec, seed, allow_exit = chaos_cfg if chaos_cfg else (None, "", True)
+    with chaos.injection(spec, seed, allow_exit=allow_exit):
+        if not observe:
+            return [
+                _run_one(p, context, fingerprint, retries, deadline_s, backoff)
+                for p in points
+            ], None
+        with obs.recording() as recorder:
+            records = []
+            for point in points:
+                with obs.span(f"task.{point.kind}"):
+                    record = _run_one(
+                        point, context, fingerprint, retries, deadline_s,
+                        backoff,
+                    )
+                obs.observe("task.seconds", record.elapsed)
+                records.append(record)
     return records, recorder.snapshot()
+
+
+def _worker_init() -> None:
+    """Pool-worker initializer: the parent owns interrupt handling.
+
+    Workers ignore SIGINT so a Ctrl-C reaches only the campaign process,
+    which drains and checkpoints; default SIGTERM disposition is kept so
+    an impatient ``kill`` of the whole group still works (the parent then
+    sees a broken pool while draining and abandons the lost chunks).
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
 
 
 @dataclass
@@ -116,6 +224,7 @@ class CampaignResult:
     recorder: Optional["obs.Recorder"] = None  #: merged run-level metrics
     report: Optional[Dict[str, Any]] = None  #: built when observing
     report_path: Optional[str] = None  #: where report.json landed, if written
+    interrupted: bool = False  #: stopped early on SIGINT/SIGTERM
 
     def record_for(self, point: TaskPoint) -> Optional[TaskRecord]:
         return self.records.get(point.key)
@@ -144,9 +253,14 @@ class Executor:
         stream: Optional[IO[str]] = None,
         rerun_failures: bool = False,
         observe: bool = False,
+        deadline_s: Optional[float] = None,
+        chaos_spec: Union[None, str, chaos.ChaosSpec] = None,
+        backoff: Optional[BackoffPolicy] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if deadline_s is not None and deadline_s <= 0.0:
+            raise ValueError(f"deadline_s must be > 0, got {deadline_s}")
         self.jobs = jobs
         self.retries = retries
         self.chunksize = chunksize
@@ -154,6 +268,51 @@ class Executor:
         self.stream = stream
         self.rerun_failures = rerun_failures
         self.observe = observe
+        self.deadline_s = deadline_s
+        self.chaos_spec = chaos.coerce_spec(chaos_spec)
+        self.backoff = backoff if backoff is not None else BackoffPolicy()
+        self._interrupted = False
+        self._interrupt_signal: Optional[int] = None
+
+    # -- interrupt plumbing ------------------------------------------------
+
+    def request_interrupt(self, signum: Optional[int] = None) -> None:
+        """Ask the running campaign to drain, checkpoint and return.
+
+        Idempotent and safe from signal handlers; the executor polls the
+        flag between chunks (serial) / submissions (pool).
+        """
+        self._interrupted = True
+        if signum is not None and self._interrupt_signal is None:
+            self._interrupt_signal = signum
+
+    def _install_signal_handlers(self):
+        """Route SIGINT/SIGTERM to the shutdown flag; returns a restorer.
+
+        Only possible from the main thread (the signal module's rule);
+        elsewhere the campaign simply keeps the surrounding process's
+        behaviour.
+        """
+        if threading.current_thread() is not threading.main_thread():
+            return lambda: None
+
+        def handler(signum, frame):  # pragma: no cover - exercised via kill
+            self.request_interrupt(signum)
+
+        previous = {}
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                previous[signum] = signal.signal(signum, handler)
+            except (ValueError, OSError):  # non-main interpreter quirks
+                pass
+
+        def restore() -> None:
+            for signum, old in previous.items():
+                signal.signal(signum, old)
+
+        return restore
+
+    # -- chunking ----------------------------------------------------------
 
     def _chunk(self, pending: Sequence[TaskPoint]) -> List[List[TaskPoint]]:
         if self.chunksize is not None:
@@ -169,6 +328,20 @@ class Executor:
         return [
             list(pending[i:i + size]) for i in range(0, len(pending), size)
         ]
+
+    def _chunk_budget(self, n_points: int) -> Optional[float]:
+        """Parent-side wall-clock budget for one chunk, or None.
+
+        Generous by construction: the worker-side watchdog fires at
+        ``deadline_s`` per task and returns a normal timeout record, so
+        the parent budget only triggers for hangs in code the watchdog
+        cannot see (C extensions, ``time.sleep``, a wedged worker).
+        """
+        if self.deadline_s is None:
+            return None
+        return self.deadline_s * n_points + max(0.5, self.deadline_s)
+
+    # -- the run -----------------------------------------------------------
 
     def run(
         self,
@@ -188,7 +361,13 @@ class Executor:
         events.emit(
             "run-start", campaign=spec.name, fingerprint=fingerprint,
             total=len(spec.tasks), jobs=self.jobs,
+            deadline_s=self.deadline_s,
+            chaos=self.chaos_spec.describe() if self.chaos_spec else None,
         )
+        self._interrupted = False
+        self._interrupt_signal = None
+        self._chaos_seed = spec.chaos_seed() if self.chaos_spec else ""
+        self._live_recorder = recorder
 
         pending: List[TaskPoint] = []
         seen = set()
@@ -204,6 +383,9 @@ class Executor:
             else:
                 pending.append(point)
         progress.cache_hits(len(seen) - len(pending), failed=hit_failures)
+        if cache is not None and cache.corrupt_lines:
+            recorder.count("cache.lines.corrupt", cache.corrupt_lines)
+            events.emit("cache-corrupt-lines", count=cache.corrupt_lines)
         if len(seen) > len(pending):
             events.emit(
                 "cache-hits", count=len(seen) - len(pending),
@@ -228,36 +410,46 @@ class Executor:
                     fields["error"] = record.error
                 events.emit("task", **fields)
             progress.chunk_done(
-                len(records), failed=sum(0 if r.ok else 1 for r in records)
+                len(records),
+                failed=sum(0 if r.ok else 1 for r in records),
+                quarantined=sum(1 for r in records if r.status == "crashed"),
+                timeouts=sum(1 for r in records if r.status == "timeout"),
             )
 
-        if pending:
-            chunks = self._chunk(pending)
-            if self.jobs == 1:
-                for chunk in chunks:
-                    absorb(*_run_chunk(
-                        chunk, context, fingerprint, self.retries, self.observe
-                    ))
-            else:
-                with ProcessPoolExecutor(max_workers=self.jobs) as pool:
-                    futures = {
-                        pool.submit(
-                            _run_chunk, chunk, context, fingerprint,
-                            self.retries, self.observe,
+        restore_signals = self._install_signal_handlers()
+        try:
+            # The parent-level injector (allow_exit=False: chaos must never
+            # os._exit the campaign process itself) serves two roles: it is
+            # the injector for inline jobs=1 execution, and it mangles
+            # cache lines in absorb() when a corruption rate is configured.
+            # Workers install their own (allow_exit=True) via chaos_cfg.
+            with chaos.injection(
+                self.chaos_spec, self._chaos_seed, allow_exit=False
+            ):
+                if pending:
+                    chunks = self._chunk(pending)
+                    if self.jobs == 1:
+                        self._run_serial(chunks, context, fingerprint, absorb)
+                    else:
+                        self._run_pool(
+                            chunks, context, fingerprint, absorb, events
                         )
-                        for chunk in chunks
-                    }
-                    while futures:
-                        done, futures = wait(futures, return_when=FIRST_COMPLETED)
-                        for future in done:
-                            absorb(*future.result())
+        finally:
+            restore_signals()
 
+        if self._interrupted:
+            result.interrupted = True
+            recorder.count("campaign.interrupted")
+            events.emit("interrupted", signal=self._interrupt_signal)
         progress.finish()
-        result.summary = progress.summary()
+        result.summary = progress.summary(interrupted=self._interrupted)
         events.emit(
             "run-end", executed=result.summary.executed,
             cache_hits=result.summary.cache_hits,
             failures=result.summary.failures,
+            quarantined=result.summary.quarantined,
+            timeouts=result.summary.timeouts,
+            interrupted=self._interrupted,
             wall_time=round(result.summary.wall_time, 6),
         )
         if self.observe:
@@ -265,6 +457,279 @@ class Executor:
                 result.summary, recorder, result.records.values(), fingerprint
             )
         return result
+
+    # -- serial path -------------------------------------------------------
+
+    def _run_serial(self, chunks, context, fingerprint, absorb) -> None:
+        # No chaos_cfg: the parent-level injector installed by run()
+        # (allow_exit=False) already covers inline execution.
+        for chunk in chunks:
+            if self._interrupted:
+                break
+            absorb(*_run_chunk(
+                chunk, context, fingerprint, self.retries, self.observe,
+                self.deadline_s, self.backoff, None,
+            ))
+
+    # -- pool path ---------------------------------------------------------
+
+    def _chaos_cfg(self, in_worker: bool):
+        if self.chaos_spec is None:
+            return None
+        return (self.chaos_spec, self._chaos_seed, in_worker)
+
+    def _make_pool(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=self.jobs, initializer=_worker_init
+        )
+
+    def _kill_pool(self, pool: ProcessPoolExecutor) -> None:
+        """Forcibly terminate a pool whose workers are hung."""
+        processes = getattr(pool, "_processes", None) or {}
+        for process in list(processes.values()):
+            process.terminate()
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    def _submit(self, pool, chunk, context, fingerprint):
+        future = pool.submit(
+            _run_chunk, chunk, context, fingerprint, self.retries,
+            self.observe, self.deadline_s, self.backoff,
+            self._chaos_cfg(in_worker=True),
+        )
+        budget = self._chunk_budget(len(chunk))
+        expiry = None if budget is None else time.monotonic() + budget
+        return future, expiry
+
+    def _run_pool(self, chunks, context, fingerprint, absorb, events) -> None:
+        queue: Deque[List[TaskPoint]] = deque(chunks)
+        suspects: Deque[TaskPoint] = deque()
+        losses: Dict[str, int] = {}
+        respawns = 0
+        max_respawns = 10 + 4 * sum(len(c) for c in chunks)
+        #: future -> (chunk, parent-budget expiry or None)
+        inflight: Dict[Future, Tuple[List[TaskPoint], Optional[float]]] = {}
+        window = self.jobs * 2
+        pool = self._make_pool()
+
+        def quarantine(point: TaskPoint, status: str, error: str) -> None:
+            absorb([TaskRecord(
+                key=point.key, kind=point.kind, params=point.as_dict(),
+                fingerprint=fingerprint, status=status, value=None,
+                error=error, elapsed=0.0,
+                attempts=losses.get(point.key, 0) + 1,
+            )], None)
+            events.emit("quarantine", key=point.key, status=status)
+
+        def respawn(reason: str) -> ProcessPoolExecutor:
+            nonlocal pool, respawns
+            respawns += 1
+            if respawns > max_respawns:
+                raise RuntimeError(
+                    f"campaign pool crashed {respawns} times "
+                    f"(cap {max_respawns}); giving up - is the worker "
+                    f"environment itself broken?"
+                )
+            events.emit("pool-respawn", reason=reason, count=respawns)
+            self._recorder_count("campaign.pool.respawns", 1)
+            pool.shutdown(wait=False, cancel_futures=True)
+            pool = self._make_pool()
+            return pool
+
+        def collect_lost(guilty: Optional[List[TaskPoint]] = None
+                         ) -> List[List[TaskPoint]]:
+            """Drain ``inflight`` after a break: absorb survivors, return lost.
+
+            Futures that completed before the break still carry their
+            results; everything else is lost work.  ``guilty`` (the chunk
+            a parent-side timeout convicted) is excluded from the
+            returned list - its requeueing is the caller's decision.
+            """
+            lost: List[List[TaskPoint]] = []
+            for future, (chunk, _expiry) in list(inflight.items()):
+                resolved = False
+                if future.done():
+                    try:
+                        records, snapshot = future.result()
+                    except Exception:  # noqa: BLE001 - broken pool
+                        pass
+                    else:
+                        absorb(records, snapshot)
+                        resolved = True
+                if not resolved and chunk is not guilty:
+                    lost.append(chunk)
+            inflight.clear()
+            return lost
+
+        def requeue_lost(lost: List[List[TaskPoint]], blamable: bool) -> None:
+            """Bisect lost chunks back into the queue.
+
+            ``blamable`` means the break could have been caused by any of
+            these chunks (a crash, not an innocent-bystander drain):
+            repeat-offender singletons then graduate to the isolation
+            queue instead of being retried blind.
+            """
+            for chunk in lost:
+                if len(chunk) > 1:
+                    mid = len(chunk) // 2
+                    queue.appendleft(chunk[mid:])
+                    queue.appendleft(chunk[:mid])
+                    continue
+                point = chunk[0]
+                if blamable:
+                    losses[point.key] = losses.get(point.key, 0) + 1
+                if losses.get(point.key, 0) >= _SUSPECT_AFTER_LOSSES:
+                    suspects.append(point)
+                else:
+                    queue.appendleft(chunk)
+
+        try:
+            while queue or inflight or suspects:
+                if self._interrupted:
+                    # Graceful drain: no new work, absorb what finishes.
+                    # The wait is bounded (a hung worker must not be able
+                    # to block the interrupt forever); whatever has not
+                    # finished by then is abandoned for --resume.
+                    if inflight:
+                        budgets = [
+                            max(0.0, e - time.monotonic())
+                            for _c, e in inflight.values() if e is not None
+                        ]
+                        grace = max(budgets) if budgets else 10.0
+                        wait(list(inflight), timeout=grace)
+                    collect_lost()
+                    self._kill_pool(pool)
+                    break
+
+                # Submission: keep the window full while work remains.
+                while queue and len(inflight) < window:
+                    chunk = queue.popleft()
+                    future, expiry = self._submit(
+                        pool, chunk, context, fingerprint
+                    )
+                    inflight[future] = (chunk, expiry)
+
+                if not inflight:
+                    if suspects:
+                        self._run_isolated(
+                            suspects.popleft(), pool, context, fingerprint,
+                            absorb, quarantine, respawn, losses,
+                        )
+                    continue
+
+                # Wait for completions, bounded by the nearest budget and
+                # capped so the interrupt flag stays responsive.
+                now = time.monotonic()
+                expiries = [
+                    e for _c, e in inflight.values() if e is not None
+                ]
+                tick = 0.5
+                if expiries:
+                    tick = min(tick, max(0.05, min(expiries) - now))
+                done, _ = wait(
+                    list(inflight), timeout=tick,
+                    return_when=FIRST_COMPLETED,
+                )
+
+                broken = False
+                for future in done:
+                    chunk, _expiry = inflight.pop(future)
+                    try:
+                        records, snapshot = future.result()
+                    except BrokenProcessPool:
+                        inflight[future] = (chunk, _expiry)  # count as lost
+                        broken = True
+                        break
+                    except Exception as exc:  # dispatch-layer failure
+                        # Not a task failure (those are downgraded in the
+                        # worker): treat like a crash of that chunk.
+                        events.emit(
+                            "chunk-error", error=f"{type(exc).__name__}: {exc}"
+                        )
+                        inflight[future] = (chunk, _expiry)
+                        broken = True
+                        break
+                    absorb(records, snapshot)
+                if broken:
+                    requeue_lost(collect_lost(), blamable=True)
+                    respawn("worker crash (pool broken)")
+                    continue
+
+                # Parent-side chunk budgets: kill hung workers.
+                now = time.monotonic()
+                guilty_entry = None
+                for future, (chunk, expiry) in inflight.items():
+                    if expiry is not None and now >= expiry:
+                        guilty_entry = (future, chunk)
+                        break
+                if guilty_entry is not None:
+                    _future, guilty = guilty_entry
+                    events.emit(
+                        "chunk-timeout", points=len(guilty),
+                        budget=self._chunk_budget(len(guilty)),
+                    )
+                    self._recorder_count("campaign.chunk.timeouts", 1)
+                    self._kill_pool(pool)
+                    lost = collect_lost(guilty=guilty)
+                    # Innocent bystanders are requeued without blame; the
+                    # convicted chunk bisects (or is quarantined outright
+                    # when already a single point).
+                    requeue_lost(lost, blamable=False)
+                    if len(guilty) == 1:
+                        quarantine(
+                            guilty[0], "timeout",
+                            "parent-side chunk budget exceeded "
+                            f"(deadline_s={self.deadline_s:g}); worker killed",
+                        )
+                    else:
+                        requeue_lost([guilty], blamable=True)
+                    respawn("chunk budget exceeded (workers killed)")
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def _run_isolated(self, point, pool, context, fingerprint,
+                      absorb, quarantine, respawn, losses) -> None:
+        """Try a suspect point alone, nothing else in flight.
+
+        With a single point in a single in-flight chunk, a pool break or
+        budget overrun convicts exactly that point; success acquits it
+        (it was an innocent bystander of someone else's crash).
+        """
+        future, expiry = self._submit(pool, [point], context, fingerprint)
+        timeout = None if expiry is None else max(0.0, expiry - time.monotonic())
+        done, _ = wait({future}, timeout=timeout)
+        if not done:
+            self._kill_pool(pool)
+            quarantine(
+                point, "timeout",
+                "hung in isolation (parent-side budget, "
+                f"deadline_s={self.deadline_s:g}); worker killed",
+            )
+            respawn("isolated point hung (workers killed)")
+            return
+        try:
+            records, snapshot = future.result()
+        except Exception as exc:  # BrokenProcessPool or dispatch failure
+            quarantine(
+                point, "crashed",
+                "worker crashed with this point isolated "
+                f"({losses.get(point.key, 0)} prior losses; "
+                f"{type(exc).__name__})",
+            )
+            respawn("isolated point crashed the worker")
+            return
+        absorb(records, snapshot)
+
+    # -- helpers -----------------------------------------------------------
+
+    #: Set by run(): the chaos seed (from the spec fingerprint) and the
+    #: run-level recorder, so the recovery paths can count into them.
+    _chaos_seed: str = ""
+    _live_recorder: Optional["obs.Recorder"] = None
+
+    def _recorder_count(self, name: str, n: int) -> None:
+        recorder = self._live_recorder
+        if recorder is not None:
+            recorder.count(name, n)
 
 
 def run_campaign(
@@ -278,6 +743,9 @@ def run_campaign(
     rerun_failures: bool = False,
     observe: bool = False,
     obs_dir: Optional[str] = None,
+    deadline_s: Optional[float] = None,
+    chaos: Union[None, str, ChaosSpec] = None,
+    backoff: Optional[BackoffPolicy] = None,
 ) -> CampaignResult:
     """One-call façade: build the executor (and cache) and run the spec.
 
@@ -286,11 +754,18 @@ def run_campaign(
     and the schema-versioned ``report.json``.  Observing without any
     directory still collects in-memory metrics (``result.recorder`` /
     ``result.report``) - nothing is written.
+
+    ``deadline_s`` arms the per-task watchdog (and the parent-side chunk
+    budgets), ``chaos`` installs deterministic fault injection
+    (:class:`repro.chaos.ChaosSpec` or its string form), ``backoff``
+    overrides the retry spacing.  An interrupted run (SIGINT/SIGTERM)
+    returns normally with ``result.interrupted`` set.
     """
     cache = ResultCache(cache_dir) if cache_dir is not None else None
     executor = Executor(
         jobs=jobs, retries=retries, chunksize=chunksize, verbose=verbose,
         stream=stream, rerun_failures=rerun_failures, observe=observe,
+        deadline_s=deadline_s, chaos_spec=chaos, backoff=backoff,
     )
     out_dir = obs_dir if obs_dir is not None else cache_dir
     if observe and out_dir is not None:

@@ -29,6 +29,9 @@ class CampaignSummary:
     cache_hits: int  #: satisfied from the persistent store
     failures: int  #: recorded failures (hits + executed)
     wall_time: float  #: seconds for the whole run
+    quarantined: int = 0  #: poison points isolated after worker crashes
+    timeouts: int = 0  #: tasks downgraded by the deadline watchdog
+    interrupted: bool = False  #: the run stopped on SIGINT/SIGTERM
 
     @property
     def completed(self) -> int:
@@ -46,12 +49,19 @@ class CampaignSummary:
         return self.executed / self.wall_time
 
     def render(self) -> str:
-        return (
+        text = (
             f"campaign[{self.name}] {self.total} tasks: "
             f"{self.executed} executed, {self.cache_hits} cache hits "
             f"({self.cache_hit_rate:.0%}), {self.failures} failed, "
             f"{self.wall_time:.1f}s wall, {self.tasks_per_sec:.2f} tasks/s"
         )
+        if self.quarantined:
+            text += f", {self.quarantined} quarantined"
+        if self.timeouts:
+            text += f", {self.timeouts} timed out"
+        if self.interrupted:
+            text += " [interrupted]"
+        return text
 
 
 class ProgressReporter:
@@ -93,6 +103,14 @@ class ProgressReporter:
         return self.recorder.counters.get("campaign.failures", 0)
 
     @property
+    def quarantined(self) -> int:
+        return self.recorder.counters.get("campaign.task.quarantined", 0)
+
+    @property
+    def timeouts(self) -> int:
+        return self.recorder.counters.get("campaign.task.timeouts", 0)
+
+    @property
     def done(self) -> int:
         return self.executed + self.hits
 
@@ -102,9 +120,12 @@ class ProgressReporter:
         if count:
             self._emit(f"{count} cached results reused")
 
-    def chunk_done(self, count: int, failed: int = 0) -> None:
+    def chunk_done(self, count: int, failed: int = 0,
+                   quarantined: int = 0, timeouts: int = 0) -> None:
         self.recorder.count("campaign.executed", count)
         self.recorder.count("campaign.failures", failed)
+        self.recorder.count("campaign.task.quarantined", quarantined)
+        self.recorder.count("campaign.task.timeouts", timeouts)
         self._emit("chunk complete")
 
     def finish(self) -> None:
@@ -132,7 +153,7 @@ class ProgressReporter:
         )
         self.stream.flush()
 
-    def summary(self) -> CampaignSummary:
+    def summary(self, interrupted: bool = False) -> CampaignSummary:
         return CampaignSummary(
             name=self.name,
             total=self.total,
@@ -140,4 +161,7 @@ class ProgressReporter:
             cache_hits=self.hits,
             failures=self.failed,
             wall_time=time.perf_counter() - self.started,
+            quarantined=self.quarantined,
+            timeouts=self.timeouts,
+            interrupted=interrupted,
         )

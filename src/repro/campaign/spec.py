@@ -156,3 +156,12 @@ class SweepSpec:
             [[k, canonical(v)] for k, v in self.context],
             self.seed,
         ])
+
+    def chaos_seed(self) -> str:
+        """Seed for deterministic fault injection, tied to the campaign.
+
+        Derived from (not equal to) the fingerprint so fault decisions
+        are stable across reruns of the same campaign but cannot collide
+        with cache keys or the fingerprint itself.
+        """
+        return digest(["chaos", self.fingerprint()])

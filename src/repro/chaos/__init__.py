@@ -1,0 +1,260 @@
+"""repro.chaos - deterministic fault injection for the campaign engine.
+
+The paper proves its test flow by injecting resistive-open defects and
+showing every one is detected; this package does the same to the
+execution infrastructure.  A :class:`ChaosSpec` names per-task fault
+rates - worker crashes (``os._exit``), hangs, transient exceptions,
+cache-line corruption - and a :class:`ChaosInjector` turns them into
+*deterministic* decisions: every decision is a pure function of the
+injector seed (derived from the campaign fingerprint), the task key and,
+for transient faults, the attempt number.  The same campaign therefore
+always hits the same faults, which is what lets the recovery tests pin
+exact outcomes ("this point is poison and must be quarantined; every
+other point must survive bit-identical to a fault-free run").
+
+Fault semantics:
+
+* **crash** - keyed by task key alone: a poison point kills its worker on
+  *every* attempt, exercising the executor's pool-respawn/bisection/
+  quarantine path.  Suppressed (counted, not executed) when the injector
+  is installed in the campaign's own process (``allow_exit=False``) -
+  serial runs must not kill the campaign.
+* **hang** - keyed by task key: spin for ``hang_s`` wall seconds, polling
+  :func:`repro.watchdog.check` so an armed deadline converts the hang to
+  a ``status="timeout"`` record; without a deadline the parent-side chunk
+  budget (or patience) is the only way out, by design.
+* **transient** - keyed by (key, attempt): raise
+  :class:`ChaosTransientError` so the executor's retry/backoff path runs;
+  a retried attempt rolls a fresh decision and usually succeeds.
+* **corrupt** - keyed by task key: mangle the task's JSONL cache line as
+  it is written, exercising the loader's corrupt-line accounting and
+  ``ResultCache.compact``.
+
+Installation mirrors :mod:`repro.obs`: process-local, via
+:func:`injection`, with module-level hooks (:func:`on_task`,
+:func:`corrupt_line`) that are no-ops when nothing is installed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, fields, replace
+from typing import Iterator, Optional, Union
+
+from .. import obs, watchdog
+
+__all__ = [
+    "CRASH_EXIT_CODE",
+    "ChaosInjector",
+    "ChaosSpec",
+    "ChaosTransientError",
+    "active",
+    "coerce_spec",
+    "corrupt_line",
+    "injection",
+    "on_task",
+    "stable_fraction",
+]
+
+#: Exit status a chaos-crashed worker dies with (distinct from signal
+#: deaths and Python tracebacks, so post-mortems can tell them apart).
+CRASH_EXIT_CODE = 86
+
+#: Marker appended to a chaos-corrupted cache line (never valid JSON).
+CORRUPTION_MARKER = "#chaos-corrupt#"
+
+
+class ChaosTransientError(RuntimeError):
+    """An injected transient fault: retryable by the executor's policy."""
+
+
+def stable_fraction(*parts: object) -> float:
+    """Deterministic hash of ``parts`` to a fraction in ``[0, 1)``.
+
+    The campaign layer uses this for every decision that must be
+    reproducible across runs and process topologies: chaos fault rolls
+    and retry-backoff jitter.  SHA-256 over the ``repr`` of the parts,
+    first 8 bytes as an integer over 2^64.
+    """
+    blob = "\x1f".join(repr(p) for p in parts).encode("utf-8")
+    digest = hashlib.sha256(blob).digest()
+    return int.from_bytes(digest[:8], "big") / 2.0 ** 64
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """Fault rates (per task, in ``[0, 1]``) plus the hang duration."""
+
+    crash: float = 0.0
+    hang: float = 0.0
+    transient: float = 0.0
+    corrupt: float = 0.0
+    hang_s: float = 30.0  #: how long an injected hang spins (wall seconds)
+
+    _RATES = ("crash", "hang", "transient", "corrupt")
+
+    def __post_init__(self) -> None:
+        for name in self._RATES:
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(
+                    f"chaos rate {name}={rate!r} outside [0, 1]"
+                )
+        if self.hang_s < 0.0:
+            raise ValueError(f"hang_s must be >= 0, got {self.hang_s!r}")
+
+    @classmethod
+    def parse(cls, text: str) -> "ChaosSpec":
+        """Parse a CLI spec: comma-separated ``fault:rate`` pairs.
+
+        ``"crash:0.1,hang:0.05,transient:0.1"``; ``hang_s:<seconds>``
+        overrides the hang duration.  Unknown names and malformed rates
+        raise :class:`ValueError` with the offending part in the message.
+        """
+        known = {f.name for f in fields(cls)}
+        spec = cls()
+        for part in text.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            name, sep, value = part.partition(":")
+            name = name.strip()
+            if not sep or name not in known:
+                raise ValueError(
+                    f"bad chaos component {part!r}; expected "
+                    f"<fault>:<rate> with fault in {sorted(known)}"
+                )
+            try:
+                spec = replace(spec, **{name: float(value)})
+            except ValueError as error:
+                raise ValueError(
+                    f"bad chaos rate in {part!r}: {error}"
+                ) from None
+        return spec
+
+    def describe(self) -> str:
+        enabled = [
+            f"{name}:{getattr(self, name):g}"
+            for name in self._RATES if getattr(self, name) > 0.0
+        ]
+        return ",".join(enabled) if enabled else "inert"
+
+
+def coerce_spec(chaos: Union[None, str, ChaosSpec]) -> Optional[ChaosSpec]:
+    """Accept a spec object or a CLI string; ``None`` passes through."""
+    if chaos is None or isinstance(chaos, ChaosSpec):
+        return chaos
+    return ChaosSpec.parse(chaos)
+
+
+class ChaosInjector:
+    """Seeded decision engine executing one :class:`ChaosSpec`.
+
+    ``allow_exit`` gates the crash fault: worker processes run with it
+    on; the campaign's own process installs the injector with it off
+    (corruption and hang injection still apply) so a serial run can never
+    ``os._exit`` the campaign itself.
+    """
+
+    def __init__(self, spec: ChaosSpec, seed: str,
+                 allow_exit: bool = True) -> None:
+        self.spec = spec
+        self.seed = seed
+        self.allow_exit = allow_exit
+
+    def _roll(self, fault: str, *parts: object) -> float:
+        return stable_fraction(self.seed, fault, *parts)
+
+    # -- decision predicates (pure; tests use them to predict outcomes) --
+
+    def will_crash(self, key: str) -> bool:
+        return self._roll("crash", key) < self.spec.crash
+
+    def will_hang(self, key: str) -> bool:
+        return self._roll("hang", key) < self.spec.hang
+
+    def will_fault(self, key: str, attempt: int) -> bool:
+        return self._roll("transient", key, attempt) < self.spec.transient
+
+    def will_corrupt(self, key: str) -> bool:
+        return self._roll("corrupt", key) < self.spec.corrupt
+
+    # -- execution hooks -------------------------------------------------
+
+    def on_task(self, key: str, attempt: int) -> None:
+        """Run the per-task faults, in severity order, for one attempt."""
+        if self.will_crash(key):
+            if self.allow_exit:
+                # A real worker death: no cleanup, no exception - the
+                # parent sees BrokenProcessPool, exactly like a segfault
+                # or the OOM killer.
+                os._exit(CRASH_EXIT_CODE)
+            obs.count("chaos.suppressed.crash")
+        if self.will_hang(key):
+            obs.count("chaos.injected.hang")
+            self._hang()
+        if self.will_fault(key, attempt):
+            obs.count("chaos.injected.transient")
+            raise ChaosTransientError(
+                f"injected transient fault (attempt {attempt})"
+            )
+
+    def _hang(self) -> None:
+        """Spin for ``hang_s``, honouring any armed watchdog deadline."""
+        end = time.monotonic() + self.spec.hang_s
+        while True:
+            watchdog.check()
+            left = end - time.monotonic()
+            if left <= 0.0:
+                return
+            time.sleep(min(0.02, left))
+
+    def corrupt_line(self, line: str, key: str) -> str:
+        """Possibly mangle one cache line (structure-preserving: no newlines)."""
+        if not self.will_corrupt(key):
+            return line
+        obs.count("chaos.injected.corrupt")
+        return line[: max(1, len(line) // 2)] + CORRUPTION_MARKER
+
+
+#: The process-local injector, or None (chaos disabled - the default).
+_active: Optional[ChaosInjector] = None
+
+
+def active() -> Optional[ChaosInjector]:
+    return _active
+
+
+@contextmanager
+def injection(spec: Optional[ChaosSpec], seed: str,
+              allow_exit: bool = True) -> Iterator[Optional[ChaosInjector]]:
+    """Install an injector for the block; ``spec=None`` is a no-op."""
+    global _active
+    if spec is None:
+        yield None
+        return
+    previous = _active
+    _active = ChaosInjector(spec, seed, allow_exit=allow_exit)
+    try:
+        yield _active
+    finally:
+        _active = previous
+
+
+# -- module-level hooks (no-ops when no injector is installed) -------------
+
+
+def on_task(key: str, attempt: int) -> None:
+    injector = _active
+    if injector is not None:
+        injector.on_task(key, attempt)
+
+
+def corrupt_line(line: str, key: str) -> str:
+    injector = _active
+    if injector is None:
+        return line
+    return injector.corrupt_line(line, key)

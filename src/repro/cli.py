@@ -35,6 +35,15 @@ directory - a per-run ``trace.jsonl`` plus a schema-versioned
 ``report.json`` land next to the result cache (the ``campaign`` umbrella
 defaults that directory to ``.repro-cache/``).  ``repro stats <report>``
 renders a report as text; ``--no-obs`` turns the instrumentation off.
+
+Resilience flags (all sweep commands): ``--deadline S`` bounds every task
+(over-budget points become ``timeout`` records instead of stalling the
+sweep), ``--strict`` exits non-zero when anything failed/crashed/timed
+out, ``--chaos crash:0.1,hang:0.05`` injects deterministic faults to
+exercise the recovery machinery, and ``--compact-cache`` rewrites the
+result store down to live records after the run.  A SIGINT/SIGTERM drains
+in-flight work, checkpoints it and exits with code 130; rerunning with
+``--resume`` continues from the checkpoint.
 """
 
 from __future__ import annotations
@@ -45,6 +54,14 @@ from typing import List, Optional, Sequence
 
 #: Cache location implied by ``--resume`` when ``--cache-dir`` is absent.
 DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Exit code for a run stopped by SIGINT/SIGTERM after a graceful drain
+#: (the shell convention for "killed by SIGINT"); ``--resume`` continues it.
+EXIT_INTERRUPTED = 130
+
+#: Exit code under ``--strict`` when any task record is failed, crashed or
+#: timed out (distinct from 1/2, which argparse and Python reserve).
+EXIT_STRICT = 3
 
 
 def _grid(fast: bool, full: bool = False):
@@ -92,17 +109,38 @@ def _positive_int(text: str) -> int:
     return value
 
 
-def _campaign_kwargs(args) -> dict:
-    """Executor keyword arguments from the campaign CLI flags."""
+def _cache_dir(args) -> Optional[str]:
     cache_dir = getattr(args, "cache_dir", None)
     if cache_dir is None and getattr(args, "resume", False):
         cache_dir = DEFAULT_CACHE_DIR
+    return cache_dir
+
+
+def _chaos_spec(args):
+    text = getattr(args, "chaos", None)
+    if text is None:
+        return None
+    from .chaos import ChaosSpec
+
+    try:
+        return ChaosSpec.parse(text)
+    except ValueError as error:
+        raise SystemExit(f"--chaos: {error}")
+
+
+def _campaign_kwargs(args) -> dict:
+    """Executor keyword arguments from the campaign CLI flags."""
+    deadline = getattr(args, "deadline", None)
+    if deadline is not None and deadline <= 0.0:
+        raise SystemExit(f"--deadline must be positive, got {deadline:g}")
     return {
         "jobs": getattr(args, "jobs", 1),
-        "cache_dir": cache_dir,
+        "cache_dir": _cache_dir(args),
         "verbose": getattr(args, "verbose", False),
         "observe": not getattr(args, "no_obs", False),
         "obs_dir": getattr(args, "obs_dir", None),
+        "deadline_s": deadline,
+        "chaos": _chaos_spec(args),
     }
 
 
@@ -110,6 +148,44 @@ def _report(result) -> None:
     """One-line campaign summary on stderr (stdout carries the artifact)."""
     if result.summary is not None:
         print(result.summary.render(), file=sys.stderr)
+
+
+def _finish(args, result) -> int:
+    """Post-run plumbing shared by the sweep commands.
+
+    Prints the summary, optionally compacts the cache down to the live
+    fingerprint, and maps the result onto the exit-code contract:
+    ``EXIT_INTERRUPTED`` for a drained SIGINT/SIGTERM run (so wrappers
+    can distinguish "checkpointed, resume me" from success or failure)
+    and ``EXIT_STRICT`` under ``--strict`` when anything failed, crashed
+    or timed out.
+    """
+    _report(result)
+    if getattr(args, "compact_cache", False):
+        cache_dir = _cache_dir(args)
+        if cache_dir is None:
+            raise SystemExit(
+                "--compact-cache needs a cache (--cache-dir or --resume)"
+            )
+        from .campaign import ResultCache
+
+        dropped = ResultCache(cache_dir).compact(
+            keep_fingerprint=result.spec.fingerprint()
+        )
+        print(
+            f"cache compacted: dropped {dropped} "
+            f"stale/superseded/corrupt line(s)",
+            file=sys.stderr,
+        )
+    if result.interrupted:
+        return EXIT_INTERRUPTED
+    if getattr(args, "strict", False) and result.failures:
+        print(
+            f"strict: {len(result.failures)} task(s) did not complete "
+            f"cleanly", file=sys.stderr,
+        )
+        return EXIT_STRICT
+    return 0
 
 
 def cmd_table1(args) -> int:
@@ -130,8 +206,7 @@ def cmd_table2(args) -> int:
         **_campaign_kwargs(args),
     )
     print(render_table2(rows))
-    _report(result)
-    return 0
+    return _finish(args, result)
 
 
 def cmd_table3(args) -> int:
@@ -143,8 +218,7 @@ def cmd_table3(args) -> int:
         defect_ids=defects, **_campaign_kwargs(args)
     )
     print(render_table3(flow))
-    _report(result)
-    return 0
+    return _finish(args, result)
 
 
 def cmd_fig4(args) -> int:
@@ -159,8 +233,7 @@ def cmd_fig4(args) -> int:
     print(render_figure4(points, "ds1"))
     print()
     print(render_figure4(points, "ds0"))
-    _report(result)
-    return 0
+    return _finish(args, result)
 
 
 def cmd_mc(args) -> int:
@@ -172,8 +245,7 @@ def cmd_mc(args) -> int:
         seed=args.seed, shards=args.shards, **_campaign_kwargs(args),
     )
     print(render_montecarlo(result))
-    _report(campaign)
-    return 0
+    return _finish(args, campaign)
 
 
 def cmd_power(args) -> int:
@@ -273,6 +345,19 @@ def _add_campaign_flags(p: argparse.ArgumentParser) -> None:
     p.add_argument("--obs-dir", default=None, metavar="DIR",
                    help="where report.json/trace.jsonl go "
                         "(default: the cache directory)")
+    p.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
+                   help="per-task deadline: tasks over budget are recorded "
+                        "as timeouts instead of stalling the sweep")
+    p.add_argument("--strict", action="store_true",
+                   help=f"exit {EXIT_STRICT} if any task failed, crashed "
+                        "or timed out")
+    p.add_argument("--chaos", default=None, metavar="SPEC",
+                   help="inject deterministic faults, e.g. "
+                        "'crash:0.1,hang:0.05,transient:0.1' "
+                        "(testing the engine, not the physics)")
+    p.add_argument("--compact-cache", action="store_true",
+                   help="after the run, rewrite the result cache down to "
+                        "live records for the current fingerprint")
 
 
 def _add_mc_flags(p: argparse.ArgumentParser) -> None:

@@ -41,12 +41,19 @@ def _params_label(params: Dict[str, Any], limit: int = 4) -> str:
 def render_header(report: Dict[str, Any]) -> str:
     c = report["campaign"]
     hit_rate = c["cache_hits"] / c["total"] if c["total"] else 0.0
-    return (
+    text = (
         f"campaign[{c['name']}] {c['total']} tasks: {c['executed']} executed, "
         f"{c['cache_hits']} cache hits ({hit_rate:.0%}), "
         f"{c['failures']} failed, {c['wall_time']:.1f}s wall, "
         f"{c.get('tasks_per_sec', 0.0):.2f} tasks/s"
     )
+    if c.get("quarantined"):
+        text += f", {c['quarantined']} quarantined"
+    if c.get("timeouts"):
+        text += f", {c['timeouts']} timed out"
+    if c.get("interrupted"):
+        text += " [interrupted]"
+    return text
 
 
 def render_convergence(report: Dict[str, Any]) -> str:

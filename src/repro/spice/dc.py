@@ -43,7 +43,7 @@ import numpy as np
 
 from .circuit import Circuit
 from .elements import StampContext, VoltageSource
-from .. import obs
+from .. import obs, watchdog
 
 try:
     # Direct LAPACK entry: for the 4-15 unknown systems here the
@@ -271,6 +271,11 @@ def _newton(
     norm = float(np.sqrt(np.dot(residual, residual)))
     rhs = np.empty_like(x)  # owned rhs/solution buffer for _dense_solve
     for iteration in range(max_iter):
+        # Campaign deadline enforcement: a single None comparison when no
+        # deadline is armed, a DeadlineExceeded (which is NOT a
+        # ConvergenceError, so no fallback strategy can swallow it) when
+        # the task has outlived its budget mid-solve.
+        watchdog.check()
         np.negative(residual, out=rhs)
         if timer is not None:
             t0 = time.perf_counter()

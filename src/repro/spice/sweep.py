@@ -42,7 +42,7 @@ from .dc import (
     solve_dc,
 )
 from .elements import VoltageSource
-from .. import obs
+from .. import obs, watchdog
 
 __all__ = ["SweepSession", "solve_dc_batch", "log_bisect"]
 
@@ -73,6 +73,9 @@ def _newton_batch(
     failed = np.zeros(P, dtype=bool)
     iterations = 0
     for iteration in range(max_iter):
+        # Same campaign deadline hook as the scalar _newton loop: a free
+        # None check normally, DeadlineExceeded once the budget is burnt.
+        watchdog.check()
         active = ~(converged | failed)
         if not active.any():
             break

@@ -2,10 +2,14 @@
 
 import json
 import os
+import signal
+import time
 
 import pytest
 
+from repro import chaos
 from repro.campaign import (
+    BackoffPolicy,
     Executor,
     ResultCache,
     SweepSpec,
@@ -49,6 +53,38 @@ def _toy_interruptible(params, context):
     if params["x"] >= 3 and os.path.exists(params["flag"]):
         raise KeyboardInterrupt
     return {"y": params["x"]}
+
+
+@task("toy-exit")
+def _toy_exit(params, context):
+    # The poison point kills its worker outright - no exception, no
+    # cleanup - exactly like a segfault or the OOM killer.
+    if params["x"] == context.get("poison"):
+        os._exit(chaos.CRASH_EXIT_CODE)
+    return {"y": params["x"] ** 2}
+
+
+@task("toy-sleep")
+def _toy_sleep(params, context):
+    # A hang in code the worker-side watchdog cannot see (time.sleep
+    # never calls watchdog.check): only the parent-side chunk budget
+    # can recover this one.
+    if params["x"] == context.get("sleepy"):
+        time.sleep(60.0)
+    return {"y": params["x"]}
+
+
+@task("toy-sigint")
+def _toy_sigint(params, context):
+    if params["x"] == context.get("fire_at"):
+        os.kill(os.getpid(), signal.SIGINT)
+        time.sleep(0.05)  # let the (flag-setting) handler run
+    return {"y": params["x"]}
+
+
+@task("toy-badcall")
+def _toy_badcall(params, context):
+    raise ValueError("deterministically bad parameters")
 
 
 def square_spec(n=6, offset=0, seed=None):
@@ -254,3 +290,237 @@ class TestParallelEqualsSerial:
         a, _ = run_montecarlo_campaign(n_samples=4, shards=2, seed=5)
         b, _ = run_montecarlo_campaign(n_samples=4, shards=2, seed=6)
         assert a.samples.tolist() != b.samples.tolist()
+
+
+class TestFailFast:
+    def test_value_error_not_retried(self):
+        tasks = [TaskPoint.make("toy-badcall", x=1)]
+        result = run_campaign(SweepSpec.build("bad", tasks), retries=3)
+        record = result.record_for(tasks[0])
+        assert not record.ok and "ValueError" in record.error
+        assert record.attempts == 1  # deterministic bugs burn no retries
+
+    def test_unknown_kind_fails_fast_despite_retries(self):
+        spec = SweepSpec.build("nope", [TaskPoint.make("no-such-kind", x=1)])
+        result = run_campaign(spec, retries=3)
+        assert result.failures[0].attempts == 1
+        assert "KeyError" in result.failures[0].error
+
+
+class TestBackoffPolicy:
+    def test_deterministic_per_key_and_attempt(self):
+        policy = BackoffPolicy(base_s=0.1)
+        assert policy.delay("k", 1) == policy.delay("k", 1)
+        assert policy.delay("k", 1) != policy.delay("other", 1)
+
+    def test_exponential_growth_with_cap(self):
+        policy = BackoffPolicy(base_s=0.1, factor=2.0, cap_s=0.4)
+        raw = [0.1, 0.2, 0.4, 0.4, 0.4]  # pre-jitter schedule
+        for attempt, expected in enumerate(raw, start=1):
+            delay = policy.delay("k", attempt)
+            # Jitter scales by [0.5, 1.0).
+            assert expected * 0.5 <= delay < expected
+
+    def test_zero_base_disables_sleeping(self):
+        assert BackoffPolicy(base_s=0.0).delay("k", 3) == 0.0
+
+
+class TestWorkerCrashRecovery:
+    def test_poison_point_quarantined_exactly(self):
+        tasks = [TaskPoint.make("toy-exit", x=i) for i in range(8)]
+        spec = SweepSpec.build("poison", tasks, context={"poison": 3})
+        result = Executor(jobs=2, chunksize=2).run(spec)
+        for point in tasks:
+            record = result.record_for(point)
+            if point.param("x") == 3:
+                assert record.status == "crashed"
+                assert result.value_for(point) is None
+            else:
+                assert record.ok
+                assert record.value == {"y": point.param("x") ** 2}
+        assert result.summary.quarantined == 1
+        assert result.recorder.counters["campaign.pool.respawns"] >= 1
+        assert result.recorder.counters["campaign.task.quarantined"] == 1
+
+    def test_quarantined_crash_is_cached(self, tmp_path):
+        tasks = [TaskPoint.make("toy-exit", x=i) for i in range(4)]
+        spec = SweepSpec.build("poison", tasks, context={"poison": 1})
+        run_campaign(spec, jobs=2, chunksize=1, cache_dir=str(tmp_path))
+        again = run_campaign(
+            spec, jobs=2, chunksize=1, cache_dir=str(tmp_path)
+        )
+        # The verdict is remembered: no worker dies on the rerun.
+        assert again.summary.cache_hits == 4 and again.summary.executed == 0
+        assert again.recorder.counters.get("campaign.pool.respawns", 0) == 0
+
+    def test_serial_chaos_crash_is_suppressed(self):
+        # allow_exit=False in the campaign's own process: the poison roll
+        # is counted, never executed - a serial run must survive.
+        spec = square_spec(6)
+        result = Executor(
+            jobs=1, chaos_spec=chaos.ChaosSpec(crash=1.0), observe=True
+        ).run(spec)
+        assert result.summary.failures == 0
+        assert result.recorder.counters["chaos.suppressed.crash"] == 6
+
+
+class TestDeadlines:
+    def test_rejects_nonpositive_deadline(self):
+        with pytest.raises(ValueError):
+            Executor(deadline_s=0.0)
+
+    def test_hung_task_times_out_within_deadline(self):
+        # chaos hang honours watchdog.check, so the worker-side deadline
+        # converts a 30s hang into a timeout record in ~deadline_s.
+        tasks = [TaskPoint.make("toy-square", x=i) for i in range(3)]
+        spec = SweepSpec.build("hang", tasks)
+        started = time.monotonic()
+        result = Executor(
+            jobs=1, deadline_s=0.2,
+            chaos_spec=chaos.ChaosSpec(hang=1.0, hang_s=30.0),
+        ).run(spec)
+        elapsed = time.monotonic() - started
+        assert all(r.status == "timeout" for r in result.records.values())
+        assert result.summary.timeouts == 3
+        assert elapsed < 5.0  # 3 hangs x 0.2s budget, generous slack
+        record = next(iter(result.records.values()))
+        assert "DeadlineExceeded" in record.error
+
+    def test_parent_budget_kills_unwatchable_hang(self):
+        # time.sleep never polls the watchdog; only the parent-side chunk
+        # budget (kill + bisect + quarantine) can recover the sweep.
+        tasks = [TaskPoint.make("toy-sleep", x=i) for i in range(6)]
+        spec = SweepSpec.build("sleeper", tasks, context={"sleepy": 4})
+        started = time.monotonic()
+        result = Executor(jobs=2, chunksize=2, deadline_s=0.4).run(spec)
+        elapsed = time.monotonic() - started
+        for point in tasks:
+            record = result.record_for(point)
+            if point.param("x") == 4:
+                assert record.status == "timeout"
+            else:
+                assert record.ok and record.value == {"y": point.param("x")}
+        assert elapsed < 30.0  # nowhere near the 60s sleep
+
+
+class TestGracefulInterrupt:
+    def test_sigint_drains_checkpoints_and_resumes(self, tmp_path):
+        tasks = [TaskPoint.make("toy-sigint", x=i) for i in range(10)]
+        spec = SweepSpec.build("sigint", tasks, context={"fire_at": 4})
+        cache_dir = str(tmp_path)
+        first = run_campaign(spec, cache_dir=cache_dir)
+        # The run returns normally (no KeyboardInterrupt), flagged, with
+        # everything up to and including the firing task checkpointed.
+        assert first.interrupted
+        assert first.summary.interrupted
+        assert "[interrupted]" in first.summary.render()
+        assert len(first.records) == 5  # x = 0..4
+        resumed = run_campaign(spec, cache_dir=cache_dir)
+        assert not resumed.interrupted
+        assert resumed.summary.cache_hits == 5
+        assert resumed.summary.executed == 5  # no recompute of the prefix
+        assert [resumed.value_for(p)["y"] for p in tasks] == list(range(10))
+
+    def test_request_interrupt_stops_between_chunks(self):
+        executor = Executor(jobs=1)
+        fired = []
+
+        @task("toy-stopper")
+        def _toy_stopper(params, context):
+            fired.append(params["x"])
+            executor.request_interrupt()
+            return {"y": params["x"]}
+
+        tasks = [TaskPoint.make("toy-stopper", x=i) for i in range(5)]
+        result = executor.run(SweepSpec.build("stopper", tasks))
+        assert result.interrupted
+        assert fired == [0]  # the flag stopped the very next chunk
+
+
+class TestChaosSurvivorsBitIdentical:
+    def test_jobs2_chaos_equals_serial_fault_free(self, tmp_path):
+        """The acceptance run: recoverable points survive chaos unscathed.
+
+        Under crash/hang/transient injection, every non-poison point must
+        complete with a value bit-identical to the fault-free serial run,
+        and only the deterministically-poisoned points may be quarantined.
+        """
+        tasks = [TaskPoint.make("toy-square", x=i) for i in range(24)]
+        spec = SweepSpec.build("acceptance", tasks)
+        baseline = Executor(jobs=1).run(spec)
+        spec_chaos = chaos.ChaosSpec(
+            crash=0.1, hang=0.05, transient=0.1, hang_s=30.0
+        )
+        result = Executor(
+            jobs=2, chunksize=2, deadline_s=1.0, chaos_spec=spec_chaos,
+            retries=2, backoff=BackoffPolicy(base_s=0.0),
+        ).run(spec)
+        predictor = chaos.ChaosInjector(spec_chaos, spec.chaos_seed())
+        for point in tasks:
+            record = result.record_for(point)
+            if predictor.will_crash(point.key):
+                assert record.status == "crashed", point.label()
+            elif predictor.will_hang(point.key):
+                assert record.status == "timeout", point.label()
+            else:
+                # Transients are retried to success; values bit-identical.
+                assert record.ok, (point.label(), record.error)
+                assert record.value == baseline.record_for(point).value
+
+
+class TestCacheResilience:
+    def test_corrupt_lines_counted_not_fatal(self, tmp_path):
+        spec = square_spec(4)
+        run_campaign(spec, cache_dir=str(tmp_path))
+        store = tmp_path / RESULTS_FILENAME
+        with store.open("a", encoding="utf-8") as fh:
+            fh.write("garbage not json\n")
+            fh.write('{"no_key_field": 1}\n')
+        cache = ResultCache(tmp_path)
+        assert len(cache) == 4
+        assert cache.corrupt_lines == 2
+        again = run_campaign(spec, cache_dir=str(tmp_path))
+        assert again.summary.cache_hits == 4
+        assert again.recorder.counters["cache.lines.corrupt"] == 2
+
+    def test_chaos_corruption_detected_on_reload(self, tmp_path):
+        spec = square_spec(8)
+        result = run_campaign(
+            spec, cache_dir=str(tmp_path),
+            chaos=chaos.ChaosSpec(corrupt=0.5),
+        )
+        assert result.summary.failures == 0  # in-memory copy untouched
+        cache = ResultCache(tmp_path)
+        cache.load()
+        predictor = chaos.ChaosInjector(
+            chaos.ChaosSpec(corrupt=0.5), spec.chaos_seed()
+        )
+        expected = sum(predictor.will_corrupt(p.key) for p in spec.tasks)
+        assert expected > 0  # the seed must actually corrupt something
+        assert cache.corrupt_lines == expected
+
+    def test_compact_drops_stale_and_corrupt_lines(self, tmp_path):
+        old = run_campaign(square_spec(4, offset=1), cache_dir=str(tmp_path))
+        live_spec = square_spec(6)
+        run_campaign(live_spec, cache_dir=str(tmp_path))
+        store = tmp_path / RESULTS_FILENAME
+        with store.open("a", encoding="utf-8") as fh:
+            fh.write("torn line#\n")
+        cache = ResultCache(tmp_path)
+        dropped = cache.compact(keep_fingerprint=live_spec.fingerprint())
+        assert dropped == 5  # 4 stale-fingerprint lines + 1 corrupt line
+        assert len(cache) == 6
+        lines = store.read_text(encoding="utf-8").splitlines()
+        assert len(lines) == 6
+        again = run_campaign(live_spec, cache_dir=str(tmp_path))
+        assert again.summary.cache_hits == 6
+
+    def test_compact_without_fingerprint_keeps_all_live(self, tmp_path):
+        run_campaign(square_spec(3), cache_dir=str(tmp_path))
+        run_campaign(square_spec(3, offset=1), cache_dir=str(tmp_path))
+        cache = ResultCache(tmp_path)
+        dropped = cache.compact()
+        # Different offsets change params? No - same points, different
+        # fingerprints: the second run's records superseded the first's.
+        assert dropped == 3
+        assert len(cache) == 3

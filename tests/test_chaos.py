@@ -1,0 +1,241 @@
+"""Deterministic fault injection (repro.chaos) and task deadlines (repro.watchdog)."""
+
+import time
+
+import pytest
+
+from repro import chaos, watchdog
+from repro.chaos import (
+    CORRUPTION_MARKER,
+    ChaosInjector,
+    ChaosSpec,
+    ChaosTransientError,
+    coerce_spec,
+    stable_fraction,
+)
+
+
+class TestStableFraction:
+    def test_deterministic(self):
+        assert stable_fraction("a", 1) == stable_fraction("a", 1)
+
+    def test_in_unit_interval(self):
+        for i in range(64):
+            assert 0.0 <= stable_fraction("seed", i) < 1.0
+
+    def test_sensitive_to_every_part(self):
+        base = stable_fraction("seed", "key", 1)
+        assert base != stable_fraction("other", "key", 1)
+        assert base != stable_fraction("seed", "other", 1)
+        assert base != stable_fraction("seed", "key", 2)
+
+    def test_parts_are_delimited_not_concatenated(self):
+        assert stable_fraction("ab", "c") != stable_fraction("a", "bc")
+
+
+class TestChaosSpec:
+    def test_parse_full_spec(self):
+        spec = ChaosSpec.parse("crash:0.1,hang:0.05,transient:0.2,hang_s:3")
+        assert spec.crash == 0.1 and spec.hang == 0.05
+        assert spec.transient == 0.2 and spec.hang_s == 3.0
+        assert spec.corrupt == 0.0
+
+    def test_parse_tolerates_spaces_and_empty_parts(self):
+        spec = ChaosSpec.parse(" crash:0.5 , ,hang:0.25 ")
+        assert spec.crash == 0.5 and spec.hang == 0.25
+
+    def test_parse_rejects_unknown_fault(self):
+        with pytest.raises(ValueError, match="explode"):
+            ChaosSpec.parse("explode:0.5")
+
+    def test_parse_rejects_malformed_rate(self):
+        with pytest.raises(ValueError, match="crash"):
+            ChaosSpec.parse("crash:lots")
+
+    def test_rates_validated(self):
+        with pytest.raises(ValueError):
+            ChaosSpec(crash=1.5)
+        with pytest.raises(ValueError):
+            ChaosSpec(hang=-0.1)
+        with pytest.raises(ValueError):
+            ChaosSpec(hang_s=-1.0)
+
+    def test_describe(self):
+        assert ChaosSpec().describe() == "inert"
+        assert ChaosSpec(crash=0.1, transient=0.2).describe() == (
+            "crash:0.1,transient:0.2"
+        )
+
+    def test_coerce_spec(self):
+        assert coerce_spec(None) is None
+        spec = ChaosSpec(crash=0.5)
+        assert coerce_spec(spec) is spec
+        assert coerce_spec("crash:0.5") == spec
+
+
+class TestChaosInjector:
+    def test_decisions_deterministic_per_seed(self):
+        a = ChaosInjector(ChaosSpec(crash=0.5), seed="s1")
+        b = ChaosInjector(ChaosSpec(crash=0.5), seed="s1")
+        c = ChaosInjector(ChaosSpec(crash=0.5), seed="s2")
+        keys = [f"key-{i}" for i in range(32)]
+        assert [a.will_crash(k) for k in keys] == [b.will_crash(k) for k in keys]
+        assert [a.will_crash(k) for k in keys] != [c.will_crash(k) for k in keys]
+
+    def test_rates_zero_and_one(self):
+        never = ChaosInjector(ChaosSpec(), seed="s")
+        always = ChaosInjector(
+            ChaosSpec(crash=1.0, hang=1.0, transient=1.0, corrupt=1.0),
+            seed="s",
+        )
+        for i in range(16):
+            key = f"key-{i}"
+            assert not never.will_crash(key)
+            assert not never.will_hang(key)
+            assert not never.will_fault(key, 1)
+            assert not never.will_corrupt(key)
+            assert always.will_crash(key)
+            assert always.will_hang(key)
+            assert always.will_fault(key, 1)
+            assert always.will_corrupt(key)
+
+    def test_transient_is_rolled_per_attempt(self):
+        injector = ChaosInjector(ChaosSpec(transient=0.5), seed="s")
+        rolls = [injector.will_fault("key", attempt) for attempt in range(1, 40)]
+        assert any(rolls) and not all(rolls)  # retries can escape
+
+    def test_on_task_raises_transient(self):
+        injector = ChaosInjector(ChaosSpec(transient=1.0), seed="s")
+        with pytest.raises(ChaosTransientError):
+            injector.on_task("key", 1)
+
+    def test_crash_suppressed_without_allow_exit(self):
+        # With allow_exit=False the poison roll is recorded, not executed:
+        # reaching the assertion at all is the point of this test.
+        injector = ChaosInjector(ChaosSpec(crash=1.0), seed="s",
+                                 allow_exit=False)
+        injector.on_task("key", 1)
+
+    def test_hang_honours_armed_deadline(self):
+        injector = ChaosInjector(ChaosSpec(hang=1.0, hang_s=30.0), seed="s")
+        started = time.monotonic()
+        with watchdog.deadline(0.1):
+            with pytest.raises(watchdog.DeadlineExceeded):
+                injector.on_task("key", 1)
+        assert time.monotonic() - started < 5.0
+
+    def test_short_hang_completes_without_deadline(self):
+        injector = ChaosInjector(ChaosSpec(hang=1.0, hang_s=0.05), seed="s")
+        started = time.monotonic()
+        injector.on_task("key", 1)
+        assert time.monotonic() - started >= 0.05
+
+    def test_corrupt_line_appends_marker(self):
+        injector = ChaosInjector(ChaosSpec(corrupt=1.0), seed="s")
+        line = '{"key": "k", "value": 42}'
+        mangled = injector.corrupt_line(line, "k")
+        assert mangled != line
+        assert mangled.endswith(CORRUPTION_MARKER)
+        assert "\n" not in mangled  # must stay a single JSONL line
+
+    def test_corrupt_line_noop_at_rate_zero(self):
+        injector = ChaosInjector(ChaosSpec(), seed="s")
+        assert injector.corrupt_line("payload", "k") == "payload"
+
+
+class TestInjectionContext:
+    def test_none_spec_is_noop(self):
+        with chaos.injection(None, "seed") as injector:
+            assert injector is None
+            assert chaos.active() is None
+
+    def test_install_and_restore(self):
+        assert chaos.active() is None
+        with chaos.injection(ChaosSpec(transient=1.0), "seed") as injector:
+            assert chaos.active() is injector
+            with pytest.raises(ChaosTransientError):
+                chaos.on_task("key", 1)
+        assert chaos.active() is None
+        chaos.on_task("key", 1)  # module hook is a no-op again
+
+    def test_module_corrupt_line_hook(self):
+        assert chaos.corrupt_line("line", "k") == "line"
+        with chaos.injection(ChaosSpec(corrupt=1.0), "seed"):
+            assert chaos.corrupt_line("line", "k").endswith(CORRUPTION_MARKER)
+
+    def test_nested_injection_restores_outer(self):
+        with chaos.injection(ChaosSpec(crash=1.0), "outer") as outer:
+            with chaos.injection(ChaosSpec(), "inner") as inner:
+                assert chaos.active() is inner
+            assert chaos.active() is outer
+
+
+class TestWatchdog:
+    def test_disarmed_by_default(self):
+        assert not watchdog.active()
+        assert watchdog.remaining() is None
+        watchdog.check()  # no-op, must not raise
+
+    def test_none_deadline_is_noop(self):
+        with watchdog.deadline(None):
+            assert not watchdog.active()
+
+    def test_expiry_raises_with_budget_and_elapsed(self):
+        with watchdog.deadline(0.02):
+            assert watchdog.active()
+            assert watchdog.remaining() <= 0.02
+            time.sleep(0.03)
+            with pytest.raises(watchdog.DeadlineExceeded) as excinfo:
+                watchdog.check()
+        assert excinfo.value.budget_s == 0.02
+        assert excinfo.value.elapsed_s >= 0.02
+        assert not watchdog.active()  # disarmed on exit
+
+    def test_unexpired_deadline_passes(self):
+        with watchdog.deadline(30.0):
+            watchdog.check()
+
+    def test_nested_deadline_keeps_earlier_expiry(self):
+        with watchdog.deadline(30.0):
+            outer_remaining = watchdog.remaining()
+            with watchdog.deadline(0.01):
+                assert watchdog.remaining() <= 0.01
+                time.sleep(0.02)
+                with pytest.raises(watchdog.DeadlineExceeded):
+                    watchdog.check()
+            # Inner arm/expiry never extends or clobbers the outer budget.
+            assert watchdog.remaining() <= outer_remaining
+            watchdog.check()
+
+    def test_inner_deadline_cannot_extend_outer(self):
+        with watchdog.deadline(0.02):
+            with watchdog.deadline(30.0):
+                time.sleep(0.03)
+                with pytest.raises(watchdog.DeadlineExceeded):
+                    watchdog.check()
+
+    def test_not_a_convergence_error(self):
+        # The solver's strategy chain catches ConvergenceError; an expiry
+        # must unwind past it, not feed the next fallback strategy.
+        from repro.spice import ConvergenceError
+
+        assert not issubclass(watchdog.DeadlineExceeded, ConvergenceError)
+
+    def test_deadline_restored_after_exception(self):
+        with pytest.raises(RuntimeError):
+            with watchdog.deadline(5.0):
+                raise RuntimeError("task blew up")
+        assert not watchdog.active()
+
+
+class TestNewtonDeadline:
+    def test_deadline_interrupts_a_dc_solve(self):
+        # An armed watchdog fires from inside the Newton iteration: the
+        # solve raises DeadlineExceeded (not ConvergenceError) mid-flight
+        # instead of letting the strategy chain grind through fallbacks.
+        from repro import PVT, VrefSelect
+        from repro.regulator import solve_regulator
+
+        with watchdog.deadline(1e-9):
+            with pytest.raises(watchdog.DeadlineExceeded):
+                solve_regulator(PVT("fs", 1.0, 125.0), VrefSelect.VREF74)

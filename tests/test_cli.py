@@ -148,3 +148,70 @@ class TestRunMarch:
         ])
         assert code == 1
         assert "FAIL" in capsys.readouterr().out
+
+
+class TestResilienceFlags:
+    def test_strict_exits_nonzero_on_failures(self, capsys):
+        # transient:1.0 makes every attempt fail, so all 15 grid points
+        # are recorded failures and --strict refuses to exit 0.
+        argv = [
+            "table2", "--fast", "--defects", "16",
+            "--chaos", "transient:1.0", "--strict",
+        ]
+        from repro.cli import EXIT_STRICT
+
+        assert main(argv) == EXIT_STRICT
+        captured = capsys.readouterr()
+        assert "strict:" in captured.err
+        assert "15 failed" in captured.err
+
+    def test_strict_passes_clean_run(self, capsys):
+        argv = ["mc", "--samples", "4", "--shards", "2", "--strict"]
+        assert main(argv) == 0
+
+    def test_chaos_spec_rejected_with_hint(self):
+        with pytest.raises(SystemExit, match="explode"):
+            main(["mc", "--samples", "4", "--chaos", "explode:0.5"])
+
+    def test_nonpositive_deadline_rejected(self):
+        with pytest.raises(SystemExit, match="deadline"):
+            main(["mc", "--samples", "4", "--deadline", "0"])
+
+    def test_deadline_flag_accepted_on_clean_run(self, capsys):
+        argv = ["mc", "--samples", "4", "--shards", "2", "--deadline", "300"]
+        assert main(argv) == 0
+
+    def test_compact_cache_flag(self, capsys, tmp_path):
+        base = [
+            "mc", "--samples", "4", "--shards", "2",
+            "--cache-dir", str(tmp_path),
+        ]
+        assert main(base) == 0
+        results = tmp_path / "results.jsonl"
+        with results.open("a", encoding="utf-8") as fh:
+            fh.write("corrupt tail#\n")
+        capsys.readouterr()
+        assert main(base + ["--compact-cache"]) == 0
+        captured = capsys.readouterr()
+        assert "2 cache hits (100%)" in captured.err
+        assert "cache compacted" in captured.err
+        # The corrupt line is gone; only the two live records remain.
+        assert len(results.read_text().splitlines()) == 2
+
+    def test_compact_cache_requires_a_cache(self):
+        with pytest.raises(SystemExit, match="compact-cache"):
+            main(["mc", "--samples", "4", "--compact-cache"])
+
+    def test_corrupt_cache_lines_surface_in_stats(self, capsys, tmp_path):
+        argv = [
+            "mc", "--samples", "4", "--shards", "2",
+            "--cache-dir", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        with (tmp_path / "results.jsonl").open("a", encoding="utf-8") as fh:
+            fh.write("scribbled by chaos#\n")
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(["stats", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "cache.lines.corrupt" in out

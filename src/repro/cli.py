@@ -14,6 +14,10 @@ Examples::
     python -m repro classify                 # 32-defect taxonomy
     python -m repro run-march "March m-LZ"   # run a test on a clean SRAM
     python -m repro run-march "{ u(w0); u(r0) }" --words 128
+    python -m repro verify --fast            # golden conformance gate
+    python -m repro verify --fast --fuzz 200 --json report.json
+    python -m repro verify --regen --tier tiny   # re-pin goldens
+    python -m repro verify --fuzz-repro fuzz-dc_solution-seed123.json
 
 The ``--fast`` flag swaps the PVT sweep for a minimal grid; without it the
 commands use the same reduced defaults as the benchmarks.
@@ -44,6 +48,13 @@ exercise the recovery machinery, and ``--compact-cache`` rewrites the
 result store down to live records after the run.  A SIGINT/SIGTERM drains
 in-flight work, checkpoints it and exits with code 130; rerunning with
 ``--resume`` continues from the checkpoint.
+
+``verify`` (:mod:`repro.verify`) is the paper-fidelity gate: it recomputes
+every golden-pinned artifact (Tables I-III, Fig. 4, March coverage) at the
+chosen tier, diffs them against ``goldens/`` through per-metric tolerance
+policies, optionally differential-fuzzes the compiled backend against the
+reference oracle (``--fuzz N``), and exits 1 with the offending table cell
+named on any drift.
 """
 
 from __future__ import annotations
@@ -62,6 +73,10 @@ EXIT_INTERRUPTED = 130
 #: Exit code under ``--strict`` when any task record is failed, crashed or
 #: timed out (distinct from 1/2, which argparse and Python reserve).
 EXIT_STRICT = 3
+
+#: Exit code of ``repro verify`` when a golden mismatched, a golden was
+#: missing, or the differential fuzzer found a backend disagreement.
+EXIT_VERIFY = 1
 
 
 def _grid(fast: bool, full: bool = False):
@@ -314,6 +329,60 @@ def cmd_campaign(args) -> int:
     return CAMPAIGN_TARGETS[args.target](args)
 
 
+def cmd_verify(args) -> int:
+    """Paper-fidelity gate: goldens + differential backend fuzzing."""
+    from . import obs
+    from .verify import load_repro, run_case, run_verify
+
+    if getattr(args, "fuzz_repro", None):
+        # Re-run one dumped minimal netlist repro and nothing else.
+        try:
+            spec = load_repro(args.fuzz_repro)
+        except (OSError, ValueError, KeyError) as error:
+            raise SystemExit(f"verify: cannot load repro: {error}")
+        status, check, detail = run_case(spec)
+        print(f"repro seed {spec.get('seed')}: {status}"
+              + (f" ({check}: {detail})" if status != "ok" else ""))
+        return 0 if status != "fail" else EXIT_VERIFY
+
+    tier = args.tier
+    if getattr(args, "full", False):
+        tier = "full"
+    artifacts = None
+    if args.artifacts:
+        artifacts = [a.strip() for a in args.artifacts.split(",") if a.strip()]
+    with obs.recording() as recorder:
+        try:
+            report = run_verify(
+                tier=tier,
+                goldens_dir=args.goldens_dir,
+                artifacts=artifacts,
+                regen=args.regen,
+                fuzz_cases=args.fuzz,
+                fuzz_seed=args.fuzz_seed,
+                repro_dir=args.repro_dir,
+                jobs=args.jobs,
+                cache_dir=_cache_dir(args),
+            )
+        except ValueError as error:
+            raise SystemExit(f"verify: {error}")
+    if args.json:
+        import json as _json
+        from pathlib import Path
+
+        document = report.to_dict()
+        document["obs"] = {"counters": dict(sorted(recorder.counters.items()))}
+        out = Path(args.json)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(
+            _json.dumps(document, sort_keys=True, indent=1) + "\n",
+            encoding="utf-8",
+        )
+        print(f"verify: report written to {out}", file=sys.stderr)
+    print(report.render())
+    return 0 if report.ok else EXIT_VERIFY
+
+
 def cmd_stats(args) -> int:
     from .obs.render import render_report
     from .obs.report import REPORT_FILENAME, load_report
@@ -418,6 +487,44 @@ def build_parser() -> argparse.ArgumentParser:
     _add_campaign_flags(camp)
     _add_mc_flags(camp)
     camp.set_defaults(func=cmd_campaign)
+
+    verify = sub.add_parser(
+        "verify",
+        help="paper-fidelity gate: golden artifacts + differential "
+             "backend fuzzing",
+    )
+    verify.add_argument(
+        "--tier", choices=("tiny", "fast", "full"), default="fast",
+        help="artifact scope (default: fast; tiny is the test-suite scope)",
+    )
+    verify.add_argument("--fast", action="store_true",
+                        help="alias for --tier fast (the default)")
+    verify.add_argument("--full", action="store_true",
+                        help="alias for --tier full (the paper's scopes)")
+    verify.add_argument("--regen", action="store_true",
+                        help="rewrite the tier's goldens instead of "
+                             "comparing (review the diff!)")
+    verify.add_argument("--artifacts", default=None, metavar="A,B",
+                        help="restrict to a comma-separated artifact subset "
+                             "(table1,table2,table3,fig4,march)")
+    verify.add_argument("--goldens-dir", default=None, metavar="DIR",
+                        help="golden store (default: <repo>/goldens)")
+    verify.add_argument("--fuzz", type=int, default=0, metavar="N",
+                        help="run N differential backend fuzz cases "
+                             "after the golden checks")
+    verify.add_argument("--fuzz-seed", type=int, default=0, metavar="S",
+                        help="base seed of the fuzz campaign (default 0)")
+    verify.add_argument("--fuzz-repro", default=None, metavar="FILE",
+                        help="re-run one dumped fuzz repro file and exit")
+    verify.add_argument("--repro-dir", default=None, metavar="DIR",
+                        help="where shrunk failing netlists are dumped")
+    verify.add_argument("--json", default=None, metavar="PATH",
+                        help="also write the verify report as JSON")
+    verify.add_argument("--jobs", type=_positive_int, default=1, metavar="N",
+                        help="worker processes for the artifact sweeps")
+    verify.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="campaign result cache for the artifact sweeps")
+    verify.set_defaults(func=cmd_verify)
 
     stats = sub.add_parser(
         "stats",

@@ -20,10 +20,12 @@ from .decoder import AddressDecoder, DecoderFault
 from .faults import (
     CouplingFaultIdempotent,
     CouplingFaultState,
+    DataRetentionFault,
     Fault,
     PeripheralPowerGatingFault,
     StuckAtFault,
     TransitionFault,
+    drf_ds_variants,
 )
 from .memory import LowPowerSRAM, MemoryModeError, SRAMConfig
 from .power_modes import PMControl, PowerMode
@@ -45,6 +47,8 @@ __all__ = [
     "TransitionFault",
     "CouplingFaultIdempotent",
     "CouplingFaultState",
+    "DataRetentionFault",
+    "drf_ds_variants",
     "PeripheralPowerGatingFault",
     "RetentionEngine",
     "WeakCell",

@@ -7,6 +7,9 @@ bit-level accesses:
 
 * ``on_write(addr, bit, old, new) -> stored value``
 * ``on_read(addr, bit, stored) -> returned value``
+* ``on_sleep(memory, vddcc, ds_time)`` - invoked when the SRAM enters DS
+  mode, with the array supply and sleep duration of that sleep (used by
+  the functional data-retention fault below).
 * ``on_wakeup(memory)`` - invoked when the SRAM re-enters ACT mode (used by
   the peripheral power-gating fault of [13] that March LZ targets).
 
@@ -16,8 +19,9 @@ and act on the victim cell's stored value.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, List, Optional, Tuple
 
 
 class Fault:
@@ -30,6 +34,9 @@ class Fault:
     def on_read(self, addr: int, bit: int, stored: int) -> Optional[int]:
         """Return the value actually read, or None for the stored value."""
         return None
+
+    def on_sleep(self, memory, vddcc: float, ds_time: float) -> None:
+        """Hook invoked on an ACT -> DS transition."""
 
     def on_wakeup(self, memory) -> None:
         """Hook invoked on a DS/PO -> ACT transition."""
@@ -145,6 +152,88 @@ class CouplingFaultState(Fault):
             (self.aggressor_addr, self.aggressor_bit),
             (self.victim_addr, self.victim_bit),
         )
+
+
+@dataclass
+class DataRetentionFault(Fault):
+    """DRF_DS: the cell at (addr, bit) cannot hold ``lost_value`` through
+    deep sleep.
+
+    The functional abstraction of the paper's electrically-derived fault: a
+    variation-weakened cell whose degraded-state DRV sits above the array
+    supply loses its data during a long-enough sleep.  ``drv`` is that
+    retention threshold - the sleep only corrupts the cell when the supply
+    present during DS is below it (the default +inf flips on *any* sleep,
+    matching a catastrophically weakened cell); ``min_ds_time`` models the
+    flip-time criterion of Section V (a sleep shorter than the leakage
+    discharge time leaves even a below-DRV cell intact, which is why March
+    m-LZ's DSM operations must last ~1 ms).
+
+    The fault is *state-dependent*: only a stored ``lost_value`` is at
+    risk, exactly like the asymmetric case-study cells whose DRV_DS1 and
+    DRV_DS0 differ.  That asymmetry is what makes the second sleep of
+    March m-LZ load-bearing - a DRF_DS0 instance survives the first sleep
+    (the array holds 1s) and only corrupts data on the all-0s background.
+    """
+
+    addr: int
+    bit: int
+    lost_value: int = 1
+    drv: float = math.inf
+    min_ds_time: float = 0.0
+    _pending: bool = False
+
+    def on_sleep(self, memory, vddcc: float, ds_time: float) -> None:
+        self._pending = vddcc < self.drv and ds_time >= self.min_ds_time
+
+    def on_wakeup(self, memory) -> None:
+        if not self._pending:
+            return
+        self._pending = False
+        if memory.peek_bit(self.addr, self.bit) == self.lost_value:
+            memory.force_bit(self.addr, self.bit, 1 - self.lost_value)
+
+    def touches(self, addr, bit):
+        return (addr, bit) == (self.addr, self.bit)
+
+
+def drf_ds_variants(
+    addr: int = 0,
+    bit: int = 0,
+    ds_time: float = 1e-3,
+) -> List[Tuple[str, Callable[[], Fault]]]:
+    """The DRF_DS fault-model variants, as (label, factory) pairs.
+
+    One entry per way the retention failure can present: which stored
+    value is lost (the -1 vs -0 flavours of Table I's case studies) and
+    whether the flip needs the full recommended DS time or happens for any
+    sleep.  The ``slow`` variants flip only when the sleep lasts at least
+    ``ds_time`` - they are what separates a test with realistic DSM
+    durations from one that merely toggles the power mode.
+
+    Coverage expectations (proved in ``tests/test_march_mutation.py`` and
+    pinned by the march golden): March m-LZ detects every variant; every
+    variant escapes at least one strictly shorter prefix of it, and the
+    ``DS0`` variants escape March LZ entirely - the paper's motivating gap.
+    """
+    return [
+        (
+            "DRF_DS1",
+            lambda: DataRetentionFault(addr, bit, lost_value=1),
+        ),
+        (
+            "DRF_DS0",
+            lambda: DataRetentionFault(addr, bit, lost_value=0),
+        ),
+        (
+            "DRF_DS1_slow",
+            lambda: DataRetentionFault(addr, bit, lost_value=1, min_ds_time=ds_time),
+        ),
+        (
+            "DRF_DS0_slow",
+            lambda: DataRetentionFault(addr, bit, lost_value=0, min_ds_time=ds_time),
+        ),
+    ]
 
 
 @dataclass

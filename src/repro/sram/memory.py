@@ -185,6 +185,8 @@ class LowPowerSRAM:
         self._ds_supply = self.config.default_ds_supply if vddcc is None else float(vddcc)
         self._ds_time = 1e-3 if ds_time is None else float(ds_time)
         self.pm.to_deep_sleep()
+        for fault in self.faults:
+            fault.on_sleep(self, self._ds_supply, self._ds_time)
 
     def wake_up(self) -> List[tuple]:
         """DS -> ACT.  Applies retention outcomes; returns flipped cells."""

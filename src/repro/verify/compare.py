@@ -1,0 +1,151 @@
+"""Golden-vs-actual payload comparison through a tolerance policy.
+
+A payload is a JSON-able tree of dicts, lists and scalars; a *policy* maps
+slash-joined path patterns (``fnmatch`` globs, e.g.
+``cells/*/*/min_resistance``) onto :class:`~repro.verify.tolerances
+.Tolerance` rules.  Any leaf no pattern claims is compared exactly, which
+makes classification fields (labels, enum names, defect lists) safe by
+default - a policy only ever *loosens* a comparison, never tightens one.
+
+The outcome is a flat list of :class:`Mismatch` records, each naming the
+offending path - that name is the contract the CLI's diff report and the
+negative-path tests rely on.  Comparison volume and failures are counted
+into :mod:`repro.obs` when a recorder is installed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fnmatch import fnmatchcase
+from typing import Any, Dict, List, Sequence, Tuple
+
+from .. import obs
+from .tolerances import EXACT, Tolerance
+
+__all__ = ["Mismatch", "TolerancePolicy", "compare_payloads", "render_mismatches"]
+
+
+@dataclass(frozen=True)
+class Mismatch:
+    """One divergent leaf (or structural difference) in a payload tree."""
+
+    path: str
+    expected: Any
+    actual: Any
+    tolerance: Tolerance
+    detail: str = ""
+
+    def render(self) -> str:
+        note = f" [{self.detail}]" if self.detail else ""
+        return (
+            f"{self.path}: expected {self.expected!r}, got {self.actual!r} "
+            f"({self.tolerance.describe()}){note}"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "path": self.path,
+            "expected": self.expected,
+            "actual": self.actual,
+            "tolerance": self.tolerance.to_dict(),
+            "detail": self.detail,
+        }
+
+
+class TolerancePolicy:
+    """Ordered (pattern, Tolerance) rules; first match wins."""
+
+    def __init__(self, rules: Sequence[Tuple[str, Tolerance]] = ()) -> None:
+        self.rules: Tuple[Tuple[str, Tolerance], ...] = tuple(rules)
+
+    def tolerance_for(self, path: str) -> Tolerance:
+        for pattern, tolerance in self.rules:
+            if fnmatchcase(path, pattern):
+                return tolerance
+        return EXACT
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {pattern: tol.to_dict() for pattern, tol in self.rules}
+
+
+def _walk(
+    expected: Any,
+    actual: Any,
+    path: str,
+    policy: TolerancePolicy,
+    mismatches: List[Mismatch],
+    counted: List[int],
+) -> None:
+    if isinstance(expected, dict) or isinstance(actual, dict):
+        if not (isinstance(expected, dict) and isinstance(actual, dict)):
+            mismatches.append(
+                Mismatch(path, expected, actual, EXACT, "structure differs")
+            )
+            return
+        for key in expected:
+            sub = f"{path}/{key}" if path else str(key)
+            if key not in actual:
+                mismatches.append(
+                    Mismatch(sub, expected[key], None, EXACT, "missing in actual")
+                )
+                continue
+            _walk(expected[key], actual[key], sub, policy, mismatches, counted)
+        for key in actual:
+            if key not in expected:
+                sub = f"{path}/{key}" if path else str(key)
+                mismatches.append(
+                    Mismatch(sub, None, actual[key], EXACT, "unexpected in actual")
+                )
+        return
+    if isinstance(expected, (list, tuple)) or isinstance(actual, (list, tuple)):
+        if not (
+            isinstance(expected, (list, tuple))
+            and isinstance(actual, (list, tuple))
+        ):
+            mismatches.append(
+                Mismatch(path, expected, actual, EXACT, "structure differs")
+            )
+            return
+        if len(expected) != len(actual):
+            mismatches.append(
+                Mismatch(
+                    path, expected, actual, EXACT,
+                    f"length {len(expected)} vs {len(actual)}",
+                )
+            )
+            return
+        for index, (e, a) in enumerate(zip(expected, actual)):
+            _walk(e, a, f"{path}/{index}", policy, mismatches, counted)
+        return
+    counted[0] += 1
+    tolerance = policy.tolerance_for(path)
+    if not tolerance.check(expected, actual):
+        mismatches.append(Mismatch(path, expected, actual, tolerance))
+
+
+def compare_payloads(
+    expected: Any,
+    actual: Any,
+    policy: TolerancePolicy,
+    root: str = "",
+) -> Tuple[List[Mismatch], int]:
+    """Compare two payload trees; returns (mismatches, leaves compared)."""
+    mismatches: List[Mismatch] = []
+    counted = [0]
+    _walk(expected, actual, root, policy, mismatches, counted)
+    obs.count("verify.fields.compared", counted[0])
+    if mismatches:
+        obs.count("verify.fields.mismatched", len(mismatches))
+    return mismatches, counted[0]
+
+
+def render_mismatches(
+    artifact: str, mismatches: Sequence[Mismatch], limit: int = 20
+) -> str:
+    """Human-readable diff block for one artifact's failures."""
+    lines = [f"{artifact}: {len(mismatches)} mismatch(es)"]
+    for mismatch in list(mismatches)[:limit]:
+        lines.append(f"  {mismatch.render()}")
+    if len(mismatches) > limit:
+        lines.append(f"  ... and {len(mismatches) - limit} more")
+    return "\n".join(lines)

@@ -1,0 +1,101 @@
+"""Golden artifact files: schema, location, load/save.
+
+One file per (tier, artifact): ``goldens/<tier>/<artifact>.json`` at the
+repository root, each carrying the schema version, the scope parameters it
+was generated at, the tolerance policy in force and the payload itself.
+Embedding scope and policy makes a golden self-describing: a reviewer can
+see from the diff of a regenerated file whether the *numbers* moved or the
+*rules* did.
+
+Goldens are regenerated with ``repro verify --regen`` - never by hand -
+and the regeneration uses the identical builder that verification uses,
+so the only way a golden and the code disagree is that the code's
+behaviour changed.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from .artifacts import ARTIFACTS, TierScope
+
+__all__ = [
+    "GOLDEN_SCHEMA",
+    "default_goldens_dir",
+    "golden_path",
+    "load_golden",
+    "write_golden",
+]
+
+#: Schema identifier embedded in (and required of) every golden file.
+GOLDEN_SCHEMA = "repro.verify.golden/1"
+
+
+def default_goldens_dir() -> Path:
+    """``goldens/`` at the repository root (three levels above this file)."""
+    return Path(__file__).resolve().parents[3] / "goldens"
+
+
+def golden_path(goldens_dir, tier: str, artifact: str) -> Path:
+    return Path(goldens_dir) / tier / f"{artifact}.json"
+
+
+def write_golden(
+    goldens_dir,
+    scope: TierScope,
+    artifact: str,
+    payload: Dict[str, Any],
+) -> Path:
+    """Serialise one artifact's golden; returns the path written."""
+    path = golden_path(goldens_dir, scope.name, artifact)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    document = {
+        "schema": GOLDEN_SCHEMA,
+        "artifact": artifact,
+        "tier": scope.name,
+        "scope": scope.params(),
+        "tolerances": ARTIFACTS[artifact].policy.to_dict(),
+        "payload": payload,
+    }
+    path.write_text(
+        json.dumps(document, sort_keys=True, indent=1) + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+def load_golden(
+    goldens_dir, tier: str, artifact: str
+) -> Optional[Dict[str, Any]]:
+    """Load and validate one golden document; None when the file is absent.
+
+    A present-but-unreadable golden raises: silently skipping a corrupt
+    golden would turn the conformance gate into a no-op.
+    """
+    path = golden_path(goldens_dir, tier, artifact)
+    if not path.exists():
+        return None
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as error:
+        raise ValueError(f"golden {path} is not valid JSON: {error}")
+    if not isinstance(document, dict):
+        raise ValueError(f"golden {path} is not a JSON object")
+    schema = document.get("schema")
+    if schema != GOLDEN_SCHEMA:
+        raise ValueError(
+            f"golden {path} has unsupported schema {schema!r} "
+            f"(expected {GOLDEN_SCHEMA!r}); regenerate with "
+            f"'repro verify --regen'"
+        )
+    for field in ("artifact", "tier", "payload"):
+        if field not in document:
+            raise ValueError(f"golden {path} lacks the {field!r} field")
+    if document["artifact"] != artifact or document["tier"] != tier:
+        raise ValueError(
+            f"golden {path} claims artifact={document['artifact']!r} "
+            f"tier={document['tier']!r}, expected {artifact!r}/{tier!r}"
+        )
+    return document

@@ -1,0 +1,201 @@
+"""The verify run: compare artifacts against goldens, fuzz the backends.
+
+:func:`run_verify` is the library face of ``repro verify``.  It walks the
+tier's artifacts, recomputes each payload with the shared builder, compares
+it against the stored golden through the artifact's tolerance policy, then
+(optionally) runs the differential backend fuzzer - and folds everything
+into a schema-versioned :class:`VerifyReport` with a human rendering and a
+strict ok/not-ok verdict for the CLI's exit code.
+
+A *missing* golden is a failure under normal verification (an unpinned
+artifact is exactly the drift hole this subsystem exists to close) and the
+thing being created under ``--regen``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+from .. import obs
+from .artifacts import ARTIFACTS, artifact_names, build_payload, scope_for
+from .compare import Mismatch, compare_payloads, render_mismatches
+from .fuzz import FuzzReport, run_fuzz
+from .goldens import default_goldens_dir, load_golden, write_golden
+
+__all__ = ["REPORT_SCHEMA", "ArtifactResult", "VerifyReport", "run_verify"]
+
+#: Schema identifier of the JSON report ``repro verify --json`` writes.
+REPORT_SCHEMA = "repro.verify.report/1"
+
+
+@dataclass
+class ArtifactResult:
+    """Outcome of one artifact's golden comparison."""
+
+    artifact: str
+    status: str  #: 'pass' | 'fail' | 'missing' | 'regenerated'
+    fields_compared: int = 0
+    mismatches: List[Mismatch] = field(default_factory=list)
+    elapsed: float = 0.0
+    golden_path: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status in ("pass", "regenerated")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "artifact": self.artifact,
+            "status": self.status,
+            "fields_compared": self.fields_compared,
+            "mismatches": [m.to_dict() for m in self.mismatches],
+            "elapsed": self.elapsed,
+            "golden_path": self.golden_path,
+        }
+
+
+@dataclass
+class VerifyReport:
+    """Everything one verify run learned."""
+
+    tier: str
+    results: List[ArtifactResult] = field(default_factory=list)
+    fuzz: Optional[FuzzReport] = None
+    regen: bool = False
+
+    @property
+    def ok(self) -> bool:
+        artifacts_ok = all(result.ok for result in self.results)
+        fuzz_ok = self.fuzz is None or self.fuzz.ok
+        return artifacts_ok and fuzz_ok
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": REPORT_SCHEMA,
+            "tier": self.tier,
+            "ok": self.ok,
+            "regen": self.regen,
+            "artifacts": [result.to_dict() for result in self.results],
+            "fuzz": self.fuzz.to_dict() if self.fuzz is not None else None,
+        }
+
+    def render(self) -> str:
+        lines = [f"verify [{self.tier}]"]
+        for result in self.results:
+            title = ARTIFACTS[result.artifact].title
+            if result.status == "pass":
+                lines.append(
+                    f"  PASS {result.artifact}: {result.fields_compared} "
+                    f"field(s) within tolerance ({result.elapsed:.1f}s) "
+                    f"- {title}"
+                )
+            elif result.status == "regenerated":
+                lines.append(
+                    f"  REGEN {result.artifact}: wrote {result.golden_path} "
+                    f"({result.elapsed:.1f}s)"
+                )
+            elif result.status == "missing":
+                lines.append(
+                    f"  MISSING {result.artifact}: no golden at "
+                    f"{result.golden_path} (run 'repro verify --regen')"
+                )
+            else:
+                lines.append(
+                    "  FAIL "
+                    + render_mismatches(result.artifact, result.mismatches)
+                )
+        if self.fuzz is not None:
+            prefix = "  PASS " if self.fuzz.ok else "  FAIL "
+            lines.append(prefix + self.fuzz.render())
+        lines.append(f"verify: {'OK' if self.ok else 'FAILED'}")
+        return "\n".join(lines)
+
+
+def run_verify(
+    tier: str = "fast",
+    goldens_dir=None,
+    artifacts: Optional[Sequence[str]] = None,
+    regen: bool = False,
+    fuzz_cases: int = 0,
+    fuzz_seed: int = 0,
+    repro_dir=None,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+) -> VerifyReport:
+    """Run the conformance suite at ``tier``; returns the report.
+
+    ``artifacts`` restricts the artifact set (default: everything the tier
+    defines).  ``regen=True`` rewrites goldens instead of comparing.
+    ``fuzz_cases > 0`` appends a differential fuzzing stage; failures are
+    shrunk and dumped under ``repro_dir`` when given.
+    """
+    scope = scope_for(tier)
+    goldens_dir = (
+        Path(goldens_dir) if goldens_dir is not None else default_goldens_dir()
+    )
+    names = list(artifacts) if artifacts is not None else artifact_names(scope)
+    unknown = [name for name in names if name not in ARTIFACTS]
+    if unknown:
+        raise ValueError(
+            f"unknown artifact(s) {unknown}; known: {sorted(ARTIFACTS)}"
+        )
+    report = VerifyReport(tier=tier, regen=regen)
+    for name in names:
+        if not ARTIFACTS[name].available(scope):
+            continue
+        start = time.perf_counter()
+        with obs.span(f"verify.artifact.{name}"):
+            if regen:
+                payload = build_payload(name, scope, jobs=jobs,
+                                        cache_dir=cache_dir)
+                path = write_golden(goldens_dir, scope, name, payload)
+                report.results.append(ArtifactResult(
+                    name, "regenerated",
+                    elapsed=time.perf_counter() - start,
+                    golden_path=str(path),
+                ))
+                continue
+            document = load_golden(goldens_dir, tier, name)
+            if document is None:
+                from .goldens import golden_path
+
+                obs.count("verify.artifacts.missing")
+                report.results.append(ArtifactResult(
+                    name, "missing",
+                    elapsed=time.perf_counter() - start,
+                    golden_path=str(golden_path(goldens_dir, tier, name)),
+                ))
+                continue
+            payload = build_payload(name, scope, jobs=jobs,
+                                    cache_dir=cache_dir)
+            mismatches, compared = compare_payloads(
+                document["payload"], payload, ARTIFACTS[name].policy
+            )
+            status = "pass" if not mismatches else "fail"
+            obs.count(f"verify.artifacts.{status}")
+            report.results.append(ArtifactResult(
+                name, status,
+                fields_compared=compared,
+                mismatches=mismatches,
+                elapsed=time.perf_counter() - start,
+            ))
+    if fuzz_cases > 0:
+        report.fuzz = run_fuzz(
+            fuzz_cases, seed=fuzz_seed, repro_dir=repro_dir
+        )
+    return report
+
+
+def write_verify_report(report: VerifyReport, path) -> Path:
+    """Serialise the report as JSON at ``path`` (parents created)."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(
+        json.dumps(report.to_dict(), sort_keys=True, indent=1) + "\n",
+        encoding="utf-8",
+    )
+    return out

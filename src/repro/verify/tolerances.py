@@ -1,0 +1,168 @@
+"""Tolerance policies: how close is close enough, per metric.
+
+Every numeric comparison in the conformance layer - golden-vs-actual
+artifact checks, the differential backend fuzzer, and the cross-check
+tests under ``tests/`` - goes through a :class:`Tolerance`.  A tolerance
+is one of four kinds:
+
+* ``exact``   - equality; the only kind legal for classification fields
+  (arg-min PVT labels, VrefSelect names, detected-defect lists);
+* ``abs``     - absolute difference bound, for quantities with a natural
+  scale (node voltages in volts, DRVs);
+* ``rel``     - relative difference bound, for quantities spanning decades
+  (defect resistances, currents); an optional absolute floor handles
+  values near zero;
+* ``ulp``     - units-in-the-last-place bound, for bit-level contracts
+  (compiled-vs-reference assembly must agree to rounding, not to physics).
+
+The module doubles as the single home of the numeric constants that were
+historically duplicated across ``tests/test_cell_mna_crosscheck.py``,
+``tests/test_spice_properties.py`` and
+``tests/test_analysis_table2_table3.py``: a cross-check test and the
+golden suite must never drift apart on what "agreement" means.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Optional
+
+__all__ = [
+    "Tolerance",
+    "EXACT",
+    "ASSEMBLY_RTOL",
+    "ASSEMBLY_ATOL",
+    "ASSEMBLY_ULPS",
+    "DC_BACKEND_AGREEMENT_V",
+    "SWEEP_BATCH_AGREEMENT_V",
+    "NODE_VOLTAGE_ABS_V",
+    "COLLAPSE_SYMMETRY_ABS_V",
+    "LEAKAGE_REL",
+    "DRV_ABS_V",
+    "RESISTANCE_REL",
+    "VREG_ABS_V",
+    "TIME_REDUCTION_ABS",
+]
+
+# --- shared numeric constants (tests + golden policies) -------------------
+
+#: Compiled assembly vs the ``Element.stamp`` reference oracle: residuals
+#: and Jacobians must match to rounding (relative part of the bound).
+ASSEMBLY_RTOL = 1e-9
+#: Absolute floor of the assembly comparison (entries that are exactly
+#: zero on one path may carry accumulated rounding dust on the other).
+ASSEMBLY_ATOL = 1e-15
+#: The same contract expressed in units-in-the-last-place, for the
+#: differential fuzzer's ULP-kind checks.
+ASSEMBLY_ULPS = 256
+
+#: DC operating points solved by the two backends from the same initial
+#: state must agree to nanovolts.  Newton stops at the first iterate
+#: inside its tolerance band, and the two assembly paths round differently,
+#: so the stopping points can sit a few nanovolts apart on stiff random
+#: device networks - hence 5 nV rather than 1 nV.
+DC_BACKEND_AGREEMENT_V = 5e-9
+#: Batched lock-step Newton vs a sequential warm-started sweep: the paths
+#: differ legitimately by ~cond(J) * tol_i near ill-conditioned points
+#: (see ``tests/test_spice_sweep.py``), hence the looser bound.
+SWEEP_BATCH_AGREEMENT_V = 2e-5
+
+#: Vectorised cell analysis vs the general MNA solver on internal nodes.
+NODE_VOLTAGE_ABS_V = 2e-3
+#: Below-DRV monostability: both seeds must land on the same state.
+COLLAPSE_SYMMETRY_ABS_V = 5e-3
+#: Cell leakage: MNA supply current vs the analytic leakage model.
+LEAKAGE_REL = 0.02
+
+#: DRV goldens: the bisection quantum plus cross-platform BLAS noise.
+DRV_ABS_V = 5e-4
+#: Minimal defect resistances: ``log_bisect`` refines geometrically, so
+#: the natural bound is relative.
+RESISTANCE_REL = 1e-3
+#: Regulator output voltages in golden flows.
+VREG_ABS_V = 1e-4
+#: Table III's test-time reduction is a ratio of exact operation counts.
+TIME_REDUCTION_ABS = 1e-9
+
+
+def _ulp_diff(a: float, b: float) -> float:
+    """Distance between two floats in units of the larger one's ulp."""
+    if a == b:
+        return 0.0
+    spacing = max(math.ulp(a), math.ulp(b))
+    return abs(a - b) / spacing
+
+
+@dataclass(frozen=True)
+class Tolerance:
+    """One comparison rule.  Build via the class methods, not directly."""
+
+    kind: str  #: 'exact' | 'abs' | 'rel' | 'ulp'
+    value: float = 0.0
+    floor: float = 0.0  #: absolute floor for 'rel' comparisons near zero
+
+    @classmethod
+    def exact(cls) -> "Tolerance":
+        return cls("exact")
+
+    @classmethod
+    def abs(cls, value: float) -> "Tolerance":
+        return cls("abs", float(value))
+
+    @classmethod
+    def rel(cls, value: float, floor: float = 0.0) -> "Tolerance":
+        return cls("rel", float(value), float(floor))
+
+    @classmethod
+    def ulp(cls, ulps: float) -> "Tolerance":
+        return cls("ulp", float(ulps))
+
+    def check(self, expected: Any, actual: Any) -> bool:
+        """True when ``actual`` is acceptably close to ``expected``.
+
+        Non-numeric values (strings, bools, None, lists) are compared for
+        equality under every kind; a None-vs-number pairing always fails
+        (a vanished metric is a conformance failure, not a rounding one).
+        """
+        if isinstance(expected, bool) or isinstance(actual, bool):
+            return expected == actual
+        e_num = isinstance(expected, (int, float))
+        a_num = isinstance(actual, (int, float))
+        if not (e_num and a_num):
+            return expected == actual
+        e, a = float(expected), float(actual)
+        if math.isnan(e) or math.isnan(a):
+            return math.isnan(e) and math.isnan(a)
+        if self.kind == "exact":
+            return e == a
+        if self.kind == "abs":
+            return abs(a - e) <= self.value
+        if self.kind == "rel":
+            return abs(a - e) <= max(self.value * abs(e), self.floor)
+        if self.kind == "ulp":
+            return _ulp_diff(e, a) <= self.value
+        raise ValueError(f"unknown tolerance kind {self.kind!r}")
+
+    def describe(self) -> str:
+        if self.kind == "exact":
+            return "exact"
+        if self.kind == "abs":
+            return f"abs<={self.value:g}"
+        if self.kind == "rel":
+            if self.floor:
+                return f"rel<={self.value:g} (floor {self.floor:g})"
+            return f"rel<={self.value:g}"
+        return f"ulp<={self.value:g}"
+
+    def to_dict(self) -> dict:
+        out = {"kind": self.kind}
+        if self.kind != "exact":
+            out["value"] = self.value
+        if self.floor:
+            out["floor"] = self.floor
+        return out
+
+
+#: Shared singleton for the common case.
+EXACT = Tolerance.exact()

@@ -1,19 +1,77 @@
-"""Shared fixtures.
+"""Shared fixtures and suite-wide determinism discipline.
 
 Electrical results that several test modules need (DRVs, operating points)
 are computed once per session here - a DRV bisection costs a quarter of a
 second, so caching matters for suite runtime.
+
+Two suite-wide rules enforce reproducibility:
+
+* hypothesis runs under a ``derandomize=True`` profile, so property tests
+  explore the same example sequence on every run (a failure seen in CI is
+  a failure seen locally, always);
+* an autouse fixture seeds the *global* ``random`` / ``numpy.random``
+  state per test from the test's nodeid, then fails the test if it
+  consumed that global state.  Library code must thread explicit
+  ``numpy.random.default_rng(seed)`` generators; a test that genuinely
+  needs global RNG opts out with ``@pytest.mark.uses_global_rng``.
 """
 
 from __future__ import annotations
 
+import random
+import zlib
+
+import numpy as np
 import pytest
+from hypothesis import settings as hypothesis_settings
 
 from repro.cell import drv_ds1
 from repro.devices import CellVariation
 from repro.devices.pvt import PVT
 from repro.regulator import VrefSelect, solve_regulator
 from repro.sram import SRAMConfig
+
+hypothesis_settings.register_profile("repro", derandomize=True)
+hypothesis_settings.load_profile("repro")
+
+
+def _np_state_fingerprint():
+    name, keys, pos, has_gauss, cached = np.random.get_state()
+    return (name, keys.tobytes(), int(pos), int(has_gauss), float(cached))
+
+
+@pytest.fixture(autouse=True)
+def _seeded_global_rng(request):
+    """Seed global RNGs per test; fail tests that silently consume them.
+
+    The seed is derived from the test's nodeid so every test sees a
+    distinct but reproducible stream even when one sneaks a draw in.
+    """
+    seed = zlib.crc32(request.node.nodeid.encode("utf-8"))
+    random.seed(seed)
+    np.random.seed(seed)
+    py_state = random.getstate()
+    np_state = _np_state_fingerprint()
+    yield
+    if request.node.get_closest_marker("uses_global_rng"):
+        return
+    function = getattr(request, "function", None)
+    if function is not None and getattr(function, "is_hypothesis_test", False):
+        # hypothesis manages (and legitimately advances) global RNG state.
+        return
+    consumed = []
+    if random.getstate() != py_state:
+        consumed.append("random")
+    if _np_state_fingerprint() != np_state:
+        consumed.append("numpy.random")
+    if consumed:
+        pytest.fail(
+            f"test consumed unseeded global RNG state ({', '.join(consumed)}); "
+            "thread an explicit numpy.random.default_rng(seed) / "
+            "random.Random(seed) instead, or mark the test with "
+            "@pytest.mark.uses_global_rng",
+            pytrace=False,
+        )
 
 
 @pytest.fixture(scope="session")

@@ -11,6 +11,7 @@ from repro.analysis.table2 import (
 from repro.analysis.table3 import render_table3, table3_flow
 from repro.devices.pvt import PVT
 from repro.regulator import VrefSelect
+from repro.verify.tolerances import TIME_REDUCTION_ABS
 
 ONE_PVT = (PVT("fs", 1.0, 125.0),)
 
@@ -66,7 +67,9 @@ class TestTable3Reduced:
             (1.1, VrefSelect.VREF70),
             (1.2, VrefSelect.VREF64),
         ]
-        assert flow.time_reduction() == pytest.approx(0.75)
+        assert flow.time_reduction() == pytest.approx(
+            0.75, abs=TIME_REDUCTION_ABS
+        )
 
     def test_render(self):
         flow = table3_flow(defect_ids=(1, 3, 4))

@@ -12,6 +12,11 @@ from repro.cell import DEFAULT_CELL, cell_leakage_current
 from repro.cell.leakage import _hold_state
 from repro.devices import CellVariation
 from repro.spice import solve_dc
+from repro.verify.tolerances import (
+    COLLAPSE_SYMMETRY_ABS_V,
+    LEAKAGE_REL,
+    NODE_VOLTAGE_ABS_V,
+)
 
 SYM = CellVariation.symmetric()
 
@@ -32,15 +37,19 @@ class TestHoldStateAgreement:
         models = DEFAULT_CELL.models(SYM, "typical", 25.0)
         s_vec, sb_vec = _hold_state(np.array(vdd), models)
         _c, sol = _solve_hold(vdd)
-        assert sol.voltage("s") == pytest.approx(float(s_vec), abs=2e-3)
-        assert sol.voltage("sb") == pytest.approx(float(sb_vec), abs=2e-3)
+        assert sol.voltage("s") == pytest.approx(
+            float(s_vec), abs=NODE_VOLTAGE_ABS_V
+        )
+        assert sol.voltage("sb") == pytest.approx(
+            float(sb_vec), abs=NODE_VOLTAGE_ABS_V
+        )
 
     def test_supply_current_matches_leakage_model(self):
         vdd = 0.8
         _c, sol = _solve_hold(vdd)
         mna_current = -sol.branch_current("vddc")
         model_current = cell_leakage_current(vdd)
-        assert mna_current == pytest.approx(model_current, rel=0.02)
+        assert mna_current == pytest.approx(model_current, rel=LEAKAGE_REL)
 
     def test_bistability_in_hold(self):
         _c1, sol1 = _solve_hold(0.9, state_high=True)
@@ -56,5 +65,5 @@ class TestHoldStateAgreement:
         _c0, sol0 = _solve_hold(vdd, variation, state_high=False)
         # Stored '1' is untenable: node S collapses regardless of the seed.
         assert sol1.voltage("s") - sol1.voltage("sb") == pytest.approx(
-            sol0.voltage("s") - sol0.voltage("sb"), abs=5e-3
+            sol0.voltage("s") - sol0.voltage("sb"), abs=COLLAPSE_SYMMETRY_ABS_V
         )

@@ -1,0 +1,111 @@
+"""Mutation-style proof that March m-LZ's 5N+4 length is load-bearing.
+
+Satellite of the verify tentpole: every DRF_DS fault-model variant must be
+(a) detected by the full March m-LZ and (b) *missed* by at least one
+strictly shorter prefix of it.  If a future edit drops or reorders an
+element and some variant is still caught by a shorter test, these tests
+localise exactly which element stopped paying for itself.
+
+The minimal detecting prefixes are themselves pinned:
+
+* lost-1 variants need ME1..ME4 (the first sleep cycle plus ME4's r1);
+* lost-0 variants need all seven elements - ME5/ME6's second sleep on the
+  all-0s background and ME7's r0 are exactly the extension the paper adds
+  over March LZ.
+"""
+
+import pytest
+
+from repro.march import evaluate_coverage, march_lz, march_m_lz
+from repro.march.dsl import MarchTest
+from repro.march.library import march_c_minus, march_ss, mats_plus
+from repro.sram import SRAMConfig, drf_ds_variants
+
+CFG = SRAMConfig(n_words=16, word_bits=4)
+
+VARIANTS = drf_ds_variants(addr=3, bit=1)
+VARIANT_LABELS = [label for label, _ in VARIANTS]
+
+#: Element count of the shortest March m-LZ prefix that detects each
+#: variant.  7 == the full test: removing anything breaks detection.
+MINIMAL_DETECTING_PREFIX = {
+    "DRF_DS1": 4,
+    "DRF_DS1_slow": 4,
+    "DRF_DS0": 7,
+    "DRF_DS0_slow": 7,
+}
+
+
+def _prefix(test: MarchTest, k: int) -> MarchTest:
+    return MarchTest(f"{test.name}[:{k}]", test.elements[:k])
+
+
+def _detects(test: MarchTest, label: str) -> bool:
+    instances = [pair for pair in VARIANTS if pair[0] == label]
+    assert instances, f"unknown variant {label}"
+    return evaluate_coverage(test, instances, config=CFG).coverage == 1.0
+
+
+class TestFullTestDetectsEverything:
+    @pytest.mark.parametrize("label", VARIANT_LABELS)
+    def test_march_m_lz_detects(self, label):
+        assert _detects(march_m_lz(), label)
+
+
+class TestEveryVariantEscapesAShorterPrefix:
+    @pytest.mark.parametrize("label", VARIANT_LABELS)
+    def test_some_strict_prefix_misses(self, label):
+        full = march_m_lz()
+        missed_by = [
+            k
+            for k in range(1, len(full.elements))
+            if not _detects(_prefix(full, k), label)
+        ]
+        assert missed_by, f"{label} caught by every strict prefix"
+
+    @pytest.mark.parametrize("label", VARIANT_LABELS)
+    def test_minimal_detecting_prefix_is_pinned(self, label):
+        """Detection flips exactly at the pinned prefix length and stays on."""
+        full = march_m_lz()
+        expected = MINIMAL_DETECTING_PREFIX[label]
+        for k in range(1, len(full.elements) + 1):
+            assert _detects(_prefix(full, k), label) == (k >= expected), (
+                f"{label}: prefix of {k} element(s) "
+                f"{'detects' if k < expected else 'misses'} unexpectedly"
+            )
+
+    def test_lost_zero_variants_need_the_full_test(self):
+        """The paper's extension (ME5..ME7) is exactly what DS0 needs."""
+        assert all(
+            MINIMAL_DETECTING_PREFIX[label] == len(march_m_lz().elements)
+            for label in ("DRF_DS0", "DRF_DS0_slow")
+        )
+
+
+class TestMarchLZGap:
+    """March LZ == the 4-element prefix: it inherits exactly that gap."""
+
+    @pytest.mark.parametrize("label", ["DRF_DS1", "DRF_DS1_slow"])
+    def test_march_lz_detects_lost_ones(self, label):
+        assert _detects(march_lz(), label)
+
+    @pytest.mark.parametrize("label", ["DRF_DS0", "DRF_DS0_slow"])
+    def test_march_lz_misses_lost_zeros(self, label):
+        assert not _detects(march_lz(), label)
+
+    def test_classic_tests_are_blind_to_drf_ds(self):
+        """No DSM operation, no retention stress, zero coverage."""
+        for factory in (mats_plus, march_c_minus, march_ss):
+            report = evaluate_coverage(factory(), VARIANTS, config=CFG)
+            assert report.coverage == 0.0, factory().name
+
+
+class TestDSTimeIsLoadBearing:
+    def test_short_sleep_misses_slow_variants(self):
+        """A DSM shorter than the recommended DS time skips slow DRFs."""
+        quick = march_m_lz(ds_time=1e-6)
+        for label in ("DRF_DS1_slow", "DRF_DS0_slow"):
+            assert not _detects(quick, label)
+        # ...while the instantaneous variants are still caught.
+        for label in ("DRF_DS1", "DRF_DS0"):
+            assert _detects(quick, label)

@@ -18,6 +18,11 @@ import pytest
 from hypothesis import assume, given, settings, strategies as st
 
 from repro.spice import Circuit, solve_dc
+from repro.verify.tolerances import (
+    ASSEMBLY_ATOL,
+    ASSEMBLY_RTOL,
+    DC_BACKEND_AGREEMENT_V,
+)
 
 
 @st.composite
@@ -192,8 +197,8 @@ class TestCompiledVsReference:
         plan = compiled_plan(circuit)
         plan.refresh()
         residual, jacobian = plan.assemble(x, gmin, scale)
-        np.testing.assert_allclose(residual, residual_ref, rtol=1e-9, atol=1e-15)
-        np.testing.assert_allclose(jacobian, jacobian_ref, rtol=1e-9, atol=1e-15)
+        np.testing.assert_allclose(residual, residual_ref, rtol=ASSEMBLY_RTOL, atol=ASSEMBLY_ATOL)
+        np.testing.assert_allclose(jacobian, jacobian_ref, rtol=ASSEMBLY_RTOL, atol=ASSEMBLY_ATOL)
 
     @settings(max_examples=40, deadline=None)
     @given(device_circuits(), st.data())
@@ -213,8 +218,8 @@ class TestCompiledVsReference:
         plan = compiled_plan(circuit)
         plan.refresh()
         residual, jacobian = plan.assemble(x, 1e-12, 1.0, dt=dt, x_prev=x_prev)
-        np.testing.assert_allclose(residual, residual_ref, rtol=1e-9, atol=1e-15)
-        np.testing.assert_allclose(jacobian, jacobian_ref, rtol=1e-9, atol=1e-15)
+        np.testing.assert_allclose(residual, residual_ref, rtol=ASSEMBLY_RTOL, atol=ASSEMBLY_ATOL)
+        np.testing.assert_allclose(jacobian, jacobian_ref, rtol=ASSEMBLY_RTOL, atol=ASSEMBLY_ATOL)
 
     @settings(max_examples=20, deadline=None)
     @given(device_circuits())
@@ -228,7 +233,7 @@ class TestCompiledVsReference:
         compiled = solve_dc(circuit, backend="compiled")
         n_nodes = circuit.node_count - 1
         diff = np.abs(reference.x[:n_nodes] - compiled.x[:n_nodes])
-        assert diff.max() <= 1e-9
+        assert diff.max() <= DC_BACKEND_AGREEMENT_V
 
     @settings(max_examples=20, deadline=None)
     @given(device_circuits(), st.data())
@@ -251,5 +256,5 @@ class TestCompiledVsReference:
         plan.refresh()
         residual, jacobian = plan.assemble(x, 1e-12, 1.0)
         residual_ref, jacobian_ref = _assemble(circuit, x, 1e-12, 1.0)
-        np.testing.assert_allclose(residual, residual_ref, rtol=1e-9, atol=1e-15)
-        np.testing.assert_allclose(jacobian, jacobian_ref, rtol=1e-9, atol=1e-15)
+        np.testing.assert_allclose(residual, residual_ref, rtol=ASSEMBLY_RTOL, atol=ASSEMBLY_ATOL)
+        np.testing.assert_allclose(jacobian, jacobian_ref, rtol=ASSEMBLY_RTOL, atol=ASSEMBLY_ATOL)

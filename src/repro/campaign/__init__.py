@@ -9,10 +9,18 @@ them from hand-rolled serial loops into *campaigns*:
   the content-hashable description of the work;
 * :mod:`repro.campaign.tasks` - the registry of task implementations
   workers look up by name;
-* :mod:`repro.campaign.executor` - serial or process-pool execution with
-  chunked dispatch, retries with backoff, failure downgrade, worker-crash
-  recovery (pool respawn + poison-point quarantine), per-task deadlines
-  and graceful SIGINT/SIGTERM drain;
+* :mod:`repro.campaign.scheduler` - the pure-logic placement/retry
+  policy: per-tenant fair-share queues, token-bucket rate limits,
+  lost-chunk bisection, suspect graduation and the respawn cap, all
+  clock-injected and unit-testable without processes;
+* :mod:`repro.campaign.runtime` - the process side: the in-worker task
+  loop, the :class:`WorkerRuntime` owning the ``ProcessPoolExecutor``,
+  and the :class:`Pump` dispatch loop shared by the one-shot executor
+  and the ``repro serve`` daemon;
+* :mod:`repro.campaign.executor` - the one-shot driver: serial or
+  process-pool execution with chunked dispatch, retries with backoff,
+  failure downgrade, worker-crash recovery (pool respawn + poison-point
+  quarantine), per-task deadlines and graceful SIGINT/SIGTERM drain;
 * :mod:`repro.campaign.cache` - the append-only JSONL result store behind
   cache-hit skip and checkpoint/resume;
 * :mod:`repro.campaign.memo` - the shared per-process DRV memo;
@@ -27,8 +35,16 @@ next to the result cache (see ``repro stats``).
 """
 
 from .cache import FAILURE_STATUSES, ResultCache, TaskRecord
-from .executor import BackoffPolicy, CampaignResult, Executor, run_campaign
+from .executor import CampaignResult, Executor, run_campaign
 from .metrics import CampaignSummary, ProgressReporter
+from .runtime import ChunkEnv, Pump, WorkerRuntime, run_chunk
+from .scheduler import (
+    BackoffPolicy,
+    Chunk,
+    RateLimit,
+    RespawnBudgetExceeded,
+    Scheduler,
+)
 from .spec import SweepSpec, TaskPoint, canonical, digest
 from .tasks import code_digest, get_task, registered_kinds, task
 
@@ -36,18 +52,26 @@ __all__ = [
     "BackoffPolicy",
     "CampaignResult",
     "CampaignSummary",
+    "Chunk",
+    "ChunkEnv",
     "Executor",
     "FAILURE_STATUSES",
     "ProgressReporter",
+    "Pump",
+    "RateLimit",
+    "RespawnBudgetExceeded",
     "ResultCache",
+    "Scheduler",
     "SweepSpec",
     "TaskPoint",
     "TaskRecord",
+    "WorkerRuntime",
     "canonical",
     "code_digest",
     "digest",
     "get_task",
     "registered_kinds",
     "run_campaign",
+    "run_chunk",
     "task",
 ]

@@ -22,15 +22,27 @@ types.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Iterable, Optional
+from typing import Any, Dict, Iterable, Iterator, Optional
 
-from .. import chaos
+try:  # POSIX only; the lock degrades to a no-op elsewhere
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platform
+    fcntl = None  # type: ignore[assignment]
+
+from .. import chaos, obs
 
 RESULTS_FILENAME = "results.jsonl"
+
+#: Sidecar file taken with ``flock`` around every append/compact.  A
+#: separate file (not the store itself) because :meth:`ResultCache.compact`
+#: atomically replaces the store's inode, which would silently orphan any
+#: lock held on the old one.
+LOCK_FILENAME = "results.lock"
 
 #: Task statuses that count as failures (everything but "ok").
 FAILURE_STATUSES = ("failed", "crashed", "timeout")
@@ -90,6 +102,7 @@ class ResultCache:
         self.directory = Path(cache_dir)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.path = self.directory / RESULTS_FILENAME
+        self.lock_path = self.directory / LOCK_FILENAME
         self._records: Dict[str, TaskRecord] = {}
         self._loaded = False
         #: Lines dropped by the last :meth:`load` because they failed to
@@ -97,6 +110,32 @@ class ResultCache:
         self.corrupt_lines = 0
         #: Total JSONL lines (valid or not) seen by the last :meth:`load`.
         self.total_lines = 0
+
+    @contextlib.contextmanager
+    def _locked(self) -> Iterator[None]:
+        """Advisory exclusive lock serialising writers across processes.
+
+        Multiple campaign processes (or a daemon plus a one-shot CLI run)
+        may share one cache directory; ``flock`` on the sidecar file keeps
+        their appended lines from interleaving mid-record and compaction
+        from racing a concurrent append.  The fast path is uncontended; a
+        blocked acquisition is counted as ``cache.lock.contention`` so
+        lock pressure is visible in ``repro stats``.  On platforms without
+        ``fcntl`` the lock is a no-op (single-writer semantics, as before).
+        """
+        if fcntl is None:
+            yield
+            return
+        with self.lock_path.open("a") as lock_fh:
+            try:
+                fcntl.flock(lock_fh, fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError:
+                obs.count("cache.lock.contention")
+                fcntl.flock(lock_fh, fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(lock_fh, fcntl.LOCK_UN)
 
     def load(self) -> Dict[str, TaskRecord]:
         """Read the store, dropping (but counting) unparsable lines."""
@@ -141,12 +180,15 @@ class ResultCache:
         if not records:
             return
         self.load()
-        with self.path.open("a", encoding="utf-8") as fh:
-            for record in records:
-                fh.write(chaos.corrupt_line(record.to_json(), record.key) + "\n")
-                self._records[record.key] = record
-            fh.flush()
-            os.fsync(fh.fileno())
+        with self._locked():
+            with self.path.open("a", encoding="utf-8") as fh:
+                for record in records:
+                    fh.write(
+                        chaos.corrupt_line(record.to_json(), record.key) + "\n"
+                    )
+                    self._records[record.key] = record
+                fh.flush()
+                os.fsync(fh.fileno())
 
     def compact(self, keep_fingerprint: Optional[str] = None) -> int:
         """Rewrite the store down to its live records; returns lines dropped.
@@ -157,25 +199,26 @@ class ResultCache:
         fingerprint.  The rewrite goes through a temp file and an atomic
         ``os.replace`` so a kill mid-compact loses nothing.
         """
-        self._loaded = False  # re-read the file as it is on disk
-        records = self.load()
-        keep = [
-            record for record in records.values()
-            if keep_fingerprint is None
-            or record.fingerprint == keep_fingerprint
-        ]
-        dropped = self.total_lines - len(keep)
-        tmp_path = self.path.with_suffix(".jsonl.tmp")
-        with tmp_path.open("w", encoding="utf-8") as fh:
-            for record in keep:
-                fh.write(record.to_json() + "\n")
-            fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(tmp_path, self.path)
-        self._records = {record.key: record for record in keep}
-        self.total_lines = len(keep)
-        self.corrupt_lines = 0
-        return dropped
+        with self._locked():
+            self._loaded = False  # re-read the file as it is on disk
+            records = self.load()
+            keep = [
+                record for record in records.values()
+                if keep_fingerprint is None
+                or record.fingerprint == keep_fingerprint
+            ]
+            dropped = self.total_lines - len(keep)
+            tmp_path = self.path.with_suffix(".jsonl.tmp")
+            with tmp_path.open("w", encoding="utf-8") as fh:
+                for record in keep:
+                    fh.write(record.to_json() + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp_path, self.path)
+            self._records = {record.key: record for record in keep}
+            self.total_lines = len(keep)
+            self.corrupt_lines = 0
+            return dropped
 
     def __len__(self) -> int:
         return len(self.load())

@@ -1,9 +1,15 @@
 """Campaign execution: serial or process-pool, cache-aware, fault-tolerant.
 
-The executor walks a :class:`~repro.campaign.spec.SweepSpec`, skips every
-point already present in the persistent cache under the current
-fingerprint, and runs the rest - inline when ``jobs=1`` (bit-identical to
-the historical serial loops), on a ``ProcessPoolExecutor`` otherwise.
+Since the scheduler/worker split this module is the *one-shot driver*: it
+walks a :class:`~repro.campaign.spec.SweepSpec`, skips every point already
+present in the persistent cache under the current fingerprint, and runs
+the rest - inline when ``jobs=1`` (bit-identical to the historical serial
+loops), otherwise by priming a :class:`~repro.campaign.scheduler.Scheduler`
+with the pending chunks and pumping it through a
+:class:`~repro.campaign.runtime.WorkerRuntime` until drained.  The
+``repro serve`` daemon (:mod:`repro.serve`) drives the same scheduler and
+runtime continuously for many tenants; the policy lives in exactly one
+place either way.
 
 Tasks are dispatched in chunks so worker round-trips amortise the pickling
 overhead, and every finished chunk is checkpointed to the cache before the
@@ -27,11 +33,11 @@ Failure policy (the full matrix lives in DESIGN.md Section 11):
   deterministic per-key jitter), then recorded as ``status="failed"``.
 
 Worker-crash recovery: a dead worker (segfault, OOM kill, chaos
-``os._exit``) breaks the whole pool.  The executor catches
-``BrokenProcessPool``, rebuilds the pool (``campaign.pool.respawns``),
-and requeues the lost chunks with bisection - multi-point chunks split in
-half, repeat-offender single points go to an *isolation queue* that runs
-them one at a time with nothing else in flight, so a crash there blames
+``os._exit``) breaks the whole pool.  The pump catches the broken pool,
+rebuilds it (``campaign.pool.respawns``), and the scheduler requeues the
+lost chunks with bisection - multi-point chunks split in half,
+repeat-offender single points go to an *isolation queue* that runs them
+one at a time with nothing else in flight, so a crash there blames
 exactly one point.  Convicted points are quarantined as
 ``status="crashed"`` records (``campaign.task.quarantined``) and the rest
 of the sweep survives.  A parent-side per-chunk wall-clock budget
@@ -40,7 +46,7 @@ the pool is killed and the same bisection machinery isolates the hung
 point as ``status="timeout"``.
 
 Graceful interrupts: SIGINT/SIGTERM set a shutdown flag instead of
-unwinding the stack.  The executor stops submitting, drains in-flight
+unwinding the stack.  The pump stops submitting, drains in-flight
 futures, checkpoints their records, marks the run ``interrupted`` (trace
 event, summary flag, ``interrupted: true`` in the report) and returns
 normally so ``--resume`` picks up cleanly; the CLI maps the flag to a
@@ -64,154 +70,38 @@ from __future__ import annotations
 
 import signal
 import threading
-import time
-from collections import deque
-from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Any, Deque, Dict, IO, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, IO, List, Optional, Sequence, Tuple, Union
 
-from .. import chaos, obs, watchdog
+from .. import chaos, obs
 from ..chaos import ChaosSpec
 from ..obs.report import build_report, write_report
 from ..obs.trace import TRACE_FILENAME, TraceWriter, null_trace
-from ..spice import ConvergenceError
 from .cache import ResultCache, TaskRecord
 from .metrics import CampaignSummary, ProgressReporter
+from .runtime import (
+    NON_RETRYABLE,
+    ChunkEnv,
+    Pump,
+    WorkerRuntime,
+    run_chunk,
+    run_one,
+)
+from .scheduler import BackoffPolicy, Chunk, Scheduler, chunk_points
 from .spec import SweepSpec, TaskPoint
-from .tasks import get_task
 
-#: Deterministic failures that must fail fast instead of burning retries:
-#: bad task parameters or unknown kinds produce the same exception on
-#: every attempt.
-NON_RETRYABLE = (ValueError, TypeError, KeyError)
+__all__ = [
+    "BackoffPolicy",
+    "CampaignResult",
+    "Executor",
+    "NON_RETRYABLE",
+    "run_campaign",
+]
 
-#: How many times a single-point chunk may be lost to pool breaks before
-#: it is sent to the isolation queue for a definitive verdict.
-_SUSPECT_AFTER_LOSSES = 2
-
-
-@dataclass(frozen=True)
-class BackoffPolicy:
-    """Retry spacing: exponential growth with deterministic jitter.
-
-    The delay before retry ``attempt`` (1-based count of failures so far)
-    is ``min(cap_s, base_s * factor**(attempt-1))`` scaled by a jitter
-    factor in ``[0.5, 1.0)`` derived from the task key - deterministic per
-    (key, attempt) so reruns behave identically, but decorrelated across
-    keys so a pool of workers retrying a burst of transient failures does
-    not stampede in lock-step.  ``base_s=0`` disables sleeping (tests).
-    """
-
-    base_s: float = 0.05
-    factor: float = 2.0
-    cap_s: float = 2.0
-
-    def delay(self, key: str, attempt: int) -> float:
-        if self.base_s <= 0.0:
-            return 0.0
-        raw = min(self.cap_s, self.base_s * self.factor ** max(0, attempt - 1))
-        jitter = 0.5 + 0.5 * chaos.stable_fraction("backoff", key, attempt)
-        return raw * jitter
-
-
-def _run_one(
-    point: TaskPoint,
-    context: Dict[str, Any],
-    fingerprint: str,
-    retries: int,
-    deadline_s: Optional[float] = None,
-    backoff: Optional[BackoffPolicy] = None,
-) -> TaskRecord:
-    """Execute one task point, downgrading failures to records."""
-    start = time.perf_counter()
-    attempts = 0
-
-    def record(status: str, value: Any = None,
-               error: Optional[str] = None) -> TaskRecord:
-        return TaskRecord(
-            key=point.key, kind=point.kind, params=point.as_dict(),
-            fingerprint=fingerprint, status=status, value=value, error=error,
-            elapsed=time.perf_counter() - start, attempts=attempts,
-        )
-
-    while True:
-        attempts += 1
-        try:
-            with watchdog.deadline(deadline_s):
-                chaos.on_task(point.key, attempts)
-                value = get_task(point.kind)(point.as_dict(), context)
-        except ConvergenceError as exc:
-            # Deterministic solver failure: retrying cannot help.
-            return record("failed", error=f"ConvergenceError: {exc}")
-        except watchdog.DeadlineExceeded as exc:
-            # The point already burned its whole budget; a retry would
-            # stall the sweep for another deadline_s for nothing.
-            obs.count("campaign.watchdog.expiries")
-            return record("timeout", error=f"DeadlineExceeded: {exc}")
-        except NON_RETRYABLE as exc:
-            # Deterministic caller bug: identical on every attempt.
-            return record("failed", error=f"{type(exc).__name__}: {exc}")
-        except Exception as exc:  # noqa: BLE001 - the sweep must survive
-            if attempts <= retries:
-                delay = backoff.delay(point.key, attempts) if backoff else 0.0
-                if delay > 0.0:
-                    obs.observe("campaign.retry.backoff.seconds", delay)
-                    time.sleep(delay)
-                obs.count("campaign.retries")
-                continue
-            return record("failed", error=f"{type(exc).__name__}: {exc}")
-        return record("ok", value=value)
-
-
-def _run_chunk(
-    points: Sequence[TaskPoint],
-    context: Dict[str, Any],
-    fingerprint: str,
-    retries: int,
-    observe: bool = False,
-    deadline_s: Optional[float] = None,
-    backoff: Optional[BackoffPolicy] = None,
-    chaos_cfg: Optional[Tuple[chaos.ChaosSpec, str, bool]] = None,
-) -> Tuple[List[TaskRecord], Optional[Dict[str, Any]]]:
-    """Worker entry point: run a chunk of points back to back.
-
-    Returns ``(records, recorder snapshot or None)``.  Each chunk meters
-    itself under a fresh recorder so worker process reuse across chunks
-    can never double-count; the parent merges the snapshots.
-    ``chaos_cfg`` is ``(spec, seed, allow_exit)``; the injector is
-    (re-)installed per chunk so forked workers never inherit the parent's
-    exit-suppressed instance.
-    """
-    spec, seed, allow_exit = chaos_cfg if chaos_cfg else (None, "", True)
-    with chaos.injection(spec, seed, allow_exit=allow_exit):
-        if not observe:
-            return [
-                _run_one(p, context, fingerprint, retries, deadline_s, backoff)
-                for p in points
-            ], None
-        with obs.recording() as recorder:
-            records = []
-            for point in points:
-                with obs.span(f"task.{point.kind}"):
-                    record = _run_one(
-                        point, context, fingerprint, retries, deadline_s,
-                        backoff,
-                    )
-                obs.observe("task.seconds", record.elapsed)
-                records.append(record)
-    return records, recorder.snapshot()
-
-
-def _worker_init() -> None:
-    """Pool-worker initializer: the parent owns interrupt handling.
-
-    Workers ignore SIGINT so a Ctrl-C reaches only the campaign process,
-    which drains and checkpoints; default SIGTERM disposition is kept so
-    an impatient ``kill`` of the whole group still works (the parent then
-    sees a broken pool while draining and abandons the lost chunks).
-    """
-    signal.signal(signal.SIGINT, signal.SIG_IGN)
+#: Backwards-compatible aliases: the worker-side task loop moved to
+#: :mod:`repro.campaign.runtime` with the scheduler/runtime split.
+_run_one = run_one
+_run_chunk = run_chunk
 
 
 @dataclass
@@ -279,8 +169,8 @@ class Executor:
     def request_interrupt(self, signum: Optional[int] = None) -> None:
         """Ask the running campaign to drain, checkpoint and return.
 
-        Idempotent and safe from signal handlers; the executor polls the
-        flag between chunks (serial) / submissions (pool).
+        Idempotent and safe from signal handlers; the pump polls the
+        flag between chunks (serial) / scheduling rounds (pool).
         """
         self._interrupted = True
         if signum is not None and self._interrupt_signal is None:
@@ -315,31 +205,7 @@ class Executor:
     # -- chunking ----------------------------------------------------------
 
     def _chunk(self, pending: Sequence[TaskPoint]) -> List[List[TaskPoint]]:
-        if self.chunksize is not None:
-            size = max(1, self.chunksize)
-        elif self.jobs == 1:
-            # Inline execution has no dispatch overhead to amortise;
-            # checkpoint after every task so interrupts lose nothing.
-            size = 1
-        else:
-            # Aim for ~4 chunks per worker so stragglers rebalance, while
-            # keeping chunks big enough to amortise dispatch.
-            size = max(1, min(8, -(-len(pending) // (self.jobs * 4))))
-        return [
-            list(pending[i:i + size]) for i in range(0, len(pending), size)
-        ]
-
-    def _chunk_budget(self, n_points: int) -> Optional[float]:
-        """Parent-side wall-clock budget for one chunk, or None.
-
-        Generous by construction: the worker-side watchdog fires at
-        ``deadline_s`` per task and returns a normal timeout record, so
-        the parent budget only triggers for hangs in code the watchdog
-        cannot see (C extensions, ``time.sleep``, a wedged worker).
-        """
-        if self.deadline_s is None:
-            return None
-        return self.deadline_s * n_points + max(0.5, self.deadline_s)
+        return chunk_points(pending, self.jobs, self.chunksize)
 
     # -- the run -----------------------------------------------------------
 
@@ -422,7 +288,7 @@ class Executor:
             # os._exit the campaign process itself) serves two roles: it is
             # the injector for inline jobs=1 execution, and it mangles
             # cache lines in absorb() when a corruption rate is configured.
-            # Workers install their own (allow_exit=True) via chaos_cfg.
+            # Workers install their own (allow_exit=True) via the chunk env.
             with chaos.injection(
                 self.chaos_spec, self._chaos_seed, allow_exit=False
             ):
@@ -461,12 +327,12 @@ class Executor:
     # -- serial path -------------------------------------------------------
 
     def _run_serial(self, chunks, context, fingerprint, absorb) -> None:
-        # No chaos_cfg: the parent-level injector installed by run()
+        # No chunk-env chaos: the parent-level injector installed by run()
         # (allow_exit=False) already covers inline execution.
         for chunk in chunks:
             if self._interrupted:
                 break
-            absorb(*_run_chunk(
+            absorb(*run_chunk(
                 chunk, context, fingerprint, self.retries, self.observe,
                 self.deadline_s, self.backoff, None,
             ))
@@ -478,246 +344,39 @@ class Executor:
             return None
         return (self.chaos_spec, self._chaos_seed, in_worker)
 
-    def _make_pool(self) -> ProcessPoolExecutor:
-        return ProcessPoolExecutor(
-            max_workers=self.jobs, initializer=_worker_init
-        )
-
-    def _kill_pool(self, pool: ProcessPoolExecutor) -> None:
-        """Forcibly terminate a pool whose workers are hung."""
-        processes = getattr(pool, "_processes", None) or {}
-        for process in list(processes.values()):
-            process.terminate()
-        pool.shutdown(wait=False, cancel_futures=True)
-
-    def _submit(self, pool, chunk, context, fingerprint):
-        future = pool.submit(
-            _run_chunk, chunk, context, fingerprint, self.retries,
-            self.observe, self.deadline_s, self.backoff,
-            self._chaos_cfg(in_worker=True),
-        )
-        budget = self._chunk_budget(len(chunk))
-        expiry = None if budget is None else time.monotonic() + budget
-        return future, expiry
-
     def _run_pool(self, chunks, context, fingerprint, absorb, events) -> None:
-        queue: Deque[List[TaskPoint]] = deque(chunks)
-        suspects: Deque[TaskPoint] = deque()
-        losses: Dict[str, int] = {}
-        respawns = 0
-        max_respawns = 10 + 4 * sum(len(c) for c in chunks)
-        #: future -> (chunk, parent-budget expiry or None)
-        inflight: Dict[Future, Tuple[List[TaskPoint], Optional[float]]] = {}
-        window = self.jobs * 2
-        pool = self._make_pool()
+        env = ChunkEnv(
+            context=context, fingerprint=fingerprint,
+            chaos_cfg=self._chaos_cfg(in_worker=True),
+        )
+        scheduler = Scheduler(backoff=self.backoff)
+        scheduler.set_respawn_cap(
+            scheduler.default_respawn_cap(sum(len(c) for c in chunks))
+        )
+        scheduler.add_all([Chunk.make(c, meta=env) for c in chunks])
+        runtime = WorkerRuntime(
+            jobs=self.jobs, retries=self.retries, observe=self.observe,
+            deadline_s=self.deadline_s, backoff=self.backoff,
+        )
 
-        def quarantine(point: TaskPoint, status: str, error: str) -> None:
+        def absorb_chunk(_chunk, records, snapshot) -> None:
+            absorb(records, snapshot)
+
+        def quarantine(_chunk, point: TaskPoint, status: str,
+                       error: str) -> None:
             absorb([TaskRecord(
                 key=point.key, kind=point.kind, params=point.as_dict(),
                 fingerprint=fingerprint, status=status, value=None,
                 error=error, elapsed=0.0,
-                attempts=losses.get(point.key, 0) + 1,
+                attempts=scheduler.losses(point.key) + 1,
             )], None)
             events.emit("quarantine", key=point.key, status=status)
 
-        def respawn(reason: str) -> ProcessPoolExecutor:
-            nonlocal pool, respawns
-            respawns += 1
-            if respawns > max_respawns:
-                raise RuntimeError(
-                    f"campaign pool crashed {respawns} times "
-                    f"(cap {max_respawns}); giving up - is the worker "
-                    f"environment itself broken?"
-                )
-            events.emit("pool-respawn", reason=reason, count=respawns)
-            self._recorder_count("campaign.pool.respawns", 1)
-            pool.shutdown(wait=False, cancel_futures=True)
-            pool = self._make_pool()
-            return pool
-
-        def collect_lost(guilty: Optional[List[TaskPoint]] = None
-                         ) -> List[List[TaskPoint]]:
-            """Drain ``inflight`` after a break: absorb survivors, return lost.
-
-            Futures that completed before the break still carry their
-            results; everything else is lost work.  ``guilty`` (the chunk
-            a parent-side timeout convicted) is excluded from the
-            returned list - its requeueing is the caller's decision.
-            """
-            lost: List[List[TaskPoint]] = []
-            for future, (chunk, _expiry) in list(inflight.items()):
-                resolved = False
-                if future.done():
-                    try:
-                        records, snapshot = future.result()
-                    except Exception:  # noqa: BLE001 - broken pool
-                        pass
-                    else:
-                        absorb(records, snapshot)
-                        resolved = True
-                if not resolved and chunk is not guilty:
-                    lost.append(chunk)
-            inflight.clear()
-            return lost
-
-        def requeue_lost(lost: List[List[TaskPoint]], blamable: bool) -> None:
-            """Bisect lost chunks back into the queue.
-
-            ``blamable`` means the break could have been caused by any of
-            these chunks (a crash, not an innocent-bystander drain):
-            repeat-offender singletons then graduate to the isolation
-            queue instead of being retried blind.
-            """
-            for chunk in lost:
-                if len(chunk) > 1:
-                    mid = len(chunk) // 2
-                    queue.appendleft(chunk[mid:])
-                    queue.appendleft(chunk[:mid])
-                    continue
-                point = chunk[0]
-                if blamable:
-                    losses[point.key] = losses.get(point.key, 0) + 1
-                if losses.get(point.key, 0) >= _SUSPECT_AFTER_LOSSES:
-                    suspects.append(point)
-                else:
-                    queue.appendleft(chunk)
-
-        try:
-            while queue or inflight or suspects:
-                if self._interrupted:
-                    # Graceful drain: no new work, absorb what finishes.
-                    # The wait is bounded (a hung worker must not be able
-                    # to block the interrupt forever); whatever has not
-                    # finished by then is abandoned for --resume.
-                    if inflight:
-                        budgets = [
-                            max(0.0, e - time.monotonic())
-                            for _c, e in inflight.values() if e is not None
-                        ]
-                        grace = max(budgets) if budgets else 10.0
-                        wait(list(inflight), timeout=grace)
-                    collect_lost()
-                    self._kill_pool(pool)
-                    break
-
-                # Submission: keep the window full while work remains.
-                while queue and len(inflight) < window:
-                    chunk = queue.popleft()
-                    future, expiry = self._submit(
-                        pool, chunk, context, fingerprint
-                    )
-                    inflight[future] = (chunk, expiry)
-
-                if not inflight:
-                    if suspects:
-                        self._run_isolated(
-                            suspects.popleft(), pool, context, fingerprint,
-                            absorb, quarantine, respawn, losses,
-                        )
-                    continue
-
-                # Wait for completions, bounded by the nearest budget and
-                # capped so the interrupt flag stays responsive.
-                now = time.monotonic()
-                expiries = [
-                    e for _c, e in inflight.values() if e is not None
-                ]
-                tick = 0.5
-                if expiries:
-                    tick = min(tick, max(0.05, min(expiries) - now))
-                done, _ = wait(
-                    list(inflight), timeout=tick,
-                    return_when=FIRST_COMPLETED,
-                )
-
-                broken = False
-                for future in done:
-                    chunk, _expiry = inflight.pop(future)
-                    try:
-                        records, snapshot = future.result()
-                    except BrokenProcessPool:
-                        inflight[future] = (chunk, _expiry)  # count as lost
-                        broken = True
-                        break
-                    except Exception as exc:  # dispatch-layer failure
-                        # Not a task failure (those are downgraded in the
-                        # worker): treat like a crash of that chunk.
-                        events.emit(
-                            "chunk-error", error=f"{type(exc).__name__}: {exc}"
-                        )
-                        inflight[future] = (chunk, _expiry)
-                        broken = True
-                        break
-                    absorb(records, snapshot)
-                if broken:
-                    requeue_lost(collect_lost(), blamable=True)
-                    respawn("worker crash (pool broken)")
-                    continue
-
-                # Parent-side chunk budgets: kill hung workers.
-                now = time.monotonic()
-                guilty_entry = None
-                for future, (chunk, expiry) in inflight.items():
-                    if expiry is not None and now >= expiry:
-                        guilty_entry = (future, chunk)
-                        break
-                if guilty_entry is not None:
-                    _future, guilty = guilty_entry
-                    events.emit(
-                        "chunk-timeout", points=len(guilty),
-                        budget=self._chunk_budget(len(guilty)),
-                    )
-                    self._recorder_count("campaign.chunk.timeouts", 1)
-                    self._kill_pool(pool)
-                    lost = collect_lost(guilty=guilty)
-                    # Innocent bystanders are requeued without blame; the
-                    # convicted chunk bisects (or is quarantined outright
-                    # when already a single point).
-                    requeue_lost(lost, blamable=False)
-                    if len(guilty) == 1:
-                        quarantine(
-                            guilty[0], "timeout",
-                            "parent-side chunk budget exceeded "
-                            f"(deadline_s={self.deadline_s:g}); worker killed",
-                        )
-                    else:
-                        requeue_lost([guilty], blamable=True)
-                    respawn("chunk budget exceeded (workers killed)")
-        finally:
-            pool.shutdown(wait=False, cancel_futures=True)
-
-    def _run_isolated(self, point, pool, context, fingerprint,
-                      absorb, quarantine, respawn, losses) -> None:
-        """Try a suspect point alone, nothing else in flight.
-
-        With a single point in a single in-flight chunk, a pool break or
-        budget overrun convicts exactly that point; success acquits it
-        (it was an innocent bystander of someone else's crash).
-        """
-        future, expiry = self._submit(pool, [point], context, fingerprint)
-        timeout = None if expiry is None else max(0.0, expiry - time.monotonic())
-        done, _ = wait({future}, timeout=timeout)
-        if not done:
-            self._kill_pool(pool)
-            quarantine(
-                point, "timeout",
-                "hung in isolation (parent-side budget, "
-                f"deadline_s={self.deadline_s:g}); worker killed",
-            )
-            respawn("isolated point hung (workers killed)")
-            return
-        try:
-            records, snapshot = future.result()
-        except Exception as exc:  # BrokenProcessPool or dispatch failure
-            quarantine(
-                point, "crashed",
-                "worker crashed with this point isolated "
-                f"({losses.get(point.key, 0)} prior losses; "
-                f"{type(exc).__name__})",
-            )
-            respawn("isolated point crashed the worker")
-            return
-        absorb(records, snapshot)
+        Pump(
+            scheduler, runtime, absorb_chunk, quarantine,
+            emit=events.emit, count=self._recorder_count,
+            should_stop=lambda: self._interrupted,
+        ).run()
 
     # -- helpers -----------------------------------------------------------
 

@@ -1,0 +1,573 @@
+"""Worker runtime: the process-owning half of the executor split.
+
+Three layers, all policy-free (the decisions live in
+:mod:`repro.campaign.scheduler`):
+
+* :func:`run_one` / :func:`run_chunk` - the in-worker task loop: execute
+  points, downgrade failures to :class:`~repro.campaign.cache.TaskRecord`
+  statuses, meter under a per-chunk recorder (these are the functions
+  that cross the pickling boundary, so they live at module top level);
+* :class:`WorkerRuntime` - owns the ``ProcessPoolExecutor``: submit with
+  parent-side budget expiries, bounded waits, broken-pool detection,
+  kill/respawn, survivor collection after a break;
+* :class:`Pump` - the dispatch loop that marries a
+  :class:`~repro.campaign.scheduler.Scheduler` to a runtime: keep the
+  window full, absorb completions, requeue losses with bisection, convict
+  budget overruns, run suspects isolated.  The one-shot
+  :class:`~repro.campaign.executor.Executor` runs a pump until the
+  scheduler drains; the ``repro serve`` daemon runs the *same* pump with
+  ``stop_when_idle=False`` and keeps feeding the scheduler from live
+  tenant submissions.
+
+The failure-policy matrix (what retries, what quarantines, what
+fails fast) is documented in :mod:`repro.campaign.executor` and
+DESIGN.md Section 11.
+"""
+
+from __future__ import annotations
+
+import signal
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from .. import chaos, obs, watchdog
+from ..spice import ConvergenceError
+from .cache import TaskRecord
+from .scheduler import BackoffPolicy, Chunk, Scheduler
+from .spec import TaskPoint
+
+#: Deterministic failures that must fail fast instead of burning retries:
+#: bad task parameters or unknown kinds produce the same exception on
+#: every attempt.
+NON_RETRYABLE = (ValueError, TypeError, KeyError)
+
+
+def run_one(
+    point: TaskPoint,
+    context: Dict[str, Any],
+    fingerprint: str,
+    retries: int,
+    deadline_s: Optional[float] = None,
+    backoff: Optional[BackoffPolicy] = None,
+) -> TaskRecord:
+    """Execute one task point, downgrading failures to records."""
+    from .tasks import get_task
+
+    start = time.perf_counter()
+    attempts = 0
+
+    def record(status: str, value: Any = None,
+               error: Optional[str] = None) -> TaskRecord:
+        return TaskRecord(
+            key=point.key, kind=point.kind, params=point.as_dict(),
+            fingerprint=fingerprint, status=status, value=value, error=error,
+            elapsed=time.perf_counter() - start, attempts=attempts,
+        )
+
+    while True:
+        attempts += 1
+        try:
+            with watchdog.deadline(deadline_s):
+                chaos.on_task(point.key, attempts)
+                value = get_task(point.kind)(point.as_dict(), context)
+        except ConvergenceError as exc:
+            # Deterministic solver failure: retrying cannot help.
+            return record("failed", error=f"ConvergenceError: {exc}")
+        except watchdog.DeadlineExceeded as exc:
+            # The point already burned its whole budget; a retry would
+            # stall the sweep for another deadline_s for nothing.
+            obs.count("campaign.watchdog.expiries")
+            return record("timeout", error=f"DeadlineExceeded: {exc}")
+        except NON_RETRYABLE as exc:
+            # Deterministic caller bug: identical on every attempt.
+            return record("failed", error=f"{type(exc).__name__}: {exc}")
+        except Exception as exc:  # noqa: BLE001 - the sweep must survive
+            if attempts <= retries:
+                delay = backoff.delay(point.key, attempts) if backoff else 0.0
+                if delay > 0.0:
+                    obs.observe("campaign.retry.backoff.seconds", delay)
+                    time.sleep(delay)
+                obs.count("campaign.retries")
+                continue
+            return record("failed", error=f"{type(exc).__name__}: {exc}")
+        return record("ok", value=value)
+
+
+def run_chunk(
+    points: Sequence[TaskPoint],
+    context: Dict[str, Any],
+    fingerprint: str,
+    retries: int,
+    observe: bool = False,
+    deadline_s: Optional[float] = None,
+    backoff: Optional[BackoffPolicy] = None,
+    chaos_cfg: Optional[Tuple[chaos.ChaosSpec, str, bool]] = None,
+) -> Tuple[List[TaskRecord], Optional[Dict[str, Any]]]:
+    """Worker entry point: run a chunk of points back to back.
+
+    Returns ``(records, recorder snapshot or None)``.  Each chunk meters
+    itself under a fresh recorder so worker process reuse across chunks
+    can never double-count; the parent merges the snapshots.
+    ``chaos_cfg`` is ``(spec, seed, allow_exit)``; the injector is
+    (re-)installed per chunk so forked workers never inherit the parent's
+    exit-suppressed instance.
+    """
+    spec, seed, allow_exit = chaos_cfg if chaos_cfg else (None, "", True)
+    with chaos.injection(spec, seed, allow_exit=allow_exit):
+        if not observe:
+            return [
+                run_one(p, context, fingerprint, retries, deadline_s, backoff)
+                for p in points
+            ], None
+        with obs.recording() as recorder:
+            records = []
+            for point in points:
+                with obs.span(f"task.{point.kind}"):
+                    record = run_one(
+                        point, context, fingerprint, retries, deadline_s,
+                        backoff,
+                    )
+                obs.observe("task.seconds", record.elapsed)
+                records.append(record)
+    return records, recorder.snapshot()
+
+
+def _worker_init() -> None:
+    """Pool-worker initializer: the parent owns interrupt handling.
+
+    Workers ignore SIGINT so a Ctrl-C reaches only the campaign process,
+    which drains and checkpoints; default SIGTERM disposition is kept so
+    an impatient ``kill`` of the whole group still works (the parent then
+    sees a broken pool while draining and abandons the lost chunks).
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+
+@dataclass
+class ChunkEnv:
+    """Everything a chunk needs to execute, beyond its points.
+
+    Carried in :attr:`Chunk.meta`: the one-shot executor shares a single
+    env across the whole campaign; the daemon builds one per job so
+    chunks of different fingerprints interleave through one pool.
+    """
+
+    context: Dict[str, Any]
+    fingerprint: str
+    chaos_cfg: Optional[Tuple[chaos.ChaosSpec, str, bool]] = None
+
+
+def chunk_env(chunk: Chunk) -> ChunkEnv:
+    meta = chunk.meta
+    if not isinstance(meta, ChunkEnv):
+        raise TypeError(
+            f"chunk.meta must be a ChunkEnv for pool dispatch, "
+            f"got {type(meta).__name__}"
+        )
+    return meta
+
+
+@dataclass
+class PollEvent:
+    """One observation from :meth:`WorkerRuntime.poll`."""
+
+    kind: str  #: "done" | "broken" | "error"
+    chunk: Optional[Chunk] = None
+    records: Optional[List[TaskRecord]] = None
+    snapshot: Optional[Dict[str, Any]] = None
+    error: Optional[BaseException] = None
+
+
+class WorkerRuntime:
+    """The ProcessPool and its life-cycle, nothing else.
+
+    The runtime tracks each submitted chunk's parent-side wall-clock
+    budget (``deadline_s * points + slack``) so hangs the in-worker
+    watchdog cannot see (C extensions, a wedged worker) are detectable
+    from outside via :meth:`expired_chunk`.
+    """
+
+    def __init__(
+        self,
+        jobs: int,
+        retries: int = 1,
+        observe: bool = False,
+        deadline_s: Optional[float] = None,
+        backoff: Optional[BackoffPolicy] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.retries = retries
+        self.observe = observe
+        self.deadline_s = deadline_s
+        self.backoff = backoff
+        self.window = jobs * 2
+        #: future -> (chunk, parent-budget expiry or None)
+        self._inflight: Dict[Future, Tuple[Chunk, Optional[float]]] = {}
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    # -- pool life-cycle ---------------------------------------------------
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.jobs, initializer=_worker_init
+            )
+        return self._pool
+
+    def kill_pool(self) -> None:
+        """Forcibly terminate a pool whose workers are hung."""
+        pool = self._pool
+        if pool is None:
+            return
+        processes = getattr(pool, "_processes", None) or {}
+        for process in list(processes.values()):
+            process.terminate()
+        pool.shutdown(wait=False, cancel_futures=True)
+        self._pool = None
+
+    def respawn(self) -> None:
+        """Discard the (broken) pool; the next submit builds a fresh one."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+        self._inflight.clear()
+
+    # -- submission --------------------------------------------------------
+
+    @property
+    def inflight(self) -> int:
+        return len(self._inflight)
+
+    @property
+    def has_capacity(self) -> bool:
+        return len(self._inflight) < self.window
+
+    def chunk_budget(self, n_points: int) -> Optional[float]:
+        """Parent-side wall-clock budget for one chunk, or None.
+
+        Generous by construction: the worker-side watchdog fires at
+        ``deadline_s`` per task and returns a normal timeout record, so
+        the parent budget only triggers for hangs in code the watchdog
+        cannot see (C extensions, ``time.sleep``, a wedged worker).
+        """
+        if self.deadline_s is None:
+            return None
+        return self.deadline_s * n_points + max(0.5, self.deadline_s)
+
+    def submit(self, chunk: Chunk) -> None:
+        env = chunk_env(chunk)
+        future = self._ensure_pool().submit(
+            run_chunk, list(chunk.points), env.context, env.fingerprint,
+            self.retries, self.observe, self.deadline_s, self.backoff,
+            env.chaos_cfg,
+        )
+        budget = self.chunk_budget(len(chunk))
+        expiry = None if budget is None else time.monotonic() + budget
+        self._inflight[future] = (chunk, expiry)
+
+    # -- observation -------------------------------------------------------
+
+    def nearest_tick(self, cap: float = 0.5) -> float:
+        """A wait bound that keeps budgets and stop flags responsive."""
+        now = time.monotonic()
+        expiries = [e for _c, e in self._inflight.values() if e is not None]
+        tick = cap
+        if expiries:
+            tick = min(tick, max(0.05, min(expiries) - now))
+        return tick
+
+    def poll(self, timeout: float) -> List[PollEvent]:
+        """Wait (bounded) for completions; classify what happened.
+
+        A ``broken``/``error`` event ends the list: the pool is suspect
+        and the caller must run the loss-recovery path
+        (:meth:`collect_lost` + scheduler requeue + :meth:`respawn`).
+        The un-resolvable future is put back so it is accounted as lost.
+        """
+        if not self._inflight:
+            return []
+        done, _ = wait(
+            list(self._inflight), timeout=timeout,
+            return_when=FIRST_COMPLETED,
+        )
+        events: List[PollEvent] = []
+        for future in done:
+            chunk, expiry = self._inflight.pop(future)
+            try:
+                records, snapshot = future.result()
+            except BrokenProcessPool as exc:
+                self._inflight[future] = (chunk, expiry)  # count as lost
+                events.append(PollEvent("broken", error=exc))
+                break
+            except Exception as exc:  # dispatch-layer failure
+                # Not a task failure (those are downgraded in the
+                # worker): treat like a crash of that chunk.
+                self._inflight[future] = (chunk, expiry)
+                events.append(PollEvent("error", chunk=chunk, error=exc))
+                break
+            events.append(
+                PollEvent("done", chunk=chunk, records=records,
+                          snapshot=snapshot)
+            )
+        return events
+
+    def expired_chunk(self, now: Optional[float] = None) -> Optional[Chunk]:
+        """The first in-flight chunk past its parent-side budget, or None."""
+        now = time.monotonic() if now is None else now
+        for _future, (chunk, expiry) in self._inflight.items():
+            if expiry is not None and now >= expiry:
+                return chunk
+        return None
+
+    def collect_lost(self, absorb: Callable[[Chunk, List[TaskRecord],
+                                             Optional[Dict[str, Any]]], None],
+                     guilty: Optional[Chunk] = None) -> List[Chunk]:
+        """Drain in-flight state after a break: absorb survivors, return lost.
+
+        Futures that completed before the break still carry their
+        results; everything else is lost work.  ``guilty`` (the chunk a
+        parent-side timeout convicted) is excluded from the returned
+        list - its requeueing is the caller's decision.
+        """
+        lost: List[Chunk] = []
+        for future, (chunk, _expiry) in list(self._inflight.items()):
+            resolved = False
+            if future.done():
+                try:
+                    records, snapshot = future.result()
+                except Exception:  # noqa: BLE001 - broken pool
+                    pass
+                else:
+                    absorb(chunk, records, snapshot)
+                    resolved = True
+            if not resolved and chunk is not guilty:
+                lost.append(chunk)
+        self._inflight.clear()
+        return lost
+
+    def drain(self, absorb, grace: Optional[float] = None) -> List[Chunk]:
+        """Graceful-stop path: bounded wait, absorb finishers, kill the rest.
+
+        Returns the abandoned chunks (for ``--resume`` they simply stay
+        un-cached).  The wait is bounded - a hung worker must not be able
+        to block an interrupt forever.
+        """
+        if self._inflight:
+            if grace is None:
+                now = time.monotonic()
+                budgets = [
+                    max(0.0, e - now)
+                    for _c, e in self._inflight.values() if e is not None
+                ]
+                grace = max(budgets) if budgets else 10.0
+            wait(list(self._inflight), timeout=grace)
+        lost = self.collect_lost(absorb)
+        self.kill_pool()
+        return lost
+
+    def run_isolated(self, chunk: Chunk) -> PollEvent:
+        """Run a single suspect point with nothing else in flight.
+
+        With a single point in a single in-flight chunk, a pool break or
+        budget overrun convicts exactly that point; success acquits it
+        (it was an innocent bystander of someone else's crash).  The
+        returned event kind is ``done``, ``broken`` (crashed) or
+        ``error`` with ``error=None`` meaning "hung past budget".
+        """
+        assert not self._inflight, "isolation requires an empty runtime"
+        self.submit(chunk)
+        (future, (chunk, expiry)), = self._inflight.items()
+        timeout = None if expiry is None else max(0.0, expiry - time.monotonic())
+        done, _ = wait({future}, timeout=timeout)
+        self._inflight.clear()
+        if not done:
+            self.kill_pool()
+            return PollEvent("error", chunk=chunk, error=None)
+        try:
+            records, snapshot = future.result()
+        except Exception as exc:  # BrokenProcessPool or dispatch failure
+            return PollEvent("broken", chunk=chunk, error=exc)
+        return PollEvent("done", chunk=chunk, records=records,
+                         snapshot=snapshot)
+
+
+class Pump:
+    """The dispatch loop: scheduler decisions driving the worker runtime.
+
+    Drivers supply callbacks instead of subclassing:
+
+    * ``absorb(chunk, records, snapshot)`` - checkpoint + account a
+      finished chunk (cache append, result fan-out, progress);
+    * ``quarantine(chunk, point, status, error)`` - record a convicted
+      point (the pump never fabricates :class:`TaskRecord` objects for
+      quarantines - the driver owns record shape and cache policy);
+    * ``emit(event, **fields)`` - trace stream (optional);
+    * ``count(name, n)`` - recovery-path counters (optional);
+    * ``should_stop()`` - graceful-drain request (optional);
+    * ``idle_wait()`` - only with ``stop_when_idle=False``: block until
+      new work may have arrived (the daemon parks here between
+      submissions).
+    """
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        runtime: WorkerRuntime,
+        absorb: Callable[[Chunk, List[TaskRecord], Optional[Dict[str, Any]]],
+                         None],
+        quarantine: Callable[[Chunk, TaskPoint, str, str], None],
+        emit: Optional[Callable[..., None]] = None,
+        count: Optional[Callable[[str, int], None]] = None,
+        should_stop: Optional[Callable[[], bool]] = None,
+        idle_wait: Optional[Callable[[], None]] = None,
+        stop_when_idle: bool = True,
+    ) -> None:
+        self.scheduler = scheduler
+        self.runtime = runtime
+        self.absorb = absorb
+        self.quarantine = quarantine
+        self.emit = emit if emit is not None else (lambda *a, **k: None)
+        self.count = count if count is not None else (lambda *a, **k: None)
+        self.should_stop = should_stop if should_stop is not None else (
+            lambda: False
+        )
+        self.idle_wait = idle_wait
+        self.stop_when_idle = stop_when_idle
+        self.drained = False  #: True when a stop request cut the run short
+
+    # -- recovery helpers --------------------------------------------------
+
+    def _respawn(self, reason: str) -> None:
+        count = self.scheduler.note_respawn()
+        self.emit("pool-respawn", reason=reason, count=count)
+        self.count("campaign.pool.respawns", 1)
+        self.runtime.respawn()
+
+    def _handle_break(self, blamable: bool, reason: str) -> None:
+        lost = self.runtime.collect_lost(self.absorb)
+        self.scheduler.report_lost(lost, blamable=blamable)
+        self._respawn(reason)
+
+    def _handle_expiry(self, guilty: Chunk) -> None:
+        self.emit(
+            "chunk-timeout", points=len(guilty),
+            budget=self.runtime.chunk_budget(len(guilty)),
+        )
+        self.count("campaign.chunk.timeouts", 1)
+        self.runtime.kill_pool()
+        lost = self.runtime.collect_lost(self.absorb, guilty=guilty)
+        # Innocent bystanders are requeued without blame; the convicted
+        # chunk bisects (or is quarantined outright when already a
+        # single point).
+        self.scheduler.report_lost(lost, blamable=False)
+        convicted = self.scheduler.convict_or_bisect(guilty)
+        if convicted is not None:
+            deadline = self.runtime.deadline_s
+            self.quarantine(
+                guilty, convicted, "timeout",
+                "parent-side chunk budget exceeded "
+                f"(deadline_s={deadline:g}); worker killed",
+            )
+        self._respawn("chunk budget exceeded (workers killed)")
+
+    def _run_suspect(self, chunk: Chunk) -> None:
+        point = chunk.points[0]
+        event = self.runtime.run_isolated(chunk)
+        if event.kind == "done":
+            self.absorb(chunk, event.records, event.snapshot)
+            return
+        losses = self.scheduler.losses(point.key)
+        deadline = self.runtime.deadline_s
+        if event.kind == "error" and event.error is None:  # hung past budget
+            self.quarantine(
+                chunk, point, "timeout",
+                "hung in isolation (parent-side budget, "
+                f"deadline_s={deadline:g}); worker killed",
+            )
+            self._respawn("isolated point hung (workers killed)")
+            return
+        self.quarantine(
+            chunk, point, "crashed",
+            f"worker crashed with this point isolated ({losses} prior "
+            f"losses; {type(event.error).__name__})",
+        )
+        self._respawn("isolated point crashed the worker")
+
+    # -- the loop ----------------------------------------------------------
+
+    def step(self) -> bool:
+        """One scheduling round; returns False when the pump should exit."""
+        scheduler, runtime = self.scheduler, self.runtime
+        if self.should_stop():
+            # Graceful drain: no new work, absorb what finishes (bounded).
+            runtime.drain(self.absorb)
+            self.drained = True
+            return False
+
+        # Submission: keep the window full while work remains.
+        now = time.monotonic()
+        while runtime.has_capacity:
+            chunk = scheduler.next_chunk(now)
+            if chunk is None:
+                break
+            runtime.submit(chunk)
+
+        if not runtime.inflight:
+            suspect = scheduler.next_suspect()
+            if suspect is not None:
+                self._run_suspect(suspect)
+                return True
+            if scheduler.has_pending:
+                # Work exists but is rate-limited: sleep until a bucket
+                # refills (bounded so stop flags stay responsive).
+                delay = scheduler.next_ready_in(time.monotonic())
+                time.sleep(min(0.5, delay if delay else 0.05))
+                return True
+            if self.stop_when_idle:
+                return False
+            if self.idle_wait is not None:
+                self.idle_wait()
+            return True
+
+        events = runtime.poll(runtime.nearest_tick())
+        for event in events:
+            if event.kind == "done":
+                self.absorb(event.chunk, event.records, event.snapshot)
+            elif event.kind == "broken":
+                self._handle_break(
+                    blamable=True, reason="worker crash (pool broken)"
+                )
+                return True
+            else:  # dispatch-layer error
+                self.emit(
+                    "chunk-error",
+                    error=f"{type(event.error).__name__}: {event.error}",
+                )
+                self._handle_break(
+                    blamable=True, reason="worker crash (pool broken)"
+                )
+                return True
+
+        # Parent-side chunk budgets: kill hung workers.
+        guilty = runtime.expired_chunk()
+        if guilty is not None:
+            self._handle_expiry(guilty)
+        return True
+
+    def run(self) -> None:
+        """Pump until drained (one-shot) or stopped (daemon)."""
+        try:
+            while self.step():
+                pass
+        finally:
+            self.runtime.shutdown()

@@ -18,6 +18,9 @@ Examples::
     python -m repro verify --fast --fuzz 200 --json report.json
     python -m repro verify --regen --tier tiny   # re-pin goldens
     python -m repro verify --fuzz-repro fuzz-dc_solution-seed123.json
+    python -m repro serve --jobs 4               # multi-tenant job daemon
+    python -m repro submit fig4 --fast --tenant alice
+    python -m repro jobs                         # list the daemon's jobs
 
 The ``--fast`` flag swaps the PVT sweep for a minimal grid; without it the
 commands use the same reduced defaults as the benchmarks.
@@ -65,6 +68,9 @@ from typing import List, Optional, Sequence
 
 #: Cache location implied by ``--resume`` when ``--cache-dir`` is absent.
 DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Default port of the ``repro serve`` daemon (and ``submit``/``jobs``).
+DEFAULT_SERVE_PORT = 8351
 
 #: Exit code for a run stopped by SIGINT/SIGTERM after a graceful drain
 #: (the shell convention for "killed by SIGINT"); ``--resume`` continues it.
@@ -383,20 +389,164 @@ def cmd_verify(args) -> int:
     return 0 if report.ok else EXIT_VERIFY
 
 
+def _newest_report(directory) -> Optional[str]:
+    """The most recently written report.json anywhere under ``directory``.
+
+    The cache directory can hold several reports - the one-shot campaign's
+    at the top level, the daemon's under ``serve/`` - so the no-argument
+    ``repro stats`` shows whichever run finished last.
+    """
+    from pathlib import Path
+
+    from .obs.report import REPORT_FILENAME
+
+    root = Path(directory)
+    if not root.is_dir():
+        return None
+    candidates = sorted(
+        root.rglob(REPORT_FILENAME),
+        key=lambda p: p.stat().st_mtime,
+        reverse=True,
+    )
+    return str(candidates[0]) if candidates else None
+
+
 def cmd_stats(args) -> int:
+    from pathlib import Path
+
     from .obs.render import render_report
     from .obs.report import REPORT_FILENAME, load_report
 
+    target = args.report
+    if Path(target).is_dir():
+        newest = _newest_report(target)
+        if newest is not None:
+            target = newest
     try:
-        report = load_report(args.report)
+        report = load_report(target)
     except FileNotFoundError:
         raise SystemExit(
-            f"stats: no {REPORT_FILENAME} at {args.report!r} "
+            f"stats: no {REPORT_FILENAME} under {args.report!r} "
             f"(run a campaign command with --cache-dir/--resume first)"
         )
     except ValueError as error:
         raise SystemExit(f"stats: {error}")
     print(render_report(report, top_n=args.top))
+    return 0
+
+
+def _parse_rate_limits(entries) -> dict:
+    limits = {}
+    for entry in entries or ():
+        tenant, sep, rate = entry.partition("=")
+        try:
+            if not sep or not tenant:
+                raise ValueError
+            limits[tenant] = float(rate)
+        except ValueError:
+            raise SystemExit(
+                f"--rate-limit expects TENANT=CHUNKS_PER_SEC, got {entry!r}"
+            )
+    return limits
+
+
+def cmd_serve(args) -> int:
+    """Run the multi-tenant sweep daemon until SIGTERM/SIGINT."""
+    from pathlib import Path
+
+    from .serve.server import serve_forever
+    from .serve.service import SweepService
+
+    deadline = getattr(args, "deadline", None)
+    if deadline is not None and deadline <= 0.0:
+        raise SystemExit(f"--deadline must be positive, got {deadline:g}")
+    cache_dir = _cache_dir(args) or DEFAULT_CACHE_DIR
+    service = SweepService(
+        jobs=args.jobs,
+        cache_dir=cache_dir,
+        deadline_s=deadline,
+        observe=not args.no_obs,
+        obs_dir=args.obs_dir,
+        rate_limits=_parse_rate_limits(args.rate_limit),
+    )
+    port_file = Path(args.port_file) if args.port_file else None
+    echo = lambda msg: print(msg, file=sys.stderr)  # noqa: E731
+    return serve_forever(
+        service, host=args.host, port=args.port, port_file=port_file,
+        echo=echo,
+    )
+
+
+def cmd_submit(args) -> int:
+    """Submit a sweep to a running daemon and (by default) wait for it."""
+    import json as _json
+
+    from .serve.client import ServeClient, ServeError
+
+    payload = {"target": args.target, "options": {}}
+    options = payload["options"]
+    if args.fast:
+        options["fast"] = True
+    if getattr(args, "full_grid", False):
+        options["full_grid"] = True
+    if args.defects:
+        options["defects"] = _parse_defects(args.defects, ())
+    if args.target == "mc":
+        if args.samples is not None:
+            options["samples"] = args.samples
+        options.update(corner=args.corner, temp_c=args.temp,
+                       seed=args.seed, shards=args.shards)
+
+    client = ServeClient(args.url, tenant=args.tenant)
+    try:
+        job = client.submit(payload)
+        print(f"submitted {job['id']} ({job['total']} points, "
+              f"{job['cache_hits']} cached, {job['deduped']} deduped) "
+              f"as tenant {args.tenant!r}", file=sys.stderr)
+        if args.no_wait:
+            print(_json.dumps(job, sort_keys=True))
+            return 0
+        for event in client.stream(job["id"]):
+            if args.verbose or event["event"] in ("state", "progress"):
+                print(_json.dumps(event, sort_keys=True), file=sys.stderr)
+        final = client.job(job["id"])
+        print(_json.dumps(final, sort_keys=True))
+    except ServeError as error:
+        raise SystemExit(f"submit: {error}")
+    except ConnectionError as error:
+        raise SystemExit(f"submit: cannot reach {args.url}: {error}")
+    if final["state"] == "interrupted":
+        return EXIT_INTERRUPTED
+    if getattr(args, "strict", False) and final["failures"]:
+        return EXIT_STRICT
+    return 0 if final["state"] == "done" else 1
+
+
+def cmd_jobs(args) -> int:
+    """List a daemon's jobs (optionally one tenant's)."""
+    from .core.reporting import render_table
+    from .serve.client import ServeClient, ServeError
+
+    client = ServeClient(args.url, tenant=args.tenant or "default")
+    try:
+        jobs = client.jobs(tenant=args.tenant)
+    except ServeError as error:
+        raise SystemExit(f"jobs: {error}")
+    except ConnectionError as error:
+        raise SystemExit(f"jobs: cannot reach {args.url}: {error}")
+    rows = [
+        [
+            job["id"], job["tenant"], job["name"], job["state"],
+            f"{job['done']}/{job['total']}", str(job["cache_hits"]),
+            str(job["deduped"]), str(job["failures"]),
+        ]
+        for job in jobs
+    ]
+    print(render_table(
+        ["job", "tenant", "sweep", "state", "done", "cached", "deduped",
+         "failed"],
+        rows,
+    ))
     return 0
 
 
@@ -538,6 +688,71 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--top", type=_positive_int, default=10, metavar="N",
                        help="how many slowest task points to show")
     stats.set_defaults(func=cmd_stats)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the multi-tenant sweep service (HTTP/JSON job daemon)",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=DEFAULT_SERVE_PORT,
+                       help=f"TCP port (default {DEFAULT_SERVE_PORT}; "
+                            f"0 = pick a free one)")
+    serve.add_argument("--port-file", default=None, metavar="PATH",
+                       help="write the bound port here once listening "
+                            "(for scripts using --port 0)")
+    serve.add_argument("--jobs", type=_positive_int, default=1, metavar="N",
+                       help="worker processes shared by all tenants")
+    serve.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="shared result cache "
+                            f"(default: {DEFAULT_CACHE_DIR})")
+    serve.add_argument("--resume", action="store_true",
+                       help=f"alias for --cache-dir {DEFAULT_CACHE_DIR}")
+    serve.add_argument("--deadline", type=float, default=None,
+                       metavar="SECONDS", help="per-task deadline")
+    serve.add_argument("--no-obs", action="store_true",
+                       help="disable instrumentation")
+    serve.add_argument("--obs-dir", default=None, metavar="DIR",
+                       help="service report directory "
+                            "(default: <cache-dir>/serve)")
+    serve.add_argument("--rate-limit", action="append", default=None,
+                       metavar="TENANT=N",
+                       help="cap a tenant at N chunk dispatches/sec "
+                            "(repeatable)")
+    serve.set_defaults(func=cmd_serve)
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit a sweep to a running daemon and stream its progress",
+    )
+    submit.add_argument("target", choices=sorted(CAMPAIGN_TARGETS),
+                        help="which artifact sweep to request")
+    submit.add_argument("--url",
+                        default=f"http://127.0.0.1:{DEFAULT_SERVE_PORT}",
+                        help="daemon base URL")
+    submit.add_argument("--tenant", default="default",
+                        help="tenant name for fair share and accounting")
+    submit.add_argument("--fast", action="store_true",
+                        help="minimal PVT grid / defect set")
+    submit.add_argument("--full-grid", action="store_true",
+                        help="the paper's complete PVT grid")
+    submit.add_argument("--defects", help="comma-separated defect numbers")
+    submit.add_argument("--no-wait", action="store_true",
+                        help="print the job id and return immediately")
+    submit.add_argument("--verbose", action="store_true",
+                        help="stream every event, not just state/progress")
+    submit.add_argument("--strict", action="store_true",
+                        help=f"exit {EXIT_STRICT} if any point failed")
+    _add_mc_flags(submit)
+    submit.set_defaults(func=cmd_submit)
+
+    jobs = sub.add_parser("jobs", help="list a running daemon's jobs")
+    jobs.add_argument("--url",
+                      default=f"http://127.0.0.1:{DEFAULT_SERVE_PORT}",
+                      help="daemon base URL")
+    jobs.add_argument("--tenant", default=None,
+                      help="restrict to one tenant's jobs")
+    jobs.set_defaults(func=cmd_jobs)
 
     run = sub.add_parser("run-march", help="run a March test on a behavioral SRAM")
     run.add_argument("test", help="library name (e.g. 'March m-LZ') or notation")

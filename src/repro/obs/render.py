@@ -185,11 +185,52 @@ def render_spans(report: Dict[str, Any]) -> str:
     )
 
 
+def render_serve(report: Dict[str, Any]) -> str:
+    """Per-tenant traffic table for reports written by ``repro serve``.
+
+    Derived entirely from the ``serve.tenant.<name>.*`` counters the
+    service records, so a daemon report renders its multi-tenant
+    accounting (jobs, executed vs cached vs deduped points) without any
+    schema change; empty for ordinary one-shot campaign reports.
+    """
+    counters = report.get("counters", {})
+    tenants: Dict[str, Dict[str, int]] = {}
+    prefix = "serve.tenant."
+    for name, value in counters.items():
+        if not name.startswith(prefix):
+            continue
+        tenant, _, metric = name[len(prefix):].partition(".")
+        tenants.setdefault(tenant, {})[metric] = value
+    if not tenants:
+        return ""
+    rows = []
+    for tenant in sorted(tenants):
+        m = tenants[tenant]
+        rows.append([
+            tenant,
+            str(m.get("jobs.submitted", 0)),
+            str(m.get("jobs.completed", 0)),
+            str(m.get("jobs.interrupted", 0)),
+            str(m.get("points.total", 0)),
+            str(m.get("points.executed", 0)),
+            str(m.get("points.cache_hits", 0)),
+            str(m.get("points.deduped", 0)),
+            str(m.get("points.failed", 0)),
+        ])
+    return render_table(
+        ["tenant", "jobs", "done", "intr", "points", "executed", "cached",
+         "deduped", "failed"],
+        rows,
+        title="Service traffic by tenant",
+    )
+
+
 def render_counters(report: Dict[str, Any]) -> str:
     counters = report.get("counters", {})
     interesting = {
         name: value for name, value in counters.items()
-        if not name.startswith("campaign.")
+        # campaign.* feeds the header; serve.tenant.* feeds its own table.
+        if not name.startswith(("campaign.", "serve.tenant."))
     }
     if not interesting:
         return ""
@@ -201,6 +242,7 @@ def render_report(report: Dict[str, Any], top_n: int = 10) -> str:
     """The full ``repro stats`` page for one report."""
     sections = [
         render_header(report),
+        render_serve(report),
         render_convergence(report),
         render_slowest(report, top_n),
         render_histograms(report),

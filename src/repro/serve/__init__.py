@@ -1,0 +1,43 @@
+"""repro.serve - the multi-tenant sweep service.
+
+The campaign engine (PRs 1-5) turned the paper's methodology into
+content-hashed, cached, crash-tolerant sweeps; this package wraps it in a
+long-running job daemon so many tenants can share one worker pool and one
+content-addressed result cache:
+
+* :mod:`repro.serve.models` - the submission codec (JSON payload ->
+  :class:`~repro.campaign.spec.SweepSpec`) and the job-state machine;
+* :mod:`repro.serve.state`  - the thread-safe :class:`JobStore` with
+  per-job event logs and long-poll waits;
+* :mod:`repro.serve.service` - :class:`SweepService`, the pump that
+  drives the shared :class:`~repro.campaign.scheduler.Scheduler` and
+  :class:`~repro.campaign.runtime.WorkerRuntime`, dedupes identical
+  fingerprinted points across tenants (compute once, fan out to every
+  subscriber) and checkpoints everything through the advisory-locked
+  :class:`~repro.campaign.cache.ResultCache`;
+* :mod:`repro.serve.server` - the stdlib-asyncio HTTP/JSON front end
+  (``repro serve``) with NDJSON long-poll event streaming and a
+  SIGTERM drain that checkpoints in-flight jobs as resumable while
+  rejecting new submissions with 503;
+* :mod:`repro.serve.client` - the stdlib HTTP client behind
+  ``repro submit`` / ``repro jobs`` and the tests.
+
+Scheduling policy (fair share, rate limits, retry/quarantine) is *not*
+here - it lives in :mod:`repro.campaign.scheduler`, shared with the
+one-shot CLI campaigns.
+"""
+
+from .client import ServeClient
+from .models import JobState, submission_to_spec
+from .service import ServiceDraining, SweepService
+from .state import Job, JobStore
+
+__all__ = [
+    "Job",
+    "JobState",
+    "JobStore",
+    "ServeClient",
+    "ServiceDraining",
+    "SweepService",
+    "submission_to_spec",
+]

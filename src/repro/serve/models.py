@@ -1,0 +1,254 @@
+"""Service API models: the submission codec and the job-state machine.
+
+A submission is a JSON object naming either a *target* (one of the
+paper's sweep artifacts, built by the analysis layer with the same
+defaults as the CLI - which is what makes daemon results bit-identical
+to one-shot runs, and lets daemon and CLI share cache entries) or a
+*raw* task list for registered task kinds:
+
+``{"target": "fig4", "options": {"fast": true}}``
+``{"target": "mc", "options": {"samples": 64, "seed": 7, "shards": 4}}``
+``{"name": "adhoc", "tasks": [{"kind": "mc-shard", "params": {...}}]}``
+
+Both decode to an ordinary :class:`~repro.campaign.spec.SweepSpec`, so
+fingerprints, cache keys and cross-tenant dedupe all fall out of the
+campaign layer's content addressing.
+
+Job states form a small machine (arrows = the only legal transitions)::
+
+    QUEUED -> RUNNING -> DONE
+       |          |
+       |          +----> INTERRUPTED   (daemon drained; resumable)
+       +--------------->
+       |          +----> CANCELLED     (client gave up; shared points
+       +--------------->                keep computing for other jobs)
+
+plus the degenerate ``QUEUED -> DONE`` hop for fully-cached submissions.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..campaign import SweepSpec, TaskPoint, registered_kinds
+
+#: Targets a submission may name; mirrors the CLI's campaign umbrella.
+TARGETS = ("table2", "table3", "fig4", "mc")
+
+_TENANT_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.-]{0,63}$")
+
+
+class JobState(str, enum.Enum):
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    INTERRUPTED = "interrupted"  #: drained mid-flight; resumable
+    CANCELLED = "cancelled"
+
+    @property
+    def terminal(self) -> bool:
+        return self in (JobState.DONE, JobState.INTERRUPTED,
+                        JobState.CANCELLED)
+
+
+#: Legal transitions; anything else is a daemon bug worth failing loudly.
+TRANSITIONS = {
+    JobState.QUEUED: {JobState.RUNNING, JobState.DONE,
+                      JobState.INTERRUPTED, JobState.CANCELLED},
+    JobState.RUNNING: {JobState.DONE, JobState.INTERRUPTED,
+                       JobState.CANCELLED},
+    JobState.DONE: set(),
+    JobState.INTERRUPTED: set(),
+    JobState.CANCELLED: set(),
+}
+
+
+def advance(current: JobState, new: JobState) -> JobState:
+    """Validate a state transition; returns ``new`` or raises."""
+    if new == current:
+        return new
+    if new not in TRANSITIONS[current]:
+        raise ValueError(f"illegal job transition {current.value} -> {new.value}")
+    return new
+
+
+def validate_tenant(tenant: str) -> str:
+    """Tenant names become counter names and queue keys: keep them tame."""
+    if not isinstance(tenant, str) or not _TENANT_RE.match(tenant):
+        raise ValueError(
+            f"invalid tenant {tenant!r}: want 1-64 chars of [A-Za-z0-9_.-] "
+            f"starting alphanumeric"
+        )
+    return tenant
+
+
+# -- named grids (the CLI's --fast/--full-grid vocabulary) -----------------
+
+
+def _corner_grid(options: Dict[str, Any]):
+    from ..devices.pvt import corner_temp_grid
+
+    if options.get("full_grid"):
+        return corner_temp_grid()
+    if options.get("fast"):
+        return corner_temp_grid(corners=("fs",), temps=(125.0,))
+    return corner_temp_grid(corners=("fs", "sf"), temps=(-30.0, 125.0))
+
+
+def _paper_grid(options: Dict[str, Any]):
+    from ..devices.pvt import paper_pvt_grid
+
+    if options.get("full_grid"):
+        return paper_pvt_grid()
+    if options.get("fast"):
+        return paper_pvt_grid(corners=("fs",), temps=(125.0,))
+    return paper_pvt_grid(corners=("fs", "sf"), temps=(125.0,))
+
+
+def _defect_ids(options: Dict[str, Any], default: Sequence[int]) -> List[int]:
+    from ..regulator.defects import DEFECTS
+
+    ids = options.get("defects")
+    if ids is None:
+        return list(default)
+    if not isinstance(ids, (list, tuple)) or not all(
+        isinstance(i, int) and not isinstance(i, bool) for i in ids
+    ):
+        raise ValueError(f"options.defects must be a list of ints, got {ids!r}")
+    unknown = [i for i in ids if i not in DEFECTS]
+    if unknown:
+        raise ValueError(f"unknown defect id(s) {unknown}")
+    return list(ids)
+
+
+# -- target builders -------------------------------------------------------
+
+
+def _build_table2(options: Dict[str, Any]) -> SweepSpec:
+    from ..analysis.table2 import table2_spec
+    from ..regulator.defects import DRF_IDS
+
+    default = (1, 16, 23) if options.get("fast") else DRF_IDS
+    return table2_spec(
+        defect_ids=_defect_ids(options, default),
+        pvt_grid=_paper_grid(options),
+        ds_time=float(options.get("ds_time", 1e-3)),
+    )
+
+
+def _build_table3(options: Dict[str, Any]) -> SweepSpec:
+    from ..analysis.table3 import (
+        detection_matrix_spec,
+        worst_case_drv_at_test_conditions,
+    )
+    from ..regulator.defects import DRF_IDS
+
+    default = (1, 3, 4) if options.get("fast") else DRF_IDS
+    drv_worst = options.get("drv_worst")
+    if drv_worst is None:
+        drv_worst = worst_case_drv_at_test_conditions()
+    spec, _configs = detection_matrix_spec(
+        drv_worst=float(drv_worst),
+        defect_ids=_defect_ids(options, default),
+        ds_time=float(options.get("ds_time", 1e-3)),
+    )
+    return spec
+
+
+def _build_fig4(options: Dict[str, Any]) -> SweepSpec:
+    from ..analysis.figure4 import DEFAULT_SIGMAS, figure4_spec
+    from ..devices.variation import CELL_TRANSISTORS
+
+    sigmas = options.get("sigmas")
+    if sigmas is None:
+        sigmas = (-6.0, -3.0, 0.0, 3.0, 6.0) if options.get("fast") \
+            else DEFAULT_SIGMAS
+    transistors = options.get("transistors", CELL_TRANSISTORS)
+    return figure4_spec(
+        sigmas=[float(s) for s in sigmas],
+        transistors=list(transistors),
+        pvt_grid=_corner_grid(options),
+    )
+
+
+def _build_mc(options: Dict[str, Any]) -> SweepSpec:
+    from ..analysis.montecarlo import DEFAULT_SHARDS, montecarlo_spec
+
+    samples = options.get("samples")
+    if samples is None:
+        samples = 16 if options.get("fast") else 100
+    return montecarlo_spec(
+        n_samples=int(samples),
+        corner=str(options.get("corner", "typical")),
+        temp_c=float(options.get("temp_c", 25.0)),
+        seed=int(options.get("seed", 1)),
+        shards=int(options.get("shards", DEFAULT_SHARDS)),
+    )
+
+
+_BUILDERS = {
+    "table2": _build_table2,
+    "table3": _build_table3,
+    "fig4": _build_fig4,
+    "mc": _build_mc,
+}
+assert tuple(sorted(_BUILDERS)) == tuple(sorted(TARGETS))
+
+
+def _raw_spec(payload: Dict[str, Any]) -> SweepSpec:
+    tasks = payload.get("tasks")
+    if not isinstance(tasks, list) or not tasks:
+        raise ValueError("raw submission needs a non-empty 'tasks' list")
+    known = set(registered_kinds())
+    points = []
+    for i, entry in enumerate(tasks):
+        if not isinstance(entry, dict) or "kind" not in entry:
+            raise ValueError(f"tasks[{i}] must be an object with a 'kind'")
+        kind = entry["kind"]
+        if kind not in known:
+            raise ValueError(
+                f"tasks[{i}]: unknown task kind {kind!r}; "
+                f"registered: {sorted(known)}"
+            )
+        params = entry.get("params", {})
+        if not isinstance(params, dict):
+            raise ValueError(f"tasks[{i}].params must be an object")
+        try:
+            points.append(TaskPoint.make(kind, **params))
+        except TypeError as error:
+            raise ValueError(f"tasks[{i}]: {error}")
+    name = payload.get("name", "adhoc")
+    seed = payload.get("seed")
+    return SweepSpec.build(
+        str(name), points, seed=None if seed is None else int(seed)
+    )
+
+
+def submission_to_spec(payload: Dict[str, Any]) -> SweepSpec:
+    """Decode one submission payload into a SweepSpec, or raise ValueError.
+
+    Every validation failure raises ``ValueError`` with a message fit to
+    be echoed back in a 400 response - the daemon must never queue work
+    it cannot execute.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError("submission must be a JSON object")
+    if "target" in payload:
+        target = payload["target"]
+        builder = _BUILDERS.get(target)
+        if builder is None:
+            raise ValueError(
+                f"unknown target {target!r}; known: {sorted(_BUILDERS)}"
+            )
+        options = payload.get("options", {})
+        if not isinstance(options, dict):
+            raise ValueError("'options' must be a JSON object")
+        try:
+            return builder(options)
+        except (TypeError, KeyError) as error:
+            raise ValueError(f"bad options for target {target!r}: {error}")
+    if "tasks" in payload:
+        return _raw_spec(payload)
+    raise ValueError("submission needs either a 'target' or a 'tasks' list")

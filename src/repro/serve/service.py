@@ -1,0 +1,437 @@
+"""The sweep service: many tenants, one scheduler, one result cache.
+
+:class:`SweepService` is the daemon's engine room, deliberately free of
+HTTP so it is testable in-process:
+
+* **Submission** decodes a payload to a spec, then walks the spec's
+  unique points through three buckets: persistent-cache hits are
+  replayed into the job immediately; points another live job already has
+  queued or in flight are *subscribed to* instead of re-enqueued
+  (``serve.points.deduped`` - identical fingerprinted work computes once
+  no matter how many tenants ask); the genuinely new remainder is
+  chunked and fed to the shared :class:`~repro.campaign.scheduler.Scheduler`
+  under the submitting tenant's fair-share queue.
+* **The pump thread** drains the scheduler - inline when ``jobs=1``
+  (bit-identical to the one-shot serial executor, and friendly to tests
+  that register task kinds in-process), through the
+  :class:`~repro.campaign.runtime.Pump` + ``WorkerRuntime`` pool
+  otherwise, inheriting all of PR 4's crash recovery and quarantine
+  machinery.
+* **Absorption** checkpoints records to the advisory-locked cache, then
+  fans each record out to every subscribed job, firing ``result`` and
+  ``progress`` events (the NDJSON deltas) and completing jobs whose
+  remaining set empties.
+* **Drain** (SIGTERM) stops intake (:class:`ServiceDraining` -> 503 at
+  the HTTP layer), lets the pump checkpoint in-flight work, then marks
+  every unfinished job ``interrupted``/resumable - resubmitting the same
+  spec after a restart replays finished points from the cache and only
+  computes the abandoned tail.
+
+Accounting: one service-level :class:`~repro.obs.Recorder` collects
+``serve.*`` counters (global and per tenant) plus merged worker solver
+metrics, crystallised into an ordinary schema-versioned ``report.json``
+under ``<cache>/serve/`` so ``repro stats`` renders daemon traffic with
+the same tooling as one-shot runs.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from .. import obs
+from ..campaign import (
+    Chunk,
+    ChunkEnv,
+    Pump,
+    ResultCache,
+    Scheduler,
+    SweepSpec,
+    TaskRecord,
+    WorkerRuntime,
+    run_chunk,
+)
+from ..campaign.scheduler import BackoffPolicy, chunk_points
+from ..obs.report import build_report, write_report
+from .models import JobState, submission_to_spec, validate_tenant
+from .state import Job, JobStore
+
+#: Subdirectory of the cache dir receiving the service report.json.
+SERVE_OBS_SUBDIR = "serve"
+
+
+class ServiceDraining(RuntimeError):
+    """Submission rejected: the daemon is shutting down (HTTP 503)."""
+
+
+class _ServeSummary:
+    """Duck-typed CampaignSummary aggregating all traffic the daemon saw."""
+
+    def __init__(self, recorder: obs.Recorder, wall_time: float,
+                 interrupted: bool) -> None:
+        counters = recorder.counters
+        self.name = "serve"
+        self.total = counters.get("serve.points.total", 0)
+        self.executed = counters.get("serve.points.executed", 0)
+        self.cache_hits = (
+            counters.get("serve.points.cache_hits", 0)
+            + counters.get("serve.points.deduped", 0)
+        )
+        self.failures = counters.get("serve.points.failed", 0)
+        self.wall_time = wall_time
+        self.quarantined = counters.get("campaign.task.quarantined", 0)
+        self.timeouts = counters.get("campaign.task.timeouts", 0)
+        self.interrupted = interrupted
+
+    @property
+    def tasks_per_sec(self) -> float:
+        if self.wall_time <= 0.0:
+            return 0.0
+        return self.executed / self.wall_time
+
+
+class SweepService:
+    """See the module docstring; every public method is thread-safe."""
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache_dir: Union[None, str, Path] = None,
+        retries: int = 1,
+        chunksize: Optional[int] = None,
+        deadline_s: Optional[float] = None,
+        observe: bool = True,
+        obs_dir: Union[None, str, Path] = None,
+        rate_limits: Optional[Dict[str, float]] = None,
+        backoff: Optional[BackoffPolicy] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.retries = retries
+        self.chunksize = chunksize
+        self.deadline_s = deadline_s
+        self.observe = observe
+        self.backoff = backoff if backoff is not None else BackoffPolicy()
+        self.cache = ResultCache(cache_dir) if cache_dir is not None else None
+        if obs_dir is not None:
+            self.obs_dir: Optional[Path] = Path(obs_dir)
+        elif cache_dir is not None:
+            self.obs_dir = Path(cache_dir) / SERVE_OBS_SUBDIR
+        else:
+            self.obs_dir = None
+
+        self.store = JobStore()
+        self.recorder = obs.Recorder()
+        self.scheduler = Scheduler(backoff=self.backoff)
+        for tenant, rate in (rate_limits or {}).items():
+            self.scheduler.set_rate_limit(validate_tenant(tenant), rate)
+
+        #: (key, fingerprint) -> job ids subscribed to the in-flight point.
+        self._subscribers: Dict[Tuple[str, str], List[str]] = {}
+        self._lock = self.store.lock  # one lock tree: store + scheduler + obs
+        self._wake = threading.Event()
+        self._draining = False
+        self._started = time.monotonic()
+        self._pump_thread: Optional[threading.Thread] = None
+        self._stop = False
+
+    # -- counters ----------------------------------------------------------
+
+    def _count(self, name: str, n: int = 1,
+               tenant: Optional[str] = None) -> None:
+        with self._lock:
+            self.recorder.count(name, n)
+            if tenant is not None:
+                self.recorder.count(f"serve.tenant.{tenant}.{name[6:]}", n)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "SweepService":
+        if self._pump_thread is not None:
+            raise RuntimeError("service already started")
+        self._pump_thread = threading.Thread(
+            target=self._pump, name="repro-serve-pump", daemon=True
+        )
+        self._pump_thread.start()
+        return self
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def begin_drain(self) -> None:
+        """Stop intake; the pump checkpoints in-flight work and exits."""
+        self._draining = True
+        self._wake.set()
+
+    def drain(self, timeout: Optional[float] = None) -> None:
+        """Graceful shutdown: drain, join the pump, mark survivors resumable."""
+        self.begin_drain()
+        if self._pump_thread is not None:
+            self._pump_thread.join(timeout)
+        interrupted = 0
+        with self._lock:
+            for job in self.store.jobs():
+                if not job.state.terminal:
+                    self.store.transition(
+                        job, JobState.INTERRUPTED, resumable=True,
+                        **job.progress_fields(),
+                    )
+                    interrupted += 1
+            self._subscribers.clear()
+        if interrupted:
+            self._count("serve.jobs.interrupted", interrupted)
+        self.write_report(interrupted=bool(interrupted))
+
+    def stop(self, timeout: Optional[float] = None) -> None:
+        """Hard stop for tests: like drain, but impatient."""
+        self._stop = True
+        self.drain(timeout)
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, payload: Union[Dict[str, Any], SweepSpec],
+               tenant: str = "default") -> Job:
+        """Admit one submission; returns the (possibly already DONE) job.
+
+        Raises :class:`ServiceDraining` during shutdown and ``ValueError``
+        for undecodable payloads - the HTTP layer maps those to 503/400.
+        """
+        tenant = validate_tenant(tenant)
+        if self._draining:
+            raise ServiceDraining("service is draining; resubmit later")
+        spec = payload if isinstance(payload, SweepSpec) \
+            else submission_to_spec(payload)
+        fingerprint = spec.fingerprint()
+        context = spec.context_dict()
+
+        with self._lock:
+            if self._draining:  # drain flag could flip while decoding
+                raise ServiceDraining("service is draining; resubmit later")
+            job = self.store.create(tenant, spec, fingerprint)
+            self._count("serve.jobs.submitted", tenant=tenant)
+            fresh = []
+            seen = set()
+            for point in spec.tasks:
+                if point.key in seen:
+                    continue  # duplicate grid point inside one spec
+                seen.add(point.key)
+                job.total += 1
+                record = (
+                    self.cache.lookup(point.key, fingerprint)
+                    if self.cache is not None else None
+                )
+                if record is not None:
+                    job.cache_hits += 1
+                    self._deliver(job, record, cached=True)
+                    continue
+                job.remaining.add(point.key)
+                slot = (point.key, fingerprint)
+                subscribers = self._subscribers.get(slot)
+                if subscribers is not None:
+                    # Another live job already queued this exact point:
+                    # compute once, fan out to everybody.
+                    subscribers.append(job.id)
+                    job.deduped += 1
+                    self._count("serve.points.deduped", tenant=tenant)
+                    continue
+                self._subscribers[slot] = [job.id]
+                fresh.append(point)
+            self._count("serve.points.total", job.total, tenant=tenant)
+            self._count("serve.points.cache_hits", job.cache_hits,
+                        tenant=tenant)
+            env = ChunkEnv(context=context, fingerprint=fingerprint)
+            for points in chunk_points(fresh, self.jobs, self.chunksize):
+                self.scheduler.add(Chunk.make(points, tenant, meta=env))
+            self.store.emit(job, "submitted", **job.progress_fields())
+            if not job.remaining:
+                self._finish(job)
+        self._wake.set()
+        return job
+
+    def cancel(self, job_id: str) -> Job:
+        """Cancel a job; shared in-flight points keep computing for others."""
+        with self._lock:
+            job = self.store.get(job_id)
+            if job is None:
+                raise KeyError(job_id)
+            if job.state.terminal:
+                return job
+            for subscribers in self._subscribers.values():
+                if job.id in subscribers:
+                    subscribers.remove(job.id)
+            job.remaining.clear()
+            self.store.transition(job, JobState.CANCELLED)
+            self._count("serve.jobs.cancelled", tenant=job.tenant)
+            return job
+
+    # -- result fan-out ----------------------------------------------------
+
+    def _deliver(self, job: Job, record: TaskRecord,
+                 cached: bool = False) -> None:
+        """Hand one finished record to one job (lock held)."""
+        job.records[record.key] = record
+        job.remaining.discard(record.key)
+        if not record.ok:
+            job.failures += 1
+        if job.state is JobState.QUEUED and not cached:
+            self.store.transition(job, JobState.RUNNING)
+        self.store.emit(
+            job, "result", key=record.key, kind=record.kind,
+            status=record.status, value=record.value, error=record.error,
+            elapsed=record.elapsed, cached=cached,
+        )
+
+    def _finish(self, job: Job) -> None:
+        if job.state.terminal:
+            return
+        self.store.transition(job, JobState.DONE, **job.progress_fields())
+        self._count("serve.jobs.completed", tenant=job.tenant)
+        if self.obs_dir is not None:
+            self.write_report()
+
+    def _absorb(self, chunk: Chunk, records: List[TaskRecord],
+                snapshot: Optional[Dict[str, Any]]) -> None:
+        """Checkpoint + fan out one finished chunk (pump thread)."""
+        if self.cache is not None:
+            self.cache.append(records)
+        with self._lock:
+            if snapshot is not None:
+                self.recorder.merge(snapshot)
+            fingerprint = chunk.meta.fingerprint
+            self._count("serve.points.executed", len(records),
+                        tenant=chunk.tenant)
+            failed = sum(0 if r.ok else 1 for r in records)
+            if failed:
+                self._count("serve.points.failed", failed,
+                            tenant=chunk.tenant)
+            touched: List[Job] = []
+            for record in records:
+                for job_id in self._subscribers.pop(
+                    (record.key, fingerprint), []
+                ):
+                    job = self.store.get(job_id)
+                    if job is None or job.state.terminal:
+                        continue
+                    job.executed += 1
+                    self._deliver(job, record)
+                    if job not in touched:
+                        touched.append(job)
+            for job in touched:
+                if job.remaining:
+                    self.store.emit(job, "progress", **job.progress_fields())
+                else:
+                    self._finish(job)
+
+    def _quarantine(self, chunk: Chunk, point, status: str,
+                    error: str) -> None:
+        record = TaskRecord(
+            key=point.key, kind=point.kind, params=point.as_dict(),
+            fingerprint=chunk.meta.fingerprint, status=status, value=None,
+            error=error, elapsed=0.0,
+            attempts=self.scheduler.losses(point.key) + 1,
+        )
+        self._count("campaign.task.quarantined"
+                    if status == "crashed" else "campaign.task.timeouts")
+        self._absorb(Chunk((point,), chunk.tenant, chunk.meta), [record], None)
+
+    # -- the pump ----------------------------------------------------------
+
+    def _pump(self) -> None:
+        if self.jobs == 1:
+            self._pump_inline()
+        else:
+            self._pump_pool()
+
+    def _idle_wait(self) -> None:
+        self._wake.wait(timeout=0.2)
+        self._wake.clear()
+
+    def _pump_inline(self) -> None:
+        """jobs=1: execute chunks in the daemon process, one at a time.
+
+        Mirrors the one-shot serial path (same ``run_chunk``, so values
+        are bit-identical) and keeps test-registered task kinds visible -
+        there is no pickling boundary.
+        """
+        while not self._stop:
+            if self._draining:
+                # Queued work stays queued: whatever already ran was
+                # checkpointed chunk by chunk, and drain() marks the
+                # owners interrupted/resumable.
+                return
+            with self._lock:
+                chunk = self.scheduler.next_chunk(time.monotonic())
+            if chunk is None:
+                if self.scheduler.has_pending:  # rate-limited, not idle
+                    time.sleep(0.02)
+                else:
+                    self._idle_wait()
+                continue
+            records, snapshot = run_chunk(
+                chunk.points, chunk.meta.context, chunk.meta.fingerprint,
+                self.retries, self.observe, self.deadline_s, self.backoff,
+                None,
+            )
+            self._absorb(chunk, records, snapshot)
+
+    def _pump_pool(self) -> None:
+        runtime = WorkerRuntime(
+            jobs=self.jobs, retries=self.retries, observe=self.observe,
+            deadline_s=self.deadline_s, backoff=self.backoff,
+        )
+        Pump(
+            self.scheduler, runtime, self._absorb, self._quarantine,
+            count=lambda name, n: self._count(name, n),
+            should_stop=lambda: self._draining or self._stop,
+            idle_wait=self._idle_wait,
+            stop_when_idle=False,
+        ).run()
+
+    # -- introspection / reporting -----------------------------------------
+
+    def job_dict(self, job_id: str) -> Dict[str, Any]:
+        job = self.store.get(job_id)
+        if job is None:
+            raise KeyError(job_id)
+        with self._lock:
+            return job.to_dict()
+
+    def job_records(self, job_id: str) -> Dict[str, Dict[str, Any]]:
+        """Per-key result payloads (the /result endpoint body)."""
+        job = self.store.get(job_id)
+        if job is None:
+            raise KeyError(job_id)
+        with self._lock:
+            return {
+                key: {
+                    "kind": r.kind, "params": dict(r.params),
+                    "status": r.status, "value": r.value, "error": r.error,
+                }
+                for key, r in sorted(job.records.items())
+            }
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "draining": self._draining,
+                "jobs": self.store.states(),
+                "tenants": self.scheduler.tenants,
+                "queued_points": self.scheduler.pending(),
+                "counters": dict(sorted(self.recorder.counters.items())),
+                "uptime_s": time.monotonic() - self._started,
+            }
+
+    def write_report(self, interrupted: bool = False) -> Optional[Path]:
+        """Crystallise the service counters as a standard report.json."""
+        if self.obs_dir is None:
+            return None
+        with self._lock:
+            summary = _ServeSummary(
+                self.recorder, time.monotonic() - self._started, interrupted
+            )
+            report = build_report(summary, self.recorder, [], "serve")
+        return write_report(report, self.obs_dir)

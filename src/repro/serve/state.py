@@ -1,0 +1,170 @@
+"""Thread-safe job bookkeeping for the sweep service.
+
+A :class:`Job` is one tenant's submission: its decoded spec, the set of
+point keys still outstanding, accumulated result records, and an ordered
+event log - the thing the HTTP layer long-polls.  The :class:`JobStore`
+owns the lock and the condition variable; every mutation happens through
+it, and :meth:`JobStore.wait_events` is the blocking primitive the NDJSON
+endpoint parks on (bridged into asyncio via ``run_in_executor``).
+
+Events are append-only dicts ``{"i": n, "event": ..., ...}`` with a
+monotonically increasing per-job index, so a client that reconnects with
+``?since=<last i + 1>`` never loses or repeats a delta.
+"""
+
+from __future__ import annotations
+
+import itertools
+import secrets
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set
+
+from ..campaign import SweepSpec, TaskRecord
+from .models import JobState, advance
+
+
+@dataclass
+class Job:
+    """One submission's full lifecycle; mutate only under the store lock."""
+
+    id: str
+    tenant: str
+    name: str
+    spec: SweepSpec
+    fingerprint: str
+    state: JobState = JobState.QUEUED
+    created: float = field(default_factory=time.time)
+    finished: Optional[float] = None
+    total: int = 0  #: unique points in the spec
+    executed: int = 0  #: computed by the daemon for this job's sake
+    cache_hits: int = 0  #: satisfied from the persistent store at submit
+    deduped: int = 0  #: shared with another live job's in-flight points
+    failures: int = 0
+    remaining: Set[str] = field(default_factory=set)
+    records: Dict[str, TaskRecord] = field(default_factory=dict)
+    events: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def done_points(self) -> int:
+        return self.total - len(self.remaining)
+
+    def progress_fields(self) -> Dict[str, Any]:
+        """The obs-report delta the progress/done events carry."""
+        return {
+            "done": self.done_points,
+            "total": self.total,
+            "executed": self.executed,
+            "cache_hits": self.cache_hits,
+            "deduped": self.deduped,
+            "failures": self.failures,
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "id": self.id,
+            "tenant": self.tenant,
+            "name": self.name,
+            "state": self.state.value,
+            "fingerprint": self.fingerprint,
+            "created": self.created,
+            "finished": self.finished,
+            "resumable": self.state is JobState.INTERRUPTED,
+            "events": len(self.events),
+            **self.progress_fields(),
+        }
+
+
+class JobStore:
+    """All jobs, one lock, one condition for event long-polls."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._new_events = threading.Condition(self._lock)
+        self._jobs: Dict[str, Job] = {}
+        self._seq = itertools.count(1)
+
+    @property
+    def lock(self) -> threading.RLock:
+        return self._lock
+
+    # -- creation / lookup -------------------------------------------------
+
+    def create(self, tenant: str, spec: SweepSpec, fingerprint: str) -> Job:
+        with self._lock:
+            job_id = f"j{next(self._seq):04d}-{secrets.token_hex(3)}"
+            job = Job(
+                id=job_id, tenant=tenant, name=spec.name, spec=spec,
+                fingerprint=fingerprint,
+            )
+            self._jobs[job_id] = job
+            return job
+
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self, tenant: Optional[str] = None) -> List[Job]:
+        with self._lock:
+            jobs = list(self._jobs.values())
+        if tenant is not None:
+            jobs = [j for j in jobs if j.tenant == tenant]
+        return sorted(jobs, key=lambda j: j.created)
+
+    def states(self) -> Dict[str, int]:
+        """Job counts by state (the /v1/stats summary)."""
+        with self._lock:
+            counts: Dict[str, int] = {}
+            for job in self._jobs.values():
+                counts[job.state.value] = counts.get(job.state.value, 0) + 1
+            return counts
+
+    # -- events ------------------------------------------------------------
+
+    def emit(self, job: Job, event: str, **fields: Any) -> None:
+        """Append an event to the job's log and wake long-pollers."""
+        with self._lock:
+            entry = {"i": len(job.events), "job": job.id, "event": event}
+            entry.update(fields)
+            job.events.append(entry)
+            self._new_events.notify_all()
+
+    def transition(self, job: Job, new: JobState, **fields: Any) -> None:
+        """Move the job's state machine and log the edge as an event."""
+        with self._lock:
+            if job.state == new:
+                return
+            job.state = advance(job.state, new)
+            if new.terminal:
+                job.finished = time.time()
+            self.emit(job, "state", state=new.value, **fields)
+
+    def events_since(self, job_id: str, since: int) -> List[Dict[str, Any]]:
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise KeyError(job_id)
+            return list(job.events[max(0, since):])
+
+    def wait_events(self, job_id: str, since: int,
+                    timeout: float) -> List[Dict[str, Any]]:
+        """Long-poll primitive: block until events past ``since`` exist.
+
+        Returns the (possibly empty, on timeout) batch.  A terminal job
+        returns immediately - its log can no longer grow, so there is
+        nothing to wait for.
+        """
+        deadline = time.monotonic() + max(0.0, timeout)
+        with self._lock:
+            while True:
+                job = self._jobs.get(job_id)
+                if job is None:
+                    raise KeyError(job_id)
+                batch = list(job.events[max(0, since):])
+                if batch or job.state.terminal:
+                    return batch
+                left = deadline - time.monotonic()
+                if left <= 0.0:
+                    return []
+                self._new_events.wait(left)

@@ -252,6 +252,43 @@ class TestCacheStore:
         assert fresh.lookup("k1", "other-fp") is None
 
 
+class TestCacheLock:
+    def test_append_blocks_on_contention_and_counts_it(self, tmp_path):
+        import threading
+
+        fcntl = pytest.importorskip("fcntl")
+        from repro import obs
+        from repro.campaign.cache import LOCK_FILENAME
+
+        cache = ResultCache(tmp_path)
+        record = TaskRecord(key="k1", kind="toy-square", fingerprint="fp")
+        # A rival writer (daemon, concurrent CLI run) holds the advisory
+        # lock; our append must wait for it, and the blocked acquisition
+        # must surface as the cache.lock.contention counter.
+        rival = (tmp_path / LOCK_FILENAME).open("a")
+        fcntl.flock(rival, fcntl.LOCK_EX)
+        release = threading.Timer(0.1, lambda: (
+            fcntl.flock(rival, fcntl.LOCK_UN), rival.close()
+        ))
+        release.start()
+        try:
+            with obs.recording() as recorder:
+                cache.append([record])
+        finally:
+            release.join()
+        assert recorder.counters.get("cache.lock.contention") == 1
+        assert ResultCache(tmp_path).lookup("k1", "fp") is not None
+
+    def test_uncontended_append_does_not_count(self, tmp_path):
+        from repro import obs
+
+        cache = ResultCache(tmp_path)
+        with obs.recording() as recorder:
+            cache.append([TaskRecord(key="k1", kind="t", fingerprint="fp")])
+            cache.compact()
+        assert "cache.lock.contention" not in recorder.counters
+
+
 class TestExecutorValidation:
     def test_rejects_nonpositive_jobs(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,389 @@
+"""The sweep service: submission codec, cross-tenant dedupe, graceful
+drain, HTTP front end and the stdlib client.
+
+Everything here runs the service with ``jobs=1`` (the inline pump), so
+the toy task kinds registered below stay visible - there is no pickling
+boundary - and execution order matches the serial executor exactly,
+which is what the bit-identical comparison test relies on.
+"""
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro.campaign import SweepSpec, TaskPoint, run_campaign, task
+from repro.serve import JobState, ServiceDraining, SweepService
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.models import advance, submission_to_spec, validate_tenant
+from repro.serve.server import ServeApp
+from repro.serve.state import JobStore
+
+#: Wall-clock budget for "the pump finishes this tiny job" waits.
+DEADLINE = 20.0
+
+
+@task("serve-square")
+def _serve_square(params, context):
+    return {"y": params["x"] ** 2 + context.get("offset", 0)}
+
+
+@task("serve-slow")
+def _serve_slow(params, context):
+    time.sleep(params.get("sleep", 0.15))
+    return {"x": params["x"]}
+
+
+@task("serve-fail")
+def _serve_fail(params, context):
+    raise ValueError("deterministically broken point")
+
+
+def spec_of(xs, name="sweep", kind="serve-square"):
+    return SweepSpec.build(name, [TaskPoint.make(kind, x=x) for x in xs])
+
+
+def wait_terminal(service, *jobs, deadline=DEADLINE):
+    end = time.monotonic() + deadline
+    while time.monotonic() < end:
+        if all(service.store.get(j.id).state.terminal for j in jobs):
+            return
+        time.sleep(0.01)
+    states = {j.id: service.store.get(j.id).state for j in jobs}
+    raise AssertionError(f"jobs still running after {deadline}s: {states}")
+
+
+@pytest.fixture
+def service(tmp_path):
+    svc = SweepService(jobs=1, cache_dir=tmp_path / "cache").start()
+    yield svc
+    svc.stop(timeout=DEADLINE)
+
+
+# --- submission codec -----------------------------------------------------
+
+
+class TestModels:
+    def test_raw_submission_decodes_to_a_spec(self):
+        spec = submission_to_spec({
+            "name": "adhoc",
+            "tasks": [{"kind": "serve-square", "params": {"x": 3}}],
+        })
+        assert spec.name == "adhoc"
+        assert spec.tasks[0].kind == "serve-square"
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(ValueError, match="unknown target"):
+            submission_to_spec({"target": "fig9"})
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown task kind"):
+            submission_to_spec({"tasks": [{"kind": "no-such-kind"}]})
+
+    def test_submission_needs_target_or_tasks(self):
+        with pytest.raises(ValueError, match="target.*tasks"):
+            submission_to_spec({"name": "empty"})
+
+    def test_target_submission_builds_real_specs(self):
+        spec = submission_to_spec({"target": "fig4", "options": {"fast": True}})
+        assert spec.name == "figure4"
+        assert len(spec.tasks) > 0
+
+    def test_tenant_validation(self):
+        assert validate_tenant("alice-1.prod") == "alice-1.prod"
+        for bad in ("", ".hidden", "a b", "x" * 65, 42):
+            with pytest.raises(ValueError):
+                validate_tenant(bad)
+
+    def test_state_machine_rejects_illegal_edges(self):
+        assert advance(JobState.QUEUED, JobState.DONE) is JobState.DONE
+        with pytest.raises(ValueError, match="illegal job transition"):
+            advance(JobState.DONE, JobState.RUNNING)
+
+
+# --- job store event log --------------------------------------------------
+
+
+class TestJobStore:
+    def test_event_indices_are_dense_and_resumable(self):
+        store = JobStore()
+        job = store.create("t", spec_of([1]), "fp")
+        store.emit(job, "a")
+        store.emit(job, "b", extra=1)
+        store.emit(job, "c")
+        assert [e["i"] for e in store.events_since(job.id, 0)] == [0, 1, 2]
+        assert [e["event"] for e in store.events_since(job.id, 1)] == ["b", "c"]
+        assert store.events_since(job.id, 99) == []
+
+    def test_wait_events_blocks_until_an_emit(self):
+        store = JobStore()
+        job = store.create("t", spec_of([1]), "fp")
+
+        def emit_later():
+            time.sleep(0.05)
+            store.emit(job, "ping")
+
+        threading.Thread(target=emit_later).start()
+        batch = store.wait_events(job.id, since=0, timeout=5.0)
+        assert [e["event"] for e in batch] == ["ping"]
+
+    def test_wait_events_returns_immediately_for_terminal_jobs(self):
+        store = JobStore()
+        job = store.create("t", spec_of([1]), "fp")
+        store.transition(job, JobState.CANCELLED)
+        start = time.monotonic()
+        batch = store.wait_events(job.id, since=1, timeout=5.0)
+        assert time.monotonic() - start < 1.0
+        assert batch == []
+
+
+# --- the service: dedupe, caching, fan-out --------------------------------
+
+
+class TestService:
+    def test_cross_tenant_dedupe_executes_shared_points_once(self, service):
+        # Overlapping grids: alice wants 0..4, bob wants 3..7. The shared
+        # points {3, 4} must execute exactly once.
+        ja = service.submit(spec_of(range(5), "a"), tenant="alice")
+        jb = service.submit(spec_of(range(3, 8), "b"), tenant="bob")
+        wait_terminal(service, ja, jb)
+        counters = service.stats()["counters"]
+        assert counters["serve.points.total"] == 10
+        assert counters["serve.points.executed"] == 8  # not 10
+        assert counters["serve.points.deduped"] == 2
+        assert counters["serve.tenant.bob.points.deduped"] == 2
+        # Both jobs still see all their points, including the shared ones.
+        assert service.store.get(ja.id).state is JobState.DONE
+        jb_dict = service.job_dict(jb.id)
+        assert jb_dict["done"] == jb_dict["total"] == 5
+        assert service.job_records(jb.id)[spec_of([3]).tasks[0].key][
+            "value"] == {"y": 9}
+
+    def test_warm_cache_resubmit_is_instant_done(self, service):
+        first = service.submit(spec_of(range(4)), tenant="alice")
+        wait_terminal(service, first)
+        again = service.submit(spec_of(range(4)), tenant="bob")
+        # Fully cache-satisfied: DONE synchronously at submit time.
+        assert again.state is JobState.DONE
+        assert service.job_dict(again.id)["cache_hits"] == 4
+        counters = service.stats()["counters"]
+        assert counters["serve.tenant.bob.points.cache_hits"] == 4
+        assert counters["serve.points.executed"] == 4
+
+    def test_results_bit_identical_to_serial_executor(self, service, tmp_path):
+        spec = spec_of(range(6), "identical")
+        serial = run_campaign(spec, jobs=1,
+                              cache_dir=str(tmp_path / "serial-cache"))
+        job = service.submit(spec, tenant="alice")
+        wait_terminal(service, job)
+        served = service.store.get(job.id).records
+        assert set(served) == set(serial.records)
+        for key, record in serial.records.items():
+            assert served[key].value == record.value
+            assert served[key].status == record.status
+        # Same fingerprint => the daemon's cache entries are reusable by
+        # a one-shot CLI run against the same directory, and vice versa.
+        assert job.fingerprint == spec.fingerprint()
+
+    def test_failed_points_counted_not_fatal(self, service):
+        spec = SweepSpec.build("mixed", [
+            TaskPoint.make("serve-square", x=1),
+            TaskPoint.make("serve-fail", x=2),
+        ])
+        job = service.submit(spec, tenant="alice")
+        wait_terminal(service, job)
+        final = service.job_dict(job.id)
+        assert final["state"] == "done"
+        assert final["failures"] == 1
+        assert service.stats()["counters"]["serve.points.failed"] == 1
+
+    def test_cancel_releases_the_job_but_not_shared_points(self, service):
+        slow = SweepSpec.build("slow", [
+            TaskPoint.make("serve-slow", x=x) for x in range(4)
+        ])
+        job = service.submit(slow, tenant="alice")
+        cancelled = service.cancel(job.id)
+        assert cancelled.state is JobState.CANCELLED
+        assert service.job_dict(job.id)["state"] == "cancelled"
+        # Terminal cancel is idempotent.
+        assert service.cancel(job.id).state is JobState.CANCELLED
+
+    def test_job_events_replay_the_whole_lifecycle(self, service):
+        job = service.submit(spec_of(range(2)), tenant="alice")
+        wait_terminal(service, job)
+        events = service.store.events_since(job.id, 0)
+        kinds = [e["event"] for e in events]
+        assert kinds[0] == "submitted"
+        assert kinds.count("result") == 2
+        assert kinds[-1] == "state"
+        assert events[-1]["state"] == "done"
+        assert [e["i"] for e in events] == list(range(len(events)))
+
+
+# --- graceful shutdown ----------------------------------------------------
+
+
+class TestDrain:
+    def test_drain_checkpoints_every_tenants_job_as_resumable(self, tmp_path):
+        service = SweepService(jobs=1, cache_dir=tmp_path / "cache").start()
+        slow_a = SweepSpec.build("slow-a", [
+            TaskPoint.make("serve-slow", x=x) for x in range(20)
+        ])
+        slow_b = SweepSpec.build("slow-b", [
+            TaskPoint.make("serve-slow", x=x) for x in range(20, 40)
+        ])
+        ja = service.submit(slow_a, tenant="alice")
+        jb = service.submit(slow_b, tenant="bob")
+        # Let the pump start chewing, then pull the plug mid-flight.
+        deadline = time.monotonic() + DEADLINE
+        while service.stats()["counters"].get("serve.points.executed", 0) < 1:
+            assert time.monotonic() < deadline
+            time.sleep(0.01)
+        service.drain(timeout=DEADLINE)
+
+        for job_id, tenant in ((ja.id, "alice"), (jb.id, "bob")):
+            final = service.job_dict(job_id)
+            assert final["state"] == "interrupted", tenant
+            assert final["resumable"] is True, tenant
+            assert final["done"] < final["total"], tenant
+        counters = service.stats()["counters"]
+        assert counters["serve.jobs.interrupted"] == 2
+        # Whatever did finish was checkpointed: a resubmission replays it
+        # from the cache instead of recomputing.
+        executed = counters["serve.points.executed"]
+        assert executed >= 1
+        service2 = SweepService(jobs=1, cache_dir=tmp_path / "cache").start()
+        try:
+            resumed = service2.submit(slow_a, tenant="alice")
+            hits = service2.job_dict(resumed.id)["cache_hits"]
+            done_a = sum(
+                1 for r in service.store.get(ja.id).records.values() if r.ok
+            )
+            assert hits == done_a
+        finally:
+            service2.stop(timeout=DEADLINE)
+
+    def test_draining_service_rejects_new_submissions(self, tmp_path):
+        service = SweepService(jobs=1, cache_dir=tmp_path / "cache").start()
+        service.begin_drain()
+        with pytest.raises(ServiceDraining):
+            service.submit(spec_of([1]), tenant="alice")
+        service.drain(timeout=DEADLINE)
+
+    def test_drain_writes_the_service_report(self, tmp_path):
+        service = SweepService(jobs=1, cache_dir=tmp_path / "cache").start()
+        job = service.submit(spec_of(range(3)), tenant="alice")
+        wait_terminal(service, job)
+        service.drain(timeout=DEADLINE)
+        from repro.obs.report import load_report
+
+        report = load_report(tmp_path / "cache" / "serve")
+        assert report["campaign"]["name"] == "serve"
+        assert report["counters"]["serve.tenant.alice.points.total"] == 3
+
+
+# --- HTTP front end + client ----------------------------------------------
+
+
+class _Daemon:
+    """ServeApp on a real socket, driven from a background event loop."""
+
+    def __init__(self, service):
+        self.service = service
+        self.port = None
+        self._loop = None
+        self._stop = None
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self):
+        asyncio.run(self._main())
+
+    async def _main(self):
+        app = ServeApp(self.service)
+        server = await asyncio.start_server(app.handle, "127.0.0.1", 0)
+        self.port = server.sockets[0].getsockname()[1]
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        self._ready.set()
+        try:
+            await self._stop.wait()
+        finally:
+            server.close()
+            await server.wait_closed()
+
+    def __enter__(self):
+        self._thread.start()
+        assert self._ready.wait(DEADLINE), "server failed to start"
+        return self
+
+    def __exit__(self, *exc_info):
+        self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(DEADLINE)
+
+
+class TestHttp:
+    def test_submit_poll_stream_and_result_over_http(self, service):
+        with _Daemon(service) as daemon:
+            alice = ServeClient(f"http://127.0.0.1:{daemon.port}",
+                                tenant="alice")
+            bob = ServeClient(f"http://127.0.0.1:{daemon.port}", tenant="bob")
+            assert alice.healthz()["ok"] is True
+
+            job = alice.submit({
+                "name": "http-sweep",
+                "tasks": [{"kind": "serve-square", "params": {"x": x}}
+                          for x in range(4)],
+            })
+            assert job["tenant"] == "alice"
+            events = list(alice.stream(job["id"], wait=2.0))
+            assert events[-1]["event"] == "state"
+            assert events[-1]["state"] == "done"
+
+            final = alice.wait(job["id"], timeout=DEADLINE)
+            assert final["state"] == "done"
+            assert final["done"] == 4
+
+            result = alice.result(job["id"])
+            values = sorted(r["value"]["y"] for r in result["results"].values())
+            assert values == [0, 1, 4, 9]
+
+            # Tenancy flows from the client header into accounting.
+            job_b = bob.submit({
+                "name": "http-sweep-b",
+                "tasks": [{"kind": "serve-square", "params": {"x": 9}}],
+            })
+            bob.wait(job_b["id"], timeout=DEADLINE)
+            tenants = {j["tenant"] for j in alice.jobs()}
+            assert tenants == {"alice", "bob"}
+            assert [j["tenant"] for j in alice.jobs(tenant="bob")] == ["bob"]
+            stats = alice.stats()
+            assert stats["counters"]["serve.tenant.bob.jobs.submitted"] == 1
+
+    def test_http_errors_are_json_with_status(self, service):
+        with _Daemon(service) as daemon:
+            client = ServeClient(f"http://127.0.0.1:{daemon.port}")
+            with pytest.raises(ServeError) as bad:
+                client.submit({"target": "fig9"})
+            assert bad.value.status == 400
+            assert "unknown target" in bad.value.message
+            with pytest.raises(ServeError) as missing:
+                client.job("j9999-nope")
+            assert missing.value.status == 404
+            with pytest.raises(ServeError) as bad_tenant:
+                ServeClient(f"http://127.0.0.1:{daemon.port}",
+                            tenant="not a tenant!").submit({
+                                "tasks": [{"kind": "serve-square",
+                                           "params": {"x": 1}}]})
+            assert bad_tenant.value.status == 400
+
+    def test_draining_daemon_returns_503(self, service):
+        with _Daemon(service) as daemon:
+            client = ServeClient(f"http://127.0.0.1:{daemon.port}")
+            service.begin_drain()
+            with pytest.raises(ServeError) as denied:
+                client.submit({"tasks": [{"kind": "serve-square",
+                                          "params": {"x": 1}}]})
+            assert denied.value.status == 503
+            assert client.healthz()["draining"] is True

@@ -12,6 +12,9 @@ contract directly:
 * ``test_enabled_overhead_is_modest`` - a live recorder against the
   disabled path; recorder bookkeeping must stay small next to the
   millisecond-scale Newton solves it meters.
+* ``test_exporter_overhead_within_bound`` - the ``/metrics`` Prometheus
+  render on a live recorder; an aggressive scraper must not tax the
+  sweep it observes.  Gates CI at 5%.
 * ``test_primitive_costs`` - raw per-operation cost of count/observe/span.
 
 Timings use min-of-rounds (the standard robust estimator for "true cost"
@@ -32,6 +35,13 @@ ROUNDS = 5
 
 #: CI gate: disabled instrumentation within 5% of the no-hook proxy.
 DISABLED_OVERHEAD_BOUND = 0.05
+
+#: CI gate: rendering the exposition text within 5% of the plain loop.
+EXPORTER_OVERHEAD_BOUND = 0.05
+
+#: Scrapes rendered per solve loop - far above any sane Prometheus
+#: interval relative to the ~100 ms the loop takes.
+SCRAPES_PER_LOOP = 4
 
 
 def _inverter():
@@ -132,6 +142,51 @@ def test_enabled_overhead_is_modest(benchmark):
     # Loose sanity bound - the histogram/counter work per solve is ~1 us
     # against multi-ms Newton iterations.
     assert overhead < 0.25
+
+
+def test_exporter_overhead_within_bound(benchmark):
+    """The /metrics render must track the scrape-free loop within 5%."""
+    from repro.obs.export import parse_metrics, render_metrics
+
+    def recorded_loop():
+        with obs.recording() as recorder:
+            _solve_loop()
+        return recorder
+
+    recorded_loop()  # warm-up outside the timed region
+    baseline = _min_of(recorded_loop)
+
+    texts = []
+
+    def scraped_loop():
+        with obs.recording() as recorder:
+            _solve_loop()
+            for _ in range(SCRAPES_PER_LOOP):
+                text = render_metrics(
+                    dict(recorder.counters),
+                    {k: h.to_dict()
+                     for k, h in recorder.histograms.items()},
+                )
+        texts.append(text)
+        return recorder
+
+    scraped_loop()
+    benchmark.pedantic(scraped_loop, rounds=ROUNDS, iterations=1)
+    scraped = min(benchmark.stats.stats.data)
+
+    # The scrape bodies must be real, parseable expositions - a fast
+    # render that emits garbage would pass the timing gate for free.
+    samples = parse_metrics(texts[-1])
+    assert ("repro_dc_solves_total", ()) in samples, sorted(samples)
+    assert any(name.endswith("_bucket") for name, _labels in samples)
+
+    overhead = scraped / baseline - 1.0
+    print(f"\nmetrics render x{SCRAPES_PER_LOOP}: {scraped * 1e3:.2f} ms "
+          f"vs plain {baseline * 1e3:.2f} ms ({overhead:+.1%})")
+    assert overhead < EXPORTER_OVERHEAD_BOUND, (
+        f"{SCRAPES_PER_LOOP} scrapes cost {overhead:.1%} "
+        f"(bound {EXPORTER_OVERHEAD_BOUND:.0%})"
+    )
 
 
 def test_primitive_costs(benchmark):

@@ -68,15 +68,19 @@ schema-versioned ``report.json`` next to the result cache.
 
 from __future__ import annotations
 
+import os
 import signal
 import threading
 from dataclasses import dataclass, field
 from typing import Any, Dict, IO, List, Optional, Sequence, Tuple, Union
 
+import time
+
 from .. import chaos, obs
 from ..chaos import ChaosSpec
+from ..obs.context import TraceContext, span_record, take_spans
 from ..obs.report import build_report, write_report
-from ..obs.trace import TRACE_FILENAME, TraceWriter, null_trace
+from ..obs.trace import TRACE_FILENAME, TRACE_SCHEMA, TraceWriter, null_trace
 from .cache import ResultCache, TaskRecord
 from .metrics import CampaignSummary, ProgressReporter
 from .runtime import (
@@ -224,11 +228,18 @@ class Executor:
         )
         result = CampaignResult(spec, recorder=recorder)
         events = trace if trace is not None else null_trace()
+        # The run's root trace context: every chunk/task span workers
+        # record stitches back under these ids (repro trace).
+        root_ctx = TraceContext.new()
+        self._trace_ctx = root_ctx
         events.emit(
-            "run-start", campaign=spec.name, fingerprint=fingerprint,
+            "run-start", schema=TRACE_SCHEMA, campaign=spec.name,
+            fingerprint=fingerprint,
             total=len(spec.tasks), jobs=self.jobs,
             deadline_s=self.deadline_s,
             chaos=self.chaos_spec.describe() if self.chaos_spec else None,
+            trace_id=root_ctx.trace_id, span_id=root_ctx.span_id,
+            start=time.time(), pid=os.getpid(),
         )
         self._interrupted = False
         self._interrupt_signal = None
@@ -262,6 +273,8 @@ class Executor:
                    snapshot: Optional[Dict[str, Any]]) -> None:
             if cache is not None:
                 cache.append(records)
+            for span in take_spans(snapshot):  # before merge: not a metric
+                events.emit("span", **span)
             if snapshot is not None:
                 recorder.merge(snapshot)
             for record in records:
@@ -310,7 +323,8 @@ class Executor:
         progress.finish()
         result.summary = progress.summary(interrupted=self._interrupted)
         events.emit(
-            "run-end", executed=result.summary.executed,
+            "run-end", trace_id=root_ctx.trace_id,
+            executed=result.summary.executed,
             cache_hits=result.summary.cache_hits,
             failures=result.summary.failures,
             quarantined=result.summary.quarantined,
@@ -329,12 +343,13 @@ class Executor:
     def _run_serial(self, chunks, context, fingerprint, absorb) -> None:
         # No chunk-env chaos: the parent-level injector installed by run()
         # (allow_exit=False) already covers inline execution.
+        trace_ctx = self._trace_ctx.to_dict() if self.observe else None
         for chunk in chunks:
             if self._interrupted:
                 break
             absorb(*run_chunk(
                 chunk, context, fingerprint, self.retries, self.observe,
-                self.deadline_s, self.backoff, None,
+                self.deadline_s, self.backoff, None, trace_ctx,
             ))
 
     # -- pool path ---------------------------------------------------------
@@ -348,6 +363,7 @@ class Executor:
         env = ChunkEnv(
             context=context, fingerprint=fingerprint,
             chaos_cfg=self._chaos_cfg(in_worker=True),
+            trace=self._trace_ctx.to_dict() if self.observe else None,
         )
         scheduler = Scheduler(backoff=self.backoff)
         scheduler.set_respawn_cap(
@@ -371,6 +387,13 @@ class Executor:
                 attempts=scheduler.losses(point.key) + 1,
             )], None)
             events.emit("quarantine", key=point.key, status=status)
+            if self.observe:
+                # The worker died before it could report this span:
+                # synthesize it parent-side so the tree stays complete.
+                events.emit("span", **span_record(
+                    self._trace_ctx.child(), f"task.{point.kind}",
+                    time.time(), 0.0, status=status, key=point.key,
+                ))
 
         Pump(
             scheduler, runtime, absorb_chunk, quarantine,
@@ -380,10 +403,12 @@ class Executor:
 
     # -- helpers -----------------------------------------------------------
 
-    #: Set by run(): the chaos seed (from the spec fingerprint) and the
-    #: run-level recorder, so the recovery paths can count into them.
+    #: Set by run(): the chaos seed (from the spec fingerprint), the
+    #: run-level recorder (so the recovery paths can count into them)
+    #: and the run's root trace context.
     _chaos_seed: str = ""
     _live_recorder: Optional["obs.Recorder"] = None
+    _trace_ctx: TraceContext = TraceContext("", "")
 
     def _recorder_count(self, name: str, n: int) -> None:
         recorder = self._live_recorder

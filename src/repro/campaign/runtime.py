@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from .. import chaos, obs, watchdog
+from ..obs.context import TRACE_SPANS_KEY, TraceContext, span_record
 from ..spice import ConvergenceError
 from .cache import TaskRecord
 from .scheduler import BackoffPolicy, Chunk, Scheduler
@@ -105,6 +106,7 @@ def run_chunk(
     deadline_s: Optional[float] = None,
     backoff: Optional[BackoffPolicy] = None,
     chaos_cfg: Optional[Tuple[chaos.ChaosSpec, str, bool]] = None,
+    trace_ctx: Optional[Dict[str, str]] = None,
 ) -> Tuple[List[TaskRecord], Optional[Dict[str, Any]]]:
     """Worker entry point: run a chunk of points back to back.
 
@@ -114,8 +116,21 @@ def run_chunk(
     ``chaos_cfg`` is ``(spec, seed, allow_exit)``; the injector is
     (re-)installed per chunk so forked workers never inherit the parent's
     exit-suppressed instance.
+
+    ``trace_ctx`` (the run/job root :class:`TraceContext` as a dict)
+    turns on distributed tracing: the chunk derives a child span and one
+    grandchild per point, and ships the finished span records home in
+    the snapshot under :data:`TRACE_SPANS_KEY` - the parent pops them
+    (``take_spans``) before merging, so metrics stay identical whether
+    or not a context was propagated.
     """
     spec, seed, allow_exit = chaos_cfg if chaos_cfg else (None, "", True)
+    chunk_ctx = (
+        TraceContext.from_dict(trace_ctx).child()
+        if observe and trace_ctx is not None else None
+    )
+    spans: List[Dict[str, Any]] = []
+    chunk_start = time.time()
     with chaos.injection(spec, seed, allow_exit=allow_exit):
         if not observe:
             return [
@@ -125,6 +140,7 @@ def run_chunk(
         with obs.recording() as recorder:
             records = []
             for point in points:
+                point_start = time.time()
                 with obs.span(f"task.{point.kind}"):
                     record = run_one(
                         point, context, fingerprint, retries, deadline_s,
@@ -132,7 +148,20 @@ def run_chunk(
                     )
                 obs.observe("task.seconds", record.elapsed)
                 records.append(record)
-    return records, recorder.snapshot()
+                if chunk_ctx is not None:
+                    spans.append(span_record(
+                        chunk_ctx.child(), f"task.{point.kind}",
+                        point_start, record.elapsed, status=record.status,
+                        key=point.key,
+                    ))
+    snapshot = recorder.snapshot()
+    if chunk_ctx is not None:
+        spans.append(span_record(
+            chunk_ctx, "chunk", chunk_start,
+            time.time() - chunk_start, points=len(records),
+        ))
+        snapshot[TRACE_SPANS_KEY] = spans
+    return records, snapshot
 
 
 def _worker_init() -> None:
@@ -158,6 +187,8 @@ class ChunkEnv:
     context: Dict[str, Any]
     fingerprint: str
     chaos_cfg: Optional[Tuple[chaos.ChaosSpec, str, bool]] = None
+    #: Root TraceContext (dict wire form) of the owning run/job, or None.
+    trace: Optional[Dict[str, str]] = None
 
 
 def chunk_env(chunk: Chunk) -> ChunkEnv:
@@ -269,7 +300,7 @@ class WorkerRuntime:
         future = self._ensure_pool().submit(
             run_chunk, list(chunk.points), env.context, env.fingerprint,
             self.retries, self.observe, self.deadline_s, self.backoff,
-            env.chaos_cfg,
+            env.chaos_cfg, env.trace,
         )
         budget = self.chunk_budget(len(chunk))
         expiry = None if budget is None else time.monotonic() + budget
@@ -520,7 +551,19 @@ class Pump:
             chunk = scheduler.next_chunk(now)
             if chunk is None:
                 break
-            runtime.submit(chunk)
+            try:
+                runtime.submit(chunk)
+            except BrokenProcessPool:
+                # A worker crash can mark the pool broken while the fill
+                # loop is still submitting.  The chunk in hand never
+                # reached a worker, so it goes back to the head of its
+                # queue without blame; the in-flight losses then run the
+                # same recovery path as a ``broken`` poll event.
+                scheduler.requeue_front(chunk)
+                self._handle_break(
+                    blamable=True, reason="worker crash (pool broken)"
+                )
+                return True
 
         if not runtime.inflight:
             suspect = scheduler.next_suspect()

@@ -27,9 +27,10 @@ other tenants' work keeps flowing through the same pool.
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Deque, Dict, List, Optional, Sequence
+from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 from .. import chaos
 from .spec import TaskPoint
@@ -177,7 +178,14 @@ class Scheduler:
     ) -> None:
         self.suspect_after_losses = suspect_after_losses
         self.backoff = backoff if backoff is not None else BackoffPolicy()
-        self._queues: Dict[str, Deque[Chunk]] = {}
+        #: Observer fired by :meth:`next_chunk` with ``(chunk, waited_s)``
+        #: - how long the chunk sat queued before dispatch.  The daemon
+        #: hangs its queue-wait SLO histogram here.
+        self.on_dispatch: Optional[Callable[[Chunk, float], None]] = None
+        #: Queues hold ``(enqueue_stamp, chunk)`` so dispatch can report
+        #: the queue wait; stamps default to ``time.monotonic()`` (pure
+        #: tests pass their own ``now`` to :meth:`add`/:meth:`next_chunk`).
+        self._queues: Dict[str, Deque[Tuple[float, Chunk]]] = {}
         self._order: List[str] = []  #: round-robin tenant order
         self._cursor = 0
         self._suspects: Deque[Chunk] = deque()
@@ -188,22 +196,30 @@ class Scheduler:
 
     # -- intake ------------------------------------------------------------
 
-    def _queue(self, tenant: str) -> Deque[Chunk]:
+    def _queue(self, tenant: str) -> Deque[Tuple[float, Chunk]]:
         if tenant not in self._queues:
             self._queues[tenant] = deque()
             self._order.append(tenant)
         return self._queues[tenant]
 
-    def add(self, chunk: Chunk) -> None:
-        self._queue(chunk.tenant).append(chunk)
+    def add(self, chunk: Chunk, now: Optional[float] = None) -> None:
+        stamp = time.monotonic() if now is None else now
+        self._queue(chunk.tenant).append((stamp, chunk))
 
-    def add_all(self, chunks: Sequence[Chunk]) -> None:
+    def add_all(self, chunks: Sequence[Chunk],
+                now: Optional[float] = None) -> None:
         for chunk in chunks:
-            self.add(chunk)
+            self.add(chunk, now)
 
-    def requeue_front(self, chunk: Chunk) -> None:
-        """Put a chunk back at the head of its tenant's queue."""
-        self._queue(chunk.tenant).appendleft(chunk)
+    def requeue_front(self, chunk: Chunk,
+                      now: Optional[float] = None) -> None:
+        """Put a chunk back at the head of its tenant's queue.
+
+        Requeues re-stamp: the queue wait reported for a bisected/lost
+        chunk measures its latest wait, not its cumulative saga.
+        """
+        stamp = time.monotonic() if now is None else now
+        self._queue(chunk.tenant).appendleft((stamp, chunk))
 
     def set_rate_limit(self, tenant: str, rate_per_s: float,
                        burst: float = 1.0) -> None:
@@ -238,7 +254,14 @@ class Scheduler:
             [self._queues.get(tenant, deque())] if tenant is not None
             else self._queues.values()
         )
-        return sum(len(c) for q in queues for c in q)
+        return sum(len(c) for q in queues for _stamp, c in q)
+
+    def pending_by_tenant(self) -> Dict[str, int]:
+        """Queued point counts keyed by tenant (the live-stats gauge)."""
+        return {
+            tenant: sum(len(c) for _stamp, c in queue)
+            for tenant, queue in self._queues.items()
+        }
 
     def next_chunk(self, now: float = 0.0) -> Optional[Chunk]:
         """The next runnable chunk under fair share + rate limits, or None.
@@ -261,7 +284,10 @@ class Scheduler:
             if limit is not None and not limit.try_take(now):
                 continue
             self._cursor = (i + 1) % n
-            return queue.popleft()
+            stamp, chunk = queue.popleft()
+            if self.on_dispatch is not None:
+                self.on_dispatch(chunk, max(0.0, now - stamp))
+            return chunk
         return None
 
     def next_ready_in(self, now: float = 0.0) -> Optional[float]:

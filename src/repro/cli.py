@@ -21,6 +21,9 @@ Examples::
     python -m repro serve --jobs 4               # multi-tenant job daemon
     python -m repro submit fig4 --fast --tenant alice
     python -m repro jobs                         # list the daemon's jobs
+    python -m repro trace j0001-abc123           # stitched trace tree
+    python -m repro trace .repro-cache --slow 1  # only the slow spans
+    python -m repro top --count 1                # one live-stats frame
 
 The ``--fast`` flag swaps the PVT sweep for a minimal grid; without it the
 commands use the same reduced defaults as the benchmarks.
@@ -431,8 +434,112 @@ def cmd_stats(args) -> int:
         )
     except ValueError as error:
         raise SystemExit(f"stats: {error}")
+    if getattr(args, "json", False):
+        import json as _json
+
+        print(_json.dumps(report, sort_keys=True, indent=1))
+        return 0
     print(render_report(report, top_n=args.top))
     return 0
+
+
+def _trace_files(directory) -> list:
+    """All trace.jsonl files under ``directory``, newest first."""
+    from pathlib import Path
+
+    from .obs.trace import TRACE_FILENAME
+
+    root = Path(directory)
+    if not root.is_dir():
+        return []
+    return sorted(
+        root.rglob(TRACE_FILENAME),
+        key=lambda p: p.stat().st_mtime,
+        reverse=True,
+    )
+
+
+def cmd_trace(args) -> int:
+    """Render stitched distributed-trace trees from a trace.jsonl."""
+    from pathlib import Path
+
+    from .obs.stitch import build_trees, render_tree
+    from .obs.trace import read_trace
+
+    target = args.target
+    path = Path(target)
+    job_id = None
+    if path.is_file():
+        candidates = [path]
+    elif path.is_dir():
+        candidates = _trace_files(path)
+        if not candidates:
+            raise SystemExit(f"trace: no trace.jsonl under {target!r}")
+    else:
+        # Not a path: treat it as a job (or trace) id and search --dir.
+        job_id = target
+        candidates = _trace_files(args.dir)
+        if not candidates:
+            raise SystemExit(
+                f"trace: {target!r} is neither a file nor a directory, and "
+                f"no trace.jsonl was found under {args.dir!r} to search "
+                f"for it as a job id (pass --dir)"
+            )
+    rendered: List[str] = []
+    for trace_path in candidates:
+        trees = build_trees(read_trace(trace_path, include_rotated=True))
+        if job_id is not None:
+            trees = [
+                t for t in trees
+                if t.trace_id == job_id
+                or t.name == f"job {job_id}"
+                or t.name.startswith(f"job {job_id} ")
+            ]
+        if trees:
+            rendered = [render_tree(t, slow=args.slow) for t in trees]
+            break  # newest trace file with a match wins
+    if not rendered:
+        raise SystemExit(
+            "trace: no stitched trace"
+            + (f" for job {job_id!r} under {args.dir!r}" if job_id is not None
+               else f" in {target!r} (schema v1 file, or no spans yet?)")
+        )
+    print("\n\n".join(rendered))
+    return 0
+
+
+def cmd_top(args) -> int:
+    """Live daemon view: poll /v1/stats and render summary frames."""
+    import time as _time
+
+    from .obs.render import render_top
+    from .serve.client import ServeClient, ServeError
+
+    client = ServeClient(args.url)
+    prev = prev_at = None
+    frames = 0
+    clear = sys.stdout.isatty() and args.count != 1
+    try:
+        while True:
+            try:
+                stats = client.stats()
+            except (ServeError, ConnectionError, OSError) as error:
+                raise SystemExit(f"top: cannot reach {args.url}: {error}")
+            now = _time.monotonic()
+            dt = now - prev_at if prev_at is not None else None
+            frame = render_top(stats, prev=prev, dt=dt)
+            if clear:
+                print("\x1b[2J\x1b[H", end="")
+            elif frames:
+                print()
+            print(frame, flush=True)
+            frames += 1
+            if args.count and frames >= args.count:
+                return 0
+            prev, prev_at = stats, now
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
 
 
 def _parse_rate_limits(entries) -> dict:
@@ -687,7 +794,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stats.add_argument("--top", type=_positive_int, default=10, metavar="N",
                        help="how many slowest task points to show")
+    stats.add_argument("--json", action="store_true",
+                       help="print the raw report.json instead of rendering")
     stats.set_defaults(func=cmd_stats)
+
+    trace = sub.add_parser(
+        "trace",
+        help="render stitched distributed-trace trees "
+             "(critical path marked with *)",
+    )
+    trace.add_argument(
+        "target", nargs="?", default=DEFAULT_CACHE_DIR,
+        help="trace.jsonl path, a directory containing one, or a job id "
+             f"(default: {DEFAULT_CACHE_DIR})",
+    )
+    trace.add_argument("--dir", default=DEFAULT_CACHE_DIR, metavar="DIR",
+                       help="where to search for trace files when the "
+                            f"target is a job id (default: "
+                            f"{DEFAULT_CACHE_DIR})")
+    trace.add_argument("--slow", type=float, default=None, metavar="SECONDS",
+                       help="hide spans faster than this threshold "
+                            "(ancestors of slow spans are kept)")
+    trace.set_defaults(func=cmd_trace)
+
+    top = sub.add_parser(
+        "top",
+        help="live daemon view: queue depths, tenant rates, worker health",
+    )
+    top.add_argument("--url",
+                     default=f"http://127.0.0.1:{DEFAULT_SERVE_PORT}",
+                     help="daemon base URL")
+    top.add_argument("--interval", type=float, default=2.0, metavar="S",
+                     help="seconds between polls (default 2)")
+    top.add_argument("--count", type=int, default=0, metavar="N",
+                     help="render N frames then exit (0 = until Ctrl-C)")
+    top.set_defaults(func=cmd_top)
 
     serve = sub.add_parser(
         "serve",

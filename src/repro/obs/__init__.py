@@ -14,8 +14,13 @@ Layers:
 * :mod:`repro.obs.recorder` - counters / histograms / spans and their
   picklable snapshot-merge protocol (cross-process aggregation);
 * :mod:`repro.obs.trace`    - per-run JSONL event stream;
+* :mod:`repro.obs.context`  - distributed-trace ids propagated into
+  workers (trace schema v2);
+* :mod:`repro.obs.stitch`   - trace-tree reassembly (``repro trace``);
+* :mod:`repro.obs.export`   - Prometheus text exposition (``/metrics``);
 * :mod:`repro.obs.report`   - the schema-versioned ``report.json``;
-* :mod:`repro.obs.render`   - human rendering behind ``repro stats``.
+* :mod:`repro.obs.render`   - human rendering behind ``repro stats``
+  and the ``repro top`` live view.
 
 The installation model is deliberately process-local and stack-shaped:
 ``recording()`` nests, each level seeing only its own recorder, which is
@@ -28,6 +33,7 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Any, Callable, Iterator, Optional, Sequence
 
+from .context import TraceContext, span_record, take_spans
 from .recorder import COUNT_BOUNDS, TIME_BOUNDS, Histogram, Recorder, SpanStat
 
 __all__ = [
@@ -36,6 +42,9 @@ __all__ = [
     "Histogram",
     "Recorder",
     "SpanStat",
+    "TraceContext",
+    "span_record",
+    "take_spans",
     "active",
     "count",
     "enabled",

@@ -1,0 +1,117 @@
+"""Trace-context propagation: the ids that stitch spans across processes.
+
+A :class:`TraceContext` is the W3C-style ``(trace_id, span_id,
+parent_id)`` triple.  The root context is minted where a unit of work
+*enters* the system - ``SweepService.submit`` for the daemon, the
+one-shot :class:`~repro.campaign.executor.Executor` at run start - and
+travels as a plain string dict: through :class:`~repro.campaign.runtime.
+ChunkEnv` into the pickled chunk submission, across the process boundary
+into the pool worker, where :func:`~repro.campaign.runtime.run_chunk`
+derives one child per chunk and one grandchild per task point.
+
+Workers never see the trace file.  Their span records ride home inside
+the chunk's recorder snapshot under the ``trace_spans`` key -
+:meth:`~repro.obs.recorder.Recorder.merge` ignores keys it does not
+know, but the parent must :func:`take_spans` *before* merging so the
+jobs=N-equals-serial metric invariance is untouched - and the parent
+appends them to ``trace.jsonl`` as ``span`` events.  ``repro trace``
+(:mod:`repro.obs.stitch`) reassembles the tree from the ids alone.
+
+Span wall-clock fields are epoch seconds (``time.time()``), not
+per-process monotonic clocks, so spans from different processes align on
+one timeline to the precision machine clocks allow.
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "TraceContext",
+    "span_record",
+    "take_spans",
+    "TRACE_SPANS_KEY",
+]
+
+#: Snapshot key carrying a worker's span records back to the parent.
+#: Not a recorder metric: the parent pops it before Recorder.merge.
+TRACE_SPANS_KEY = "trace_spans"
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One node's identity in a distributed trace tree."""
+
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str] = None
+
+    @classmethod
+    def new(cls) -> "TraceContext":
+        """Mint a root context (a fresh trace with a fresh root span)."""
+        return cls(trace_id=secrets.token_hex(8),
+                   span_id=secrets.token_hex(4))
+
+    def child(self) -> "TraceContext":
+        """A child context: same trace, new span, parented to this one."""
+        return TraceContext(trace_id=self.trace_id,
+                            span_id=secrets.token_hex(4),
+                            parent_id=self.span_id)
+
+    def to_dict(self) -> Dict[str, str]:
+        """Picklable/JSON-able wire form (for ChunkEnv and trace events)."""
+        data = {"trace_id": self.trace_id, "span_id": self.span_id}
+        if self.parent_id is not None:
+            data["parent_id"] = self.parent_id
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, str]) -> "TraceContext":
+        return cls(
+            trace_id=data["trace_id"],
+            span_id=data["span_id"],
+            parent_id=data.get("parent_id"),
+        )
+
+
+def span_record(
+    ctx: TraceContext,
+    name: str,
+    start: float,
+    elapsed: float,
+    status: str = "ok",
+    **extra: Any,
+) -> Dict[str, Any]:
+    """One finished span as a plain dict (a ``span`` trace event's body).
+
+    ``start`` is epoch seconds; ``pid`` records which process the span
+    ran in - the cross-process stitching the tests assert on.
+    """
+    record: Dict[str, Any] = {
+        "trace_id": ctx.trace_id,
+        "span_id": ctx.span_id,
+        "parent_id": ctx.parent_id,
+        "name": name,
+        "pid": os.getpid(),
+        "start": round(start, 6),
+        "elapsed": round(elapsed, 6),
+        "status": status,
+    }
+    record.update(extra)
+    return record
+
+
+def take_spans(snapshot: Optional[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Pop a worker snapshot's span records (empty when tracing was off).
+
+    Mutates ``snapshot``: the spans must not still be present when the
+    snapshot is handed to :meth:`Recorder.merge`, so metric state stays
+    bit-identical whether or not a trace context was propagated.
+    """
+    if not snapshot:
+        return []
+    spans = snapshot.pop(TRACE_SPANS_KEY, [])
+    return list(spans)

@@ -10,7 +10,7 @@ different machine than) the run that produced them.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
 from ..core.reporting import render_table
 
@@ -110,26 +110,47 @@ def render_histograms(report: Dict[str, Any]) -> str:
     for name, data in histograms.items():
         count = data["count"]
         mean = data["sum"] / count if count else 0.0
-        # p50/p95 from the buckets (bucket upper bound, clamped to max).
+        # p50/p95/p99 from the buckets (bucket upper bound, clamped to
+        # max; exact for the small-count cases _bucket_quantile handles).
         rows.append([
             name,
             str(count),
             _fmt_value(name, mean),
             _fmt_value(name, _bucket_quantile(data, 0.5)),
             _fmt_value(name, _bucket_quantile(data, 0.95)),
+            _fmt_value(name, _bucket_quantile(data, 0.99)),
             _fmt_value(name, data["max"] if data["max"] is not None else 0.0),
         ])
     return render_table(
-        ["histogram", "count", "mean", "p50", "p95", "max"], rows,
+        ["histogram", "count", "mean", "p50", "p95", "p99", "max"], rows,
         title="Histogram summaries",
     )
 
 
 def _bucket_quantile(data: Dict[str, Any], q: float) -> float:
+    """Quantile estimate from bucket counts, exact when recoverable.
+
+    Small-count fallbacks avoid reporting a bucket *upper bound* when
+    the observation itself is still recoverable from the recorded
+    min/max/sum: a single observation is its own every-quantile, two
+    observations split exactly at min/max, and any quantile that lands
+    on the first or last observation is exactly min or max.
+    """
     count = data["count"]
     if not count:
         return 0.0
+    lo, hi = data.get("min"), data.get("max")
+    if count == 1:
+        return data["sum"]
+    if lo is not None and hi is not None and lo == hi:
+        return lo
     target = q * count
+    if lo is not None and target <= 1.0:
+        return lo
+    if hi is not None and target >= count:
+        return hi
+    if count == 2 and lo is not None and hi is not None:
+        return lo if target <= 1.0 else hi
     seen = 0
     bounds = data["bounds"]
     for i, c in enumerate(data["counts"]):
@@ -236,6 +257,79 @@ def render_counters(report: Dict[str, Any]) -> str:
         return ""
     rows = [[name, str(value)] for name, value in sorted(interesting.items())]
     return render_table(["counter", "value"], rows, title="Counters")
+
+
+def render_top(
+    stats: Dict[str, Any],
+    prev: Optional[Dict[str, Any]] = None,
+    dt: Optional[float] = None,
+) -> str:
+    """One ``repro top`` frame from a live ``/v1/stats`` payload.
+
+    ``prev``/``dt`` (the previous poll's payload and the seconds between
+    polls) turn the monotone counters into per-tenant rates; the first
+    frame renders totals only.  Pure function of its inputs, so the live
+    view is testable without a daemon.
+    """
+    counters = stats.get("counters", {})
+    prev_counters = (prev or {}).get("counters", {})
+
+    def rate(name: str) -> Optional[float]:
+        if prev is None or not dt or dt <= 0.0:
+            return None
+        return max(0, counters.get(name, 0)
+                   - prev_counters.get(name, 0)) / dt
+
+    def fmt_rate(value: Optional[float]) -> str:
+        return f"{value:.1f}/s" if value is not None else "-"
+
+    workers = stats.get("workers", {})
+    mode = workers.get("mode", "?")
+    pump = "alive" if workers.get("pump_alive") else "STOPPED"
+    header = (
+        f"repro top | uptime {stats.get('uptime_s', 0.0):.0f}s | "
+        f"workers {workers.get('jobs', '?')} ({mode}, pump {pump})"
+        + (" | DRAINING" if stats.get("draining") else "")
+    )
+
+    jobs = stats.get("jobs", {})
+    job_line = "jobs: " + (", ".join(
+        f"{n} {state}" for state, n in sorted(jobs.items())
+    ) if jobs else "none")
+
+    total = counters.get("serve.points.total", 0)
+    cached = (counters.get("serve.points.cache_hits", 0)
+              + counters.get("serve.points.deduped", 0))
+    hit_ratio = cached / total if total else 0.0
+    point_line = (
+        f"points: {total} total, "
+        f"{counters.get('serve.points.executed', 0)} executed, "
+        f"{cached} cached/deduped ({hit_ratio:.0%} hit), "
+        f"{counters.get('serve.points.failed', 0)} failed | "
+        f"queued {stats.get('queued_points', 0)}"
+    )
+
+    queued_by_tenant = stats.get("queued_by_tenant", {})
+    tenants = sorted(set(stats.get("tenants", ()))
+                     | set(queued_by_tenant))
+    rows = []
+    for tenant in tenants:
+        prefix = f"serve.tenant.{tenant}."
+        rows.append([
+            tenant,
+            str(queued_by_tenant.get(tenant, 0)),
+            str(counters.get(prefix + "points.executed", 0)),
+            fmt_rate(rate(prefix + "points.executed")),
+            str(counters.get(prefix + "jobs.submitted", 0)),
+            str(counters.get(prefix + "jobs.completed", 0)),
+            str(counters.get(prefix + "points.failed", 0)),
+        ])
+    tenant_table = render_table(
+        ["tenant", "queued", "executed", "rate", "jobs", "done", "failed"],
+        rows, title="Tenants",
+    ) if rows else "tenants: none yet"
+
+    return "\n".join([header, job_line, point_line, "", tenant_table])
 
 
 def render_report(report: Dict[str, Any], top_n: int = 10) -> str:

@@ -1,0 +1,240 @@
+"""Stitch trace events back into causal trees: the ``repro trace`` view.
+
+A schema-v2 trace file (:data:`~repro.obs.trace.TRACE_SCHEMA`) contains
+root events (``run-start`` for one-shot campaigns, ``job-submit`` for
+daemon jobs) carrying a freshly minted trace/span id, and ``span``
+events shipped home from workers carrying ``(trace_id, span_id,
+parent_id)``.  :func:`build_trees` reassembles one tree per trace from
+the ids alone - no ordering assumptions, torn tails and rotated-away
+parents tolerated (orphan spans re-attach to their trace's root, or
+become roots themselves).
+
+:func:`render_tree` draws the tree with box characters, marks the
+*critical path* (the chain of spans whose ends dominate the total wall
+time - at every node, the child that finished last) with ``*``, and
+supports a ``slow`` threshold that prunes fast spans while keeping the
+ancestors needed to show where the survivors hang.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set
+
+__all__ = ["SpanNode", "build_trees", "critical_path", "render_tree"]
+
+
+@dataclass
+class SpanNode:
+    """One span in a stitched tree."""
+
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str]
+    name: str
+    pid: Optional[int] = None
+    start: Optional[float] = None  #: epoch seconds
+    elapsed: Optional[float] = None
+    status: str = "ok"
+    key: Optional[str] = None
+    children: List["SpanNode"] = field(default_factory=list)
+
+    @property
+    def end(self) -> Optional[float]:
+        if self.start is None or self.elapsed is None:
+            return None
+        return self.start + self.elapsed
+
+    def walk(self):
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+def _root_from_event(event: Dict[str, Any]) -> Optional[SpanNode]:
+    """A root SpanNode from a run-start / job-submit event, if id-carrying."""
+    trace_id = event.get("trace_id")
+    span_id = event.get("span_id")
+    if not trace_id or not span_id:
+        return None  # schema v1 trace: nothing to stitch
+    if event["event"] == "job-submit":
+        tenant = event.get("tenant")
+        name = f"job {event.get('job', '?')}"
+        if tenant:
+            name += f" tenant={tenant}"
+    else:
+        name = f"run {event.get('campaign', '?')}"
+    return SpanNode(
+        trace_id=trace_id, span_id=span_id, parent_id=None, name=name,
+        pid=event.get("pid"), start=event.get("start"), status="ok",
+    )
+
+
+def build_trees(events: List[Dict[str, Any]]) -> List[SpanNode]:
+    """All stitched trees in ``events``, roots sorted by start time."""
+    roots: Dict[str, SpanNode] = {}  #: trace_id -> root
+    nodes: Dict[str, Dict[str, SpanNode]] = {}  #: trace_id -> span_id -> node
+    order: List[str] = []
+    job_trace: Dict[str, str] = {}  #: job id -> trace_id (for end events)
+
+    for event in events:
+        kind = event.get("event")
+        if kind in ("run-start", "job-submit"):
+            root = _root_from_event(event)
+            if root is None:
+                continue
+            roots[root.trace_id] = root
+            nodes.setdefault(root.trace_id, {})[root.span_id] = root
+            if root.trace_id not in order:
+                order.append(root.trace_id)
+            if kind == "job-submit" and event.get("job"):
+                job_trace[event["job"]] = root.trace_id
+        elif kind == "span":
+            trace_id = event.get("trace_id")
+            span_id = event.get("span_id")
+            if not trace_id or not span_id:
+                continue
+            node = SpanNode(
+                trace_id=trace_id, span_id=span_id,
+                parent_id=event.get("parent_id"),
+                name=event.get("name", "?"), pid=event.get("pid"),
+                start=event.get("start"), elapsed=event.get("elapsed"),
+                status=event.get("status", "ok"), key=event.get("key"),
+            )
+            nodes.setdefault(trace_id, {})[span_id] = node
+            if trace_id not in order:
+                order.append(trace_id)
+        elif kind in ("run-end", "job-done", "job-interrupted"):
+            # Backfill the root's duration from the footer event.
+            trace_id = event.get("trace_id") \
+                or job_trace.get(event.get("job", ""))
+            root = roots.get(trace_id) if trace_id else None
+            if root is not None and root.elapsed is None:
+                elapsed = event.get("elapsed", event.get("wall_time"))
+                if elapsed is not None:
+                    root.elapsed = elapsed
+                if kind == "job-interrupted":
+                    root.status = "interrupted"
+
+    trees: List[SpanNode] = []
+    for trace_id in order:
+        trace_nodes = nodes.get(trace_id, {})
+        root = roots.get(trace_id)
+        for node in trace_nodes.values():
+            if node is root:
+                continue
+            parent = (
+                trace_nodes.get(node.parent_id)
+                if node.parent_id is not None else None
+            )
+            if parent is None:
+                # Orphan (parent rotated away / lost): hang it off the
+                # root when one exists, else promote it to a root.
+                parent = root
+            if parent is not None:
+                parent.children.append(node)
+            else:
+                trees.append(node)
+        if root is not None:
+            trees.append(root)
+
+    def _sort(node: SpanNode) -> None:
+        node.children.sort(
+            key=lambda n: (n.start is None, n.start or 0.0, n.name)
+        )
+        for child in node.children:
+            _sort(child)
+
+    for tree in trees:
+        _sort(tree)
+    trees.sort(key=lambda n: (n.start is None, n.start or 0.0))
+    return trees
+
+
+def critical_path(root: SpanNode) -> Set[str]:
+    """Span ids on the critical path: at each level, the last-ending child.
+
+    Children without timing information cannot dominate; a node whose
+    children all lack timing ends the path there.
+    """
+    path = {root.span_id}
+    node = root
+    while node.children:
+        timed = [c for c in node.children if c.end is not None]
+        if not timed:
+            break
+        node = max(timed, key=lambda c: c.end)
+        path.add(node.span_id)
+    return path
+
+
+def _fmt_elapsed(elapsed: Optional[float]) -> str:
+    if elapsed is None:
+        return "?"
+    if elapsed >= 100.0:
+        return f"{elapsed:.0f}s"
+    if elapsed >= 1.0:
+        return f"{elapsed:.2f}s"
+    if elapsed >= 1e-3:
+        return f"{elapsed * 1e3:.2f}ms"
+    return f"{elapsed * 1e6:.0f}us"
+
+
+def _label(node: SpanNode, on_path: bool) -> str:
+    parts = [node.name]
+    if node.key:
+        parts.append(f"key={node.key}")
+    if node.pid is not None:
+        parts.append(f"pid={node.pid}")
+    parts.append(_fmt_elapsed(node.elapsed))
+    if node.status != "ok":
+        parts.append(f"[{node.status}]")
+    if on_path:
+        parts.append("*")
+    return " ".join(parts)
+
+
+def render_tree(root: SpanNode, slow: Optional[float] = None) -> str:
+    """ASCII tree for one trace; ``*`` marks the critical path.
+
+    ``slow`` (seconds) prunes spans faster than the threshold, keeping
+    any ancestor of a surviving span (and the root) so the remaining
+    slow spans stay located in their causal context.
+    """
+    path = critical_path(root)
+
+    keep: Set[str] = {root.span_id}
+    if slow is not None:
+
+        def _mark(node: SpanNode) -> bool:
+            child_kept = False
+            for child in node.children:
+                child_kept = _mark(child) or child_kept
+            hit = (node.elapsed or 0.0) >= slow or child_kept
+            if hit:
+                keep.add(node.span_id)
+            return hit
+
+        _mark(root)
+
+    lines = [f"trace {root.trace_id}  {_label(root, root.span_id in path)}"]
+    pruned = [0]
+
+    def _draw(node: SpanNode, prefix: str) -> None:
+        children = node.children
+        if slow is not None:
+            visible = [c for c in children if c.span_id in keep]
+            pruned[0] += len(children) - len(visible)
+            children = visible
+        for i, child in enumerate(children):
+            last = i == len(children) - 1
+            branch = "`- " if last else "|- "
+            lines.append(
+                prefix + branch + _label(child, child.span_id in path)
+            )
+            _draw(child, prefix + ("   " if last else "|  "))
+
+    _draw(root, "")
+    if slow is not None and pruned[0]:
+        lines.append(f"({pruned[0]} span(s) faster than {slow:g}s hidden)")
+    return "\n".join(lines)

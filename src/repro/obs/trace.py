@@ -8,45 +8,108 @@ a self-contained JSON object with a ``t`` field (seconds since run start),
 so the file doubles as a poor-man's timeline: sorting by ``t`` or tailing
 it live shows exactly where a sweep is spending its time.
 
+Schema v2 (:data:`TRACE_SCHEMA`) adds distributed tracing: runs and job
+submissions carry ``trace_id``/``span_id`` ids minted by
+:mod:`repro.obs.context`, and ``span`` events record the per-chunk and
+per-point spans workers ship home, so ``repro trace`` can stitch the
+whole causal tree back together (:mod:`repro.obs.stitch`).  v1 files
+(no ids) still load - every reader treats the id fields as optional.
+
 Events are flushed per write - the trace must survive a mid-run kill, the
 very situation it exists to diagnose.
+
+The daemon writes one trace for its whole lifetime, so the writer
+supports size-based rotation: past ``max_bytes`` the live file is
+renamed to ``<name>.1`` (replacing any previous rotation) and a fresh
+file is started.  At most two generations exist on disk, bounding the
+daemon's trace footprint at ~2x ``max_bytes``.
 """
 
 from __future__ import annotations
 
 import json
+import threading
 import time
 from pathlib import Path
-from typing import Any, Dict, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 TRACE_FILENAME = "trace.jsonl"
 
+#: Trace-file schema marker carried by run-start / serve-start events.
+#: v2 = distributed-tracing ids (trace_id/span_id/parent_id) + span events.
+TRACE_SCHEMA = "repro.obs.trace/2"
+
+#: Rotation threshold the daemon uses (one-shot runs never hit it).
+DEFAULT_TRACE_MAX_BYTES = 32 << 20
+
+#: Suffix of the single retained rotated generation.
+ROTATED_SUFFIX = ".1"
+
 
 class TraceWriter:
-    """Writes timestamped JSON events to a per-run trace file."""
+    """Writes timestamped JSON events to a per-run trace file.
 
-    def __init__(self, path) -> None:
+    ``max_bytes`` enables size-based rotation (None = grow unbounded,
+    the one-shot default); ``on_rotate`` is called with the cumulative
+    rotation count after each rotation (the daemon counts these as
+    ``trace.rotations``).  :meth:`emit` is thread-safe - the daemon
+    writes from HTTP executor threads and the pump thread concurrently.
+    """
+
+    def __init__(self, path, max_bytes: Optional[int] = None,
+                 on_rotate: Optional[Callable[[int], None]] = None) -> None:
         self.path = Path(path)
+        self.max_bytes = max_bytes
+        self.on_rotate = on_rotate
+        self.rotations = 0
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
         self._fh = self.path.open("w", encoding="utf-8")
+        self._written = 0
         self._start = time.perf_counter()
 
+    @property
+    def rotated_path(self) -> Path:
+        return self.path.with_name(self.path.name + ROTATED_SUFFIX)
+
+    def _rotate(self) -> None:
+        """Rename the live file to ``<name>.1`` and start fresh (locked)."""
+        self._fh.close()
+        self.path.replace(self.rotated_path)
+        self._fh = self.path.open("w", encoding="utf-8")
+        self._written = 0
+        self.rotations += 1
+
     def emit(self, event: str, **fields: Any) -> None:
-        if self._fh is None:
-            return
         record: Dict[str, Any] = {
             "t": round(time.perf_counter() - self._start, 6),
             "event": event,
         }
         record.update(fields)
-        self._fh.write(json.dumps(record, sort_keys=True,
-                                  separators=(",", ":")) + "\n")
-        self._fh.flush()
+        line = json.dumps(record, sort_keys=True,
+                          separators=(",", ":")) + "\n"
+        rotated = None
+        with self._lock:
+            if self._fh is None:
+                return
+            if (
+                self.max_bytes is not None
+                and self._written
+                and self._written + len(line) > self.max_bytes
+            ):
+                self._rotate()
+                rotated = self.rotations
+            self._fh.write(line)
+            self._written += len(line)
+            self._fh.flush()
+        if rotated is not None and self.on_rotate is not None:
+            self.on_rotate(rotated)
 
     def close(self) -> None:
-        if self._fh is not None:
-            self._fh.close()
-            self._fh = None
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
 
     def __enter__(self) -> "TraceWriter":
         return self
@@ -55,21 +118,33 @@ class TraceWriter:
         self.close()
 
 
-def read_trace(path) -> list:
-    """Load a trace file as a list of event dicts (tolerates a torn tail)."""
-    events = []
+def read_trace(path, include_rotated: bool = False) -> list:
+    """Load a trace file as a list of event dicts (tolerates a torn tail).
+
+    With ``include_rotated`` the previous generation (``<name>.1``, if
+    present) is read first, so a rotated daemon trace comes back as one
+    continuous event list.
+    """
     trace_path = Path(path)
-    if not trace_path.exists():
-        return events
-    with trace_path.open("r", encoding="utf-8") as fh:
-        for line in fh:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                events.append(json.loads(line))
-            except json.JSONDecodeError:
-                continue  # killed mid-write
+    paths: List[Path] = []
+    if include_rotated:
+        rotated = trace_path.with_name(trace_path.name + ROTATED_SUFFIX)
+        if rotated.exists():
+            paths.append(rotated)
+    paths.append(trace_path)
+    events = []
+    for part in paths:
+        if not part.exists():
+            continue
+        with part.open("r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    events.append(json.loads(line))
+                except json.JSONDecodeError:
+                    continue  # killed mid-write
     return events
 
 

@@ -70,6 +70,8 @@ class ServeClient:
                 json.loads(line)
                 for line in raw.decode("utf-8").splitlines() if line.strip()
             ]
+        if content_type.startswith("text/plain"):
+            return raw.decode("utf-8")  # /metrics exposition text
         return json.loads(raw.decode("utf-8")) if raw else None
 
     # -- API ---------------------------------------------------------------
@@ -79,6 +81,10 @@ class ServeClient:
 
     def stats(self) -> Dict[str, Any]:
         return self._request("GET", "/v1/stats")
+
+    def metrics(self) -> str:
+        """The Prometheus text-exposition body of ``GET /metrics``."""
+        return self._request("GET", "/metrics")
 
     def submit(self, payload: Dict[str, Any]) -> Dict[str, Any]:
         """Submit a sweep; returns the created job's status dict."""

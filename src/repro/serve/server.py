@@ -9,7 +9,8 @@ one.
 Routes::
 
     GET    /healthz                     liveness + drain flag
-    GET    /v1/stats                    counters, queue depths, job states
+    GET    /metrics                     Prometheus text exposition
+    GET    /v1/stats[?format=prom]      counters, queue depths, job states
     POST   /v1/jobs                     submit {tenant?, target|tasks, ...}
     GET    /v1/jobs[?tenant=t]          list jobs
     GET    /v1/jobs/<id>                job status
@@ -35,6 +36,7 @@ from pathlib import Path
 from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
+from ..obs.export import PROM_CONTENT_TYPE
 from .service import ServiceDraining, SweepService
 
 #: Cap on request body size; sweep submissions are tiny.
@@ -187,7 +189,11 @@ class ServeApp:
             return _json_response(
                 200, {"ok": True, "draining": self.service.draining}
             )
+        if path == "/metrics" and method == "GET":
+            return self._metrics()
         if path == "/v1/stats" and method == "GET":
+            if query.get("format", [None])[0] == "prom":
+                return self._metrics()
             return _json_response(200, self.service.stats())
         if path == "/v1/jobs":
             if method == "POST":
@@ -219,6 +225,10 @@ class ServeApp:
         raise _HttpError(404, f"no such route: {path}")
 
     # -- handlers ----------------------------------------------------------
+
+    def _metrics(self) -> bytes:
+        body = self.service.prometheus().encode("utf-8")
+        return _response(200, body, PROM_CONTENT_TYPE)
 
     def _submit(self, headers: Dict[str, str], body: bytes) -> bytes:
         payload = _decode_json(body)

@@ -36,6 +36,7 @@ the same tooling as one-shot runs.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from pathlib import Path
@@ -54,7 +55,16 @@ from ..campaign import (
     run_chunk,
 )
 from ..campaign.scheduler import BackoffPolicy, chunk_points
+from ..obs.context import TraceContext, span_record, take_spans
+from ..obs.export import render_metrics
 from ..obs.report import build_report, write_report
+from ..obs.trace import (
+    DEFAULT_TRACE_MAX_BYTES,
+    TRACE_FILENAME,
+    TRACE_SCHEMA,
+    TraceWriter,
+    null_trace,
+)
 from .models import JobState, submission_to_spec, validate_tenant
 from .state import Job, JobStore
 
@@ -106,6 +116,7 @@ class SweepService:
         obs_dir: Union[None, str, Path] = None,
         rate_limits: Optional[Dict[str, float]] = None,
         backoff: Optional[BackoffPolicy] = None,
+        trace_max_bytes: Optional[int] = DEFAULT_TRACE_MAX_BYTES,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -126,8 +137,24 @@ class SweepService:
         self.store = JobStore()
         self.recorder = obs.Recorder()
         self.scheduler = Scheduler(backoff=self.backoff)
+        self.scheduler.on_dispatch = self._on_dispatch
         for tenant, rate in (rate_limits or {}).items():
             self.scheduler.set_rate_limit(validate_tenant(tenant), rate)
+
+        # The daemon-lifetime trace: job-submit roots + worker spans,
+        # size-rotated so an always-on service never fills the disk.
+        if self.observe and self.obs_dir is not None:
+            self.trace: Any = TraceWriter(
+                self.obs_dir / TRACE_FILENAME,
+                max_bytes=trace_max_bytes,
+                on_rotate=self._on_trace_rotate,
+            )
+            self.trace.emit(
+                "serve-start", schema=TRACE_SCHEMA, pid=os.getpid(),
+                jobs=jobs, start=time.time(),
+            )
+        else:
+            self.trace = null_trace()
 
         #: (key, fingerprint) -> job ids subscribed to the in-flight point.
         self._subscribers: Dict[Tuple[str, str], List[str]] = {}
@@ -146,6 +173,24 @@ class SweepService:
             self.recorder.count(name, n)
             if tenant is not None:
                 self.recorder.count(f"serve.tenant.{tenant}.{name[6:]}", n)
+
+    def _observe(self, name: str, value: float,
+                 tenant: Optional[str] = None) -> None:
+        """Record a ``serve.*`` histogram sample, plus its tenant twin."""
+        with self._lock:
+            self.recorder.observe(name, value)
+            if tenant is not None:
+                self.recorder.observe(
+                    f"serve.tenant.{tenant}.{name[6:]}", value
+                )
+
+    def _on_dispatch(self, chunk: Chunk, waited: float) -> None:
+        """Scheduler hook: how long a chunk sat queued (the SLO series)."""
+        self._observe("serve.queue_wait.seconds", waited,
+                      tenant=chunk.tenant)
+
+    def _on_trace_rotate(self, rotations: int) -> None:
+        self._count("trace.rotations")
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -180,11 +225,19 @@ class SweepService:
                         job, JobState.INTERRUPTED, resumable=True,
                         **job.progress_fields(),
                     )
+                    self.trace.emit(
+                        "job-interrupted", job=job.id,
+                        trace_id=job.trace_id,
+                        elapsed=round(
+                            time.monotonic() - job.created_mono, 6),
+                    )
                     interrupted += 1
             self._subscribers.clear()
         if interrupted:
             self._count("serve.jobs.interrupted", interrupted)
         self.write_report(interrupted=bool(interrupted))
+        self.trace.emit("serve-stop", interrupted=interrupted)
+        self.trace.close()
 
     def stop(self, timeout: Optional[float] = None) -> None:
         """Hard stop for tests: like drain, but impatient."""
@@ -208,10 +261,12 @@ class SweepService:
         fingerprint = spec.fingerprint()
         context = spec.context_dict()
 
+        ctx = TraceContext.new()  # the job's root trace context
         with self._lock:
             if self._draining:  # drain flag could flip while decoding
                 raise ServiceDraining("service is draining; resubmit later")
             job = self.store.create(tenant, spec, fingerprint)
+            job.trace_id, job.span_id = ctx.trace_id, ctx.span_id
             self._count("serve.jobs.submitted", tenant=tenant)
             fresh = []
             seen = set()
@@ -243,10 +298,20 @@ class SweepService:
             self._count("serve.points.total", job.total, tenant=tenant)
             self._count("serve.points.cache_hits", job.cache_hits,
                         tenant=tenant)
-            env = ChunkEnv(context=context, fingerprint=fingerprint)
+            env = ChunkEnv(
+                context=context, fingerprint=fingerprint,
+                trace=ctx.to_dict() if self.observe else None,
+            )
             for points in chunk_points(fresh, self.jobs, self.chunksize):
                 self.scheduler.add(Chunk.make(points, tenant, meta=env))
             self.store.emit(job, "submitted", **job.progress_fields())
+            self.trace.emit(
+                "job-submit", schema=TRACE_SCHEMA, job=job.id,
+                tenant=tenant, name=spec.name,
+                trace_id=ctx.trace_id, span_id=ctx.span_id,
+                pid=os.getpid(), start=time.time(), total=job.total,
+                cache_hits=job.cache_hits, deduped=job.deduped,
+            )
             if not job.remaining:
                 self._finish(job)
         self._wake.set()
@@ -277,6 +342,10 @@ class SweepService:
         job.remaining.discard(record.key)
         if not record.ok:
             job.failures += 1
+        if not cached and job.first_result_s is None:
+            job.first_result_s = time.monotonic() - job.created_mono
+            self._observe("serve.submit_to_first_result.seconds",
+                          job.first_result_s, tenant=job.tenant)
         if job.state is JobState.QUEUED and not cached:
             self.store.transition(job, JobState.RUNNING)
         self.store.emit(
@@ -288,8 +357,14 @@ class SweepService:
     def _finish(self, job: Job) -> None:
         if job.state.terminal:
             return
+        elapsed = time.monotonic() - job.created_mono
         self.store.transition(job, JobState.DONE, **job.progress_fields())
         self._count("serve.jobs.completed", tenant=job.tenant)
+        self._observe("serve.job.seconds", elapsed, tenant=job.tenant)
+        self.trace.emit(
+            "job-done", job=job.id, trace_id=job.trace_id,
+            elapsed=round(elapsed, 6), failures=job.failures,
+        )
         if self.obs_dir is not None:
             self.write_report()
 
@@ -298,6 +373,8 @@ class SweepService:
         """Checkpoint + fan out one finished chunk (pump thread)."""
         if self.cache is not None:
             self.cache.append(records)
+        for span in take_spans(snapshot):  # before merge: not a metric
+            self.trace.emit("span", **span)
         with self._lock:
             if snapshot is not None:
                 self.recorder.merge(snapshot)
@@ -336,6 +413,15 @@ class SweepService:
         )
         self._count("campaign.task.quarantined"
                     if status == "crashed" else "campaign.task.timeouts")
+        trace_ctx = getattr(chunk.meta, "trace", None)
+        if trace_ctx:
+            # The worker died before reporting this span: synthesize it
+            # parent-side so the job's trace tree stays well-formed.
+            self.trace.emit("span", **span_record(
+                TraceContext.from_dict(trace_ctx).child(),
+                f"task.{point.kind}", time.time(), 0.0,
+                status=status, key=point.key,
+            ))
         self._absorb(Chunk((point,), chunk.tenant, chunk.meta), [record], None)
 
     # -- the pump ----------------------------------------------------------
@@ -374,7 +460,7 @@ class SweepService:
             records, snapshot = run_chunk(
                 chunk.points, chunk.meta.context, chunk.meta.fingerprint,
                 self.retries, self.observe, self.deadline_s, self.backoff,
-                None,
+                None, chunk.meta.trace,
             )
             self._absorb(chunk, records, snapshot)
 
@@ -416,14 +502,62 @@ class SweepService:
 
     def stats(self) -> Dict[str, Any]:
         with self._lock:
+            pump = self._pump_thread
             return {
                 "draining": self._draining,
                 "jobs": self.store.states(),
                 "tenants": self.scheduler.tenants,
                 "queued_points": self.scheduler.pending(),
+                "queued_by_tenant": self.scheduler.pending_by_tenant(),
                 "counters": dict(sorted(self.recorder.counters.items())),
                 "uptime_s": time.monotonic() - self._started,
+                "workers": {
+                    "jobs": self.jobs,
+                    "mode": "inline" if self.jobs == 1 else "pool",
+                    "pump_alive": bool(pump is not None and pump.is_alive()),
+                },
             }
+
+    def prometheus(self) -> str:
+        """The ``/metrics`` scrape body (Prometheus text format 0.0.4).
+
+        Counters and histograms come straight off the live recorder;
+        liveness facts that are not recorder metrics (queue depths, job
+        states, uptime, drain flag) are rendered as gauges.  Job-state
+        gauges iterate *all* states so every ``serve_jobs_total{state=...}``
+        series exists from the first scrape, even at zero.
+        """
+        with self._lock:
+            counters = dict(self.recorder.counters)
+            histograms = {
+                name: hist.to_dict()
+                for name, hist in self.recorder.histograms.items()
+            }
+            states = self.store.states()
+            queued_by_tenant = self.scheduler.pending_by_tenant()
+            queued_total = self.scheduler.pending()
+            uptime = time.monotonic() - self._started
+            draining = self._draining
+            pump = self._pump_thread
+        gauges: List[Tuple[str, Any, float]] = [
+            ("serve_uptime_seconds", (), uptime),
+            ("serve_draining", (), 1.0 if draining else 0.0),
+            ("serve_workers", (), float(self.jobs)),
+            ("serve_pump_alive", (),
+             1.0 if pump is not None and pump.is_alive() else 0.0),
+            ("serve_queue_depth_points", (), float(queued_total)),
+        ]
+        for state in JobState:
+            gauges.append((
+                "serve_jobs_total", (("state", state.value),),
+                float(states.get(state.value, 0)),
+            ))
+        for tenant in sorted(queued_by_tenant):
+            gauges.append((
+                "serve_tenant_queue_depth_points", (("tenant", tenant),),
+                float(queued_by_tenant[tenant]),
+            ))
+        return render_metrics(counters, histograms, gauges)
 
     def write_report(self, interrupted: bool = False) -> Optional[Path]:
         """Crystallise the service counters as a standard report.json."""

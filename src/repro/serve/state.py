@@ -36,7 +36,11 @@ class Job:
     fingerprint: str
     state: JobState = JobState.QUEUED
     created: float = field(default_factory=time.time)
+    created_mono: float = field(default_factory=time.monotonic)
     finished: Optional[float] = None
+    trace_id: str = ""  #: distributed-trace id minted at submission
+    span_id: str = ""  #: the job's root span id
+    first_result_s: Optional[float] = None  #: submit -> first fresh result
     total: int = 0  #: unique points in the spec
     executed: int = 0  #: computed by the daemon for this job's sake
     cache_hits: int = 0  #: satisfied from the persistent store at submit
@@ -70,6 +74,7 @@ class Job:
             "fingerprint": self.fingerprint,
             "created": self.created,
             "finished": self.finished,
+            "trace_id": self.trace_id,
             "resumable": self.state is JobState.INTERRUPTED,
             "events": len(self.events),
             **self.progress_fields(),

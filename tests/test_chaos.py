@@ -239,3 +239,52 @@ class TestNewtonDeadline:
         with watchdog.deadline(1e-9):
             with pytest.raises(watchdog.DeadlineExceeded):
                 solve_regulator(PVT("fs", 1.0, 125.0), VrefSelect.VREF74)
+
+
+# --- distributed tracing under worker failure ------------------------------
+
+
+from repro.campaign import SweepSpec, TaskPoint, run_campaign, task  # noqa: E402
+from repro.obs.stitch import build_trees  # noqa: E402
+from repro.obs.trace import read_trace  # noqa: E402
+
+
+@task("chaos-exit")
+def _chaos_exit(params, context):
+    import os
+
+    # The poison point kills its worker outright - no exception, no
+    # cleanup - exactly like a segfault or the OOM killer.
+    if params["x"] == context.get("poison"):
+        os._exit(chaos.CRASH_EXIT_CODE)
+    return {"y": params["x"] ** 2}
+
+
+class TestTraceUnderFailure:
+    """A crashed worker must not tear the stitched trace: the parent
+    synthesizes the quarantined point's span, so the tree stays
+    well-formed with the casualty marked ``crashed``."""
+
+    def test_crashed_point_appears_as_crashed_span(self, tmp_path):
+        tasks = [TaskPoint.make("chaos-exit", x=i) for i in range(8)]
+        spec = SweepSpec.build("poison-trace", tasks,
+                               context={"poison": 3})
+        run_campaign(spec, jobs=2, chunksize=2,
+                     cache_dir=str(tmp_path), observe=True)
+
+        events = read_trace(tmp_path / "trace.jsonl")
+        trees = build_trees(events)
+        assert len(trees) == 1  # one causal tree despite the casualties
+        root = trees[0]
+        assert root.name == "run poison-trace"
+        spans = list(root.walk())
+        assert {n.trace_id for n in spans} == {root.trace_id}
+
+        task_spans = [n for n in spans if n.name == "task.chaos-exit"]
+        assert len(task_spans) == 8  # every point accounted for
+        crashed = [n for n in task_spans if n.status == "crashed"]
+        poison_key = [p for p in tasks if p.param("x") == 3][0].key
+        assert len(crashed) == 1
+        assert crashed[0].key == poison_key
+        assert all(n.status == "ok"
+                   for n in task_spans if n is not crashed[0])

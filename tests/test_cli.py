@@ -131,6 +131,83 @@ class TestStatsCommand:
         assert not (tmp_path / "cache" / "report.json").exists()
 
 
+class TestStatsJson:
+    def test_stats_json_emits_the_raw_report(self, capsys, tmp_path):
+        import json
+
+        main([
+            "mc", "--samples", "4", "--shards", "2",
+            "--cache-dir", str(tmp_path),
+        ])
+        capsys.readouterr()
+        assert main(["stats", str(tmp_path), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["schema"].startswith("repro.obs.report/")
+        assert report["campaign"]["name"] == "montecarlo"
+        assert report["campaign"]["total"] == 2
+
+
+class TestTraceCommand:
+    def _mc(self, tmp_path):
+        return main([
+            "mc", "--samples", "4", "--shards", "2",
+            "--cache-dir", str(tmp_path),
+        ])
+
+    def test_trace_renders_stitched_tree_from_dir(self, capsys, tmp_path):
+        assert self._mc(tmp_path) == 0
+        capsys.readouterr()
+        assert main(["trace", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("trace ")
+        assert "run montecarlo" in out
+        assert "task.mc-shard" in out
+        assert "*" in out  # the critical path is marked
+
+    def test_trace_accepts_file_and_slow_filter(self, capsys, tmp_path):
+        assert self._mc(tmp_path) == 0
+        capsys.readouterr()
+        trace_file = str(tmp_path / "trace.jsonl")
+        assert main(["trace", trace_file, "--slow", "9999"]) == 0
+        out = capsys.readouterr().out
+        assert "run montecarlo" in out
+        assert "hidden)" in out  # everything is faster than 9999s
+
+    def test_trace_unknown_job_id_errors(self, capsys, tmp_path):
+        assert self._mc(tmp_path) == 0
+        capsys.readouterr()
+        with pytest.raises(SystemExit, match="no stitched trace"):
+            main(["trace", "j9999-nope", "--dir", str(tmp_path)])
+
+    def test_trace_empty_dir_errors(self, tmp_path):
+        with pytest.raises(SystemExit, match="no trace.jsonl"):
+            main(["trace", str(tmp_path)])
+
+
+class TestTopCommand:
+    def test_top_renders_one_frame_and_exits(self, capsys, monkeypatch):
+        from repro.serve.client import ServeClient
+
+        fake = {
+            "uptime_s": 5.0, "draining": False,
+            "workers": {"jobs": 2, "mode": "pool", "pump_alive": True},
+            "jobs": {"done": 3}, "queued_points": 0,
+            "queued_by_tenant": {}, "tenants": [],
+            "counters": {"serve.points.total": 6,
+                         "serve.points.executed": 6},
+        }
+        monkeypatch.setattr(ServeClient, "stats", lambda self: fake)
+        assert main(["top", "--count", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "repro top | uptime 5s | workers 2 (pool, pump alive)" in out
+        assert "jobs: 3 done" in out
+        assert "tenants: none yet" in out
+
+    def test_top_unreachable_daemon_exits_with_hint(self):
+        with pytest.raises(SystemExit, match="cannot reach"):
+            main(["top", "--url", "http://127.0.0.1:9", "--count", "1"])
+
+
 class TestRunMarch:
     def test_library_test_passes_clean_memory(self, capsys):
         assert main(["run-march", "MATS+", "--words", "8", "--bits", "2"]) == 0

@@ -14,6 +14,9 @@ import time
 import pytest
 
 from repro.campaign import SweepSpec, TaskPoint, run_campaign, task
+from repro.obs.export import parse_metrics
+from repro.obs.stitch import build_trees
+from repro.obs.trace import read_trace
 from repro.serve import JobState, ServiceDraining, SweepService
 from repro.serve.client import ServeClient, ServeError
 from repro.serve.models import advance, submission_to_spec, validate_tenant
@@ -387,3 +390,127 @@ class TestHttp:
                                           "params": {"x": 1}}]})
             assert denied.value.status == 503
             assert client.healthz()["draining"] is True
+
+
+# --- live observability: /metrics, stats, stitched traces ------------------
+
+
+class TestObservability:
+    def test_prometheus_exposition_has_required_series(self, service):
+        job = service.submit(spec_of(range(4)), tenant="alice")
+        wait_terminal(service, job)
+        samples = parse_metrics(service.prometheus())
+        # Every job-state gauge series exists from the first scrape.
+        for state in JobState:
+            key = ("serve_jobs_total", (("state", state.value),))
+            assert key in samples, state
+        assert samples[("serve_jobs_total", (("state", "done"),))] == 1
+        # Per-tenant counters collapse into labeled families.
+        assert samples[
+            ("serve_jobs_submitted_total", (("tenant", "alice"),))
+        ] == 1
+        # The per-tenant SLO latency histograms: submit->first-result
+        # and queue-wait, complete with +Inf buckets.
+        assert samples[
+            ("serve_submit_to_first_result_seconds_bucket",
+             (("tenant", "alice"), ("le", "+Inf")))
+        ] == 1
+        assert samples[
+            ("serve_queue_wait_seconds_count", (("tenant", "alice"),))
+        ] >= 1
+        # Liveness gauges.
+        assert samples[("serve_pump_alive", ())] == 1
+        assert samples[("serve_workers", ())] == 1
+        assert samples[("serve_uptime_seconds", ())] >= 0.0
+        assert samples[("serve_queue_depth_points", ())] == 0
+
+    def test_metrics_served_over_http(self, service):
+        job = service.submit(spec_of(range(2)), tenant="alice")
+        wait_terminal(service, job)
+        with _Daemon(service) as daemon:
+            client = ServeClient(f"http://127.0.0.1:{daemon.port}")
+            body = client.metrics()
+            assert isinstance(body, str)
+            samples = parse_metrics(body)
+            assert ("serve_jobs_total", (("state", "done"),)) in samples
+            # ?format=prom on /v1/stats is the same exposition.
+            alt = client._request("GET", "/v1/stats?format=prom")
+            assert set(parse_metrics(alt)) == set(samples)
+            # and the plain stats payload stays JSON.
+            stats = client.stats()
+            assert stats["workers"]["mode"] == "inline"
+
+    def test_stats_reports_workers_and_queue_depths(self, service):
+        stats = service.stats()
+        assert stats["workers"] == {
+            "jobs": 1, "mode": "inline", "pump_alive": True,
+        }
+        assert stats["queued_by_tenant"] == {}
+        job = service.submit(spec_of(range(3)), tenant="alice")
+        wait_terminal(service, job)
+        # The tenant's queue shows up (drained back to zero).
+        assert service.stats()["queued_by_tenant"].get("alice", 0) == 0
+
+    def test_daemon_trace_stitches_one_tree_per_job(self, tmp_path):
+        service = SweepService(jobs=1, cache_dir=tmp_path / "cache").start()
+        try:
+            ja = service.submit(spec_of(range(3), "a"), tenant="alice")
+            jb = service.submit(spec_of(range(10, 13), "b"), tenant="bob")
+            wait_terminal(service, ja, jb)
+        finally:
+            service.stop(timeout=DEADLINE)
+        events = read_trace(
+            tmp_path / "cache" / "serve" / "trace.jsonl",
+            include_rotated=True,
+        )
+        trees = {t.name: t for t in build_trees(events)}
+        assert set(trees) == {
+            f"job {ja.id} tenant=alice", f"job {jb.id} tenant=bob",
+        }
+        for root in trees.values():
+            assert root.elapsed is not None  # backfilled from job-done
+            tasks = [n for n in root.walk() if n.name == "task.serve-square"]
+            assert len(tasks) == 3
+            assert {n.trace_id for n in root.walk()} == {root.trace_id}
+        # The two jobs are distinct traces.
+        assert trees[f"job {ja.id} tenant=alice"].trace_id \
+            != trees[f"job {jb.id} tenant=bob"].trace_id
+
+    def test_trace_rotation_is_counted(self, tmp_path):
+        service = SweepService(jobs=1, cache_dir=tmp_path / "cache",
+                               trace_max_bytes=600).start()
+        try:
+            for offset in range(0, 40, 10):
+                job = service.submit(
+                    spec_of(range(offset, offset + 4), f"s{offset}"),
+                    tenant="alice",
+                )
+                wait_terminal(service, job)
+            counters = service.stats()["counters"]
+        finally:
+            service.stop(timeout=DEADLINE)
+        assert counters["trace.rotations"] >= 1
+        assert service.trace.rotated_path.exists()
+
+    def test_drain_marks_interrupted_jobs_in_the_trace(self, tmp_path):
+        service = SweepService(jobs=1, cache_dir=tmp_path / "cache").start()
+        slow = SweepSpec.build("slow", [
+            TaskPoint.make("serve-slow", x=x) for x in range(20)
+        ])
+        job = service.submit(slow, tenant="alice")
+        deadline = time.monotonic() + DEADLINE
+        while service.stats()["counters"].get("serve.points.executed", 0) < 1:
+            assert time.monotonic() < deadline
+            time.sleep(0.01)
+        service.drain(timeout=DEADLINE)
+        events = read_trace(
+            tmp_path / "cache" / "serve" / "trace.jsonl",
+            include_rotated=True,
+        )
+        assert any(e["event"] == "job-interrupted" and e["job"] == job.id
+                   for e in events)
+        (root,) = build_trees(events)
+        assert root.status == "interrupted"
+        assert root.elapsed is not None
+        # The spans that did finish before the plug was pulled are there.
+        assert any(n.name == "task.serve-slow" for n in root.walk())

@@ -1,0 +1,104 @@
+"""Array-scale macro throughput: March m-LZ over a million-cell block.
+
+The point of the vectorized executor (DESIGN.md Section 15) is that array
+size stops being the cost driver: march elements are whole-plane numpy
+operations, so a 16K x 64 macro (2^20 cells - 256x the paper's 4K x 64
+reference block in word count) runs in the same few milliseconds per
+element as the toy arrays in the unit tests.  This file gates that claim
+in CI:
+
+* ``test_million_cell_march_throughput`` - March m-LZ over >= 10^6 cells
+  with a per-cell DRV map attached must sustain at least
+  ``CELLS_PER_SECOND_BOUND`` cells/second (min-of-rounds, setup excluded).
+* ``test_drv_map_build_within_budget`` - the quantile-bucketed DRV map
+  (the one real solver cost left) builds within ``MAP_BUILD_BUDGET_S``.
+
+Timings use min-of-rounds like bench_obs/bench_chaos.
+"""
+
+import time
+
+import numpy as np
+
+from repro.march import march_m_lz, run_march_vectorized
+from repro.sram import ArrayRetentionEngine, LowPowerSRAM, MacroSpec, SRAMConfig
+from repro.sram.macro import macro_retention
+
+#: The macro under test: 2^20 cells, one bank (single-array throughput).
+WORDS, BITS = 16384, 64
+#: CI gate: sustained March m-LZ throughput on the vectorized path.
+CELLS_PER_SECOND_BOUND = 1e6
+#: CI gate: bucketed DRV-map construction (4 solver calls) budget.
+MAP_BUILD_BUDGET_S = 30.0
+MAP_BUCKETS = 4
+#: Cold-corner escape conditions (the analysis.macro defaults).
+VDDCC, TEMP_C = 0.05, -40.0
+ROUNDS = 3
+
+
+def _min_of(fn, rounds=ROUNDS):
+    best = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return best
+
+
+def test_million_cell_march_throughput(benchmark):
+    spec = MacroSpec(words=WORDS, bits=BITS, banks=1, seed=1)
+    assert spec.n_cells >= 1_000_000
+
+    # Setup outside the timed region: the DRV map is the solver-bound part
+    # and has its own budget below.
+    engine = macro_retention(
+        spec, corner="typical", temp_c=TEMP_C, buckets=MAP_BUCKETS
+    )
+    config = SRAMConfig(n_words=WORDS, word_bits=BITS)
+    test = march_m_lz()
+
+    def run():
+        sram = LowPowerSRAM(config, retention=engine)
+        return run_march_vectorized(
+            test, sram, vddcc_for_sleep=lambda i: VDDCC,
+            max_failures=spec.n_cells,
+        )
+
+    result = benchmark.pedantic(run, rounds=ROUNDS, iterations=1)
+    assert result.operations == 5 * WORDS + 4
+    # The cold-corner population is non-trivial: below-DRV cells exist and
+    # flip within the 1 s mission window (whether they also flip inside
+    # the 1 ms test window depends on the bucket representatives - that
+    # escape-vs-detect split is the analysis layer's concern, not a
+    # throughput gate's).
+    ones = np.ones((WORDS, BITS), dtype=np.uint8)
+    assert engine.flip_mask(VDDCC, 1.0, ones).any()
+
+    best = min(benchmark.stats.stats.data)
+    cells_per_second = spec.n_cells / best
+    print(
+        f"\nMarch m-LZ over {spec.n_cells} cells: best {best * 1e3:.1f} ms "
+        f"-> {cells_per_second / 1e6:.1f}M cells/s"
+    )
+    assert cells_per_second >= CELLS_PER_SECOND_BOUND, (
+        f"{cells_per_second:.0f} cells/s under the "
+        f"{CELLS_PER_SECOND_BOUND:.0f} gate"
+    )
+
+
+def test_drv_map_build_within_budget():
+    spec = MacroSpec(words=WORDS, bits=BITS, banks=1, seed=1)
+    start = time.perf_counter()
+    engine = macro_retention(
+        spec, corner="typical", temp_c=TEMP_C, buckets=MAP_BUCKETS
+    )
+    elapsed = time.perf_counter() - start
+    assert isinstance(engine, ArrayRetentionEngine)
+    assert engine.shape == (WORDS, BITS)
+    # The bucketing keeps distinct DRV values to the bucket count while
+    # still covering the full cell population.
+    assert len(np.unique(engine.drv1)) <= MAP_BUCKETS
+    print(f"\nDRV map for {spec.n_cells} cells: {elapsed:.2f} s")
+    assert elapsed <= MAP_BUILD_BUDGET_S

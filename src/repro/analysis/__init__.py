@@ -7,6 +7,8 @@
 * :mod:`repro.analysis.power_savings` - Section IV.B power observations
 * :mod:`repro.analysis.montecarlo` - array-level DRV statistics (the
   process-variation data the paper had from silicon, here sampled)
+* :mod:`repro.analysis.macro` - array-scale macro escape maps (March m-LZ
+  over per-cell variation maps, one campaign task per bank)
 
 Every driver returns plain dataclasses and offers a ``render()`` for the
 paper-style text table, so benchmarks and examples share one code path.
@@ -20,6 +22,13 @@ from .figure4 import (
     figure4_sweep,
     render_figure4,
     run_figure4_campaign,
+)
+from .macro import (
+    MacroBankRow,
+    MacroSummary,
+    macro_spec,
+    render_macro,
+    run_macro_campaign,
 )
 from .montecarlo import (
     MonteCarloResult,
@@ -77,6 +86,11 @@ __all__ = [
     "montecarlo_spec",
     "run_montecarlo_campaign",
     "render_montecarlo",
+    "MacroBankRow",
+    "MacroSummary",
+    "macro_spec",
+    "run_macro_campaign",
+    "render_macro",
     "PowerComparison",
     "power_comparison",
     "render_power",

@@ -150,6 +150,36 @@ def figure4_point(params: Dict[str, Any], context: Dict[str, Any]) -> Dict[str, 
     return out
 
 
+@task("macro-bank")
+def macro_bank(params: Dict[str, Any], context: Dict[str, Any]) -> Dict[str, Any]:
+    """March m-LZ escape classification of one bank of an SRAM macro.
+
+    The bank is the campaign unit: its variation map regenerates
+    deterministically from ``(seed, geometry, bank)`` inside the worker
+    (nothing is pickled), its DRV map costs ``buckets`` bucketed solves
+    shared through the pair memo, and the per-bank escape counters are
+    recorded here so worker-side recorders carry them home into the
+    merged ``report.json`` (rendered by ``repro stats``).
+    """
+    from .. import obs
+    from ..sram.macro import MacroSpec, bank_escape_summary
+
+    _design, cell = _design_and_cell(context)
+    spec = MacroSpec(
+        words=params["words"], bits=params["bits"],
+        banks=params["banks"], seed=params["seed"],
+    )
+    summary = bank_escape_summary(
+        spec, params["bank"],
+        vddcc=params["vddcc"], ds_time=params["ds_time"],
+        mission_time=params["mission_time"], corner=params["corner"],
+        temp_c=params["temp_c"], cell=cell, buckets=params["buckets"],
+    )
+    for metric in ("cells", "weak", "detected", "escaped"):
+        obs.count(f"macro.bank.{params['bank']}.{metric}", summary[metric])
+    return summary
+
+
 @task("mc-shard")
 def mc_shard(params: Dict[str, Any], context: Dict[str, Any]) -> Dict[str, Any]:
     """One shard of the Monte Carlo DRV study.

@@ -272,6 +272,23 @@ def cmd_mc(args) -> int:
     return _finish(args, campaign)
 
 
+def cmd_macro(args) -> int:
+    from .analysis.macro import render_macro, run_macro_campaign
+    from .sram.macro import MacroSpec
+
+    words = args.words if args.words is not None else (256 if args.fast else 4096)
+    banks = args.banks if args.banks is not None else (2 if args.fast else 8)
+    buckets = args.buckets if args.buckets is not None else (4 if args.fast else 16)
+    spec = MacroSpec(words=words, bits=args.bits, banks=banks, seed=args.seed)
+    summary, result = run_macro_campaign(
+        spec, vddcc=args.vddcc, ds_time=args.ds_time,
+        mission_time=args.mission_time, corner=args.corner,
+        temp_c=args.temp, buckets=buckets, **_campaign_kwargs(args),
+    )
+    print(render_macro(summary))
+    return _finish(args, result)
+
+
 def cmd_power(args) -> int:
     from .analysis import power_comparison, render_power
     from .devices.pvt import paper_pvt_grid
@@ -726,6 +743,39 @@ def build_parser() -> argparse.ArgumentParser:
     mc = add("mc", cmd_mc, "Monte Carlo DRV distribution (sharded campaign)",
              campaign=True)
     _add_mc_flags(mc)
+    macro = add(
+        "macro", cmd_macro,
+        "array-scale macro: vectorized March m-LZ escape map, one task "
+        "per bank",
+        campaign=True,
+    )
+    # Literal defaults mirror analysis.macro's MACRO_* constants (the
+    # parser stays import-free; tests/test_cli.py pins the equivalence).
+    macro.add_argument("--words", type=_positive_int, default=None,
+                       help="macro word count (default 4096, 256 with --fast)")
+    macro.add_argument("--bits", type=_positive_int, default=64,
+                       help="bits per word (default 64)")
+    macro.add_argument("--banks", type=_positive_int, default=None,
+                       help="equal banks = campaign tasks "
+                            "(default 8, 2 with --fast)")
+    macro.add_argument("--seed", type=int, default=1,
+                       help="mismatch-map seed (feeds the campaign "
+                            "fingerprint)")
+    macro.add_argument("--buckets", type=_positive_int, default=None,
+                       help="DRV quantile buckets per bank "
+                            "(default 16, 4 with --fast)")
+    macro.add_argument("--vddcc", type=float, default=0.05,
+                       help="deep-sleep array supply during DSM (V)")
+    macro.add_argument("--ds-time", type=float, default=1e-3,
+                       help="test DS time per sleep (s)")
+    macro.add_argument("--mission-time", type=float, default=1.0,
+                       help="field sleep duration for escape classification "
+                            "(s)")
+    macro.add_argument("--corner", default="typical",
+                       help="process corner (default: the cold-leakage "
+                            "typical corner)")
+    macro.add_argument("--temp", type=float, default=-40.0,
+                       help="temperature (C; cold maximises flip times)")
     add("power", cmd_power, "Section IV.B static-power comparison")
     add("classify", cmd_classify, "Defect taxonomy from Vreg signatures",
         defects=True)

@@ -28,7 +28,7 @@ from .library import (
     standard_tests,
 )
 from .parser import MarchParseError, parse_library_or_custom, parse_march
-from .runner import MarchFailure, MarchResult, run_march
+from .runner import MarchFailure, MarchResult, run_march, run_march_vectorized
 from .coverage import CoverageReport, evaluate_coverage
 
 __all__ = [
@@ -47,6 +47,7 @@ __all__ = [
     "march_ss",
     "standard_tests",
     "run_march",
+    "run_march_vectorized",
     "parse_march",
     "parse_library_or_custom",
     "MarchParseError",

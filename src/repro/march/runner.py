@@ -15,8 +15,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
+import numpy as np
+
+from .. import obs
 from ..sram.memory import LowPowerSRAM
-from .dsl import DSM, WUP, MarchElement, MarchTest
+from .dsl import DSM, WUP, AddressOrder, MarchElement, MarchTest
 
 
 @dataclass(frozen=True)
@@ -127,4 +130,112 @@ def run_march(
                                 if len(result.failures) >= max_failures:
                                     break
                 result.operations += 1
+    return result
+
+
+def run_march_vectorized(
+    test: MarchTest,
+    sram: LowPowerSRAM,
+    vddcc_for_sleep: Optional[Callable[[int], float]] = None,
+    max_failures: int = 10_000,
+    background: Optional[int] = None,
+) -> MarchResult:
+    """Whole-array March execution: each element op is one plane operation.
+
+    Produces a :class:`MarchResult` identical to :func:`run_march` - same
+    failures in the same order (element, address-in-traversal-order, op,
+    bit ascending), same operation count, same ``max_failures`` truncation
+    - but runs every ``rX``/``wX`` as a single numpy pass over the
+    ``(n_words, word_bits)`` bit plane, which is what makes 10^6-10^7-cell
+    macros tractable.
+
+    Equivalence rests on the supported fault set being *cell-local*: a
+    cell's observed value depends only on its own operation history, which
+    is the same sequence whether addresses advance in the inner loop
+    (scalar) or the outer loop (vectorized).  The peripheral power-gating
+    fault's op-order window is preserved exactly through the element
+    bracket (see :mod:`repro.sram.faults`).  Memories that break the
+    assumption - coupling faults, faulty address decoders - fall back to
+    the scalar runner (counted under ``march.vectorized.fallbacks``).
+    """
+    if not sram.plane_capable:
+        obs.count("march.vectorized.fallbacks")
+        return run_march(test, sram, vddcc_for_sleep, max_failures, background)
+    obs.count("march.vectorized.runs")
+
+    result = MarchResult(test.name)
+    n_words = sram.config.n_words
+    word_bits = sram.config.word_bits
+    ones_word = (
+        sram.config.word_mask if background is None
+        else background & sram.config.word_mask
+    )
+    zeros_word = (~ones_word) & sram.config.word_mask
+    ones_plane = np.array(
+        [(ones_word >> b) & 1 for b in range(word_bits)], dtype=np.uint8
+    )
+    zeros_plane = 1 - ones_plane
+    sleep_index = 0
+
+    for element_index, el in enumerate(test.elements):
+        if isinstance(el, DSM):
+            vddcc = vddcc_for_sleep(sleep_index) if vddcc_for_sleep else None
+            sram.enter_deep_sleep(ds_time=el.ds_time, vddcc=vddcc)
+            sleep_index += 1
+            result.operations += 1
+            continue
+        if isinstance(el, WUP):
+            sram.wake_up()
+            result.operations += 1
+            continue
+        assert isinstance(el, MarchElement)
+        descending = el.order is AddressOrder.DOWN
+        for fault in sram.faults:
+            fault.begin_element(n_words, len(el.ops), descending)
+        # (op_index, mismatch plane) for every read with at least one miss.
+        mismatches = []
+        for op_index, op in enumerate(el.ops):
+            expected_plane = ones_plane if op.value else zeros_plane
+            if op.kind == "w":
+                sram.write_all(ones_word if op.value else zeros_word)
+            else:
+                observed = sram.read_all()
+                miss = observed != expected_plane[None, :]
+                if miss.any():
+                    mismatches.append((op_index, op.value, miss))
+        for fault in sram.faults:
+            fault.end_element()
+        result.operations += n_words * len(el.ops)
+
+        # Emit this element's failures in scalar order: address in
+        # traversal order, then op index, then bit ascending.  Like the
+        # scalar runner, hitting ``max_failures`` only stops *collection*
+        # - subsequent elements still execute.
+        if mismatches and len(result.failures) < max_failures:
+            rows_hit = np.zeros(n_words, dtype=bool)
+            for _op_index, _value, miss in mismatches:
+                rows_hit |= miss.any(axis=1)
+            addrs = np.nonzero(rows_hit)[0]
+            if descending:
+                addrs = addrs[::-1]
+            capped = False
+            for addr in addrs:
+                for op_index, value, miss in mismatches:
+                    for bit in np.nonzero(miss[addr])[0]:
+                        expected_bit = int(
+                            ones_plane[bit] if value else zeros_plane[bit]
+                        )
+                        result.failures.append(
+                            MarchFailure(
+                                element_index, op_index, int(addr), int(bit),
+                                expected_bit, expected_bit ^ 1,
+                            )
+                        )
+                        if len(result.failures) >= max_failures:
+                            capped = True
+                            break
+                    if capped:
+                        break
+                if capped:
+                    break
     return result

@@ -246,12 +246,55 @@ def render_serve(report: Dict[str, Any]) -> str:
     )
 
 
+def render_macro(report: Dict[str, Any]) -> str:
+    """Per-bank escape map for reports produced by ``repro macro``.
+
+    Rebuilt purely from the ``macro.bank.<bank>.*`` counters the
+    macro-bank task records inside the workers (merged cross-process into
+    the run report), so ``repro stats`` renders the escape map of any
+    macro campaign after the fact; empty for non-macro reports.
+    """
+    counters = report.get("counters", {})
+    banks: Dict[int, Dict[str, int]] = {}
+    prefix = "macro.bank."
+    for name, value in counters.items():
+        if not name.startswith(prefix):
+            continue
+        bank_text, _, metric = name[len(prefix):].partition(".")
+        try:
+            bank = int(bank_text)
+        except ValueError:
+            continue
+        banks.setdefault(bank, {})[metric] = value
+    if not banks:
+        return ""
+    rows = []
+    for bank in sorted(banks):
+        m = banks[bank]
+        cells = m.get("cells", 0)
+        escaped = m.get("escaped", 0)
+        rows.append([
+            str(bank),
+            str(cells),
+            str(m.get("weak", 0)),
+            str(m.get("detected", 0)),
+            str(escaped),
+            f"{escaped / cells * 100:.2f}%" if cells else "-",
+        ])
+    return render_table(
+        ["bank", "cells", "weak", "detected", "escaped", "escape rate"],
+        rows,
+        title="Macro escape map by bank (March m-LZ)",
+    )
+
+
 def render_counters(report: Dict[str, Any]) -> str:
     counters = report.get("counters", {})
     interesting = {
         name: value for name, value in counters.items()
-        # campaign.* feeds the header; serve.tenant.* feeds its own table.
-        if not name.startswith(("campaign.", "serve.tenant."))
+        # campaign.* feeds the header; serve.tenant.* and macro.bank.*
+        # feed their own tables.
+        if not name.startswith(("campaign.", "serve.tenant.", "macro.bank."))
     }
     if not interesting:
         return ""
@@ -337,6 +380,7 @@ def render_report(report: Dict[str, Any], top_n: int = 10) -> str:
     sections = [
         render_header(report),
         render_serve(report),
+        render_macro(report),
         render_convergence(report),
         render_slowest(report, top_n),
         render_histograms(report),

@@ -25,13 +25,20 @@ from .faults import (
     PeripheralPowerGatingFault,
     StuckAtFault,
     TransitionFault,
+    UnvectorizedFaultError,
     drf_ds_variants,
+)
+from .macro import (
+    MacroSpec,
+    bank_escape_summary,
+    macro_retention,
+    macro_sram,
 )
 from .memory import LowPowerSRAM, MemoryModeError, SRAMConfig
 from .power_modes import PMControl, PowerMode
 from .power_switches import PowerSwitchNetwork
 from .power_model import PowerReport, static_power
-from .retention_engine import RetentionEngine, WeakCell
+from .retention_engine import ArrayRetentionEngine, RetentionEngine, WeakCell
 
 __all__ = [
     "LowPowerSRAM",
@@ -49,9 +56,15 @@ __all__ = [
     "CouplingFaultState",
     "DataRetentionFault",
     "drf_ds_variants",
+    "UnvectorizedFaultError",
     "PeripheralPowerGatingFault",
     "RetentionEngine",
+    "ArrayRetentionEngine",
     "WeakCell",
+    "MacroSpec",
+    "macro_retention",
+    "macro_sram",
+    "bank_escape_summary",
     "static_power",
     "PowerReport",
 ]

@@ -15,6 +15,31 @@ bit-level accesses:
 
 Aggressor-victim coupling faults are triggered by *writes to the aggressor*
 and act on the victim cell's stored value.
+
+Plane hooks (array-scale macros)
+--------------------------------
+
+Cell-local faults additionally implement *plane* hooks, the vectorized
+counterparts of the scalar hooks above, operating on whole ``(words, bits)``
+numpy planes:
+
+* ``apply_write_plane(old, new) -> stored plane``
+* ``apply_read_plane(stored, observed) -> observed plane``
+
+``plane_capable`` marks the fault as usable by the vectorized March
+executor (:func:`repro.march.runner.run_march_vectorized`) and the
+memory's whole-array operations.  Coupling faults stay scalar-only: their
+aggressor/victim ordering is inherently sequential, and the vectorized
+executor falls back to the scalar runner when it meets one.
+
+The peripheral power-gating fault is plane-capable *within a march
+element*: the executor brackets each element with
+``begin_element``/``end_element`` so the fault can translate its
+op-counting recovery window into per-address write-loss masks (the global
+op index of address ``a``, op ``k`` in an N-word element with ``m`` ops is
+``pos(a) * m + k``; a write is lost exactly when that index is still
+inside the recovery window - the same arithmetic the scalar loop performs
+one op at a time).
 """
 
 from __future__ import annotations
@@ -23,9 +48,19 @@ import math
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
+import numpy as np
+
+
+class UnvectorizedFaultError(RuntimeError):
+    """A whole-array operation met a fault without plane support."""
+
 
 class Fault:
     """Base class: transparent (fault-free) behaviour."""
+
+    #: Whether the fault supports whole-array plane application (and the
+    #: vectorized March executor therefore supports it).
+    plane_capable = False
 
     def on_write(self, addr: int, bit: int, old: int, new: int) -> Optional[int]:
         """Return the value actually stored, or None to leave unaffected."""
@@ -45,6 +80,31 @@ class Fault:
         """Whether this fault involves the given cell (for bookkeeping)."""
         return False
 
+    # ------------------------------------------------------- plane protocol
+    def apply_write_plane(self, old: np.ndarray, new: np.ndarray) -> np.ndarray:
+        """Vectorized ``on_write`` over a whole ``(words, bits)`` plane.
+
+        ``old`` is the stored plane before the write (read-only), ``new``
+        the plane about to be stored (owned by the caller; may be mutated
+        and returned).  The default raises: scalar-only faults must never
+        be silently skipped by an array operation.
+        """
+        raise UnvectorizedFaultError(
+            f"{type(self).__name__} has no plane write support"
+        )
+
+    def apply_read_plane(self, stored: np.ndarray, observed: np.ndarray) -> np.ndarray:
+        """Vectorized ``on_read``: transform the observed plane."""
+        raise UnvectorizedFaultError(
+            f"{type(self).__name__} has no plane read support"
+        )
+
+    def begin_element(self, n_words: int, n_ops: int, descending: bool) -> None:
+        """Vectorized executor: a march element over ``n_words`` starts."""
+
+    def end_element(self) -> None:
+        """Vectorized executor: the bracketed march element finished."""
+
 
 @dataclass
 class StuckAtFault(Fault):
@@ -53,6 +113,8 @@ class StuckAtFault(Fault):
     addr: int
     bit: int
     value: int
+
+    plane_capable = True
 
     def on_write(self, addr, bit, old, new):
         if (addr, bit) == (self.addr, self.bit):
@@ -67,6 +129,14 @@ class StuckAtFault(Fault):
     def touches(self, addr, bit):
         return (addr, bit) == (self.addr, self.bit)
 
+    def apply_write_plane(self, old, new):
+        new[self.addr, self.bit] = self.value
+        return new
+
+    def apply_read_plane(self, stored, observed):
+        observed[self.addr, self.bit] = self.value
+        return observed
+
 
 @dataclass
 class TransitionFault(Fault):
@@ -75,6 +145,8 @@ class TransitionFault(Fault):
     addr: int
     bit: int
     rising: bool = True
+
+    plane_capable = True
 
     def on_write(self, addr, bit, old, new):
         if (addr, bit) != (self.addr, self.bit):
@@ -86,6 +158,142 @@ class TransitionFault(Fault):
 
     def touches(self, addr, bit):
         return (addr, bit) == (self.addr, self.bit)
+
+    def apply_write_plane(self, old, new):
+        o = int(old[self.addr, self.bit])
+        n = int(new[self.addr, self.bit])
+        blocked = (o == 0 and n == 1) if self.rising else (o == 1 and n == 0)
+        if blocked:
+            new[self.addr, self.bit] = o
+        return new
+
+    def apply_read_plane(self, stored, observed):
+        return observed
+
+
+@dataclass(eq=False)
+class DataRetentionFault(Fault):
+    """DRF_DS: the cell(s) at ``(word, bit)`` cannot hold ``lost_value``
+    through deep sleep.
+
+    The functional abstraction of the paper's electrically-derived fault: a
+    variation-weakened cell whose degraded-state DRV sits above the array
+    supply loses its data during a long-enough sleep.  ``drv`` is that
+    retention threshold - the sleep only corrupts the cell when the supply
+    present during DS is below it (the default +inf flips on *any* sleep,
+    matching a catastrophically weakened cell); ``min_ds_time`` models the
+    flip-time criterion of Section V (a sleep shorter than the leakage
+    discharge time leaves even a below-DRV cell intact, which is why March
+    m-LZ's DSM operations must last ~1 ms).
+
+    The fault is *state-dependent*: only a stored ``lost_value`` is at
+    risk, exactly like the asymmetric case-study cells whose DRV_DS1 and
+    DRV_DS0 differ.  That asymmetry is what makes the second sleep of
+    March m-LZ load-bearing - a DRF_DS0 instance survives the first sleep
+    (the array holds 1s) and only corrupts data on the all-0s background.
+
+    ``word``/``bit`` address one cell as plain ints, or *many* cells as
+    index arrays - one fault object then carries a whole macro fault map
+    (``lost_value``/``drv``/``min_ds_time`` broadcast per cell), instead
+    of one object clone per word.  All sleep/wake bookkeeping is numpy
+    array math either way, so the same instance behaves identically under
+    the scalar and the vectorized March executors.
+    """
+
+    word: object
+    bit: object
+    lost_value: object = 1
+    drv: object = math.inf
+    min_ds_time: object = 0.0
+
+    plane_capable = True
+
+    def __post_init__(self) -> None:
+        words = np.atleast_1d(np.asarray(self.word, dtype=np.intp))
+        bits = np.atleast_1d(np.asarray(self.bit, dtype=np.intp))
+        words, bits = np.broadcast_arrays(words, bits)
+        self._words = words
+        self._bits = bits
+        self._lost = np.broadcast_to(
+            np.asarray(self.lost_value, dtype=np.uint8), words.shape
+        )
+        self._drv = np.broadcast_to(
+            np.asarray(self.drv, dtype=float), words.shape
+        )
+        self._min_ds = np.broadcast_to(
+            np.asarray(self.min_ds_time, dtype=float), words.shape
+        )
+        self._pending = np.zeros(words.shape, dtype=bool)
+
+    def on_sleep(self, memory, vddcc: float, ds_time: float) -> None:
+        self._pending = (vddcc < self._drv) & (ds_time >= self._min_ds)
+
+    def on_wakeup(self, memory) -> None:
+        if not self._pending.any():
+            return
+        pending = self._pending
+        self._pending = np.zeros(self._words.shape, dtype=bool)
+        stored = memory.peek_bits(self._words, self._bits)
+        flip = pending & (stored == self._lost)
+        if flip.any():
+            memory.force_bits(
+                self._words[flip], self._bits[flip], 1 - self._lost[flip]
+            )
+
+    def touches(self, addr, bit):
+        return bool(np.any((self._words == addr) & (self._bits == bit)))
+
+    def apply_write_plane(self, old, new):
+        return new  # retention faults do not disturb ACT-mode accesses
+
+    def apply_read_plane(self, stored, observed):
+        return observed
+
+
+def drf_ds_variants(
+    word: int = 0,
+    bit: int = 0,
+    ds_time: float = 1e-3,
+    addr: Optional[int] = None,
+) -> List[Tuple[str, Callable[[], Fault]]]:
+    """The DRF_DS fault-model variants, as (label, factory) pairs.
+
+    One entry per way the retention failure can present: which stored
+    value is lost (the -1 vs -0 flavours of Table I's case studies) and
+    whether the flip needs the full recommended DS time or happens for any
+    sleep.  The ``slow`` variants flip only when the sleep lasts at least
+    ``ds_time`` - they are what separates a test with realistic DSM
+    durations from one that merely toggles the power mode.
+
+    ``word``/``bit`` give the cell index (``addr`` is the historical alias
+    for ``word``); index arrays work too, yielding variants that each
+    cover a whole cell set with one fault object.
+
+    Coverage expectations (proved in ``tests/test_march_mutation.py`` and
+    pinned by the march golden): March m-LZ detects every variant; every
+    variant escapes at least one strictly shorter prefix of it, and the
+    ``DS0`` variants escape March LZ entirely - the paper's motivating gap.
+    """
+    if addr is not None:
+        word = addr
+    return [
+        (
+            "DRF_DS1",
+            lambda: DataRetentionFault(word, bit, lost_value=1),
+        ),
+        (
+            "DRF_DS0",
+            lambda: DataRetentionFault(word, bit, lost_value=0),
+        ),
+        (
+            "DRF_DS1_slow",
+            lambda: DataRetentionFault(word, bit, lost_value=1, min_ds_time=ds_time),
+        ),
+        (
+            "DRF_DS0_slow",
+            lambda: DataRetentionFault(word, bit, lost_value=0, min_ds_time=ds_time),
+        ),
+    ]
 
 
 @dataclass
@@ -155,88 +363,6 @@ class CouplingFaultState(Fault):
 
 
 @dataclass
-class DataRetentionFault(Fault):
-    """DRF_DS: the cell at (addr, bit) cannot hold ``lost_value`` through
-    deep sleep.
-
-    The functional abstraction of the paper's electrically-derived fault: a
-    variation-weakened cell whose degraded-state DRV sits above the array
-    supply loses its data during a long-enough sleep.  ``drv`` is that
-    retention threshold - the sleep only corrupts the cell when the supply
-    present during DS is below it (the default +inf flips on *any* sleep,
-    matching a catastrophically weakened cell); ``min_ds_time`` models the
-    flip-time criterion of Section V (a sleep shorter than the leakage
-    discharge time leaves even a below-DRV cell intact, which is why March
-    m-LZ's DSM operations must last ~1 ms).
-
-    The fault is *state-dependent*: only a stored ``lost_value`` is at
-    risk, exactly like the asymmetric case-study cells whose DRV_DS1 and
-    DRV_DS0 differ.  That asymmetry is what makes the second sleep of
-    March m-LZ load-bearing - a DRF_DS0 instance survives the first sleep
-    (the array holds 1s) and only corrupts data on the all-0s background.
-    """
-
-    addr: int
-    bit: int
-    lost_value: int = 1
-    drv: float = math.inf
-    min_ds_time: float = 0.0
-    _pending: bool = False
-
-    def on_sleep(self, memory, vddcc: float, ds_time: float) -> None:
-        self._pending = vddcc < self.drv and ds_time >= self.min_ds_time
-
-    def on_wakeup(self, memory) -> None:
-        if not self._pending:
-            return
-        self._pending = False
-        if memory.peek_bit(self.addr, self.bit) == self.lost_value:
-            memory.force_bit(self.addr, self.bit, 1 - self.lost_value)
-
-    def touches(self, addr, bit):
-        return (addr, bit) == (self.addr, self.bit)
-
-
-def drf_ds_variants(
-    addr: int = 0,
-    bit: int = 0,
-    ds_time: float = 1e-3,
-) -> List[Tuple[str, Callable[[], Fault]]]:
-    """The DRF_DS fault-model variants, as (label, factory) pairs.
-
-    One entry per way the retention failure can present: which stored
-    value is lost (the -1 vs -0 flavours of Table I's case studies) and
-    whether the flip needs the full recommended DS time or happens for any
-    sleep.  The ``slow`` variants flip only when the sleep lasts at least
-    ``ds_time`` - they are what separates a test with realistic DSM
-    durations from one that merely toggles the power mode.
-
-    Coverage expectations (proved in ``tests/test_march_mutation.py`` and
-    pinned by the march golden): March m-LZ detects every variant; every
-    variant escapes at least one strictly shorter prefix of it, and the
-    ``DS0`` variants escape March LZ entirely - the paper's motivating gap.
-    """
-    return [
-        (
-            "DRF_DS1",
-            lambda: DataRetentionFault(addr, bit, lost_value=1),
-        ),
-        (
-            "DRF_DS0",
-            lambda: DataRetentionFault(addr, bit, lost_value=0),
-        ),
-        (
-            "DRF_DS1_slow",
-            lambda: DataRetentionFault(addr, bit, lost_value=1, min_ds_time=ds_time),
-        ),
-        (
-            "DRF_DS0_slow",
-            lambda: DataRetentionFault(addr, bit, lost_value=0, min_ds_time=ds_time),
-        ),
-    ]
-
-
-@dataclass
 class PeripheralPowerGatingFault(Fault):
     """The [13] failure mode March LZ was designed for.
 
@@ -250,6 +376,8 @@ class PeripheralPowerGatingFault(Fault):
     recovery_ops: int = 4
     _remaining: int = 0
 
+    plane_capable = True
+
     def on_wakeup(self, memory) -> None:
         self._remaining = self.recovery_ops
 
@@ -262,3 +390,44 @@ class PeripheralPowerGatingFault(Fault):
         """Called by the memory once per word operation in ACT mode."""
         if self._remaining > 0:
             self._remaining -= 1
+
+    # ------------------------------------------------------- plane protocol
+    #: Per-element op layout, set by the vectorized executor via
+    #: ``begin_element``; ``None`` outside an element bracket.
+    _element = None
+
+    def begin_element(self, n_words: int, n_ops: int, descending: bool) -> None:
+        pos = np.arange(n_words, dtype=np.int64)
+        if descending:
+            pos = pos[::-1].copy()
+        self._element = (pos, n_ops, 0)
+
+    def end_element(self) -> None:
+        if self._element is None:
+            return
+        pos, n_ops, _cursor = self._element
+        self._remaining = max(0, self._remaining - len(pos) * n_ops)
+        self._element = None
+
+    def _advance(self) -> Tuple[np.ndarray, int]:
+        if self._element is None:
+            raise UnvectorizedFaultError(
+                "PeripheralPowerGatingFault plane ops need the march "
+                "element bracket (begin_element/end_element)"
+            )
+        pos, n_ops, cursor = self._element
+        self._element = (pos, n_ops, cursor + 1)
+        return pos, n_ops, cursor
+
+    def apply_write_plane(self, old, new):
+        pos, n_ops, op_index = self._advance()
+        # Write at (address a, op k) is lost iff the ops consumed before it
+        # leave the recovery window open: pos(a)*n_ops + k < remaining.
+        lost = pos * n_ops + op_index < self._remaining
+        if lost.any():
+            new[lost] = old[lost]
+        return new
+
+    def apply_read_plane(self, stored, observed):
+        self._advance()  # reads consume the window but observe faithfully
+        return observed

@@ -1,0 +1,244 @@
+"""Array-scale SRAM macros: per-cell variation maps and escape summaries.
+
+The paper's device under test is a real 4K x 64 low-power SRAM, not a
+representative cell: retention-fault statistics only mean something when
+every cell carries its own sigma.Vth mismatch draw.  :class:`MacroSpec`
+describes such a macro (geometry, banking, seed) and deterministically
+generates its per-cell variation map; :func:`macro_retention` turns the map
+into an :class:`~repro.sram.retention_engine.ArrayRetentionEngine` via the
+quantile-bucketed DRV solver; :func:`bank_escape_summary` runs March m-LZ
+over one bank with the vectorized executor and classifies every cell.
+
+Determinism contract
+--------------------
+
+``bank_sigmas(bank)`` seeds a fresh ``numpy`` PCG64 generator with the
+entropy sequence ``(MACRO_STREAM, seed, words, bits, banks, bank)`` - the
+same map is regenerated bit-identically in any process, and a campaign
+worker assigned one bank materialises only its own slice.  The macro seed
+feeds the campaign ``SweepSpec`` seed, so it participates in the sweep
+fingerprint and a reseeded macro can never replay another seed's cache.
+
+Escape taxonomy (per bank, at the test conditions)
+--------------------------------------------------
+
+* ``weak``     - cells whose DRV_DS = max(DRV_DS1, DRV_DS0) exceeds the
+  deep-sleep supply: retention is electrically compromised.
+* ``detected`` - cells flagged by March m-LZ at the test's DS time.
+* ``escaped``  - cells that flip within the *mission* sleep time but not
+  within the test's DS time: the flip-time criterion of Section V says the
+  test sleep was too short for them, so they pass the production test and
+  fail in the field.  This is the population the paper's DS-time
+  recommendation (~1 ms) is sized to empty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..cell.design import DEFAULT_CELL, CellDesign
+from ..cell.drv import drv_ds_pair_map
+from .memory import LowPowerSRAM, SRAMConfig
+from .retention_engine import ArrayRetentionEngine
+
+#: Entropy-stream tag separating macro variation maps from every other
+#: seeded draw in the codebase (campaign shards, chaos, fuzzing).
+MACRO_STREAM = 0x5AA3  # "SRAM array" stream
+
+#: Number of sigma multipliers per cell (the six 6T core-cell transistors).
+_SIGMAS_PER_CELL = 6
+
+
+@dataclass(frozen=True)
+class MacroSpec:
+    """Geometry + seed of an array-scale SRAM macro.
+
+    ``words`` is the total word count across ``banks`` equal banks (the
+    paper's DUT is ``MacroSpec(4096, 64)``); ``seed`` selects the
+    within-die mismatch realisation.
+    """
+
+    words: int = 4096
+    bits: int = 64
+    banks: int = 1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.words < 1 or self.bits < 1 or self.banks < 1:
+            raise ValueError(f"macro geometry must be positive, got {self}")
+        if self.words % self.banks:
+            raise ValueError(
+                f"words ({self.words}) must divide evenly into "
+                f"banks ({self.banks})"
+            )
+
+    @property
+    def n_cells(self) -> int:
+        return self.words * self.bits
+
+    @property
+    def words_per_bank(self) -> int:
+        return self.words // self.banks
+
+    def bank_of(self, word: int) -> int:
+        """The bank owning a (macro-global) word address."""
+        return word // self.words_per_bank
+
+    def bank_words(self, bank: int) -> range:
+        """The macro-global word addresses of one bank."""
+        self._check_bank(bank)
+        start = bank * self.words_per_bank
+        return range(start, start + self.words_per_bank)
+
+    def _check_bank(self, bank: int) -> None:
+        if not 0 <= bank < self.banks:
+            raise IndexError(f"bank {bank} out of range 0..{self.banks - 1}")
+
+    def bank_sigmas(self, bank: int) -> np.ndarray:
+        """Per-cell sigma multipliers of one bank.
+
+        Shape ``(words_per_bank, bits, 6)``, transistor axis in
+        :data:`~repro.devices.variation.CELL_TRANSISTORS` order.
+        Deterministic per (spec, bank) across processes.
+        """
+        self._check_bank(bank)
+        rng = np.random.default_rng(
+            [MACRO_STREAM, self.seed, self.words, self.bits, self.banks, bank]
+        )
+        return rng.standard_normal(
+            (self.words_per_bank, self.bits, _SIGMAS_PER_CELL)
+        )
+
+    def variation_sigmas(self) -> np.ndarray:
+        """The full ``(words, bits, 6)`` macro variation map."""
+        return np.concatenate(
+            [self.bank_sigmas(bank) for bank in range(self.banks)], axis=0
+        )
+
+
+def macro_retention(
+    spec: MacroSpec,
+    bank: Optional[int] = None,
+    corner: str = "typical",
+    temp_c: float = 25.0,
+    cell: CellDesign = DEFAULT_CELL,
+    buckets: int = 16,
+    symmetric_drv: float = 0.06,
+) -> ArrayRetentionEngine:
+    """Array retention engine for a macro (or one bank of it).
+
+    Per-cell DRV pairs come from the quantile-bucketed solver: ``buckets``
+    compiled-backend bisections cover the whole population.
+    """
+    sigmas = (
+        spec.variation_sigmas() if bank is None else spec.bank_sigmas(bank)
+    )
+    n_words, n_bits = sigmas.shape[:2]
+    drv1, drv0 = drv_ds_pair_map(
+        sigmas.reshape(-1, _SIGMAS_PER_CELL), corner, temp_c, cell, buckets
+    )
+    return ArrayRetentionEngine(
+        drv1.reshape(n_words, n_bits),
+        drv0.reshape(n_words, n_bits),
+        symmetric_drv,
+        corner,
+        temp_c,
+        cell,
+    )
+
+
+def macro_sram(
+    spec: MacroSpec,
+    bank: Optional[int] = None,
+    corner: str = "typical",
+    temp_c: float = 25.0,
+    cell: CellDesign = DEFAULT_CELL,
+    buckets: int = 16,
+    scalar: bool = False,
+) -> LowPowerSRAM:
+    """A :class:`LowPowerSRAM` over the macro's (or one bank's) cells.
+
+    ``scalar=True`` swaps in the equivalent scalar
+    :class:`~repro.sram.retention_engine.RetentionEngine` - the
+    differential-oracle configuration.
+    """
+    engine = macro_retention(spec, bank, corner, temp_c, cell, buckets)
+    retention = engine.to_scalar() if scalar else engine
+    n_words = spec.words_per_bank if bank is not None else spec.words
+    return LowPowerSRAM(
+        SRAMConfig(n_words=n_words, word_bits=spec.bits),
+        retention=retention,
+    )
+
+
+def bank_escape_summary(
+    spec: MacroSpec,
+    bank: int,
+    vddcc: float,
+    ds_time: float = 1e-3,
+    mission_time: float = 1.0,
+    corner: str = "typical",
+    temp_c: float = 25.0,
+    cell: CellDesign = DEFAULT_CELL,
+    buckets: int = 16,
+) -> Dict[str, object]:
+    """Run March m-LZ over one bank and classify every cell.
+
+    Returns a JSON-friendly dict with the cell counts of the escape
+    taxonomy (module docstring), the March operation count, and the
+    bank's DRV extremes.  ``vddcc`` is the deep-sleep array supply
+    applied during the test's DSM phases *and* assumed for the mission
+    sleep; ``mission_time`` is how long a field sleep may last.
+    """
+    # Imported lazily: repro.march.runner itself imports repro.sram, and a
+    # module-level import here would close that cycle during package init.
+    from ..march.library import march_m_lz
+    from ..march.runner import run_march_vectorized
+
+    engine = macro_retention(spec, bank, corner, temp_c, cell, buckets)
+    if engine.bulk_data_loss(vddcc, ds_time):
+        raise ValueError(
+            f"vddcc={vddcc} collapses even symmetric cells over "
+            f"ds_time={ds_time}; escape classification is meaningless there"
+        )
+    sram = LowPowerSRAM(
+        SRAMConfig(n_words=spec.words_per_bank, word_bits=spec.bits),
+        retention=engine,
+    )
+    result = run_march_vectorized(
+        march_m_lz(ds_time=ds_time),
+        sram,
+        vddcc_for_sleep=lambda _i: vddcc,
+        max_failures=spec.words_per_bank * spec.bits,
+    )
+
+    shape = engine.shape
+    ones = np.ones(shape, dtype=np.uint8)
+    zeros = np.zeros(shape, dtype=np.uint8)
+    test_flip = engine.flip_mask(vddcc, ds_time, ones) | engine.flip_mask(
+        vddcc, ds_time, zeros
+    )
+    mission_flip = engine.flip_mask(vddcc, mission_time, ones) | engine.flip_mask(
+        vddcc, mission_time, zeros
+    )
+    detected = np.zeros(shape, dtype=bool)
+    for addr, bit in result.failing_cells():
+        detected[addr, bit] = True
+    escaped = mission_flip & ~detected
+    weak = np.maximum(engine.drv1, engine.drv0) > vddcc
+
+    return {
+        "bank": bank,
+        "cells": int(np.prod(shape)),
+        "weak": int(weak.sum()),
+        "detected": int(detected.sum()),
+        "escaped": int(escaped.sum()),
+        "test_flips": int(test_flip.sum()),
+        "mission_flips": int(mission_flip.sum()),
+        "operations": result.operations,
+        "drv_max": float(np.max(np.maximum(engine.drv1, engine.drv0))),
+        "drv_min": float(np.min(np.minimum(engine.drv1, engine.drv0))),
+    }

@@ -20,6 +20,19 @@ from .power_modes import PMControl, PowerMode
 from .retention_engine import RetentionEngine
 
 
+def _word_to_plane(value: int, word_bits: int) -> np.ndarray:
+    """Expand a word value into a ``(word_bits,)`` uint8 bit plane."""
+    return np.array([(value >> b) & 1 for b in range(word_bits)], dtype=np.uint8)
+
+
+def _plane_to_word(row: np.ndarray) -> int:
+    """Pack a ``(word_bits,)`` bit plane back into a word value."""
+    value = 0
+    for bit in np.nonzero(row)[0]:
+        value |= 1 << int(bit)
+    return value
+
+
 class MemoryModeError(RuntimeError):
     """An operation was attempted in a power mode that forbids it."""
 
@@ -98,6 +111,18 @@ class LowPowerSRAM:
         self._check_cell(addr, bit)
         return int(self._bits[addr, bit])
 
+    def peek_bits(self, words, bits) -> np.ndarray:
+        """Vectorized :meth:`peek_bit`: gather many cells at once."""
+        return self._bits[words, bits]
+
+    def force_bits(self, words, bits, values) -> None:
+        """Vectorized :meth:`force_bit`: set many cells, bypassing faults."""
+        self._bits[words, bits] = np.asarray(values, dtype=np.uint8) & 1
+
+    def peek_plane(self) -> np.ndarray:
+        """A copy of the full ``(n_words, word_bits)`` bit plane."""
+        return self._bits.copy()
+
     # ------------------------------------------------------------ operations
     def _require_active(self, what: str) -> None:
         if self.pm.mode is not PowerMode.ACT:
@@ -113,6 +138,9 @@ class LowPowerSRAM:
                 consume()
 
     def _write_row(self, row: int, value: int) -> None:
+        if not self.faults:
+            self._bits[row, :] = _word_to_plane(value, self.config.word_bits)
+            return
         for bit in range(self.config.word_bits):
             new = (value >> bit) & 1
             old = int(self._bits[row, bit])
@@ -124,6 +152,8 @@ class LowPowerSRAM:
             self._bits[row, bit] = stored
 
     def _read_row(self, row: int) -> int:
+        if not self.faults:
+            return _plane_to_word(self._bits[row])
         value = 0
         for bit in range(self.config.word_bits):
             observed = int(self._bits[row, bit])
@@ -172,6 +202,51 @@ class LowPowerSRAM:
         for addr in range(self.config.n_words):
             self.write(addr, value)
 
+    # ------------------------------------------------------- whole-array ops
+    @property
+    def plane_capable(self) -> bool:
+        """Whether every injected fault supports whole-plane application
+        (and the identity decoder holds), i.e. the vectorized March
+        executor may drive this memory."""
+        return not self.decoder.is_faulty and all(
+            f.plane_capable for f in self.faults
+        )
+
+    def write_all(self, value: int) -> None:
+        """Write the same word to every address as one array operation.
+
+        The vectorized counterpart of a whole march-element write pass:
+        faults are applied through their plane hooks in injection order
+        (``old`` is the pre-pass plane for every fault, matching the
+        scalar loop where each fault sees the original stored value), and
+        the operation counter advances by ``n_words``.  Recovery-op
+        consumption is *not* performed here - the vectorized executor
+        accounts for it via the element bracket.
+        """
+        self._require_active("write")
+        value &= self.config.word_mask
+        plane = _word_to_plane(value, self.config.word_bits)
+        old = self._bits
+        new = np.repeat(plane[None, :], self.config.n_words, axis=0)
+        for fault in self.faults:
+            new = fault.apply_write_plane(old, new)
+        self._bits = np.ascontiguousarray(new, dtype=np.uint8)
+        self.op_count += self.config.n_words
+
+    def read_all(self) -> np.ndarray:
+        """Read every address as one array operation.
+
+        Returns the observed ``(n_words, word_bits)`` uint8 plane after
+        applying every fault's plane read hook; advances the operation
+        counter by ``n_words``.
+        """
+        self._require_active("read")
+        observed = self._bits.copy()
+        for fault in self.faults:
+            observed = fault.apply_read_plane(self._bits, observed)
+        self.op_count += self.config.n_words
+        return observed
+
     # ------------------------------------------------------------ power modes
     def enter_deep_sleep(self, ds_time: Optional[float] = None, vddcc: Optional[float] = None) -> None:
         """ACT -> DS.  Records the array supply present during the sleep.
@@ -200,6 +275,15 @@ class LowPowerSRAM:
                 0, 2, size=self._bits.shape, dtype=np.uint8
             )
             flipped = [("*", "*")]
+        elif getattr(self.retention, "vectorized", False):
+            # Array-backed engine: one whole-plane flip mask instead of a
+            # Python loop over weak cells.
+            mask = self.retention.flip_mask(
+                self._ds_supply, self._ds_time, self._bits
+            )
+            self._bits ^= mask.astype(np.uint8)
+            rows, cols = np.nonzero(mask)
+            flipped = list(zip(rows.tolist(), cols.tolist()))
         else:
             for addr, bit in self.retention.flips(
                 self._ds_supply, self._ds_time, self.peek_bit

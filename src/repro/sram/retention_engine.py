@@ -16,8 +16,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, List, Tuple
 
+import numpy as np
+
 from ..cell.design import DEFAULT_CELL, CellDesign
-from ..cell.retention import retains
+from ..cell.leakage import cell_leakage_current
+from ..cell.retention import C_NODE, retains
+from ..devices.variation import CellVariation
 
 
 @dataclass(frozen=True)
@@ -78,4 +82,103 @@ class RetentionEngine:
         """True when even symmetric cells cannot retain (supply near zero)."""
         return not retains(
             vddcc, self.symmetric_drv, ds_time, self.corner, self.temp_c, self.cell
+        )
+
+
+class ArrayRetentionEngine(RetentionEngine):
+    """Array-backed retention engine: one DRV pair per cell of a macro.
+
+    Instead of a list of :class:`WeakCell` objects this engine holds two
+    dense ``(n_words, word_bits)`` float planes - the per-cell DRV_DS1 and
+    DRV_DS0 maps produced by :func:`repro.cell.drv.drv_ds_pair_map` from a
+    macro's variation map.  :meth:`flip_mask` evaluates the paper's
+    flip-time criterion for every cell in a handful of numpy expressions.
+
+    Bit-for-bit equivalence with the scalar engine is a hard contract (the
+    scalar path is the differential oracle): the mask uses the *same*
+    float64 expression structure as :func:`repro.cell.retention.flip_time`
+    - one shared leakage evaluation at the common supply, then
+    ``C_NODE * v / (leak * (1 - v/drv))`` elementwise - so
+    ``flip_mask(...)`` and a :class:`RetentionEngine` built from
+    :meth:`weak_cell_list` flip exactly the same cells.
+    """
+
+    #: Marks the engine for the memory's vectorized wake-up path.
+    vectorized = True
+
+    def __init__(
+        self,
+        drv1: np.ndarray,
+        drv0: np.ndarray,
+        symmetric_drv: float = 0.06,
+        corner: str = "typical",
+        temp_c: float = 25.0,
+        cell: CellDesign = DEFAULT_CELL,
+    ) -> None:
+        drv1 = np.asarray(drv1, dtype=float)
+        drv0 = np.asarray(drv0, dtype=float)
+        if drv1.shape != drv0.shape or drv1.ndim != 2:
+            raise ValueError(
+                f"drv1/drv0 must be matching (n_words, word_bits) planes, "
+                f"got {drv1.shape} and {drv0.shape}"
+            )
+        super().__init__((), symmetric_drv, corner, temp_c, cell)
+        self.drv1 = drv1
+        self.drv0 = drv0
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self.drv1.shape
+
+    def flip_times(self, vddcc: float, stored_bits: np.ndarray) -> np.ndarray:
+        """Per-cell flip time (s) at supply ``vddcc`` for the stored plane."""
+        v = float(vddcc)
+        drv = np.where(np.asarray(stored_bits) != 0, self.drv1, self.drv0)
+        times = np.full(drv.shape, np.inf)
+        if v <= 0.0:
+            times[:] = 0.0
+            return times
+        leak = cell_leakage_current(
+            v, CellVariation.symmetric(), self.corner, self.temp_c, self.cell
+        )
+        leak = max(leak, 1e-18)
+        below = v < drv
+        with np.errstate(divide="ignore", invalid="ignore"):
+            deficit = 1.0 - v / drv
+            times[below] = (C_NODE * v / (leak * deficit))[below]
+        return times
+
+    def flip_mask(
+        self, vddcc: float, ds_time: float, stored_bits: np.ndarray
+    ) -> np.ndarray:
+        """Boolean plane of cells that lose their data during this sleep."""
+        return float(ds_time) >= self.flip_times(vddcc, stored_bits)
+
+    def flips(self, vddcc, ds_time, stored_bit_of) -> List[Tuple[int, int]]:
+        """Scalar-protocol compatibility: evaluate via the mask."""
+        n_words, word_bits = self.shape
+        stored = np.empty((n_words, word_bits), dtype=np.uint8)
+        for addr in range(n_words):
+            for bit in range(word_bits):
+                stored[addr, bit] = stored_bit_of(addr, bit)
+        rows, cols = np.nonzero(self.flip_mask(vddcc, ds_time, stored))
+        return list(zip(rows.tolist(), cols.tolist()))
+
+    def weak_cell_list(self) -> List[WeakCell]:
+        """Every cell as a :class:`WeakCell`, for the scalar oracle engine."""
+        n_words, word_bits = self.shape
+        return [
+            WeakCell(addr, bit, float(self.drv1[addr, bit]), float(self.drv0[addr, bit]))
+            for addr in range(n_words)
+            for bit in range(word_bits)
+        ]
+
+    def to_scalar(self) -> RetentionEngine:
+        """The equivalent scalar engine (differential-oracle counterpart)."""
+        return RetentionEngine(
+            self.weak_cell_list(),
+            self.symmetric_drv,
+            self.corner,
+            self.temp_c,
+            self.cell,
         )

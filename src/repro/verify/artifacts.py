@@ -63,6 +63,11 @@ class TierScope:
     fig4_sigmas: Tuple[float, ...]
     fig4_transistors: Tuple[str, ...]
     fig4_grid: Tuple[PVT, ...]
+    #: Macro escape-map scope: (words, bits, banks, DRV buckets per bank).
+    #: The seed and test conditions are fixed module constants; only the
+    #: geometry/bucketing scales with the tier (tiny shrinks the array,
+    #: fast/full run the paper's 4K x 64 DUT).
+    macro_geometry: Tuple[int, int, int, int]
 
     def params(self) -> Dict[str, object]:
         """JSON-able record of the scope, embedded in every golden file."""
@@ -78,6 +83,7 @@ class TierScope:
             "fig4_sigmas": list(self.fig4_sigmas),
             "fig4_transistors": list(self.fig4_transistors),
             "fig4_grid": [p.label() for p in self.fig4_grid],
+            "macro_geometry": list(self.macro_geometry),
         }
 
 
@@ -99,6 +105,7 @@ def scope_for(tier: str) -> TierScope:
             fig4_sigmas=(-3.0, 0.0, 3.0),
             fig4_transistors=("mncc1", "mpcc2"),
             fig4_grid=hot,
+            macro_geometry=(64, 8, 2, 4),
         )
     if tier == "fast":
         return TierScope(
@@ -113,6 +120,7 @@ def scope_for(tier: str) -> TierScope:
             fig4_sigmas=(-6.0, -3.0, 0.0, 3.0, 6.0),
             fig4_transistors=tuple(CELL_TRANSISTORS),
             fig4_grid=hot,
+            macro_geometry=(4096, 64, 8, 8),
         )
     if tier == "full":
         return TierScope(
@@ -125,6 +133,7 @@ def scope_for(tier: str) -> TierScope:
             fig4_sigmas=tuple(DEFAULT_SIGMAS),
             fig4_transistors=tuple(CELL_TRANSISTORS),
             fig4_grid=tuple(corner_temp_grid()),
+            macro_geometry=(4096, 64, 8, 16),
         )
     raise ValueError(f"unknown tier {tier!r}; expected one of {TIERS}")
 
@@ -256,7 +265,7 @@ def _march_fault_families() -> Dict[str, List[Tuple[str, Callable]]]:
         "SAF": saf,
         "TF": tf,
         "PPG": ppg,
-        "DRF_DS": drf_ds_variants(addr=3, bit=1),
+        "DRF_DS": drf_ds_variants(word=3, bit=1),
     }
 
 
@@ -289,6 +298,59 @@ def build_march(scope: TierScope, jobs: int = 1,
             per_family[family] = report.coverage
         coverage[name] = per_family
     return {"structure": structure, "coverage": coverage}
+
+
+#: Fixed conditions of the macro escape golden: the mismatch-map seed and
+#: the cold-corner deep-sleep test point where the escape population is
+#: non-trivial (see :mod:`repro.analysis.macro`).
+_MACRO_SEED = 7
+
+
+def build_macro(scope: TierScope, jobs: int = 1,
+                cache_dir: Optional[str] = None) -> dict:
+    """Seeded macro escape summary: March m-LZ over a per-cell DRV map.
+
+    Pins the whole array-scale stack end to end - deterministic variation
+    maps, quantile-bucketed DRV solves, the vectorized March executor and
+    the escape classification - as per-bank cell counts (compared exactly)
+    plus the bank DRV extremes (compared to the DRV tolerance).
+    """
+    from ..analysis.macro import run_macro_campaign
+    from ..sram.macro import MacroSpec
+
+    words, bits, banks, buckets = scope.macro_geometry
+    summary, _result = run_macro_campaign(
+        MacroSpec(words=words, bits=bits, banks=banks, seed=_MACRO_SEED),
+        buckets=buckets,
+        **_campaign_kwargs(jobs, cache_dir),
+    )
+    payload_banks = {
+        str(row.bank): {
+            "cells": row.cells,
+            "weak": row.weak,
+            "detected": row.detected,
+            "escaped": row.escaped,
+            "drv_max": row.drv_max,
+        }
+        for row in summary.banks
+    }
+    return {
+        "banks": payload_banks,
+        "totals": {
+            "cells": summary.cells,
+            "weak": summary.weak,
+            "detected": summary.detected,
+            "escaped": summary.escaped,
+        },
+        "conditions": {
+            "seed": _MACRO_SEED,
+            "vddcc": summary.vddcc,
+            "ds_time": summary.ds_time,
+            "mission_time": summary.mission_time,
+            "corner": summary.corner,
+            "temp_c": summary.temp_c,
+        },
+    }
 
 
 # ---------------------------------------------------------------- registry
@@ -355,6 +417,16 @@ ARTIFACTS: Dict[str, Artifact] = {
             # Everything in the march payload is structural/classification
             # data: the empty policy compares every leaf exactly.
             TolerancePolicy(),
+        ),
+        Artifact(
+            "macro",
+            "Array-scale macro escape map (March m-LZ)",
+            build_macro,
+            # Cell counts compare exactly; only the DRV extremes carry the
+            # solver tolerance.
+            TolerancePolicy([
+                ("banks/*/drv_max", Tolerance.abs(DRV_ABS_V)),
+            ]),
         ),
     )
 }

@@ -292,3 +292,57 @@ class TestResilienceFlags:
         assert main(["stats", str(tmp_path)]) == 0
         out = capsys.readouterr().out
         assert "cache.lines.corrupt" in out
+
+
+class TestMacroCommand:
+    ARGV = [
+        "macro", "--words", "64", "--bits", "8", "--banks", "2",
+        "--seed", "3", "--buckets", "6", "--temp", "-40",
+    ]
+
+    def test_macro_renders_escape_map(self, capsys, tmp_path):
+        assert main(self.ARGV + ["--cache-dir", str(tmp_path)]) == 0
+        captured = capsys.readouterr()
+        assert "March m-LZ escape map: 64x8 macro, 2 banks, seed 3" in captured.out
+        assert "campaign[macro] 2 tasks" in captured.err
+
+    def test_cached_rerun_renders_identically(self, capsys, tmp_path):
+        argv = self.ARGV + ["--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        first = capsys.readouterr()
+        assert main(argv) == 0
+        second = capsys.readouterr()
+        assert second.out == first.out
+        assert "2 cache hits (100%)" in second.err
+
+    def test_stats_renders_per_bank_escape_map(self, capsys, tmp_path):
+        assert main(self.ARGV + ["--cache-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["stats", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Macro escape map by bank (March m-LZ)" in out
+        # The per-bank counters are folded into the table, not the raw list.
+        assert "macro.bank.0.cells" not in out
+
+    def test_cli_defaults_track_analysis_constants(self):
+        """The parser uses literals (it must stay import-free); this pins
+        them to the canonical MACRO_* values in analysis.macro."""
+        from repro.analysis.macro import (
+            MACRO_BUCKETS,
+            MACRO_CORNER,
+            MACRO_DS_TIME,
+            MACRO_MISSION_TIME,
+            MACRO_TEMP_C,
+            MACRO_VDDCC,
+        )
+
+        args = build_parser().parse_args(["macro"])
+        assert args.vddcc == MACRO_VDDCC
+        assert args.ds_time == MACRO_DS_TIME
+        assert args.mission_time == MACRO_MISSION_TIME
+        assert args.corner == MACRO_CORNER
+        assert args.temp == MACRO_TEMP_C
+        # Slow-path geometry defaults resolved in cmd_macro.
+        assert args.words is None and args.banks is None
+        assert args.buckets is None or args.buckets == MACRO_BUCKETS
+        assert args.bits == 64 and args.seed == 1

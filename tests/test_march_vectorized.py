@@ -1,0 +1,266 @@
+"""Vectorized March executor vs the scalar oracle.
+
+``run_march_vectorized`` applies each march element as whole-array numpy
+operations; ``run_march`` walks cells one at a time.  Because every
+plane-capable fault is cell-local (its effect on a cell depends only on
+that cell's own operation history), the two loop orders must produce the
+*identical* failure list and operation count - bit for bit, in the same
+order.  These tests enforce that equivalence across fault mixes, address
+orders, backgrounds, truncation, and (via hypothesis) random fault maps
+on random geometries.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.march import (
+    march_c_minus,
+    march_lz,
+    march_m_lz,
+    mats_plus,
+    run_march,
+    run_march_vectorized,
+)
+from repro.sram import (
+    ArrayRetentionEngine,
+    CouplingFaultIdempotent,
+    DataRetentionFault,
+    LowPowerSRAM,
+    PeripheralPowerGatingFault,
+    SRAMConfig,
+    StuckAtFault,
+    TransitionFault,
+)
+from repro.sram.decoder import DecoderFault
+
+CONFIG = SRAMConfig(n_words=16, word_bits=8)
+COLD = 0.04  # deep-sleep VDD_CC under every weak cell's DRV
+
+
+def _assert_equivalent(test, build_sram, **kwargs):
+    """Run both executors on freshly-built, identical SRAMs and compare."""
+    scalar = run_march(test, build_sram(), **kwargs)
+    vectorized = run_march_vectorized(test, build_sram(), **kwargs)
+    assert [dataclasses.astuple(f) for f in vectorized.failures] == [
+        dataclasses.astuple(f) for f in scalar.failures
+    ]
+    assert vectorized.operations == scalar.operations
+    return scalar, vectorized
+
+
+def _drf_map():
+    """An array-backed DRF covering several cells with mixed parameters."""
+    return DataRetentionFault(
+        word=[1, 1, 7, 12, 15],
+        bit=[0, 5, 3, 7, 2],
+        lost_value=[1, 0, 1, 1, 0],
+        drv=[0.10, 0.08, 0.30, 0.12, 0.25],
+        min_ds_time=[0.0, 0.0, 5e-4, 0.0, 2.0],
+    )
+
+
+class TestDeterministicDifferentials:
+    def test_fault_free_memory_passes_both(self):
+        scalar, vectorized = _assert_equivalent(
+            march_m_lz(), lambda: LowPowerSRAM(CONFIG)
+        )
+        assert scalar.passed and vectorized.passed
+        # March m-LZ is 5N+4 word operations.
+        assert scalar.operations == 5 * CONFIG.n_words + 4
+
+    @pytest.mark.parametrize(
+        "make_test", [march_m_lz, march_lz, mats_plus, march_c_minus],
+        ids=["m-lz", "lz", "mats+", "c-"],
+    )
+    def test_mixed_fault_population(self, make_test):
+        """SAF + TF + PPG + a multi-cell DRF, across the test library
+        (March C- exercises descending elements)."""
+
+        def build():
+            m = LowPowerSRAM(CONFIG)
+            m.inject(StuckAtFault(3, 1, 1))
+            m.inject(StuckAtFault(9, 6, 0))
+            m.inject(TransitionFault(5, 2, rising=True))
+            m.inject(TransitionFault(14, 0, rising=False))
+            m.inject(PeripheralPowerGatingFault(recovery_ops=5))
+            m.inject(_drf_map())
+            return m
+
+        _assert_equivalent(make_test(), build, vddcc_for_sleep=lambda i: COLD)
+
+    @pytest.mark.parametrize("background", [None, 0xA5, 0x01, 0xFF])
+    def test_data_backgrounds(self, background):
+        def build():
+            m = LowPowerSRAM(CONFIG)
+            m.inject(StuckAtFault(0, 0, 1))
+            m.inject(TransitionFault(2, 7, rising=True))
+            m.inject(_drf_map())
+            return m
+
+        _assert_equivalent(
+            march_m_lz(), build,
+            vddcc_for_sleep=lambda i: COLD, background=background,
+        )
+
+    @pytest.mark.parametrize("recovery_ops", [0, 1, 7, 16, 40, 1000])
+    def test_ppg_recovery_windows(self, recovery_ops):
+        """The lost-write window can end mid-element, mid-word, or never."""
+
+        def build():
+            m = LowPowerSRAM(CONFIG)
+            m.inject(PeripheralPowerGatingFault(recovery_ops=recovery_ops))
+            return m
+
+        _assert_equivalent(march_m_lz(), build, vddcc_for_sleep=lambda i: COLD)
+
+    def test_max_failures_truncation(self):
+        """Both executors cap the *collected* list at the same point while
+        still executing the full test."""
+
+        def build():
+            m = LowPowerSRAM(CONFIG)
+            # Every cell of four words stuck -> far more mismatches than cap.
+            for addr in (2, 5, 8, 11):
+                for bit in range(CONFIG.word_bits):
+                    m.inject(StuckAtFault(addr, bit, 1))
+            return m
+
+        scalar, vectorized = _assert_equivalent(
+            march_m_lz(), build, max_failures=7
+        )
+        assert len(scalar.failures) == len(vectorized.failures) == 7
+        # Execution continued: full operation count despite the cap.
+        assert scalar.operations == 5 * CONFIG.n_words + 4
+
+    def test_full_stack_retention_differential(self):
+        """ArrayRetentionEngine vs its own ``to_scalar()`` under March
+        m-LZ: the complete vectorized stack against the complete scalar
+        stack."""
+        rng = np.random.default_rng(41)
+        drv1 = rng.uniform(0.02, 0.20, size=(CONFIG.n_words, CONFIG.word_bits))
+        drv0 = rng.uniform(0.02, 0.20, size=(CONFIG.n_words, CONFIG.word_bits))
+
+        def engine():
+            return ArrayRetentionEngine(
+                drv1, drv0, corner="typical", temp_c=-40.0
+            )
+
+        scalar = run_march(
+            march_m_lz(),
+            LowPowerSRAM(CONFIG, retention=engine().to_scalar()),
+            vddcc_for_sleep=lambda i: 0.05,
+        )
+        vectorized = run_march_vectorized(
+            march_m_lz(),
+            LowPowerSRAM(CONFIG, retention=engine()),
+            vddcc_for_sleep=lambda i: 0.05,
+        )
+        assert [dataclasses.astuple(f) for f in vectorized.failures] == [
+            dataclasses.astuple(f) for f in scalar.failures
+        ]
+        assert vectorized.operations == scalar.operations
+        assert not vectorized.passed  # cold DRVs above 50 mV do flip
+
+
+class TestFallback:
+    def test_coupling_fault_falls_back_to_scalar(self):
+        """Coupling faults are not plane-capable: the vectorized entry
+        point must silently delegate and still match the scalar result."""
+
+        def build():
+            m = LowPowerSRAM(CONFIG)
+            m.inject(CouplingFaultIdempotent(1, 0, 2, 0, victim_value=1))
+            return m
+
+        assert not build().plane_capable
+        _assert_equivalent(march_c_minus(), build)
+
+    def test_decoder_fault_falls_back_to_scalar(self):
+        def build():
+            m = LowPowerSRAM(CONFIG)
+            m.decoder.inject(DecoderFault("wrong", addr=3, others=(4,)))
+            return m
+
+        assert not build().plane_capable
+        _assert_equivalent(march_c_minus(), build)
+
+    def test_plane_capable_memory_is_detected(self):
+        m = LowPowerSRAM(CONFIG)
+        m.inject(StuckAtFault(0, 0, 1))
+        m.inject(_drf_map())
+        m.inject(PeripheralPowerGatingFault())
+        assert m.plane_capable
+
+
+# --------------------------------------------------------------------------
+# Satellite (b): property-based equivalence on random macro fault maps.
+# --------------------------------------------------------------------------
+
+@st.composite
+def _fault_plan(draw):
+    """Random geometry + random cell-local fault population + background."""
+    n_words = draw(st.integers(2, 12))
+    word_bits = draw(st.integers(1, 8))
+    cell = st.tuples(
+        st.integers(0, n_words - 1), st.integers(0, word_bits - 1)
+    )
+
+    safs = draw(st.lists(
+        st.tuples(cell, st.integers(0, 1)), max_size=4, unique_by=lambda s: s[0],
+    ))
+    tfs = draw(st.lists(
+        st.tuples(cell, st.booleans()), max_size=4, unique_by=lambda t: t[0],
+    ))
+    drf_cells = draw(st.lists(cell, max_size=6, unique=True))
+    drf = None
+    if drf_cells:
+        n = len(drf_cells)
+        drf = dict(
+            word=[c[0] for c in drf_cells],
+            bit=[c[1] for c in drf_cells],
+            lost_value=draw(st.lists(
+                st.integers(0, 1), min_size=n, max_size=n)),
+            drv=draw(st.lists(
+                st.sampled_from([0.03, 0.08, 0.15, 0.40]),
+                min_size=n, max_size=n)),
+            min_ds_time=draw(st.lists(
+                st.sampled_from([0.0, 5e-4, 2e-3, 10.0]),
+                min_size=n, max_size=n)),
+        )
+    ppg = draw(st.none() | st.integers(0, 3 * n_words))
+    background = draw(st.none() | st.integers(0, (1 << word_bits) - 1))
+    vddcc = draw(st.sampled_from([0.02, 0.06, 0.12]))
+    return dict(
+        n_words=n_words, word_bits=word_bits, safs=safs, tfs=tfs,
+        drf=drf, ppg=ppg, background=background, vddcc=vddcc,
+    )
+
+
+class TestPropertyEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(plan=_fault_plan())
+    def test_vectorized_equals_scalar_cell_by_cell(self, plan):
+        config = SRAMConfig(n_words=plan["n_words"], word_bits=plan["word_bits"])
+
+        def build():
+            m = LowPowerSRAM(config)
+            for (addr, bit), value in plan["safs"]:
+                m.inject(StuckAtFault(addr, bit, value))
+            for (addr, bit), rising in plan["tfs"]:
+                m.inject(TransitionFault(addr, bit, rising=rising))
+            if plan["drf"] is not None:
+                m.inject(DataRetentionFault(**plan["drf"]))
+            if plan["ppg"] is not None:
+                m.inject(PeripheralPowerGatingFault(recovery_ops=plan["ppg"]))
+            return m
+
+        _assert_equivalent(
+            march_m_lz(), build,
+            vddcc_for_sleep=lambda i: plan["vddcc"],
+            background=plan["background"],
+        )

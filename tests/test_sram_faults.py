@@ -1,15 +1,19 @@
 """Functional fault models: hooks and detection semantics."""
 
+import numpy as np
 import pytest
 
 from repro.sram import (
     CouplingFaultIdempotent,
     CouplingFaultState,
+    DataRetentionFault,
     LowPowerSRAM,
     PeripheralPowerGatingFault,
     SRAMConfig,
     StuckAtFault,
     TransitionFault,
+    UnvectorizedFaultError,
+    drf_ds_variants,
 )
 
 CFG = SRAMConfig(n_words=16, word_bits=8)
@@ -125,3 +129,163 @@ class TestFaultManagement:
         m = _mem(StuckAtFault(0, 0, 1), StuckAtFault(0, 1, 0))
         m.write(0, 0b10)
         assert m.read(0) == 0b01
+
+
+def _sleep(m, ds_time=1e-3, vddcc=0.1):
+    m.enter_deep_sleep(ds_time=ds_time, vddcc=vddcc)
+    m.wake_up()
+
+
+class TestDataRetention:
+    def test_scalar_cell_loses_value_through_sleep(self):
+        m = _mem(DataRetentionFault(3, 1, lost_value=1))
+        m.write(3, 0b10)
+        _sleep(m)
+        assert m.read(3) == 0
+
+    def test_only_the_lost_value_is_at_risk(self):
+        m = _mem(DataRetentionFault(3, 1, lost_value=1))
+        m.write(3, 0)  # stores 0: a DRF_DS1 cell holding 0 is safe
+        _sleep(m)
+        assert m.read(3) == 0
+
+    def test_drv_threshold_gates_the_flip(self):
+        m = _mem(DataRetentionFault(3, 1, lost_value=1, drv=0.10))
+        m.write(3, 0b10)
+        _sleep(m, vddcc=0.15)  # supply above the cell's DRV: retained
+        assert m.read(3) == 0b10
+        # Below the cell's DRV but above the symmetric floor: only the
+        # weakened cell loses data, not the whole array.
+        _sleep(m, vddcc=0.08)
+        assert m.read(3) == 0
+
+    def test_min_ds_time_models_the_flip_time(self):
+        m = _mem(DataRetentionFault(3, 1, lost_value=1, min_ds_time=1e-3))
+        m.write(3, 0b10)
+        _sleep(m, ds_time=1e-6)  # sleep shorter than the flip time
+        assert m.read(3) == 0b10
+        _sleep(m, ds_time=1e-3)
+        assert m.read(3) == 0
+
+    def test_index_arrays_carry_a_fault_map(self):
+        """One object, many cells, per-cell parameters."""
+        fault = DataRetentionFault(
+            word=[0, 0, 5], bit=[0, 2, 1],
+            lost_value=[1, 0, 1], drv=[0.2, 0.2, 0.05],
+        )
+        m = _mem(fault)
+        m.write(0, 0b101)  # bits 0 and 2 set
+        m.write(5, 0b010)
+        _sleep(m, vddcc=0.1)
+        # (0,0) loses its 1; (0,2) keeps its 1 (only a stored 0 at risk);
+        # (5,1) survives because the supply stayed above its 50 mV DRV.
+        assert m.read(0) == 0b100
+        assert m.read(5) == 0b010
+        assert fault.touches(5, 1) and not fault.touches(5, 0)
+
+    def test_parameters_broadcast_across_cells(self):
+        fault = DataRetentionFault(word=[1, 2, 3], bit=0, lost_value=1)
+        m = _mem(fault)
+        for addr in (1, 2, 3):
+            m.write(addr, 1)
+        _sleep(m)
+        assert all(m.read(addr) == 0 for addr in (1, 2, 3))
+
+    def test_act_mode_accesses_undisturbed(self):
+        m = _mem(DataRetentionFault(3, 1, lost_value=1))
+        m.write(3, 0b10)
+        assert m.read(3) == 0b10  # no sleep, no loss
+
+
+class TestDrfVariants:
+    def test_word_bit_keywords(self):
+        variants = dict(drf_ds_variants(word=4, bit=2))
+        fault = variants["DRF_DS1"]()
+        assert fault.touches(4, 2)
+
+    def test_addr_is_the_historical_alias(self):
+        """``addr=`` must mean the word index, same as ``word=``."""
+        via_addr = dict(drf_ds_variants(addr=4, bit=2))["DRF_DS0"]()
+        via_word = dict(drf_ds_variants(word=4, bit=2))["DRF_DS0"]()
+        assert via_addr.touches(4, 2) and via_word.touches(4, 2)
+        assert via_addr.lost_value == via_word.lost_value == 0
+
+    def test_four_variants_cover_the_model(self):
+        labels = [label for label, _ in drf_ds_variants(word=0, bit=0)]
+        assert labels == ["DRF_DS1", "DRF_DS0", "DRF_DS1_slow", "DRF_DS0_slow"]
+
+    def test_slow_variants_need_the_full_ds_time(self):
+        fault = dict(drf_ds_variants(word=0, bit=0, ds_time=1e-3))[
+            "DRF_DS1_slow"
+        ]()
+        m = _mem(fault)
+        m.write(0, 1)
+        _sleep(m, ds_time=1e-6)
+        assert m.read(0) == 1
+        _sleep(m, ds_time=1e-3)
+        assert m.read(0) == 0
+
+
+class TestPlaneProtocol:
+    def test_plane_capable_gating(self):
+        assert _mem(StuckAtFault(0, 0, 1)).plane_capable
+        assert _mem(TransitionFault(0, 0)).plane_capable
+        assert _mem(DataRetentionFault(0, 0)).plane_capable
+        assert _mem(PeripheralPowerGatingFault()).plane_capable
+        assert not _mem(CouplingFaultIdempotent(0, 0, 1, 0)).plane_capable
+        assert not _mem(CouplingFaultState(0, 0, 1, 0)).plane_capable
+
+    def test_plane_ops_reject_unvectorized_faults(self):
+        """``write_all``/``read_all`` must refuse rather than silently skip
+        a fault that has no plane implementation."""
+        m = _mem(CouplingFaultIdempotent(0, 0, 1, 0))
+        with pytest.raises(UnvectorizedFaultError):
+            m.write_all(0)
+        with pytest.raises(UnvectorizedFaultError):
+            m.read_all()
+
+    def test_write_plane_matches_scalar_writes(self):
+        """The plane hook and the per-word hook agree cell by cell."""
+        def build():
+            return _mem(
+                StuckAtFault(1, 3, 1),
+                StuckAtFault(4, 0, 0),
+                TransitionFault(2, 2, rising=True),
+            )
+
+        scalar = build()
+        for addr in range(CFG.n_words):
+            scalar.write(addr, 0)
+        for addr in range(CFG.n_words):
+            scalar.write(addr, CFG.word_mask)
+
+        plane = build()
+        plane.write_all(0)
+        plane.write_all(CFG.word_mask)
+
+        assert np.array_equal(scalar.peek_plane(), plane.peek_plane())
+
+    def test_read_plane_matches_scalar_reads(self):
+        def build():
+            m = _mem(StuckAtFault(1, 3, 0), StuckAtFault(6, 7, 1))
+            for addr in range(CFG.n_words):
+                m.write(addr, 0b1010)
+            return m
+
+        scalar = build()
+        expected = [scalar.read(addr) for addr in range(CFG.n_words)]
+        observed = build().read_all()
+        got = [
+            int(sum(int(b) << i for i, b in enumerate(row)))
+            for row in observed
+        ]
+        assert got == expected
+
+    def test_ppg_plane_requires_element_bracket(self):
+        """PPG's lost-write accounting only makes sense inside a march
+        element bracket; a bare plane op must fail loudly."""
+        m = _mem(PeripheralPowerGatingFault(recovery_ops=2))
+        m.enter_deep_sleep(ds_time=1e-6, vddcc=0.5)
+        m.wake_up()
+        with pytest.raises(UnvectorizedFaultError):
+            m.write_all(0)

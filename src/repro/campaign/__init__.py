@@ -41,9 +41,11 @@ from .runtime import ChunkEnv, Pump, WorkerRuntime, run_chunk
 from .scheduler import (
     BackoffPolicy,
     Chunk,
+    Lease,
     RateLimit,
     RespawnBudgetExceeded,
     Scheduler,
+    WorkerInfo,
 )
 from .spec import SweepSpec, TaskPoint, canonical, digest
 from .tasks import code_digest, get_task, registered_kinds, task
@@ -56,6 +58,7 @@ __all__ = [
     "ChunkEnv",
     "Executor",
     "FAILURE_STATUSES",
+    "Lease",
     "ProgressReporter",
     "Pump",
     "RateLimit",
@@ -65,6 +68,7 @@ __all__ = [
     "SweepSpec",
     "TaskPoint",
     "TaskRecord",
+    "WorkerInfo",
     "WorkerRuntime",
     "canonical",
     "code_digest",

@@ -180,6 +180,30 @@ def macro_bank(params: Dict[str, Any], context: Dict[str, Any]) -> Dict[str, Any
     return summary
 
 
+@task("probe")
+def probe(params: Dict[str, Any], context: Dict[str, Any]) -> Dict[str, Any]:
+    """Cheap deterministic scheduling probe (tests, CI smoke, benches).
+
+    Computes a pure function of its params - optionally spinning
+    ``spin`` hash rounds or sleeping ``sleep_ms`` to emulate real task
+    cost - so the serve/worker machinery can be exercised end to end
+    without dragging the solver stack in.  Registered at package level
+    (unlike test-local kinds) so subprocess pool workers and remote
+    ``repro worker`` processes can look it up.
+    """
+    import time as _time
+
+    x = params["x"]
+    digest = hashlib.sha256(repr(x).encode("utf-8")).hexdigest()
+    for _ in range(int(params.get("spin", 0))):
+        digest = hashlib.sha256(digest.encode("ascii")).hexdigest()
+    sleep_ms = params.get("sleep_ms", 0)
+    if sleep_ms:
+        _time.sleep(float(sleep_ms) / 1e3)
+    scale = context.get("scale", 1) if context else 1
+    return {"y": x * scale, "digest": digest[:16]}
+
+
 @task("mc-shard")
 def mc_shard(params: Dict[str, Any], context: Dict[str, Any]) -> Dict[str, Any]:
     """One shard of the Monte Carlo DRV study.

@@ -133,6 +133,22 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _nonneg_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
+def _worker_token(args) -> Optional[str]:
+    """--worker-token/--token wins; REPRO_WORKER_TOKEN is the fallback."""
+    import os
+
+    token = getattr(args, "worker_token", None) or getattr(
+        args, "token", None)
+    return token or os.environ.get("REPRO_WORKER_TOKEN") or None
+
+
 def _cache_dir(args) -> Optional[str]:
     cache_dir = getattr(args, "cache_dir", None)
     if cache_dir is None and getattr(args, "resume", False):
@@ -584,7 +600,11 @@ def cmd_serve(args) -> int:
     deadline = getattr(args, "deadline", None)
     if deadline is not None and deadline <= 0.0:
         raise SystemExit(f"--deadline must be positive, got {deadline:g}")
+    lease_ttl = getattr(args, "lease_ttl", None)
+    if lease_ttl is not None and lease_ttl <= 0.0:
+        raise SystemExit(f"--lease-ttl must be positive, got {lease_ttl:g}")
     cache_dir = _cache_dir(args) or DEFAULT_CACHE_DIR
+    kwargs = {} if lease_ttl is None else {"lease_ttl_s": lease_ttl}
     service = SweepService(
         jobs=args.jobs,
         cache_dir=cache_dir,
@@ -592,13 +612,30 @@ def cmd_serve(args) -> int:
         observe=not args.no_obs,
         obs_dir=args.obs_dir,
         rate_limits=_parse_rate_limits(args.rate_limit),
+        **kwargs,
     )
     port_file = Path(args.port_file) if args.port_file else None
     echo = lambda msg: print(msg, file=sys.stderr)  # noqa: E731
     return serve_forever(
         service, host=args.host, port=args.port, port_file=port_file,
-        echo=echo,
+        echo=echo, worker_token=_worker_token(args),
     )
+
+
+def cmd_worker(args) -> int:
+    """Run a remote sweep worker against a daemon's lease protocol."""
+    from .serve.client import ServeClient
+    from .serve.worker import SweepWorker
+
+    client = ServeClient(args.url, timeout=args.timeout,
+                         token=_worker_token(args))
+    worker = SweepWorker(
+        args.url, name=args.name, grace_s=args.grace,
+        max_chunks=args.max_chunks, client=client,
+        echo=lambda msg: print(msg, file=sys.stderr),
+    )
+    worker.install_signal_handlers()
+    return worker.run()
 
 
 def cmd_submit(args) -> int:
@@ -621,7 +658,8 @@ def cmd_submit(args) -> int:
         options.update(corner=args.corner, temp_c=args.temp,
                        seed=args.seed, shards=args.shards)
 
-    client = ServeClient(args.url, tenant=args.tenant)
+    client = ServeClient(args.url, tenant=args.tenant,
+                         timeout=args.timeout)
     try:
         job = client.submit(payload)
         print(f"submitted {job['id']} ({job['total']} points, "
@@ -892,8 +930,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--port-file", default=None, metavar="PATH",
                        help="write the bound port here once listening "
                             "(for scripts using --port 0)")
-    serve.add_argument("--jobs", type=_positive_int, default=1, metavar="N",
-                       help="worker processes shared by all tenants")
+    serve.add_argument("--jobs", type=_nonneg_int, default=1, metavar="N",
+                       help="local worker processes shared by all tenants "
+                            "(0 = remote workers only)")
     serve.add_argument("--cache-dir", default=None, metavar="DIR",
                        help="shared result cache "
                             f"(default: {DEFAULT_CACHE_DIR})")
@@ -910,7 +949,40 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="TENANT=N",
                        help="cap a tenant at N chunk dispatches/sec "
                             "(repeatable)")
+    serve.add_argument("--worker-token", default=None, metavar="TOKEN",
+                       help="bearer token required on /v1/workers/* "
+                            "(default: $REPRO_WORKER_TOKEN; unset = open)")
+    serve.add_argument("--lease-ttl", type=float, default=None,
+                       metavar="SECONDS",
+                       help="remote-worker lease TTL; a lease silent this "
+                            "long is expired and its chunk requeued "
+                            "(default 15)")
     serve.set_defaults(func=cmd_serve)
+
+    worker = sub.add_parser(
+        "worker",
+        help="run a remote sweep worker: lease chunks from a daemon over "
+             "HTTP, heartbeat while computing, push results back",
+    )
+    worker.add_argument("--url",
+                        default=f"http://127.0.0.1:{DEFAULT_SERVE_PORT}",
+                        help="daemon base URL")
+    worker.add_argument("--token", default=None, metavar="TOKEN",
+                        help="bearer token for the worker routes "
+                             "(default: $REPRO_WORKER_TOKEN)")
+    worker.add_argument("--name", default="",
+                        help="worker name shown in repro stats/top")
+    worker.add_argument("--grace", type=float, default=5.0,
+                        metavar="SECONDS",
+                        help="on SIGTERM, wait this long for the in-flight "
+                             "chunk before abandoning its lease (default 5)")
+    worker.add_argument("--max-chunks", type=_positive_int, default=None,
+                        metavar="N",
+                        help="exit after completing N chunks (tests/bench)")
+    worker.add_argument("--timeout", type=float, default=30.0,
+                        metavar="SECONDS",
+                        help="per-request HTTP timeout (default 30)")
+    worker.set_defaults(func=cmd_worker)
 
     submit = sub.add_parser(
         "submit",
@@ -934,6 +1006,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="stream every event, not just state/progress")
     submit.add_argument("--strict", action="store_true",
                         help=f"exit {EXIT_STRICT} if any point failed")
+    submit.add_argument("--timeout", type=float, default=30.0,
+                        metavar="SECONDS",
+                        help="per-request HTTP timeout (default 30); "
+                             "transport errors retry with backoff")
     _add_mc_flags(submit)
     submit.set_defaults(func=cmd_submit)
 

@@ -1,10 +1,19 @@
 """Stdlib HTTP client for the sweep service.
 
-Backs ``repro submit`` / ``repro jobs`` and the tests.  One
-``http.client`` connection per request (the server closes connections
-after each response anyway), JSON in/out, NDJSON event streaming via
-repeated long-polls - :meth:`ServeClient.stream` resumes from the last
-seen index so no delta is lost or duplicated across reconnects.
+Backs ``repro submit`` / ``repro jobs``, the remote worker runtime and
+the tests.  One ``http.client`` connection per request (the server
+closes connections after each response anyway), JSON in/out, NDJSON
+event streaming via repeated long-polls - :meth:`ServeClient.stream`
+resumes from the last seen index so no delta is lost or duplicated
+across reconnects.
+
+Transport failures (connection refused/reset, timeouts) and 5xx
+responses are retried with the campaign's own
+:class:`~repro.campaign.scheduler.BackoffPolicy` - exponential spacing
+with deterministic per-(path, attempt) jitter.  4xx responses fail
+fast: the daemon answered, and asking again will not change its mind.
+A retried ``submit`` that actually landed twice is benign - the
+daemon's subscriber dedupe computes the points once either way.
 """
 
 from __future__ import annotations
@@ -14,6 +23,11 @@ import json
 import time
 from typing import Any, Dict, Iterator, List, Optional
 from urllib.parse import urlencode, urlsplit
+
+from ..campaign import BackoffPolicy
+
+#: Transport-level failures worth retrying (the daemon never answered).
+RETRYABLE_ERRORS = (OSError, http.client.HTTPException)
 
 
 class ServeError(RuntimeError):
@@ -26,10 +40,17 @@ class ServeError(RuntimeError):
 
 
 class ServeClient:
-    """Talk to one ``repro serve`` daemon as one tenant."""
+    """Talk to one ``repro serve`` daemon as one tenant.
+
+    ``retries`` bounds *extra* attempts per request; ``token`` rides
+    along as a bearer on every request (only the worker routes check
+    it, the rest ignore it).
+    """
 
     def __init__(self, url: str, tenant: str = "default",
-                 timeout: float = 30.0) -> None:
+                 timeout: float = 30.0, retries: int = 2,
+                 backoff: Optional[BackoffPolicy] = None,
+                 token: Optional[str] = None) -> None:
         parts = urlsplit(url if "//" in url else f"http://{url}")
         if parts.scheme not in ("", "http"):
             raise ValueError(f"unsupported scheme {parts.scheme!r} (http only)")
@@ -37,13 +58,19 @@ class ServeClient:
         self.port = parts.port or 80
         self.tenant = tenant
         self.timeout = timeout
+        self.retries = max(0, retries)
+        self.backoff = backoff if backoff is not None \
+            else BackoffPolicy(base_s=0.1, cap_s=2.0)
+        self.token = token
 
     # -- transport ---------------------------------------------------------
 
-    def _request(self, method: str, path: str,
-                 payload: Optional[Dict[str, Any]] = None,
-                 timeout: Optional[float] = None) -> Any:
+    def _request_once(self, method: str, path: str,
+                      payload: Optional[Dict[str, Any]] = None,
+                      timeout: Optional[float] = None) -> Any:
         body, headers = None, {"X-Repro-Tenant": self.tenant}
+        if self.token is not None:
+            headers["Authorization"] = f"Bearer {self.token}"
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
@@ -74,6 +101,21 @@ class ServeClient:
             return raw.decode("utf-8")  # /metrics exposition text
         return json.loads(raw.decode("utf-8")) if raw else None
 
+    def _request(self, method: str, path: str,
+                 payload: Optional[Dict[str, Any]] = None,
+                 timeout: Optional[float] = None) -> Any:
+        for attempt in range(self.retries + 1):
+            try:
+                return self._request_once(method, path, payload, timeout)
+            except ServeError as error:
+                if error.status < 500 or attempt >= self.retries:
+                    raise
+            except RETRYABLE_ERRORS:
+                if attempt >= self.retries:
+                    raise
+            time.sleep(self.backoff.delay(path, attempt + 1))
+        raise AssertionError("unreachable")  # pragma: no cover
+
     # -- API ---------------------------------------------------------------
 
     def healthz(self) -> Dict[str, Any]:
@@ -102,6 +144,42 @@ class ServeClient:
 
     def cancel(self, job_id: str) -> Dict[str, Any]:
         return self._request("DELETE", f"/v1/jobs/{job_id}")
+
+    # -- worker API --------------------------------------------------------
+
+    def worker_register(self, name: str = "", pid: Optional[int] = None,
+                        host: str = "") -> Dict[str, Any]:
+        return self._request("POST", "/v1/workers/register", payload={
+            "name": name, "pid": pid, "host": host,
+        })
+
+    def worker_lease(self, worker_id: str) -> Dict[str, Any]:
+        return self._request("POST", "/v1/workers/lease",
+                             payload={"worker_id": worker_id})
+
+    def worker_heartbeat(self, worker_id: str,
+                         lease_id: str) -> Dict[str, Any]:
+        return self._request("POST", "/v1/workers/heartbeat", payload={
+            "worker_id": worker_id, "lease_id": lease_id,
+        })
+
+    def worker_complete(
+        self,
+        worker_id: str,
+        lease_id: str,
+        records: List[Dict[str, Any]],
+        snapshot: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        return self._request("POST", "/v1/workers/complete", payload={
+            "worker_id": worker_id, "lease_id": lease_id,
+            "records": records, "snapshot": snapshot,
+        })
+
+    def worker_abandon(self, worker_id: str,
+                       lease_id: str) -> Dict[str, Any]:
+        return self._request("POST", "/v1/workers/abandon", payload={
+            "worker_id": worker_id, "lease_id": lease_id,
+        })
 
     def events(self, job_id: str, since: int = 0,
                wait: float = 0.0) -> List[Dict[str, Any]]:

@@ -19,11 +19,14 @@ Job states form a small machine (arrows = the only legal transitions)::
     QUEUED -> RUNNING -> DONE
        |          |
        |          +----> INTERRUPTED   (daemon drained; resumable)
-       +--------------->
+       +--------------->       |
        |          +----> CANCELLED     (client gave up; shared points
        +--------------->                keep computing for other jobs)
 
-plus the degenerate ``QUEUED -> DONE`` hop for fully-cached submissions.
+plus the degenerate ``QUEUED -> DONE`` hop for fully-cached submissions
+and ``INTERRUPTED -> CANCELLED`` (a client giving up on a resumable job
+after a drain - otherwise the durable job log would resurrect it on the
+next daemon start against the owner's wishes).
 """
 
 from __future__ import annotations
@@ -60,7 +63,7 @@ TRANSITIONS = {
     JobState.RUNNING: {JobState.DONE, JobState.INTERRUPTED,
                        JobState.CANCELLED},
     JobState.DONE: set(),
-    JobState.INTERRUPTED: set(),
+    JobState.INTERRUPTED: {JobState.CANCELLED},
     JobState.CANCELLED: set(),
 }
 

@@ -10,15 +10,31 @@ endpoint parks on (bridged into asyncio via ``run_in_executor``).
 Events are append-only dicts ``{"i": n, "event": ..., ...}`` with a
 monotonically increasing per-job index, so a client that reconnects with
 ``?since=<last i + 1>`` never loses or repeats a delta.
+
+:class:`JobLog` is the durable half: a write-ahead NDJSON submission log
+under ``<cache>/serve/jobs/``.  Every admitted submission appends one
+fsync'd line *before* its chunks enter the scheduler, and reaching DONE
+or CANCELLED appends a terminal marker; anything submitted but not
+terminally marked is replayed against the shared result cache on the
+next daemon start - which is the entire crash story: a ``kill -9``'d
+daemon restarts with every unfinished job resumed, its already-computed
+points replaying as cache hits (zero duplicate compute).  INTERRUPTED is
+deliberately *not* marked terminal in the log: a drained job is exactly
+the kind the next start must resurrect.
 """
 
 from __future__ import annotations
 
-import itertools
+import base64
+import json
+import os
+import pickle
+import re
 import secrets
 import threading
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Dict, List, Optional, Set
 
 from ..campaign import SweepSpec, TaskRecord
@@ -81,6 +97,9 @@ class Job:
         }
 
 
+_JOB_ID_RE = re.compile(r"^j(\d+)-")
+
+
 class JobStore:
     """All jobs, one lock, one condition for event long-polls."""
 
@@ -88,7 +107,7 @@ class JobStore:
         self._lock = threading.RLock()
         self._new_events = threading.Condition(self._lock)
         self._jobs: Dict[str, Job] = {}
-        self._seq = itertools.count(1)
+        self._seq = 0
 
     @property
     def lock(self) -> threading.RLock:
@@ -96,9 +115,22 @@ class JobStore:
 
     # -- creation / lookup -------------------------------------------------
 
-    def create(self, tenant: str, spec: SweepSpec, fingerprint: str) -> Job:
+    def create(self, tenant: str, spec: SweepSpec, fingerprint: str,
+               job_id: Optional[str] = None) -> Job:
+        """Mint a job; ``job_id`` pins a recovered submission's identity.
+
+        Replayed jobs keep their original id so clients resuming after a
+        daemon crash find the job they submitted; the sequence counter
+        advances past recovered ids so fresh ids never collide.
+        """
         with self._lock:
-            job_id = f"j{next(self._seq):04d}-{secrets.token_hex(3)}"
+            if job_id is None:
+                self._seq += 1
+                job_id = f"j{self._seq:04d}-{secrets.token_hex(3)}"
+            else:
+                match = _JOB_ID_RE.match(job_id)
+                if match is not None:
+                    self._seq = max(self._seq, int(match.group(1)))
             job = Job(
                 id=job_id, tenant=tenant, name=spec.name, spec=spec,
                 fingerprint=fingerprint,
@@ -173,3 +205,134 @@ class JobStore:
                 if left <= 0.0:
                     return []
                 self._new_events.wait(left)
+
+
+#: Subdirectory of ``<cache>/serve/`` holding the durable job log.
+JOB_LOG_SUBDIR = "jobs"
+
+#: The write-ahead submission log file name.
+JOB_LOG_FILENAME = "submissions.ndjson"
+
+#: Job states that append a terminal marker to the log.  INTERRUPTED is
+#: intentionally absent: drained jobs must replay on the next start.
+LOGGED_TERMINALS = (JobState.DONE, JobState.CANCELLED)
+
+
+def encode_spec(spec: SweepSpec) -> str:
+    """Wire/log form of an in-process spec (pickle, base64-armoured).
+
+    Only used for specs submitted as Python objects (tests, embedding);
+    HTTP submissions log their original JSON payload instead, which is
+    both smaller and independent of the pickle protocol.
+    """
+    return base64.b64encode(
+        pickle.dumps(spec, protocol=pickle.HIGHEST_PROTOCOL)
+    ).decode("ascii")
+
+
+def decode_spec(blob: str) -> SweepSpec:
+    spec = pickle.loads(base64.b64decode(blob.encode("ascii")))
+    if not isinstance(spec, SweepSpec):
+        raise ValueError(f"decoded object is {type(spec).__name__}, "
+                         f"not SweepSpec")
+    return spec
+
+
+class JobLog:
+    """Write-ahead NDJSON submission log: the daemon's crash ledger.
+
+    Two line shapes::
+
+        {"op": "submit", "id": "j0001-...", "tenant": "t", "created": ...,
+         "payload": {...JSON submission...} | "spec_b64": "..."}
+        {"op": "terminal", "id": "j0001-...", "state": "done"|"cancelled"}
+
+    Appends are fsync'd - a submission acknowledged to a client survives
+    any subsequent crash.  The reader tolerates a torn trailing line
+    (the crash may land mid-append) and counts it instead of failing.
+    """
+
+    def __init__(self, directory: os.PathLike) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.path = self.directory / JOB_LOG_FILENAME
+        #: Lines the last :meth:`pending` dropped as undecodable.
+        self.corrupt_lines = 0
+
+    def _append(self, entry: Dict[str, Any]) -> None:
+        line = json.dumps(entry, sort_keys=True, separators=(",", ":"))
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(line + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def log_submit(
+        self,
+        job_id: str,
+        tenant: str,
+        created: float,
+        payload: Optional[Dict[str, Any]] = None,
+        spec: Optional[SweepSpec] = None,
+    ) -> None:
+        entry: Dict[str, Any] = {
+            "op": "submit", "id": job_id, "tenant": tenant,
+            "created": created,
+        }
+        if payload is not None:
+            entry["payload"] = payload
+        elif spec is not None:
+            entry["spec_b64"] = encode_spec(spec)
+        else:
+            raise ValueError("log_submit needs a payload or a spec")
+        self._append(entry)
+
+    def log_terminal(self, job_id: str, state: JobState) -> None:
+        if state not in LOGGED_TERMINALS:
+            raise ValueError(
+                f"only {[s.value for s in LOGGED_TERMINALS]} are logged "
+                f"terminals, not {state.value!r}"
+            )
+        self._append({"op": "terminal", "id": job_id, "state": state.value})
+
+    def pending(self) -> List[Dict[str, Any]]:
+        """Submissions with no terminal marker, in submission order."""
+        if not self.path.exists():
+            return []
+        submits: List[Dict[str, Any]] = []
+        finished: Set[str] = set()
+        self.corrupt_lines = 0
+        with open(self.path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    self.corrupt_lines += 1
+                    continue
+                if not isinstance(entry, dict) or "id" not in entry:
+                    self.corrupt_lines += 1
+                    continue
+                if entry.get("op") == "submit":
+                    submits.append(entry)
+                elif entry.get("op") == "terminal":
+                    finished.add(entry["id"])
+                else:
+                    self.corrupt_lines += 1
+        return [e for e in submits if e["id"] not in finished]
+
+    def compact(self, pending: List[Dict[str, Any]]) -> None:
+        """Atomically rewrite the log down to the still-pending entries.
+
+        Run after a replay: settled submissions and their terminal
+        markers are dead weight every future start would re-read.
+        """
+        tmp = self.path.with_suffix(".tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            for entry in pending:
+                fh.write(json.dumps(entry, sort_keys=True,
+                                    separators=(",", ":")) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.path)

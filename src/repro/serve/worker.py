@@ -1,0 +1,282 @@
+"""Remote sweep worker: the pull side of the daemon's lease protocol.
+
+``repro worker --url http://daemon:8351`` registers, then loops: lease a
+chunk, execute it through the very same
+:func:`~repro.campaign.runtime.run_chunk` a local pool worker runs (so
+values are bit-identical no matter which tier computed them), heartbeat
+on a side thread while computing, and push the records plus the per-chunk
+obs snapshot back.  The daemon's registration response carries the
+execution policy (retries, observe, deadline) so workers never invent
+their own.
+
+Failure story, from the worker's chair:
+
+* **Transport errors** - the :class:`~repro.serve.client.ServeClient`
+  already retries with backoff; if the daemon stays unreachable the
+  worker keeps polling (slowly) until it returns or the worker is told
+  to stop.  An unreachable daemon cannot lose work: the lease TTL
+  requeues anything this worker was holding.
+* **HTTP 410** - the daemon no longer knows us (it restarted: re-register
+  and carry on) or no longer honours the lease (it expired and the chunk
+  is live again elsewhere: drop the results on the floor - the daemon
+  refuses late completions precisely so execution is never
+  double-counted).
+* **SIGTERM** - graceful drain: the in-flight chunk gets ``grace_s`` to
+  finish and be delivered; past that the worker *abandons* the lease
+  explicitly, which requeues the chunk immediately and blame-free (an
+  innocent drain must not push points toward quarantine).  SIGKILL, by
+  contrast, is exactly a missed heartbeat: the daemon's reaper expires
+  the lease and the chunk re-enters through the blamable lost-chunk
+  path, same as a crashed pool process.
+
+The trace context in the lease is propagated into ``run_chunk``, so a
+remote chunk's spans stitch into the submitting job's trace tree like
+any local chunk's would.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import pickle
+import signal
+import socket
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..campaign import BackoffPolicy, TaskPoint, TaskRecord, run_chunk
+from .client import RETRYABLE_ERRORS, ServeClient, ServeError
+
+#: Pause between retries when the daemon is unreachable or draining.
+RECONNECT_PAUSE_S = 1.0
+
+
+class SweepWorker:
+    """One remote worker process: register, lease, compute, deliver.
+
+    Single-threaded on the control path; the chunk itself runs on a
+    helper thread so a drain signal can time-box it, and heartbeats run
+    on their own timer thread for as long as a lease is held.
+    """
+
+    def __init__(
+        self,
+        url: str,
+        token: Optional[str] = None,
+        name: str = "",
+        grace_s: float = 5.0,
+        poll_s: Optional[float] = None,
+        max_chunks: Optional[int] = None,
+        echo=print,
+        client: Optional[ServeClient] = None,
+    ) -> None:
+        self.client = client if client is not None \
+            else ServeClient(url, token=token)
+        self.name = name or f"worker-{os.getpid()}"
+        self.grace_s = grace_s
+        self.poll_s = poll_s  #: override the daemon's idle retry hint
+        self.max_chunks = max_chunks  #: stop after N chunks (tests/bench)
+        self.echo = echo
+        self.worker_id: Optional[str] = None
+        self.chunks_done = 0
+        self.points_done = 0
+        self._policy: Dict[str, Any] = {}
+        self._stop = threading.Event()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def stopped(self) -> bool:
+        return self._stop.is_set()
+
+    def request_stop(self, *_args: Any) -> None:
+        """Signal-safe: begin a graceful drain."""
+        self._stop.set()
+
+    def install_signal_handlers(self) -> None:
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            signal.signal(signum, self.request_stop)
+
+    # -- protocol steps ----------------------------------------------------
+
+    def _register(self) -> bool:
+        """(Re-)register until it sticks; False when stopped first."""
+        while not self.stopped:
+            try:
+                policy = self.client.worker_register(
+                    name=self.name, pid=os.getpid(),
+                    host=socket.gethostname(),
+                )
+            except ServeError as error:
+                if error.status in (401, 403):
+                    raise  # bad token: retrying cannot help
+                self.echo(f"repro worker: register failed ({error}); "
+                          f"retrying")
+                self._stop.wait(RECONNECT_PAUSE_S)
+                continue
+            except RETRYABLE_ERRORS as error:
+                self.echo(f"repro worker: register failed ({error}); "
+                          f"retrying")
+                self._stop.wait(RECONNECT_PAUSE_S)
+                continue
+            self.worker_id = policy["worker_id"]
+            self._policy = policy
+            self.echo(
+                f"repro worker: registered as {self.worker_id} "
+                f"(lease ttl {policy.get('lease_ttl_s')}s, "
+                f"heartbeat every {policy.get('heartbeat_s')}s)"
+            )
+            return True
+        return False
+
+    def _heartbeat_loop(self, lease_id: str, interval: float,
+                        hb_stop: threading.Event,
+                        lost: threading.Event) -> None:
+        while not hb_stop.wait(interval):
+            try:
+                self.client.worker_heartbeat(self.worker_id, lease_id)
+            except ServeError as error:
+                if error.status == 410:
+                    # Reaped (or the daemon restarted): the chunk is no
+                    # longer ours; results must be dropped.
+                    lost.set()
+                    return
+                # Anything else (503 drain, 5xx): keep trying - the
+                # lease either survives or the TTL sorts it out.
+            except RETRYABLE_ERRORS:
+                pass  # client already retried; TTL is the backstop
+
+    def _abandon(self, lease_id: str) -> None:
+        try:
+            self.client.worker_abandon(self.worker_id, lease_id)
+            self.echo(f"repro worker: abandoned lease {lease_id} (drain)")
+        except (ServeError, *RETRYABLE_ERRORS):
+            pass  # TTL expiry is the fallback requeue path
+
+    def _run_lease(self, lease: Dict[str, Any]) -> None:
+        lease_id = lease["id"]
+        points = [
+            TaskPoint.make(p["kind"], **p["params"])
+            for p in lease["points"]
+        ]
+        context = (
+            pickle.loads(base64.b64decode(lease["context_b64"]))
+            if lease.get("context_b64") else {}
+        )
+        lost = threading.Event()
+        hb_stop = threading.Event()
+        heartbeat = threading.Thread(
+            target=self._heartbeat_loop,
+            args=(lease_id, max(0.2, float(self._policy.get(
+                "heartbeat_s", 5.0))), hb_stop, lost),
+            name="repro-worker-heartbeat", daemon=True,
+        )
+        heartbeat.start()
+        outcome: List[Tuple[List[TaskRecord], Optional[Dict[str, Any]]]] = []
+
+        def _compute() -> None:
+            try:
+                outcome.append(run_chunk(
+                    points, context, lease["fingerprint"],
+                    int(self._policy.get("retries", 1)),
+                    bool(self._policy.get("observe", True)),
+                    self._policy.get("deadline_s"),
+                    BackoffPolicy(),
+                    None, lease.get("trace"),
+                ))
+            except BaseException as error:  # noqa: BLE001 - report, don't die
+                self.echo(f"repro worker: chunk failed unexpectedly "
+                          f"({type(error).__name__}: {error})")
+
+        worker = threading.Thread(
+            target=_compute, name="repro-worker-chunk", daemon=True,
+        )
+        worker.start()
+        try:
+            while worker.is_alive():
+                worker.join(0.1)
+                if self.stopped and worker.is_alive():
+                    # Drain: a short grace for the chunk to finish, then
+                    # hand the lease back explicitly and blame-free.
+                    worker.join(self.grace_s)
+                    if worker.is_alive():
+                        self._abandon(lease_id)
+                        return
+        finally:
+            hb_stop.set()
+        if not outcome:
+            self._abandon(lease_id)  # run_chunk itself blew up
+            return
+        records, snapshot = outcome[0]
+        if lost.is_set():
+            self.echo(f"repro worker: lease {lease_id} was reaped "
+                      f"mid-chunk; dropping {len(records)} record(s)")
+            return
+        try:
+            self.client.worker_complete(
+                self.worker_id, lease_id,
+                [json.loads(r.to_json()) for r in records], snapshot,
+            )
+        except ServeError as error:
+            if error.status == 410:
+                self.echo(f"repro worker: results for {lease_id} refused "
+                          f"as late; dropped")
+                return
+            raise
+        except RETRYABLE_ERRORS as error:
+            self.echo(f"repro worker: could not deliver {lease_id} "
+                      f"({error}); the lease will expire and requeue")
+            return
+        self.chunks_done += 1
+        self.points_done += len(records)
+
+    # -- the loop ----------------------------------------------------------
+
+    def run(self) -> int:
+        """Work until stopped (or ``max_chunks``); returns the exit code."""
+        try:
+            if not self._register():
+                return 0
+        except ServeError as error:
+            self.echo(f"repro worker: {error}; giving up")
+            return 1
+        while not self.stopped:
+            if self.max_chunks is not None \
+                    and self.chunks_done >= self.max_chunks:
+                break
+            try:
+                response = self.client.worker_lease(self.worker_id)
+            except ServeError as error:
+                if error.status == 410:
+                    self.echo("repro worker: daemon forgot us "
+                              "(restart?); re-registering")
+                    try:
+                        if not self._register():
+                            break
+                    except ServeError as rejected:
+                        self.echo(f"repro worker: {rejected}; giving up")
+                        return 1
+                    continue
+                if error.status in (401, 403):
+                    self.echo(f"repro worker: {error}; giving up")
+                    return 1
+                self._stop.wait(RECONNECT_PAUSE_S)
+                continue
+            except RETRYABLE_ERRORS as error:
+                self.echo(f"repro worker: daemon unreachable ({error}); "
+                          f"waiting")
+                self._stop.wait(RECONNECT_PAUSE_S)
+                continue
+            lease = response.get("lease")
+            if lease is None:
+                pause = self.poll_s if self.poll_s is not None \
+                    else float(response.get("retry_in", 0.5))
+                self._stop.wait(pause)
+                continue
+            self._run_lease(lease)
+        self.echo(
+            f"repro worker: drained after {self.chunks_done} chunk(s) / "
+            f"{self.points_done} point(s)"
+        )
+        return 0

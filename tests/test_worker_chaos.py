@@ -1,0 +1,300 @@
+"""Kill things and check the books still balance.
+
+The robustness contract of the multi-host worker tier, exercised with
+real processes and real signals:
+
+* SIGKILL a remote worker mid-chunk: its lease expires, the chunk goes
+  through the same bisection/conviction machinery as a crashed pool
+  process, and a surviving worker finishes the job bit-identical to
+  the serial executor.
+* ``kill -9`` the daemon mid-job: the fsync'd submission log replays
+  the unfinished job on the next start, points already checkpointed
+  come back as cache hits, and the results ledger shows every point
+  computed exactly once.
+
+Everything asserts the zero-duplicate-compute invariant through the
+content-addressed cache: one ``(key, fingerprint)`` line per point, no
+matter how many processes died along the way.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import SweepSpec, TaskPoint, run_campaign
+from repro.serve import JobState, SweepService
+from repro.serve.client import ServeClient
+
+from .test_serve import _Daemon, wait_terminal
+
+#: Generous: these tests spawn interpreters and wait out lease TTLs.
+DEADLINE = 45.0
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def probe_spec(xs, name="chaos-probe", sleep_ms=150):
+    return SweepSpec.build(name, [
+        TaskPoint.make("probe", x=x, sleep_ms=sleep_ms) for x in xs
+    ])
+
+
+def probe_payload(xs, name="chaos-probe", sleep_ms=150):
+    """The same sweep as :func:`probe_spec`, as a raw HTTP submission."""
+    return {"name": name, "tasks": [
+        {"kind": "probe", "params": {"x": x, "sleep_ms": sleep_ms}}
+        for x in xs
+    ]}
+
+
+def _child_env(token=None):
+    env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+    if token is not None:
+        env["REPRO_WORKER_TOKEN"] = token
+    return env
+
+
+def spawn_worker(url, name, token=None):
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "worker",
+         "--url", url, "--name", name, "--grace", "0.2"],
+        env=_child_env(token), cwd=str(REPO),
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+
+
+def spawn_daemon(cache_dir, port_file, port=0, token=None, extra=()):
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--cache-dir", str(cache_dir), "--port", str(port),
+         "--port-file", str(port_file), *extra],
+        env=_child_env(token), cwd=str(REPO),
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+
+
+def wait_for_port(port_file, deadline=DEADLINE):
+    end = time.monotonic() + deadline
+    while time.monotonic() < end:
+        try:
+            text = port_file.read_text().strip()
+        except FileNotFoundError:
+            text = ""
+        if text:
+            return int(text)
+        time.sleep(0.05)
+    raise AssertionError("daemon never wrote its port file")
+
+
+def reap(*procs, sig=signal.SIGKILL):
+    for proc in procs:
+        if proc is not None and proc.poll() is None:
+            proc.send_signal(sig)
+            proc.wait(10)
+
+
+def ledger(cache_dir):
+    """Parsed ``(key, fingerprint)`` pairs from the results checkpoint."""
+    path = Path(cache_dir) / "results.jsonl"
+    pairs = []
+    if path.exists():
+        for line in path.read_text(encoding="utf-8").splitlines():
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn tail from a kill mid-append
+            pairs.append((entry["key"], entry["fingerprint"]))
+    return pairs
+
+
+class TestWorkerSigkill:
+    def test_killed_worker_expires_and_survivor_finishes(self, tmp_path):
+        spec = probe_spec(range(10))
+        serial = run_campaign(spec, jobs=1,
+                              cache_dir=str(tmp_path / "serial"))
+        svc = SweepService(jobs=0, cache_dir=tmp_path / "cache",
+                           lease_ttl_s=0.75).start()
+        victim = survivor = None
+        try:
+            with _Daemon(svc) as daemon:
+                url = f"http://127.0.0.1:{daemon.port}"
+                job = svc.submit(spec)
+                victim = spawn_worker(url, "victim")
+                deadline = time.monotonic() + DEADLINE
+                while svc.scheduler.leased == 0:
+                    assert time.monotonic() < deadline, "no lease granted"
+                    time.sleep(0.02)
+                os.kill(victim.pid, signal.SIGKILL)  # mid-chunk, no drain
+                victim.wait(DEADLINE)
+                survivor = spawn_worker(url, "survivor")
+                wait_terminal(svc, job, deadline=DEADLINE)
+                assert svc.store.get(job.id).state is JobState.DONE
+                counters = svc.stats()["counters"]
+                assert counters["serve.leases.expired"] >= 1
+                # Zero duplicate compute: every point absorbed exactly once.
+                assert counters["serve.points.executed"] == 10
+                served = svc.store.get(job.id).records
+                assert set(served) == set(serial.records)
+                for key, record in serial.records.items():
+                    assert served[key].value == record.value
+                    assert served[key].status == record.status
+        finally:
+            reap(victim, survivor)
+            svc.stop(timeout=DEADLINE)
+        pairs = ledger(tmp_path / "cache")
+        assert len(pairs) == len(set(pairs)) == 10
+
+    def test_sigterm_worker_drains_cleanly_and_blame_free(self, tmp_path):
+        svc = SweepService(jobs=0, cache_dir=tmp_path / "cache",
+                           lease_ttl_s=5.0).start()
+        worker = None
+        try:
+            with _Daemon(svc) as daemon:
+                url = f"http://127.0.0.1:{daemon.port}"
+                job = svc.submit(probe_spec(range(6), sleep_ms=400))
+                worker = spawn_worker(url, "drainer")
+                deadline = time.monotonic() + DEADLINE
+                while svc.scheduler.leased == 0:
+                    assert time.monotonic() < deadline, "no lease granted"
+                    time.sleep(0.02)
+                worker.send_signal(signal.SIGTERM)
+                assert worker.wait(DEADLINE) == 0  # graceful drain exit
+                # The abandoned chunk came straight back, no TTL wait and
+                # no blame: nothing expired, nothing quarantined.
+                counters = svc.stats()["counters"]
+                assert counters.get("serve.leases.expired", 0) == 0
+                assert not svc.scheduler.has_suspects
+                worker = spawn_worker(url, "finisher")
+                wait_terminal(svc, job, deadline=DEADLINE)
+                assert svc.store.get(job.id).state is JobState.DONE
+        finally:
+            reap(worker)
+            svc.stop(timeout=DEADLINE)
+
+
+class TestDaemonKill9:
+    def test_restart_replays_the_log_with_zero_duplicates(self, tmp_path):
+        cache = tmp_path / "cache"
+        port_file = tmp_path / "port"
+        daemon = spawn_daemon(cache, port_file, extra=("--jobs", "1"))
+        try:
+            port = wait_for_port(port_file)
+            client = ServeClient(f"http://127.0.0.1:{port}")
+            job = client.submit(probe_payload(range(8)))
+            # Let a couple of points reach the durable checkpoint, then
+            # pull the plug with no warning whatsoever.
+            deadline = time.monotonic() + DEADLINE
+            while len(ledger(cache)) < 2:
+                assert time.monotonic() < deadline, "no points checkpointed"
+                time.sleep(0.05)
+            os.kill(daemon.pid, signal.SIGKILL)
+            daemon.wait(DEADLINE)
+        finally:
+            reap(daemon)
+        executed_before = len(ledger(cache))
+        assert executed_before < 8, "daemon finished before the kill"
+
+        svc = SweepService(jobs=1, cache_dir=cache).start()
+        try:
+            revived = svc.store.get(job["id"])
+            assert revived is not None, "WAL did not replay the job"
+            wait_terminal(svc, revived, deadline=DEADLINE)
+            assert svc.store.get(job["id"]).state is JobState.DONE
+            assert len(svc.job_records(job["id"])) == 8
+            counters = svc.stats()["counters"]
+            assert counters["serve.jobs.recovered"] == 1
+            # The restart computed only what the crash interrupted...
+            assert counters["serve.points.executed"] == 8 - executed_before
+            assert counters["serve.points.cache_hits"] == executed_before
+        finally:
+            svc.stop(timeout=DEADLINE)
+        # ...and the ledger shows each point exactly once.
+        pairs = ledger(cache)
+        assert len(pairs) == len(set(pairs)) == 8
+
+
+class TestEndToEndAcceptance:
+    def test_worker_sigkill_plus_daemon_kill9_still_bit_identical(
+            self, tmp_path):
+        """The issue's acceptance run, miniaturised.
+
+        Two authed remote workers chew a probe campaign; one is
+        SIGKILLed mid-chunk, then the daemon is ``kill -9``'d mid-job.
+        A daemon restarted on the same cache and port replays the job,
+        the surviving worker re-registers, and the final results are
+        bit-identical to the serial executor with a duplicate-free
+        ledger.
+        """
+        spec = probe_spec(range(12))
+        serial = run_campaign(spec, jobs=1,
+                              cache_dir=str(tmp_path / "serial"))
+        cache = tmp_path / "cache"
+        port_file = tmp_path / "port"
+        serve_args = ("--jobs", "0", "--lease-ttl", "1.0")
+        daemon = spawn_daemon(cache, port_file, token="cafe",
+                              extra=serve_args)
+        alpha = beta = None
+        try:
+            port = wait_for_port(port_file)
+            url = f"http://127.0.0.1:{port}"
+            client = ServeClient(url)
+            job = client.submit(probe_payload(range(12)))
+            alpha = spawn_worker(url, "alpha", token="cafe")
+            beta = spawn_worker(url, "beta", token="cafe")
+
+            def counter(name):
+                try:
+                    return client.stats()["counters"].get(name, 0)
+                except Exception:  # noqa: BLE001 - daemon mid-restart
+                    return 0
+
+            deadline = time.monotonic() + DEADLINE
+            while counter("serve.leases.granted") < 2:
+                assert time.monotonic() < deadline, "workers never leased"
+                time.sleep(0.05)
+            os.kill(alpha.pid, signal.SIGKILL)
+            alpha.wait(DEADLINE)
+            while len(ledger(cache)) < 2:
+                assert time.monotonic() < deadline, "no points checkpointed"
+                time.sleep(0.05)
+            os.kill(daemon.pid, signal.SIGKILL)
+            daemon.wait(DEADLINE)
+            assert len(ledger(cache)) < 12, "job finished before the kill"
+
+            port_file.unlink()
+            daemon = spawn_daemon(cache, port_file, port=port, token="cafe",
+                                  extra=serve_args)
+            assert wait_for_port(port_file) == port
+
+            end = time.monotonic() + DEADLINE
+            final = None
+            while time.monotonic() < end:
+                try:
+                    final = client.job(job["id"])
+                except Exception:  # noqa: BLE001 - daemon still booting
+                    final = None
+                if final is not None and final["state"] == "done":
+                    break
+                time.sleep(0.1)
+            assert final is not None and final["state"] == "done", \
+                f"job never finished after restart: {final}"
+
+            result = client.result(job["id"])
+            assert len(result["results"]) == 12
+            for key, record in serial.records.items():
+                assert result["results"][key]["value"] == record.value
+                assert result["results"][key]["status"] == record.status
+
+            # Graceful drain of the survivor: SIGTERM, exit 0.
+            beta.send_signal(signal.SIGTERM)
+            assert beta.wait(DEADLINE) == 0
+        finally:
+            reap(alpha, beta, daemon)
+        pairs = ledger(cache)
+        assert len(pairs) == len(set(pairs)) == 12

@@ -167,8 +167,11 @@ def render_dc_split(report: Dict[str, Any]) -> str:
     """One-line assembly-vs-factorisation wall-time split of the DC solver.
 
     Summarises the ``dc.assemble.seconds`` / ``dc.factor.seconds``
-    histograms the solver records per solve; empty when neither was
-    observed (obs off, or a run with no DC solves).
+    histograms the solver records per solve, with the per-backend solve
+    counts from the ``dc.backend.*`` counters appended when more than the
+    default backend ran (mixed-backend runs happen during verification and
+    crossover benchmarking); empty when neither histogram was observed
+    (obs off, or a run with no DC solves).
     """
     histograms = report.get("histograms", {})
     assemble = histograms.get("dc.assemble.seconds")
@@ -180,11 +183,23 @@ def render_dc_split(report: Dict[str, Any]) -> str:
     total = a + f
     a_share = a / total if total else 0.0
     solves = (assemble or factor)["count"]
-    return (
+    line = (
         f"dc solver split: assembly {_fmt_seconds(a)} ({a_share:.0%}), "
         f"factorization {_fmt_seconds(f)} ({1.0 - a_share if total else 0.0:.0%}) "
         f"over {solves} solves"
     )
+    prefix = "dc.backend."
+    by_backend = {
+        key[len(prefix):]: count
+        for key, count in report.get("counters", {}).items()
+        if key.startswith(prefix)
+    }
+    if by_backend:
+        split = ", ".join(
+            f"{name} {count}" for name, count in sorted(by_backend.items())
+        )
+        line += f" [{split}]"
+    return line
 
 
 def render_spans(report: Dict[str, Any]) -> str:

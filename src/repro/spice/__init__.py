@@ -20,8 +20,11 @@ Public API
 :func:`solve_dc_batch`, :class:`SweepSession`, :func:`log_bisect`
     Batched/warm-started sweeps over the compiled assembly plan.
 :func:`default_backend`, :func:`set_default_backend`, :func:`using_backend`
-    Assembly-backend selection (``"compiled"`` vs the ``"reference"``
-    per-element stamp oracle).
+    Assembly-backend selection (``"compiled"`` / ``"sparse"`` vs the
+    ``"reference"`` per-element stamp oracle).
+:class:`SparseCircuit`, :func:`sparse_plan`, :func:`sparse_threshold`
+    CSR assembly + SuperLU solves for array-scale netlists
+    (``backend="sparse"``).
 """
 
 from .circuit import Circuit
@@ -44,6 +47,7 @@ from .dc import (
     using_backend,
 )
 from .compiled import CompiledCircuit, compiled_plan
+from .sparse import SparseCircuit, sparse_plan, sparse_threshold
 from .sources import (
     PiecewiseLinearVoltageSource,
     PulseVoltageSource,
@@ -55,8 +59,11 @@ from .transient import TransientResult, solve_transient
 __all__ = [
     "BACKENDS",
     "CompiledCircuit",
+    "SparseCircuit",
     "SweepSession",
     "compiled_plan",
+    "sparse_plan",
+    "sparse_threshold",
     "default_backend",
     "log_bisect",
     "set_default_backend",

@@ -1,0 +1,155 @@
+"""Optional numba-JIT EKV evaluation kernel with a pure-numpy fallback.
+
+The sparse backend's per-iteration cost on large netlists splits between
+the sparse factorisation and the vectorised EKV device evaluation.  The
+numpy evaluation (:meth:`CompiledCircuit._mos_eval_into`) is already one
+fused pass over preallocated scratch, but it still materialises ~20
+intermediate array operations per assembly; a compiled scalar loop fuses
+them into one pass over the device table with no temporaries.
+
+numba is **optional** - the selection happens once, at import time:
+
+* numba importable and not disabled -> :func:`make_ekv_evaluator` returns
+  a wrapper around an ``@njit`` kernel whose arithmetic mirrors the numpy
+  path (same formulation: softplus/sigmoid EKV interpolation, drain/source
+  swap via the sign of ``vd - vs``, PMOS polarity folding).  The two paths
+  agree within the shared assembly tolerances
+  (:data:`repro.verify.tolerances.ASSEMBLY_RTOL`), which is what the
+  differential gauntlet checks; bit-exactness is *not* promised because
+  the scalar softplus uses the ``log1p``/``exp`` decomposition instead of
+  ``np.logaddexp``.
+* numba missing (or ``REPRO_SPICE_JIT=0``) -> the evaluator *is* the
+  plan's own numpy method.  Nothing else changes; numba can never become
+  a hard dependency (CI runs a dedicated no-numba job to enforce this).
+
+``REPRO_SPICE_JIT=0`` (also ``off``/``no``/``false``) masks numba even
+when installed - the escape hatch for debugging a suspected kernel
+mismatch, and what the no-numba CI job sets alongside an import shim.
+
+:func:`kernel_name` (``"numba"`` or ``"numpy"``) feeds the campaign
+fingerprint: a cache populated under one kernel is never silently reused
+under the other.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+__all__ = ["HAVE_NUMBA", "kernel_name", "make_ekv_evaluator"]
+
+
+def _jit_disabled() -> bool:
+    value = os.environ.get("REPRO_SPICE_JIT", "").strip().lower()
+    return value in ("0", "off", "no", "false")
+
+
+try:  # import-time selection; see module docstring
+    if _jit_disabled():
+        raise ImportError("numba masked by REPRO_SPICE_JIT")
+    from numba import njit as _njit  # type: ignore[import-not-found]
+
+    HAVE_NUMBA = True
+except ImportError:
+    _njit = None
+    HAVE_NUMBA = False
+
+
+def kernel_name() -> str:
+    """``"numba"`` when the JIT kernel is active, else ``"numpy"``."""
+    return "numba" if HAVE_NUMBA else "numpy"
+
+
+_kernel = None
+
+
+def _build_kernel():
+    """Compile the batched EKV kernel (first use only)."""
+    import math
+
+    @_njit(cache=True)
+    def ekv_batch(vg, vd, vs, vth, i0m, n_f, phi, nphi, lam, pol,
+                  out_i, out_ni, out_gg, out_gd, out_gs,
+                  out_ngg, out_ngd, out_ngs):  # pragma: no cover - needs numba
+        P, M = vg.shape
+        for p in range(P):
+            for m in range(M):
+                po = pol[m]
+                vgp = vg[p, m] * po
+                vdp = vd[p, m] * po
+                vsp = vs[p, m] * po
+                vds = vdp - vsp
+                sgn = math.copysign(1.0, vds)
+                avds = abs(vds)
+                vgs = vgp - min(vdp, vsp) - vth[m]
+                u_f2 = 0.5 * (vgs / nphi[m])
+                u_r2 = 0.5 * ((vgs - n_f[m] * avds) / nphi[m])
+                # softplus(x) = log(1 + e^x), computed overflow-free.
+                if u_f2 > 0.0:
+                    sp_f = u_f2 + math.log1p(math.exp(-u_f2))
+                else:
+                    sp_f = math.log1p(math.exp(u_f2))
+                if u_r2 > 0.0:
+                    sp_r = u_r2 + math.log1p(math.exp(-u_r2))
+                else:
+                    sp_r = math.log1p(math.exp(u_r2))
+                sig_f = 0.5 * (1.0 + math.tanh(0.5 * u_f2))
+                sig_r = 0.5 * (1.0 + math.tanh(0.5 * u_r2))
+                fp_f = sp_f * sig_f
+                fp_r = sp_r * sig_r
+                base = (sp_f * sp_f - sp_r * sp_r) * i0m[m]
+                clm = 1.0 + lam[m] * avds
+                current = base * clm
+                dgs = (fp_f - fp_r) * i0m[m] / nphi[m] * clm
+                dds = fp_r * i0m[m] / phi[m] * clm + base * lam[m]
+                isign = po * sgn
+                i_ckt = current * isign
+                out_i[p, m] = i_ckt
+                out_ni[p, m] = -i_ckt
+                gg = dgs * sgn
+                out_gg[p, m] = gg
+                out_ngg[p, m] = -gg
+                unswapped = 0.5 * (sgn + 1.0)  # 1 where vd >= vs
+                ngs = dds + unswapped * dgs
+                out_ngs[p, m] = ngs
+                out_gs[p, m] = -ngs
+                gd = dds + (1.0 - unswapped) * dgs
+                out_gd[p, m] = gd
+                out_ngd[p, m] = -gd
+
+    return ekv_batch
+
+
+def make_ekv_evaluator(plan):
+    """An EKV evaluator bound to ``plan``'s device table.
+
+    Signature-compatible with :meth:`CompiledCircuit._mos_eval_into`
+    (``(M,)`` or ``(P, M)`` gather buffers in, scatter-value slots out).
+    When numba is unavailable this *is* the plan's numpy method - the
+    fallback has zero indirection cost.
+    """
+    if not HAVE_NUMBA:
+        return plan._mos_eval_into
+
+    global _kernel
+    if _kernel is None:  # pragma: no cover - needs numba
+        _kernel = _build_kernel()
+    kernel = _kernel
+
+    def evaluate(vg, vd, vs, out_i, out_ni, out_gg, out_gd, out_gs,
+                 out_ngg, out_ngd, out_ngs):  # pragma: no cover - needs numba
+        M = vg.shape[-1]
+        P = 1 if vg.ndim == 1 else vg.shape[0]
+        outs = (out_i, out_ni, out_gg, out_gd, out_gs,
+                out_ngg, out_ngd, out_ngs)
+        kernel(
+            np.ascontiguousarray(vg).reshape(P, M),
+            np.ascontiguousarray(vd).reshape(P, M),
+            np.ascontiguousarray(vs).reshape(P, M),
+            plan._mos_vth, plan._mos_i0m, plan._mos_n, plan._mos_phi,
+            plan._mos_nphi, plan._mos_lambda, plan._mos_pol,
+            *(o.reshape(P, M) for o in outs),
+        )
+
+    return evaluate

@@ -1,0 +1,554 @@
+"""Sparse MNA assembly and solves: CSR plans + SuperLU factorisation.
+
+The compiled engine (:mod:`repro.spice.compiled`) assembles into a dense
+``(n, n)`` Jacobian, which costs O(n^2) memory traffic per Newton
+iteration and O(n^3) per factorisation - fine for a 15-unknown regulator,
+fatal for regulator-plus-array netlists with thousands of nodes.  This
+module adds the third registry backend, ``backend="sparse"``:
+
+* **CSR assembly from the compiled plan's own scatter indices.**  A
+  :class:`SparseCircuit` wraps the circuit's :class:`CompiledCircuit` and
+  reuses every index array the dense planner already emits (linear
+  skeleton, capacitor companions, MOSFET Jacobian pattern, gmin
+  diagonal).  The union of those flat positions - COO coordinates with
+  duplicates summed - is deduplicated **once** into a cached sparsity
+  pattern (CSR ``indptr``/``indices`` plus per-group scatter maps into
+  the ``data`` array).  That pattern construction is the user-level
+  symbolic step; each assembly afterwards only rewrites ``data``.
+* **Symbolic work reused across Newton iterations and sweep points.**
+  The pattern (and the scatter maps derived from it) is built when the
+  plan is compiled and shared by every subsequent assembly: all Newton
+  iterations of a solve, all points of a batched sweep, and - because
+  :func:`sparse_plan` caches the plan on the circuit exactly like
+  :func:`compiled_plan` - every solve of a warm-started
+  ``SweepSession``/``RegulatorSession`` lifetime.  (scipy's SuperLU
+  wrapper re-runs its internal symbolic analysis per ``splu`` call; the
+  cached-pattern design keeps everything *above* that line amortised,
+  and is the hook for a SamePattern-capable solver later.)
+* **Optional numba JIT of the EKV kernel** via :mod:`repro.spice.jit`,
+  with a pure-numpy fallback selected at import time.
+
+Generic elements
+----------------
+Element types the compiled planner does not vectorise (the regulator's
+table-driven :class:`~repro.regulator.load.ArrayLoad`, say) stamp through
+the reference :class:`~repro.spice.elements.StampContext`, which touches
+the Jacobian exclusively as ``jac[row, col] += g``.  The sparse plan
+records those ``(row, col)`` accesses once at pattern-build time (at a DC
+and a transient probe point), folds them into the sparsity pattern, and
+hands later stamps a facade that maps the same accesses straight into the
+CSR ``data`` array.  Generic footprints must therefore be topology-fixed;
+a stamp that writes outside its recorded footprint raises.
+
+Small-netlist policy
+--------------------
+Below :data:`DEFAULT_MIN_UNKNOWNS` unknowns the sparse plan **delegates**
+to the dense compiled plan - assembly, Jacobian and the
+direct LAPACK solve included - so ``backend="sparse"`` is never a latency
+regression on the paper's small circuits.  The threshold follows, in
+order: an explicit ``min_unknowns=`` argument, the
+:func:`sparse_threshold` context manager (how the differential gauntlet
+forces the CSR path onto tiny fuzz netlists), the
+``REPRO_SPARSE_MIN_UNKNOWNS`` environment variable, then the default.
+
+Singular matrices
+-----------------
+``splu`` raises ``RuntimeError`` on an exactly singular factor; the
+solver contract is "return ``None`` and let the Newton strategy chain
+continue", so :func:`sparse_linear_solve` catches it.  All three backends
+therefore fail a genuinely unsolvable netlist the same way: a
+:class:`~repro.spice.dc.ConvergenceError` carrying the strategy trail,
+never a raw scipy exception (pinned by ``tests/test_spice_singular.py``).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from .circuit import Circuit
+from .elements import StampContext
+from .jit import make_ekv_evaluator
+from .. import obs
+
+__all__ = [
+    "DEFAULT_MIN_UNKNOWNS",
+    "SparseCircuit",
+    "sparse_linear_solve",
+    "sparse_plan",
+    "sparse_threshold",
+]
+
+#: Below this many unknowns the sparse backend delegates to the dense
+#: compiled path: SuperLU's per-call overhead (wrapper + analysis) dwarfs
+#: a direct ``dgesv`` on systems this small.  The value sits under the
+#: measured dense/sparse crossover (see ``benchmarks/bench_spice.py``).
+DEFAULT_MIN_UNKNOWNS = 64
+
+_threshold_override: Optional[int] = None
+
+
+@contextlib.contextmanager
+def sparse_threshold(min_unknowns: int) -> Iterator[None]:
+    """Force the dense-delegation threshold for a block.
+
+    ``sparse_threshold(0)`` makes every sparse plan built inside the block
+    take the real CSR + SuperLU path regardless of size - how the
+    differential fuzzer and the property tests exercise sparse assembly
+    on netlists that would otherwise delegate.
+    """
+    global _threshold_override
+    previous = _threshold_override
+    _threshold_override = int(min_unknowns)
+    try:
+        yield
+    finally:
+        _threshold_override = previous
+
+
+def _resolve_threshold(min_unknowns: Optional[int]) -> int:
+    if min_unknowns is not None:
+        return int(min_unknowns)
+    if _threshold_override is not None:
+        return _threshold_override
+    env = os.environ.get("REPRO_SPARSE_MIN_UNKNOWNS", "").strip()
+    if env:
+        return int(env)
+    return DEFAULT_MIN_UNKNOWNS
+
+
+def _splu(matrix):
+    from scipy.sparse.linalg import splu
+
+    return splu(matrix.tocsc())
+
+
+def sparse_linear_solve(jacobian, neg_residual: np.ndarray) -> Optional[np.ndarray]:
+    """Solve ``J dx = -r`` for a CSR (or, when delegated, dense) Jacobian.
+
+    Mirrors the dense ``_dense_solve`` contract: ``None`` on a singular
+    matrix (SuperLU raises ``RuntimeError`` where LAPACK reports
+    ``info > 0``), so the Newton strategy chain keeps its semantics.
+    """
+    import scipy.sparse as sp
+
+    if not sp.issparse(jacobian):
+        from .dc import _dense_solve
+
+        return _dense_solve(jacobian, neg_residual)
+    try:
+        lu = _splu(jacobian)
+        dx = lu.solve(neg_residual)
+    except (RuntimeError, ValueError):
+        return None
+    return dx if np.isfinite(dx).all() else None
+
+
+class _RecordingJacobian:
+    """Pattern-discovery facade: records every ``(row, col)`` touched."""
+
+    def __init__(self) -> None:
+        self.keys: set = set()
+
+    def __getitem__(self, key) -> float:
+        return 0.0
+
+    def __setitem__(self, key, value) -> None:
+        self.keys.add((int(key[0]), int(key[1])))
+
+
+class _MappedJacobian:
+    """``(row, col)`` -> CSR ``data`` facade handed to reference stamps.
+
+    :class:`StampContext` touches the Jacobian exclusively through
+    ``jac[row, col] += g``; routing those accesses through the pattern's
+    position table lets generic elements stamp straight into the sparse
+    ``data`` buffer.  ``data`` is rebound per assembly (and per batch
+    point) by the caller.
+    """
+
+    __slots__ = ("index_of", "data")
+
+    def __init__(self, index_of: Dict[Tuple[int, int], int]) -> None:
+        self.index_of = index_of
+        self.data: Optional[np.ndarray] = None
+
+    def _slot(self, key) -> int:
+        try:
+            return self.index_of[key]
+        except KeyError:
+            raise RuntimeError(
+                f"generic stamp wrote Jacobian entry {key} outside its "
+                "recorded footprint; sparse plans require topology-fixed "
+                "generic stamps"
+            ) from None
+
+    def __getitem__(self, key) -> float:
+        return self.data[self._slot(key)]
+
+    def __setitem__(self, key, value) -> None:
+        self.data[self._slot(key)] = value
+
+
+class SparseCircuit:
+    """One circuit's sparse assembly plan (see module docstring).
+
+    Wraps (and shares the cache entry of) the circuit's
+    :class:`CompiledCircuit`: all value gathering, ``refresh()``
+    semantics and the EKV device table come from the dense plan; this
+    class owns only the sparsity pattern, the CSR scatter maps and the
+    per-assembly ``data`` buffers.
+    """
+
+    def __init__(self, circuit: Circuit, min_unknowns: Optional[int] = None) -> None:
+        from .compiled import compiled_plan
+
+        self.circuit = circuit
+        plan = compiled_plan(circuit)
+        self.plan = plan
+        self.n = plan.n
+        self.n_nodes = plan.n_nodes
+        self.signature = plan.signature
+        self.threshold = _resolve_threshold(min_unknowns)
+        #: True when assembly and solves route through the dense plan.
+        self.delegated = self.n == 0 or self.n < self.threshold
+        #: Pattern constructions (the symbolic step) - exactly one per
+        #: plan lifetime; the reuse contract test pins this.
+        self.pattern_builds = 0
+        #: Assemblies served from the cached pattern.
+        self.assemblies = 0
+        self._eval = make_ekv_evaluator(plan)
+        self._batch: Dict[int, dict] = {}
+        if not self.delegated:
+            self._build_pattern()
+        self.refresh()
+
+    # ------------------------------------------------------------ pattern
+    def _build_pattern(self) -> None:
+        """Deduplicate the dense plan's scatter indices into a CSR pattern.
+
+        The flat padded positions the compiled planner emits are COO
+        coordinates (duplicates sum, exactly like ``np.add.at`` on the
+        dense buffer); positions on the padded trash row/column map to a
+        trailing trash slot of the ``data`` array, mirroring the dense
+        plan's ground handling.
+        """
+        plan = self.plan
+        n, S = self.n, plan._size
+        groups = [
+            np.asarray(plan._lin_idx, dtype=np.intp),
+            np.asarray(plan._cap_jidx, dtype=np.intp),
+            np.asarray(plan._mos_jidx, dtype=np.intp),
+            np.asarray(plan._diag_idx, dtype=np.intp),
+        ]
+        lengths = [len(g) for g in groups]
+        flat = (
+            np.concatenate(groups) if sum(lengths)
+            else np.empty(0, dtype=np.intp)
+        )
+        rows, cols = np.divmod(flat, S)
+        keep = (rows < n) & (cols < n)
+        keys = rows * n + cols
+        generic_keys = (
+            self._generic_footprint() if plan.generic
+            else np.empty(0, dtype=np.intp)
+        )
+        unique = np.unique(np.concatenate([keys[keep], generic_keys]))
+        self.nnz = int(len(unique))
+        dest = np.where(keep, np.searchsorted(unique, keys), self.nnz)
+        splits = np.cumsum(lengths)[:-1]
+        self._lin_map, self._cap_map, self._mos_map, self._diag_map = (
+            np.split(dest.astype(np.intp), splits)
+        )
+        csr_rows = unique // n
+        self._indices = (unique % n).astype(np.int32)
+        self._indptr = np.concatenate(
+            [[0], np.cumsum(np.bincount(csr_rows, minlength=n))]
+        ).astype(np.int32)
+        # data[:nnz] is live; data[nnz] absorbs trash-slot contributions.
+        self._data = np.zeros(self.nnz + 1)
+        self._g0_data = np.zeros(self.nnz)
+        self._base = np.zeros(self.nnz + 1)
+        self._res_pad = np.zeros(S)
+        # Persistent linear-skeleton CSR sharing _g0_data: refresh()
+        # rewrites the buffer in place, the matrix view follows.
+        import scipy.sparse as sp
+
+        self._G0 = sp.csr_matrix(
+            (self._g0_data, self._indices, self._indptr),
+            shape=(n, n), copy=False,
+        )
+        if plan.generic:
+            pos = np.searchsorted(unique, generic_keys)
+            self._generic_jac: Optional[_MappedJacobian] = _MappedJacobian({
+                (int(k) // n, int(k) % n): int(p)
+                for k, p in zip(generic_keys, pos)
+            })
+        else:
+            self._generic_jac = None
+        self.pattern_builds += 1
+        obs.count("dc.sparse.pattern.builds")
+
+    def _generic_footprint(self) -> np.ndarray:
+        """Flat ``row * n + col`` keys the generic stamps touch.
+
+        Recorded at a DC and a transient probe point so conditionally
+        transient-only entries (companion models) land in the pattern too.
+        The footprint must be topology-fixed; :class:`_MappedJacobian`
+        raises if a later stamp strays outside it.
+        """
+        n = self.n
+        recorder = _RecordingJacobian()
+        scratch = np.zeros(n)
+        probes = (
+            {"dt": None, "x_prev": None},
+            {"dt": 1e-9, "x_prev": np.zeros(n)},
+        )
+        for kw in probes:
+            ctx = StampContext(
+                np.zeros(n), scratch, recorder, source_scale=1.0, **kw
+            )
+            for element in self.plan.generic:
+                element.stamp(ctx)
+        keys = sorted(r * n + c for r, c in recorder.keys)
+        return np.asarray(keys, dtype=np.intp)
+
+    def _csr(self, data: np.ndarray):
+        import scipy.sparse as sp
+
+        n = self.n
+        return sp.csr_matrix(
+            (data[: self.nnz], self._indices, self._indptr), shape=(n, n)
+        )
+
+    # ------------------------------------------------------------- values
+    def refresh(self) -> None:
+        """Re-gather element values (delegates to the dense plan's gather).
+
+        Value mutations between solves are picked up here without touching
+        the sparsity pattern; topology changes invalidate the plan through
+        :func:`sparse_plan`'s signature check instead.
+        """
+        self.plan.refresh()
+        if self.delegated:
+            return
+        base = self._base
+        base[:] = 0.0
+        np.add.at(base, self._lin_map, self.plan._lin_vals)
+        self._g0_data[:] = base[: self.nnz]
+
+    # ------------------------------------------------------- single point
+    def vsource_branch_row(self, name: str) -> Optional[int]:
+        """Branch row of a compiled plain voltage source, or ``None``."""
+        return self.plan.vsource_branch_row(name)
+
+    def assemble(
+        self,
+        x: np.ndarray,
+        gmin: float,
+        source_scale: float,
+        dt: Optional[float] = None,
+        x_prev: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Residual (dense vector) and CSR Jacobian at ``x``.
+
+        Views into reused buffers, like the dense plan: consume (factor)
+        before the next assembly call.
+        """
+        if self.delegated:
+            return self.plan.assemble(x, gmin, source_scale, dt, x_prev)
+        self.assemblies += 1
+        plan = self.plan
+        n, nn = self.n, self.n_nodes
+        xpad = plan._xpad
+        xpad[:n] = x
+        res = self._res_pad
+        res[:] = 0.0
+        res[:n] = self._G0.dot(x)
+        res[:n] += plan._b0[:n] * source_scale
+        res[:nn] += gmin * xpad[:nn]
+        data = self._data
+        data[: self.nnz] = self._g0_data
+        data[self.nnz] = 0.0
+        data[self._diag_map] += gmin
+        if dt is not None and len(plan._cap_c):
+            xp = plan._xprev_pad
+            if x_prev is None:
+                xp[:] = 0.0
+            else:
+                xp[:n] = x_prev
+            geq = plan._cap_c / dt
+            ca, cb = plan._cap_a, plan._cap_b
+            ic = geq * ((xpad[ca] - xpad[cb]) - (xp[ca] - xp[cb]))
+            rv = plan._cap_rvals
+            rv[0] = ic
+            rv[1] = -ic
+            np.add.at(res, plan._cap_ridx, rv.ravel())
+            jv = plan._cap_jvals
+            jv[0] = geq
+            jv[1] = -geq
+            jv[2] = -geq
+            jv[3] = geq
+            np.add.at(data, self._cap_map, jv.ravel())
+        if len(plan._mos_pol):
+            np.take(xpad, plan._mos_g, out=plan._mos_vg)
+            np.take(xpad, plan._mos_d, out=plan._mos_vd)
+            np.take(xpad, plan._mos_s, out=plan._mos_vs)
+            rv = plan._mos_rvals
+            jv = plan._mos_jvals
+            self._eval(
+                plan._mos_vg, plan._mos_vd, plan._mos_vs,
+                rv[0], rv[1], jv[0], jv[1], jv[2], jv[3], jv[4], jv[5],
+            )
+            np.add.at(res, plan._mos_ridx, rv.ravel())
+            np.add.at(data, self._mos_map, jv.ravel())
+        if plan.generic:
+            jac = self._generic_jac
+            jac.data = data
+            ctx = StampContext(
+                x, res[:n], jac,
+                source_scale=source_scale, dt=dt, x_prev=x_prev,
+            )
+            for element in plan.generic:
+                element.stamp(ctx)
+        return res[:n], self._csr(data)
+
+    # ----------------------------------------------------- stacked points
+    def _batch_buffers(self, P: int) -> dict:
+        buf = self._batch.get(P)
+        if buf is None:
+            S = self.plan._size
+            M = len(self.plan._mos_pol)
+            W = self.nnz + 1
+            offsets = np.arange(P, dtype=np.intp)
+            buf = {
+                "xpad": np.zeros((P, S)),
+                "res": np.zeros((P, S)),
+                "data": np.zeros((P, W)),
+                "mos_ridx": (offsets[:, None] * S
+                             + self.plan._mos_ridx).ravel() if M else None,
+                "mos_didx": (offsets[:, None] * W
+                             + self._mos_map).ravel() if M else None,
+                "mos_rvals": np.empty((P, 2, M)),
+                "mos_jvals": np.empty((P, 6, M)),
+                "vg": np.empty((P, M)),
+                "vd": np.empty((P, M)),
+                "vs": np.empty((P, M)),
+            }
+            self._batch[P] = buf
+        return buf
+
+    def assemble_batch(
+        self,
+        X: np.ndarray,
+        gmin: float,
+        source_scale: float,
+        source_override: Optional[Tuple[int, np.ndarray]] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Stacked DC residuals and per-point CSR ``data`` for ``X``.
+
+        Returns ``(res, data)`` with ``res`` shaped ``(P, n)`` and
+        ``data`` shaped ``(P, nnz + 1)``; every row of ``data`` shares
+        this plan's cached pattern.  :meth:`solve_batch` consumes the
+        pair.  Views into reused buffers, consume before reassembly.
+        """
+        if self.delegated:
+            return self.plan.assemble_batch(
+                X, gmin, source_scale, source_override
+            )
+        self.assemblies += 1
+        plan = self.plan
+        P = X.shape[0]
+        n, nn = self.n, self.n_nodes
+        buf = self._batch_buffers(P)
+        xpad = buf["xpad"]
+        xpad[:, :n] = X
+        res = buf["res"]
+        res[:] = 0.0
+        res[:, :n] = self._G0.dot(X.T).T
+        res[:, :n] += plan._b0[:n] * source_scale
+        if source_override is not None:
+            row, values = source_override
+            res[:, row] += (-plan._b0[row] - values) * source_scale
+        res[:, :nn] += gmin * xpad[:, :nn]
+        data = buf["data"]
+        data[:, : self.nnz] = self._g0_data
+        data[:, self.nnz] = 0.0
+        data[:, self._diag_map] += gmin
+        if len(plan._mos_pol):
+            np.take(xpad, plan._mos_g, axis=1, out=buf["vg"])
+            np.take(xpad, plan._mos_d, axis=1, out=buf["vd"])
+            np.take(xpad, plan._mos_s, axis=1, out=buf["vs"])
+            rv = buf["mos_rvals"]
+            jv = buf["mos_jvals"]
+            self._eval(
+                buf["vg"], buf["vd"], buf["vs"],
+                rv[:, 0], rv[:, 1],
+                jv[:, 0], jv[:, 1], jv[:, 2], jv[:, 3], jv[:, 4], jv[:, 5],
+            )
+            np.add.at(res.reshape(-1), buf["mos_ridx"], rv.reshape(-1))
+            np.add.at(data.reshape(-1), buf["mos_didx"], jv.reshape(-1))
+        if plan.generic:
+            jac = self._generic_jac
+            for p in range(P):
+                jac.data = data[p]
+                ctx = StampContext(
+                    X[p], res[p, :n], jac, source_scale=source_scale
+                )
+                for element in plan.generic:
+                    element.stamp(ctx)
+        return res[:, :n], data
+
+    def solve_batch(
+        self,
+        data: np.ndarray,
+        residual: np.ndarray,
+        active: np.ndarray,
+        dx: np.ndarray,
+        failed: np.ndarray,
+    ) -> None:
+        """Newton steps for every active point: one SuperLU solve each.
+
+        Fills ``dx`` rows in place; a singular point sets ``failed`` and
+        leaves ``dx`` zero, matching the dense batch loop's per-point
+        ``LinAlgError`` handling.
+        """
+        for p in np.flatnonzero(active):
+            step = sparse_linear_solve(self._csr(data[p]), -residual[p])
+            if step is None:
+                failed[p] = True
+                dx[p] = 0.0
+            else:
+                dx[p] = step
+
+
+def sparse_plan(
+    circuit: Circuit, min_unknowns: Optional[int] = None
+) -> SparseCircuit:
+    """The circuit's cached sparse plan, recompiled when stale.
+
+    Caches on the circuit like :func:`compiled_plan`; the cached entry is
+    invalidated by a topology change (element/unknown-count signature) or
+    by a different resolved delegation threshold (so a fuzz run forcing
+    ``sparse_threshold(0)`` never reuses a delegated production plan).
+    Value mutations go through :meth:`SparseCircuit.refresh` as usual.
+    """
+    threshold = _resolve_threshold(min_unknowns)
+    plan = getattr(circuit, "_sparse_plan", None)
+    signature = (len(circuit.elements), circuit.unknown_count())
+    if (
+        plan is None
+        or plan.signature != signature
+        or plan.threshold != threshold
+    ):
+        plan = SparseCircuit(circuit, min_unknowns=threshold)
+        circuit._sparse_plan = plan
+        obs.count("dc.sparse.plan.builds")
+        if plan.delegated:
+            obs.count("dc.sparse.plan.delegated")
+    else:
+        obs.count("dc.sparse.plan.hits")
+    return plan

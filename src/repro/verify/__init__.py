@@ -30,6 +30,7 @@ from .fuzz import (
     CHECKS,
     FuzzFailure,
     FuzzReport,
+    backend_pairs,
     build_circuit,
     generate_spec,
     load_repro,
@@ -63,6 +64,7 @@ __all__ = [
     "Tolerance",
     "TolerancePolicy",
     "VerifyReport",
+    "backend_pairs",
     "build_circuit",
     "compare_payloads",
     "default_goldens_dir",

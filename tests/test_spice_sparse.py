@@ -1,0 +1,444 @@
+"""The sparse backend against the reference oracle, plus its contracts.
+
+Property half: hypothesis-generated device netlists (same generator family
+as ``test_spice_properties.py``) must produce the same DC and
+transient-companion assemblies as the per-element ``Element.stamp``
+reference to ulp-level rounding, and the same DC solutions within the
+shared ``DC_BACKEND_AGREEMENT_V`` budget - with the dense-delegation
+threshold forced to zero so the real CSR + SuperLU path is what runs.
+
+Contract half: the symbolic-reuse guarantees the module docstring of
+:mod:`repro.spice.sparse` promises - one pattern build per plan lifetime
+however many assemblies follow, ``refresh()`` picking up value mutations
+without a pattern rebuild, plan-cache invalidation on topology change,
+small-netlist delegation - and the import-time numba/numpy kernel
+selection policy of :mod:`repro.spice.jit`.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.spice import (
+    Circuit,
+    ConvergenceError,
+    solve_dc,
+    solve_dc_batch,
+    sparse_plan,
+    sparse_threshold,
+)
+from repro.spice.sparse import DEFAULT_MIN_UNKNOWNS, SparseCircuit
+from repro.verify.tolerances import (
+    ASSEMBLY_ATOL,
+    ASSEMBLY_RTOL,
+    DC_BACKEND_AGREEMENT_V,
+    SWEEP_BATCH_AGREEMENT_V,
+)
+
+
+@st.composite
+def device_circuits(draw):
+    """Random mixed netlists (resistor chain + MOSFETs + caps + sources).
+
+    Mirrors the generator in ``test_spice_properties.py``: the spanning
+    chain keeps the DC operating point well-posed wherever the devices
+    land, and non-unit MOSFET multipliers exercise the plan's folded-i0
+    path.
+    """
+    from repro.devices import CORNERS, MosfetModel, nmos_params, pmos_params
+
+    n_nodes = draw(st.integers(2, 6))
+    nodes = [f"n{i}" for i in range(n_nodes)]
+    chain = ["0"] + nodes
+    circuit = Circuit("random-sparse")
+    for i in range(len(chain) - 1):
+        circuit.resistor(f"r{i}", chain[i], chain[i + 1], draw(st.floats(1e3, 1e7)))
+    circuit.vsource("vs", nodes[0], "0", draw(st.floats(0.2, 1.2)))
+    corner = CORNERS[draw(st.sampled_from(["typical", "fast", "slow", "fs", "sf"]))]
+    temp_c = draw(st.sampled_from([-40.0, 25.0, 125.0]))
+    for k in range(draw(st.integers(1, 4))):
+        d = draw(st.sampled_from(chain))
+        g = draw(st.sampled_from(chain))
+        s = draw(st.sampled_from(chain))
+        if draw(st.booleans()):
+            params = nmos_params(f"m{k}", 120e-9)
+        else:
+            params = pmos_params(f"m{k}", 240e-9)
+        circuit.mosfet(
+            f"m{k}", d, g, s, MosfetModel(params, corner, temp_c),
+            multiplier=draw(st.floats(0.5, 4.0)),
+        )
+    for k in range(draw(st.integers(0, 3))):
+        a = draw(st.sampled_from(chain))
+        b = draw(st.sampled_from(chain))
+        if a != b:
+            circuit.capacitor(f"c{k}", a, b, draw(st.floats(1e-15, 1e-9)))
+    for k in range(draw(st.integers(0, 2))):
+        node = draw(st.sampled_from(nodes))
+        circuit.isource(f"i{k}", "0", node, draw(st.floats(-1e-4, 1e-4)))
+    return circuit
+
+
+def _random_state(data, n):
+    values = data.draw(
+        st.lists(st.floats(-1.5, 1.5), min_size=n, max_size=n),
+        label="state",
+    )
+    return np.asarray(values)
+
+
+class TestSparseVsReference:
+    """CSR assembly and SuperLU solves against the Element.stamp oracle."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(device_circuits(), st.data())
+    def test_dc_assembly_matches_reference(self, circuit, data):
+        from repro.spice.dc import _assemble, _assign_branch_indices
+
+        _assign_branch_indices(circuit)
+        x = _random_state(data, circuit.unknown_count())
+        gmin = data.draw(st.sampled_from([0.0, 1e-12, 1e-6]), label="gmin")
+        scale = data.draw(st.floats(0.05, 1.0), label="source_scale")
+        residual_ref, jacobian_ref = _assemble(circuit, x, gmin, scale)
+        with sparse_threshold(0):
+            plan = sparse_plan(circuit)
+            assert not plan.delegated
+            plan.refresh()
+            residual, jacobian = plan.assemble(x, gmin, scale)
+        np.testing.assert_allclose(
+            residual, residual_ref, rtol=ASSEMBLY_RTOL, atol=ASSEMBLY_ATOL
+        )
+        np.testing.assert_allclose(
+            jacobian.toarray(), jacobian_ref,
+            rtol=ASSEMBLY_RTOL, atol=ASSEMBLY_ATOL,
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(device_circuits(), st.data())
+    def test_transient_companion_assembly_matches_reference(self, circuit, data):
+        """Backward-Euler capacitor companions agree through the CSR path."""
+        from repro.spice.dc import _assemble, _assign_branch_indices
+
+        _assign_branch_indices(circuit)
+        n = circuit.unknown_count()
+        x = _random_state(data, n)
+        x_prev = _random_state(data, n)
+        dt = data.draw(st.floats(1e-12, 1e-3), label="dt")
+        residual_ref, jacobian_ref = _assemble(
+            circuit, x, 1e-12, 1.0, dt=dt, x_prev=x_prev
+        )
+        with sparse_threshold(0):
+            plan = sparse_plan(circuit)
+            plan.refresh()
+            residual, jacobian = plan.assemble(
+                x, 1e-12, 1.0, dt=dt, x_prev=x_prev
+            )
+        np.testing.assert_allclose(
+            residual, residual_ref, rtol=ASSEMBLY_RTOL, atol=ASSEMBLY_ATOL
+        )
+        np.testing.assert_allclose(
+            jacobian.toarray(), jacobian_ref,
+            rtol=ASSEMBLY_RTOL, atol=ASSEMBLY_ATOL,
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(device_circuits())
+    def test_dc_solutions_agree_to_nanovolts(self, circuit):
+        try:
+            reference = solve_dc(circuit, backend="reference")
+        except ConvergenceError:
+            assume(False)
+        with sparse_threshold(0):
+            sparse = solve_dc(circuit, backend="sparse")
+        n_nodes = circuit.node_count - 1
+        diff = np.abs(reference.x[:n_nodes] - sparse.x[:n_nodes])
+        assert diff.max() <= DC_BACKEND_AGREEMENT_V
+
+    @settings(max_examples=10, deadline=None)
+    @given(device_circuits())
+    def test_batch_sweep_agrees_with_sequential_reference(self, circuit):
+        from repro.spice.dc import dc_sweep
+
+        v0 = circuit.element("vs").voltage
+        values = list(np.linspace(0.8 * v0, 1.2 * v0, 5))
+        try:
+            sequential = dc_sweep(circuit, "vs", values, backend="reference")
+        except ConvergenceError:
+            assume(False)
+        with sparse_threshold(0):
+            batch = solve_dc_batch(circuit, "vs", values, backend="sparse")
+        n_nodes = circuit.node_count - 1
+        for b, s in zip(batch, sequential):
+            diff = np.abs(b.x[:n_nodes] - s.x[:n_nodes])
+            assert diff.max() <= SWEEP_BATCH_AGREEMENT_V
+
+
+def _rc_mos_circuit(n_stages=3):
+    """A small deterministic netlist with every element family present."""
+    from repro.devices import MosfetModel, nmos_params
+
+    circuit = Circuit("contract")
+    circuit.vsource("vdd", "vdd", "0", 1.0)
+    prev = "vdd"
+    for k in range(n_stages):
+        node = f"n{k}"
+        circuit.resistor(f"r{k}", prev, node, 1e4)
+        circuit.mosfet(
+            f"m{k}", node, node, "0",
+            MosfetModel(nmos_params(f"m{k}", 120e-9)),
+        )
+        circuit.capacitor(f"c{k}", node, "0", 1e-15)
+        prev = node
+    return circuit
+
+
+def _generic_load_circuit():
+    """A netlist with a table-driven generic element (the regulator's
+    ``ArrayLoad``), which only the reference stamp understands."""
+    from repro.regulator.load import ArrayLoad, leakage_table
+
+    circuit = Circuit("generic-load")
+    circuit.vsource("vdd", "vdd", "0", 1.0)
+    circuit.resistor("rload", "vdd", "out", 1e3)
+    circuit.add(
+        ArrayLoad(
+            "array", circuit.node("out"), leakage_table("typical", 25.0),
+            n_cells=262144,
+        )
+    )
+    return circuit
+
+
+class TestGenericElements:
+    """Reference-stamp elements assemble into the pattern, not around it."""
+
+    def test_generic_assembly_matches_reference(self):
+        from repro.spice.dc import _assemble, _assign_branch_indices
+
+        circuit = _generic_load_circuit()
+        _assign_branch_indices(circuit)
+        x = np.linspace(0.2, 1.0, circuit.unknown_count())
+        residual_ref, jacobian_ref = _assemble(circuit, x, 1e-12, 1.0)
+        with sparse_threshold(0):
+            plan = sparse_plan(circuit)
+            assert not plan.delegated
+            residual, jacobian = plan.assemble(x, 1e-12, 1.0)
+        np.testing.assert_allclose(
+            residual, residual_ref, rtol=ASSEMBLY_RTOL, atol=ASSEMBLY_ATOL
+        )
+        np.testing.assert_allclose(
+            jacobian.toarray(), jacobian_ref,
+            rtol=ASSEMBLY_RTOL, atol=ASSEMBLY_ATOL,
+        )
+
+    def test_regulator_netlist_takes_the_csr_path(self):
+        """The full regulator (ArrayLoad included) solves through CSR to
+        the same operating point as the compiled backend."""
+        from repro.devices.pvt import PVT
+        from repro.regulator.design import VrefSelect
+        from repro.regulator.netlist import build_regulator
+
+        pvt = PVT("typical", 1.1, 25.0)
+        circuit, _ = build_regulator(pvt, VrefSelect.VREF70)
+        compiled = solve_dc(circuit, backend="compiled")
+        with sparse_threshold(0):
+            plan = sparse_plan(circuit)
+            assert not plan.delegated
+            sparse = solve_dc(circuit, backend="sparse")
+        n_nodes = circuit.node_count - 1
+        diff = np.abs(compiled.x[:n_nodes] - sparse.x[:n_nodes])
+        assert diff.max() <= DC_BACKEND_AGREEMENT_V
+
+    def test_batch_sweep_with_generic_element(self):
+        from repro.spice.dc import dc_sweep
+
+        values = [0.8, 0.9, 1.0, 1.1]
+        sequential = dc_sweep(
+            _generic_load_circuit(), "vdd", values, backend="reference"
+        )
+        with sparse_threshold(0):
+            batch = solve_dc_batch(
+                _generic_load_circuit(), "vdd", values, backend="sparse"
+            )
+        for b, s in zip(batch, sequential):
+            diff = np.abs(b.x - s.x)
+            assert diff.max() <= SWEEP_BATCH_AGREEMENT_V
+
+    def test_footprint_violation_raises_a_clear_error(self):
+        """A generic stamp whose Jacobian footprint depends on the iterate
+        breaks the pattern contract and must say so, not corrupt data."""
+        from repro.spice.elements import Element
+
+        class WanderingStamp(Element):
+            def stamp(self, ctx):
+                # Couples node c to itself at 0 V, but to the (otherwise
+                # uncoupled) node a once the voltage rises - an entry the
+                # discovery pass never saw and no other element owns.
+                other = 1 if ctx.v(3) > 0.5 else 3
+                ctx.add_current(3, 1e-6, {other: 1e-6})
+
+        circuit = Circuit("wandering")
+        circuit.vsource("v", "a", "0", 1.0)
+        circuit.resistor("r1", "a", "b", 1e3)
+        circuit.resistor("r2", "b", "c", 1e3)
+        circuit.resistor("r3", "c", "0", 1e3)
+        circuit.add(WanderingStamp("w"))
+        with sparse_threshold(0):
+            plan = sparse_plan(circuit)
+            x = np.full(circuit.unknown_count(), 0.9)
+            with pytest.raises(RuntimeError, match="footprint"):
+                plan.assemble(x, 1e-12, 1.0)
+
+
+class TestSymbolicReuse:
+    """The pattern cache is the symbolic step; build once, assemble many."""
+
+    def test_pattern_built_once_across_newton_iterations(self):
+        with sparse_threshold(0):
+            circuit = _rc_mos_circuit()
+            solve_dc(circuit, backend="sparse")
+            plan = sparse_plan(circuit)
+            assert plan.pattern_builds == 1
+            assert plan.assemblies > 1  # Newton iterated; pattern did not rebuild
+
+    def test_plan_cached_across_solves_and_sweeps(self):
+        with sparse_threshold(0):
+            circuit = _rc_mos_circuit()
+            solve_dc(circuit, backend="sparse")
+            first = sparse_plan(circuit)
+            solve_dc(circuit, backend="sparse")
+            solve_dc_batch(
+                circuit, "vdd", [0.8, 0.9, 1.0], backend="sparse"
+            )
+            assert sparse_plan(circuit) is first
+            assert first.pattern_builds == 1
+
+    def test_refresh_picks_up_value_mutation_without_rebuild(self):
+        from repro.spice.dc import _assemble, _assign_branch_indices
+
+        with sparse_threshold(0):
+            circuit = _rc_mos_circuit()
+            _assign_branch_indices(circuit)
+            plan = sparse_plan(circuit)
+            x = np.linspace(0.1, 0.9, circuit.unknown_count())
+            plan.refresh()
+            plan.assemble(x, 1e-12, 1.0)
+            circuit.element("r0").resistance *= 3.0
+            circuit.element("vdd").voltage = 0.7
+            plan.refresh()
+            residual, jacobian = plan.assemble(x, 1e-12, 1.0)
+            residual_ref, jacobian_ref = _assemble(circuit, x, 1e-12, 1.0)
+            np.testing.assert_allclose(
+                residual, residual_ref, rtol=ASSEMBLY_RTOL, atol=ASSEMBLY_ATOL
+            )
+            np.testing.assert_allclose(
+                jacobian.toarray(), jacobian_ref,
+                rtol=ASSEMBLY_RTOL, atol=ASSEMBLY_ATOL,
+            )
+            assert plan.pattern_builds == 1
+
+    def test_topology_change_invalidates_the_cached_plan(self):
+        with sparse_threshold(0):
+            circuit = _rc_mos_circuit()
+            first = sparse_plan(circuit)
+            circuit.resistor("extra", "n0", "0", 5e4)
+            second = sparse_plan(circuit)
+            assert second is not first
+            assert second.nnz >= first.nnz
+            # And the new plan solves the new topology correctly.
+            sparse = solve_dc(circuit, backend="sparse")
+        reference = solve_dc(circuit, backend="reference")
+        n_nodes = circuit.node_count - 1
+        diff = np.abs(reference.x[:n_nodes] - sparse.x[:n_nodes])
+        assert diff.max() <= DC_BACKEND_AGREEMENT_V
+
+
+class TestDelegation:
+    """Small netlists ride the dense plan; the threshold is overridable."""
+
+    def test_small_netlist_delegates_by_default(self):
+        circuit = _rc_mos_circuit()
+        plan = sparse_plan(circuit)
+        assert circuit.unknown_count() < DEFAULT_MIN_UNKNOWNS
+        assert plan.delegated
+        jacobian = plan.assemble(
+            np.zeros(circuit.unknown_count()), 1e-12, 1.0
+        )[1]
+        assert isinstance(jacobian, np.ndarray)  # dense, not CSR
+
+    def test_threshold_context_forces_csr(self):
+        circuit = _rc_mos_circuit()
+        with sparse_threshold(0):
+            plan = sparse_plan(circuit)
+            assert not plan.delegated
+            jacobian = plan.assemble(
+                np.zeros(circuit.unknown_count()), 1e-12, 1.0
+            )[1]
+            assert hasattr(jacobian, "toarray")  # CSR
+
+    def test_threshold_change_is_a_cache_miss(self):
+        circuit = _rc_mos_circuit()
+        delegated = sparse_plan(circuit)
+        with sparse_threshold(0):
+            forced = sparse_plan(circuit)
+        assert forced is not delegated
+        assert delegated.delegated and not forced.delegated
+
+    def test_env_var_threshold(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SPARSE_MIN_UNKNOWNS", "1")
+        circuit = _rc_mos_circuit()
+        plan = SparseCircuit(circuit)
+        assert not plan.delegated
+
+
+class TestJitSelection:
+    """Import-time numba/numpy kernel selection and its escape hatch."""
+
+    def test_kernel_name_matches_availability(self):
+        from repro.spice import jit
+
+        assert jit.kernel_name() in ("numba", "numpy")
+        assert (jit.kernel_name() == "numba") is jit.HAVE_NUMBA
+
+    def test_numpy_fallback_is_the_plan_method(self):
+        """Without numba the evaluator IS the compiled plan's numpy path -
+        zero indirection, nothing new to diverge."""
+        from repro.spice import jit
+        from repro.spice.compiled import compiled_plan
+        from repro.spice.dc import _assign_branch_indices
+
+        if jit.HAVE_NUMBA:
+            pytest.skip("numba present; fallback identity not in play")
+        circuit = _rc_mos_circuit()
+        _assign_branch_indices(circuit)
+        plan = compiled_plan(circuit)
+        assert jit.make_ekv_evaluator(plan) == plan._mos_eval_into
+
+    def test_jit_env_mask_values(self):
+        from repro.spice.jit import _jit_disabled
+
+        for value, expected in (
+            ("0", True), ("off", True), ("no", True), ("false", True),
+            ("OFF", True), ("1", False), ("", False), ("yes", False),
+        ):
+            import os
+            old = os.environ.get("REPRO_SPICE_JIT")
+            try:
+                os.environ["REPRO_SPICE_JIT"] = value
+                assert _jit_disabled() is expected, value
+            finally:
+                if old is None:
+                    os.environ.pop("REPRO_SPICE_JIT", None)
+                else:
+                    os.environ["REPRO_SPICE_JIT"] = old
+
+    def test_fingerprint_names_the_kernel(self):
+        """Campaign caches must never mix numba and numpy results."""
+        from repro.campaign.spec import SweepSpec, TaskPoint
+        from repro.spice.jit import kernel_name
+
+        spec = SweepSpec.build(
+            "jit-fp", [TaskPoint("svnm", {"vdd": 0.7})], seed=1
+        )
+        assert kernel_name() in ("numba", "numpy")
+        assert spec.fingerprint()  # digest builds with the kernel folded in
